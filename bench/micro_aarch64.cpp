@@ -1,0 +1,132 @@
+//===- bench/micro_aarch64.cpp - Encoder/decoder microbenchmarks ------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark suite for the binary substrate: encode and decode
+/// throughput over representative instruction mixes, and the PC-relative
+/// retargeting operation the LTBO patcher runs over every recorded
+/// instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "aarch64/Decoder.h"
+#include "aarch64/Encoder.h"
+#include "aarch64/PcRel.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace calibro;
+using namespace calibro::a64;
+
+namespace {
+
+/// A representative basic-block mix: data processing, loads/stores,
+/// branches, like generated OAT code.
+std::vector<Insn> makeMix(std::size_t N, uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<Insn> Mix;
+  Mix.reserve(N);
+  for (std::size_t I = 0; I < N; ++I) {
+    Insn X;
+    switch (R.nextBelow(6)) {
+    case 0:
+      X.Op = Opcode::AddReg;
+      X.Rd = R.nextBelow(29);
+      X.Rn = R.nextBelow(29);
+      X.Rm = R.nextBelow(29);
+      break;
+    case 1:
+      X.Op = Opcode::MovZ;
+      X.Rd = R.nextBelow(29);
+      X.Imm = static_cast<int64_t>(R.nextBelow(65536));
+      break;
+    case 2:
+      X.Op = Opcode::LdrImm;
+      X.Rd = R.nextBelow(29);
+      X.Rn = R.nextBelow(29);
+      X.Imm = 8 * static_cast<int64_t>(R.nextBelow(64));
+      break;
+    case 3:
+      X.Op = Opcode::SubsImm;
+      X.Rd = ZR;
+      X.Rn = R.nextBelow(29);
+      X.Imm = static_cast<int64_t>(R.nextBelow(4096));
+      break;
+    case 4:
+      X.Op = Opcode::Bcond;
+      X.CC = Cond::NE;
+      X.Imm = 4 * (static_cast<int64_t>(R.nextBelow(1024)) - 512);
+      break;
+    default:
+      X.Op = Opcode::Bl;
+      X.Imm = 4 * (static_cast<int64_t>(R.nextBelow(1 << 20)) - (1 << 19));
+      break;
+    }
+    Mix.push_back(X);
+  }
+  return Mix;
+}
+
+void BM_Encode(benchmark::State &State) {
+  auto Mix = makeMix(4096, 1);
+  for (auto _ : State) {
+    uint32_t Acc = 0;
+    for (const auto &I : Mix)
+      Acc ^= encode(I);
+    benchmark::DoNotOptimize(Acc);
+  }
+  State.SetItemsProcessed(State.iterations() * Mix.size());
+}
+BENCHMARK(BM_Encode);
+
+void BM_Decode(benchmark::State &State) {
+  auto Mix = makeMix(4096, 2);
+  std::vector<uint32_t> Words;
+  for (const auto &I : Mix)
+    Words.push_back(encode(I));
+  for (auto _ : State) {
+    std::size_t Ok = 0;
+    for (uint32_t W : Words)
+      Ok += decode(W).has_value();
+    benchmark::DoNotOptimize(Ok);
+  }
+  State.SetItemsProcessed(State.iterations() * Words.size());
+}
+BENCHMARK(BM_Decode);
+
+void BM_RoundTrip(benchmark::State &State) {
+  auto Mix = makeMix(4096, 3);
+  std::vector<uint32_t> Words;
+  for (const auto &I : Mix)
+    Words.push_back(encode(I));
+  for (auto _ : State) {
+    uint32_t Acc = 0;
+    for (uint32_t W : Words)
+      Acc ^= encode(*decode(W));
+    benchmark::DoNotOptimize(Acc);
+  }
+  State.SetItemsProcessed(State.iterations() * Words.size());
+}
+BENCHMARK(BM_RoundTrip);
+
+void BM_RetargetWord(benchmark::State &State) {
+  // The §3.3.4 patch operation: decode, re-point, re-encode.
+  Insn B{.Op = Opcode::Bcond};
+  B.CC = Cond::EQ;
+  B.Imm = 0x40;
+  uint32_t Word = encode(B);
+  uint64_t Pc = 0x1000;
+  for (auto _ : State) {
+    auto Patched = retargetWord(Word, Pc, Pc + 0x80);
+    benchmark::DoNotOptimize(*Patched);
+  }
+}
+BENCHMARK(BM_RetargetWord);
+
+} // namespace
+
+BENCHMARK_MAIN();

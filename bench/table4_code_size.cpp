@@ -1,0 +1,89 @@
+//===- bench/table4_code_size.cpp - Paper Table 4 ---------------------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Table 4: on-disk OAT code-size reduction per app under
+/// CTO+LTBO, +PlOpti and +PlOpti+HfOpti (plus the CTO-only number quoted in
+/// §4.2, 3.56%). The HfOpti rows follow the Fig. 6 workflow: profile the
+/// PlOpti build, then rebuild with the hot set excluded.
+///
+/// Paper reference (reduction vs. baseline):
+///   CTO+LTBO            19.19% avg
+///   CTO+LTBO+PlOpti     16.40% avg
+///   CTO+LTBO+PlOpti+Hf  15.19% avg
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace calibro;
+using namespace calibro::bench;
+
+int main(int argc, char **argv) {
+  double Scale = scaleFromArgs(argc, argv);
+  std::printf("Table 4: OAT code-size reduction (scale %.2f)\n"
+              "paper: CTO 3.56%% | CTO+LTBO 19.19%% | +PlOpti 16.40%% | "
+              "+HfOpti 15.19%% (averages)\n\n",
+              Scale);
+
+  std::vector<std::string> Names = {"config"};
+  std::vector<std::string> BaseRow, CtoRow, FullRow, ParRow, HfRow;
+  double CtoSum = 0, FullSum = 0, ParSum = 0, HfSum = 0;
+
+  auto Specs = workload::paperApps(Scale);
+  for (const auto &Spec : Specs) {
+    dex::App App = workload::makeApp(Spec);
+    auto Script = workload::makeScript(Spec, 20, 2024);
+    Names.push_back(Spec.Name);
+
+    auto Base = build(App, baselineOpts());
+    auto Cto = build(App, ctoOpts());
+    auto Full = build(App, ctoLtboOpts());
+    auto Par = build(App, plOpts());
+
+    // HfOpti: profile the PlOpti build, rebuild with the hot set excluded.
+    auto ParRun = runScript(Par.Oat, Script, /*CollectProfile=*/true);
+    core::CalibroOptions HfOpts = plOpts();
+    HfOpts.Profile = &ParRun.Prof;
+    auto Hf = build(App, HfOpts);
+
+    double B = static_cast<double>(Base.Oat.textBytes());
+    auto Pct = [B](const core::BuildResult &R) {
+      return 100.0 * (1.0 - static_cast<double>(R.Oat.textBytes()) / B);
+    };
+    BaseRow.push_back(fmtBytes(Base.Oat.textBytes()));
+    CtoRow.push_back(fmtPct(Pct(Cto)));
+    FullRow.push_back(fmtPct(Pct(Full)));
+    ParRow.push_back(fmtPct(Pct(Par)));
+    HfRow.push_back(fmtPct(Pct(Hf)));
+    CtoSum += Pct(Cto);
+    FullSum += Pct(Full);
+    ParSum += Pct(Par);
+    HfSum += Pct(Hf);
+  }
+
+  double N = static_cast<double>(Specs.size());
+  Names.push_back("AVG");
+  BaseRow.push_back("/");
+  CtoRow.push_back(fmtPct(CtoSum / N));
+  FullRow.push_back(fmtPct(FullSum / N));
+  ParRow.push_back(fmtPct(ParSum / N));
+  HfRow.push_back(fmtPct(HfSum / N));
+
+  printRow("", {Names.begin() + 1, Names.end()});
+  printRow("Baseline (.text)", BaseRow);
+  printRow("CTO", CtoRow);
+  printRow("CTO+LTBO", FullRow);
+  printRow("CTO+LTBO+PlOpti", ParRow);
+  printRow("CTO+LTBO+PlOpti+HfOpti", HfRow);
+
+  std::printf("\nshape checks:\n");
+  std::printf("  CTO < PlOpti+HfOpti < PlOpti < CTO+LTBO : %s\n",
+              (CtoSum < HfSum && HfSum < ParSum && ParSum < FullSum)
+                  ? "PASS"
+                  : "FAIL");
+  return 0;
+}

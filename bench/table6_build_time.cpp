@@ -1,0 +1,126 @@
+//===- bench/table6_build_time.cpp - Paper Table 6 --------------------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Table 6: building time per app for the baseline, the
+/// single-global-suffix-tree CTO+LTBO, and the paralleled-suffix-tree
+/// PlOpti variant, plus the growth ratios relative to the baseline.
+///
+/// Paper reference: CTO+LTBO slows the build by 489.5% on average (single
+/// thread, one global tree), PlOpti by 70.8% (8 trees). Also includes the
+/// K-sweep ablation (the trade-off knob §4.4 mentions).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+
+using namespace calibro;
+using namespace calibro::bench;
+
+namespace {
+
+/// Median-of-5 wall-clock build time (short builds on a small shared box
+/// are noisy; the median rejects scheduler hiccups).
+double timedBuild(const dex::App &App, const core::CalibroOptions &Opts,
+                  uint64_t *TextBytes = nullptr) {
+  constexpr int Reps = 5;
+  double Times[Reps];
+  for (int K = 0; K < Reps; ++K) {
+    Timer T;
+    auto B = build(App, Opts);
+    Times[K] = T.seconds();
+    if (TextBytes)
+      *TextBytes = B.Oat.textBytes();
+  }
+  std::sort(Times, Times + Reps);
+  return Times[Reps / 2];
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  double Scale = scaleFromArgs(argc, argv, 2.0);
+  std::printf("Table 6: building time (scale %.2f)\n"
+              "paper: CTO+LTBO +489.5%% avg (one global tree), "
+              "+PlOpti +70.8%% avg (8 trees)\n\n",
+              Scale);
+
+  std::vector<std::string> Names, BaseRow, FullRow, ParRow, FullPct, ParPct;
+  double FullSum = 0, ParSum = 0;
+
+  auto Specs = workload::paperApps(Scale);
+  for (const auto &Spec : Specs) {
+    dex::App App = workload::makeApp(Spec);
+    Names.push_back(Spec.Name);
+    double TBase = timedBuild(App, baselineOpts());
+    double TFull = timedBuild(App, ctoLtboOpts());
+    double TPar = timedBuild(App, plOpts());
+    BaseRow.push_back(fmtSec(TBase));
+    FullRow.push_back(fmtSec(TFull));
+    ParRow.push_back(fmtSec(TPar));
+    double FullGrowth = 100.0 * (TFull / TBase - 1.0);
+    double ParGrowth = 100.0 * (TPar / TBase - 1.0);
+    FullPct.push_back(fmtPct(FullGrowth));
+    ParPct.push_back(fmtPct(ParGrowth));
+    FullSum += FullGrowth;
+    ParSum += ParGrowth;
+  }
+  double N = static_cast<double>(Specs.size());
+  Names.push_back("AVG");
+  BaseRow.push_back("/");
+  FullRow.push_back("/");
+  ParRow.push_back("/");
+  FullPct.push_back(fmtPct(FullSum / N));
+  ParPct.push_back(fmtPct(ParSum / N));
+
+  printRow("", Names);
+  printRow("Baseline", BaseRow);
+  printRow("CTO+LTBO (1 tree)", FullRow);
+  printRow("CTO+LTBO+PlOpti (8)", ParRow);
+  printRow("growth: CTO+LTBO", FullPct);
+  printRow("growth: +PlOpti", ParPct);
+
+  std::printf("\nshape check: PlOpti growth << global-tree growth : %s\n",
+              ParSum < FullSum ? "PASS" : "FAIL");
+
+  // Ablation: the K trade-off (build time vs. size reduction), Wechat.
+  std::printf("\nablation: partition count K on %s\n",
+              Specs[5].Name.c_str());
+  dex::App App = workload::makeApp(Specs[5]);
+  uint64_t BaseBytes = build(App, baselineOpts()).Oat.textBytes();
+  std::printf("%6s %12s %12s\n", "K", "build", "size saved");
+  for (uint32_t K : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    core::CalibroOptions O = ctoLtboOpts();
+    O.LtboPartitions = K;
+    O.LtboThreads = K > 1 ? 2 : 1;
+    uint64_t Bytes = 0;
+    double T = timedBuild(App, O, &Bytes);
+    std::printf("%6u %12s %12s\n", K, fmtSec(T).c_str(),
+                fmtPct(100.0 * (1.0 - double(Bytes) / double(BaseBytes)))
+                    .c_str());
+  }
+
+  // Ablation: detection backend (suffix tree vs. suffix array). Both make
+  // identical outlining decisions; only the build-time profile differs.
+  std::printf("\nablation: detection backend on %s (K = 1)\n",
+              Specs[5].Name.c_str());
+  for (auto [Label, Kind] :
+       {std::pair<const char *, core::DetectorKind>{
+            "suffix tree", core::DetectorKind::SuffixTree},
+        {"suffix array", core::DetectorKind::SuffixArray}}) {
+    core::CalibroOptions O = ctoLtboOpts();
+    O.LtboDetector = Kind;
+    uint64_t Bytes = 0;
+    double T = timedBuild(App, O, &Bytes);
+    std::printf("  %-14s %12s %12s\n", Label, fmtSec(T).c_str(),
+                fmtPct(100.0 * (1.0 - double(Bytes) / double(BaseBytes)))
+                    .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,135 @@
+//===- examples/quickstart.cpp - Five-minute Calibro tour -------------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The README's quickstart: build a tiny dex application, compile it twice
+/// (baseline vs. full Calibro), execute both images on the simulator to
+/// show they behave identically, and print the size difference.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Calibro.h"
+#include "oat/Dump.h"
+#include "sim/Simulator.h"
+
+#include <cstdio>
+
+using namespace calibro;
+
+namespace {
+
+dex::Insn op(dex::Op O, uint16_t A = 0, uint16_t B = 0, uint16_t C = 0,
+             int64_t Imm = 0) {
+  dex::Insn I;
+  I.Opcode = O;
+  I.A = A;
+  I.B = B;
+  I.C = C;
+  I.Imm = Imm;
+  return I;
+}
+
+/// A little "library" method: f(a, b) = (a + b) * (a ^ b).
+dex::Method helper(uint32_t Idx) {
+  dex::Method M;
+  M.Idx = Idx;
+  M.Name = "LQuick;->helper" + std::to_string(Idx);
+  M.NumRegs = 8;
+  M.NumArgs = 2;
+  M.ReturnsValue = true;
+  M.Code = {op(dex::Op::Add, 2, 0, 1), op(dex::Op::Xor, 3, 0, 1),
+            op(dex::Op::Mul, 2, 2, 3), op(dex::Op::Return, 2)};
+  return M;
+}
+
+/// main(a): calls every helper and an allocation, sums the results.
+dex::Method mainMethod(uint32_t NumHelpers) {
+  dex::Method M;
+  M.Idx = 0;
+  M.Name = "LQuick;->main";
+  M.NumRegs = 10;
+  M.NumArgs = 1;
+  M.ReturnsValue = true;
+  M.Code.push_back(op(dex::Op::ConstInt, 1, 0, 0, 1));
+  for (uint32_t H = 1; H <= NumHelpers; ++H) {
+    dex::Insn Call = op(dex::Op::InvokeStatic, 4);
+    Call.Idx = H;
+    Call.Args = {0, 1, dex::NoReg, dex::NoReg};
+    Call.NumArgs = 2;
+    M.Code.push_back(Call);
+    M.Code.push_back(op(dex::Op::Add, 1, 1, 4));
+  }
+  dex::Insn Alloc = op(dex::Op::NewInstance, 5);
+  Alloc.Idx = 1;
+  M.Code.push_back(Alloc);
+  M.Code.push_back(op(dex::Op::IPut, 1, 5, 0, 8));
+  M.Code.push_back(op(dex::Op::IGet, 2, 5, 0, 8));
+  M.Code.push_back(op(dex::Op::Return, 2));
+  return M;
+}
+
+} // namespace
+
+int main() {
+  // 1. Assemble an application package (one dex file, 9 methods).
+  dex::App App;
+  App.Name = "quickstart";
+  App.Files.resize(1);
+  App.Files[0].Methods.push_back(mainMethod(8));
+  for (uint32_t H = 1; H <= 8; ++H)
+    App.Files[0].Methods.push_back(helper(H));
+
+  // 2. Build it twice: plain dex2oat-style, and with Calibro's CTO + LTBO.
+  core::CalibroOptions Baseline;
+  core::CalibroOptions Full;
+  Full.EnableCto = true;
+  Full.EnableLtbo = true;
+
+  auto B = core::buildApp(App, Baseline);
+  auto C = core::buildApp(App, Full);
+  if (!B || !C) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 (!B ? B.message() : C.message()).c_str());
+    return 1;
+  }
+
+  std::printf("== baseline OAT ==\n%s\n",
+              oat::dumpOat(B->Oat, /*Disassemble=*/false).c_str());
+  std::printf("== Calibro OAT (CTO+LTBO) ==\n%s\n",
+              oat::dumpOat(C->Oat, /*Disassemble=*/false).c_str());
+  double Saved = 100.0 * (1.0 - double(C->Oat.textBytes()) /
+                                    double(B->Oat.textBytes()));
+  std::printf("code size reduction: %.2f%% (%llu -> %llu bytes)\n\n", Saved,
+              (unsigned long long)B->Oat.textBytes(),
+              (unsigned long long)C->Oat.textBytes());
+
+  // 3. Run both images; behaviour must be identical.
+  sim::Simulator SimB(B->Oat, {});
+  sim::Simulator SimC(C->Oat, {});
+  for (int64_t Arg : {3, 10, 255}) {
+    int64_t Args[1] = {Arg};
+    auto RB = SimB.call(0, Args);
+    auto RC = SimC.call(0, Args);
+    if (!RB || !RC) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   (!RB ? RB.message() : RC.message()).c_str());
+      return 1;
+    }
+    std::printf("main(%lld) = %lld   [baseline %llu insns, calibro %llu "
+                "insns, traces %s]\n",
+                (long long)Arg, (long long)RB->ReturnValue,
+                (unsigned long long)RB->Insns,
+                (unsigned long long)RC->Insns,
+                RB->TraceHash == RC->TraceHash ? "match" : "MISMATCH");
+    if (RB->TraceHash != RC->TraceHash || RB->ReturnValue != RC->ReturnValue)
+      return 1;
+  }
+
+  std::printf("\nLTBO outlined %zu sequences (%zu occurrences replaced)\n",
+              C->Stats.Ltbo.SequencesOutlined,
+              C->Stats.Ltbo.OccurrencesReplaced);
+  return 0;
+}

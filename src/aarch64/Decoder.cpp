@@ -1,0 +1,325 @@
+//===- aarch64/Decoder.cpp - AArch64 instruction decoder -----------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aarch64/Decoder.h"
+
+#include "support/MathExtras.h"
+
+using namespace calibro;
+using namespace calibro::a64;
+
+namespace {
+
+bool matches(uint32_t Word, uint32_t Mask, uint32_t Value) {
+  return (Word & Mask) == Value;
+}
+
+std::optional<Insn> decodeAddSubImm(uint32_t W) {
+  Insn I;
+  I.Is64 = (W >> 31) & 1;
+  bool OpBit = (W >> 30) & 1;
+  bool SBit = (W >> 29) & 1;
+  I.Op = OpBit ? (SBit ? Opcode::SubsImm : Opcode::SubImm)
+               : (SBit ? Opcode::AddsImm : Opcode::AddImm);
+  I.Shift = ((W >> 22) & 1) ? 12 : 0;
+  I.Imm = extractBits(W, 10, 12);
+  I.Rn = extractBits(W, 5, 5);
+  I.Rd = extractBits(W, 0, 5);
+  return I;
+}
+
+std::optional<Insn> decodeMovWide(uint32_t W) {
+  uint32_t Opc = extractBits(W, 29, 2);
+  if (Opc == 0b01)
+    return std::nullopt; // Unallocated.
+  Insn I;
+  I.Is64 = (W >> 31) & 1;
+  I.Op = Opc == 0b00 ? Opcode::MovN
+                     : (Opc == 0b10 ? Opcode::MovZ : Opcode::MovK);
+  uint32_t Hw = extractBits(W, 21, 2);
+  if (!I.Is64 && Hw > 1)
+    return std::nullopt;
+  I.Shift = static_cast<uint8_t>(Hw * 16);
+  I.Imm = extractBits(W, 5, 16);
+  I.Rd = extractBits(W, 0, 5);
+  return I;
+}
+
+std::optional<Insn> decodeAddSubReg(uint32_t W) {
+  if (extractBits(W, 22, 2) != 0)
+    return std::nullopt; // Only LSL shifts in the subset.
+  Insn I;
+  I.Is64 = (W >> 31) & 1;
+  bool OpBit = (W >> 30) & 1;
+  bool SBit = (W >> 29) & 1;
+  I.Op = OpBit ? (SBit ? Opcode::SubsReg : Opcode::SubReg)
+               : (SBit ? Opcode::AddsReg : Opcode::AddReg);
+  I.Rm = extractBits(W, 16, 5);
+  I.Shift = static_cast<uint8_t>(extractBits(W, 10, 6));
+  I.Rn = extractBits(W, 5, 5);
+  I.Rd = extractBits(W, 0, 5);
+  if (I.Shift >= (I.Is64 ? 64 : 32))
+    return std::nullopt;
+  return I;
+}
+
+std::optional<Insn> decodeLogicalReg(uint32_t W) {
+  if (extractBits(W, 22, 2) != 0)
+    return std::nullopt; // Only LSL shifts in the subset.
+  Insn I;
+  I.Is64 = (W >> 31) & 1;
+  switch (extractBits(W, 29, 2)) {
+  case 0b00:
+    I.Op = Opcode::AndReg;
+    break;
+  case 0b01:
+    I.Op = Opcode::OrrReg;
+    break;
+  case 0b10:
+    I.Op = Opcode::EorReg;
+    break;
+  case 0b11:
+    I.Op = Opcode::AndsReg;
+    break;
+  }
+  I.Rm = extractBits(W, 16, 5);
+  I.Shift = static_cast<uint8_t>(extractBits(W, 10, 6));
+  I.Rn = extractBits(W, 5, 5);
+  I.Rd = extractBits(W, 0, 5);
+  if (I.Shift >= (I.Is64 ? 64 : 32))
+    return std::nullopt;
+  return I;
+}
+
+std::optional<Insn> decodeDp2Src(uint32_t W) {
+  Insn I;
+  I.Is64 = (W >> 31) & 1;
+  switch (extractBits(W, 10, 6)) {
+  case 0b000010:
+    I.Op = Opcode::Udiv;
+    break;
+  case 0b000011:
+    I.Op = Opcode::Sdiv;
+    break;
+  case 0b001000:
+    I.Op = Opcode::Lslv;
+    break;
+  case 0b001001:
+    I.Op = Opcode::Lsrv;
+    break;
+  case 0b001010:
+    I.Op = Opcode::Asrv;
+    break;
+  default:
+    return std::nullopt;
+  }
+  I.Rm = extractBits(W, 16, 5);
+  I.Rn = extractBits(W, 5, 5);
+  I.Rd = extractBits(W, 0, 5);
+  return I;
+}
+
+std::optional<Insn> decodeDp3Src(uint32_t W) {
+  Insn I;
+  I.Is64 = (W >> 31) & 1;
+  I.Op = ((W >> 15) & 1) ? Opcode::Msub : Opcode::Madd;
+  I.Rm = extractBits(W, 16, 5);
+  I.Ra = extractBits(W, 10, 5);
+  I.Rn = extractBits(W, 5, 5);
+  I.Rd = extractBits(W, 0, 5);
+  return I;
+}
+
+std::optional<Insn> decodeCondSelect(uint32_t W) {
+  Insn I;
+  I.Is64 = (W >> 31) & 1;
+  switch (extractBits(W, 10, 2)) {
+  case 0b00:
+    I.Op = Opcode::Csel;
+    break;
+  case 0b01:
+    I.Op = Opcode::Csinc;
+    break;
+  default:
+    return std::nullopt;
+  }
+  I.Rm = extractBits(W, 16, 5);
+  I.CC = static_cast<Cond>(extractBits(W, 12, 4));
+  I.Rn = extractBits(W, 5, 5);
+  I.Rd = extractBits(W, 0, 5);
+  return I;
+}
+
+std::optional<Insn> decodeLoadStoreUImm(uint32_t W) {
+  uint32_t Size = extractBits(W, 30, 2);
+  uint32_t Opc = extractBits(W, 22, 2);
+  if (Opc > 0b01)
+    return std::nullopt; // No sign-extending loads in the subset.
+  bool IsLoad = Opc == 0b01;
+  Insn I;
+  switch (Size) {
+  case 0b00:
+    I.Op = IsLoad ? Opcode::LdrbImm : Opcode::StrbImm;
+    I.Is64 = false;
+    I.Imm = extractBits(W, 10, 12);
+    break;
+  case 0b10:
+  case 0b11:
+    I.Op = IsLoad ? Opcode::LdrImm : Opcode::StrImm;
+    I.Is64 = Size == 0b11;
+    I.Imm = static_cast<int64_t>(extractBits(W, 10, 12)) << Size;
+    break;
+  default:
+    return std::nullopt; // 16-bit accesses are outside the subset.
+  }
+  I.Rn = extractBits(W, 5, 5);
+  I.Rd = extractBits(W, 0, 5);
+  return I;
+}
+
+std::optional<Insn> decodeLdpStp(uint32_t W) {
+  uint32_t Opc = extractBits(W, 30, 2);
+  if (Opc != 0b00 && Opc != 0b10)
+    return std::nullopt;
+  Insn I;
+  I.Is64 = Opc == 0b10;
+  switch (extractBits(W, 23, 3)) {
+  case 0b001:
+    I.Mode = IndexMode::PostIndex;
+    break;
+  case 0b010:
+    I.Mode = IndexMode::Offset;
+    break;
+  case 0b011:
+    I.Mode = IndexMode::PreIndex;
+    break;
+  default:
+    return std::nullopt;
+  }
+  I.Op = ((W >> 22) & 1) ? Opcode::Ldp : Opcode::Stp;
+  unsigned Scale = I.Is64 ? 3 : 2;
+  I.Imm = signExtend(extractBits(W, 15, 7), 7) << Scale;
+  I.Ra = extractBits(W, 10, 5);
+  I.Rn = extractBits(W, 5, 5);
+  I.Rd = extractBits(W, 0, 5);
+  return I;
+}
+
+std::optional<Insn> decodeLdrLit(uint32_t W) {
+  uint32_t Opc = extractBits(W, 30, 2);
+  if (Opc > 0b01)
+    return std::nullopt;
+  Insn I;
+  I.Op = Opcode::LdrLit;
+  I.Is64 = Opc == 0b01;
+  I.Imm = signExtend(extractBits(W, 5, 19), 19) << 2;
+  I.Rd = extractBits(W, 0, 5);
+  return I;
+}
+
+std::optional<Insn> decodeAdr(uint32_t W) {
+  Insn I;
+  bool IsAdrp = (W >> 31) & 1;
+  I.Op = IsAdrp ? Opcode::Adrp : Opcode::Adr;
+  uint32_t ImmLo = extractBits(W, 29, 2);
+  uint32_t ImmHi = extractBits(W, 5, 19);
+  int64_t Raw = signExtend((static_cast<uint64_t>(ImmHi) << 2) | ImmLo, 21);
+  I.Imm = IsAdrp ? (Raw << 12) : Raw;
+  I.Rd = extractBits(W, 0, 5);
+  return I;
+}
+
+} // namespace
+
+std::optional<Insn> a64::decode(uint32_t W) {
+  // System and register-branch instructions: exact patterns first.
+  if (W == 0xD503201Fu)
+    return Insn{.Op = Opcode::Nop};
+  if (matches(W, 0xFFFFFC1F, 0xD61F0000)) {
+    Insn I{.Op = Opcode::Br};
+    I.Rn = extractBits(W, 5, 5);
+    return I;
+  }
+  if (matches(W, 0xFFFFFC1F, 0xD63F0000)) {
+    Insn I{.Op = Opcode::Blr};
+    I.Rn = extractBits(W, 5, 5);
+    return I;
+  }
+  if (matches(W, 0xFFFFFC1F, 0xD65F0000)) {
+    Insn I{.Op = Opcode::Ret};
+    I.Rn = extractBits(W, 5, 5);
+    return I;
+  }
+  if (matches(W, 0xFFE0001F, 0xD4200000)) {
+    Insn I{.Op = Opcode::Brk};
+    I.Imm = extractBits(W, 5, 16);
+    return I;
+  }
+
+  // Immediate branches.
+  if (matches(W, 0x7C000000, 0x14000000)) {
+    Insn I;
+    I.Op = (W >> 31) ? Opcode::Bl : Opcode::B;
+    I.Imm = signExtend(extractBits(W, 0, 26), 26) << 2;
+    return I;
+  }
+  if (matches(W, 0xFF000010, 0x54000000)) {
+    Insn I{.Op = Opcode::Bcond};
+    I.CC = static_cast<Cond>(extractBits(W, 0, 4));
+    I.Imm = signExtend(extractBits(W, 5, 19), 19) << 2;
+    return I;
+  }
+  if (matches(W, 0x7E000000, 0x34000000)) {
+    Insn I;
+    I.Op = ((W >> 24) & 1) ? Opcode::Cbnz : Opcode::Cbz;
+    I.Is64 = (W >> 31) & 1;
+    I.Imm = signExtend(extractBits(W, 5, 19), 19) << 2;
+    I.Rd = extractBits(W, 0, 5);
+    return I;
+  }
+  if (matches(W, 0x7E000000, 0x36000000)) {
+    Insn I;
+    I.Op = ((W >> 24) & 1) ? Opcode::Tbnz : Opcode::Tbz;
+    I.BitPos =
+        static_cast<uint8_t>((extractBits(W, 31, 1) << 5) | extractBits(W, 19, 5));
+    I.Is64 = I.BitPos >= 32;
+    I.Imm = signExtend(extractBits(W, 5, 14), 14) << 2;
+    I.Rd = extractBits(W, 0, 5);
+    return I;
+  }
+
+  // PC-relative address computation.
+  if (matches(W, 0x1F000000, 0x10000000))
+    return decodeAdr(W);
+
+  // Data-processing, immediate.
+  if (matches(W, 0x1F800000, 0x11000000))
+    return decodeAddSubImm(W);
+  if (matches(W, 0x1F800000, 0x12800000))
+    return decodeMovWide(W);
+
+  // Data-processing, register.
+  if (matches(W, 0x1F200000, 0x0B000000))
+    return decodeAddSubReg(W);
+  if (matches(W, 0x1F200000, 0x0A000000))
+    return decodeLogicalReg(W);
+  if (matches(W, 0x7FE00000, 0x1AC00000))
+    return decodeDp2Src(W);
+  if (matches(W, 0x7FE00000, 0x1B000000))
+    return decodeDp3Src(W);
+  if (matches(W, 0x7FE00000, 0x1A800000))
+    return decodeCondSelect(W);
+
+  // Loads and stores.
+  if (matches(W, 0x3F000000, 0x39000000))
+    return decodeLoadStoreUImm(W);
+  if (matches(W, 0x3C000000, 0x28000000))
+    return decodeLdpStp(W);
+  if (matches(W, 0x3F000000, 0x18000000))
+    return decodeLdrLit(W);
+
+  return std::nullopt;
+}

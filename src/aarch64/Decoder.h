@@ -1,0 +1,33 @@
+//===- aarch64/Decoder.h - AArch64 instruction decoder ----------*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decodes 32-bit A64 machine words back into Insn values. The decoder is
+/// exact for the supported subset: every word produced by encode() decodes
+/// to an equal Insn, and words outside the subset decode to std::nullopt
+/// (which is how the linking-time outliner would notice embedded data if it
+/// ever tried to disassemble it — Calibro avoids that via the side
+/// information instead, see paper §3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_AARCH64_DECODER_H
+#define CALIBRO_AARCH64_DECODER_H
+
+#include "aarch64/Insn.h"
+
+#include <optional>
+
+namespace calibro {
+namespace a64 {
+
+/// Decodes \p Word. Returns std::nullopt for words outside the subset.
+std::optional<Insn> decode(uint32_t Word);
+
+} // namespace a64
+} // namespace calibro
+
+#endif // CALIBRO_AARCH64_DECODER_H

@@ -1,0 +1,294 @@
+//===- aarch64/Disasm.cpp - Textual disassembly ---------------------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aarch64/Disasm.h"
+
+#include "aarch64/PcRel.h"
+#include "support/Compiler.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace calibro;
+using namespace calibro::a64;
+
+namespace {
+
+const char *condName(Cond C) {
+  switch (C) {
+  case Cond::EQ:
+    return "eq";
+  case Cond::NE:
+    return "ne";
+  case Cond::HS:
+    return "hs";
+  case Cond::LO:
+    return "lo";
+  case Cond::MI:
+    return "mi";
+  case Cond::PL:
+    return "pl";
+  case Cond::VS:
+    return "vs";
+  case Cond::VC:
+    return "vc";
+  case Cond::HI:
+    return "hi";
+  case Cond::LS:
+    return "ls";
+  case Cond::GE:
+    return "ge";
+  case Cond::LT:
+    return "lt";
+  case Cond::GT:
+    return "gt";
+  case Cond::LE:
+    return "le";
+  case Cond::AL:
+    return "al";
+  }
+  CALIBRO_UNREACHABLE("bad condition code");
+}
+
+std::string fmt(const char *Format, ...) {
+  char Buf[160];
+  va_list Args;
+  va_start(Args, Format);
+  std::vsnprintf(Buf, sizeof(Buf), Format, Args);
+  va_end(Args);
+  return Buf;
+}
+
+/// Formats the branch offset operand, annotated with the target address when
+/// the caller supplied the instruction's own address.
+std::string branchOperand(const Insn &I, uint64_t Pc) {
+  int64_t Off = I.Imm;
+  std::string S =
+      Off < 0 ? fmt("#-0x%" PRIx64, -Off) : fmt("#+0x%" PRIx64, Off);
+  if (Pc != ~uint64_t(0)) {
+    if (auto Target = pcRelTarget(I, Pc))
+      S += fmt(" (addr 0x%" PRIx64 ")", *Target);
+  }
+  return S;
+}
+
+std::string memOperand(const Insn &I) {
+  std::string Base = regName(I.Rn, /*Is64=*/true, /*SpContext=*/true);
+  if (I.Imm == 0)
+    return fmt("[%s]", Base.c_str());
+  return fmt("[%s, #%" PRId64 "]", Base.c_str(), I.Imm);
+}
+
+std::string pairMemOperand(const Insn &I) {
+  std::string Base = regName(I.Rn, /*Is64=*/true, /*SpContext=*/true);
+  switch (I.Mode) {
+  case IndexMode::Offset:
+    if (I.Imm == 0)
+      return fmt("[%s]", Base.c_str());
+    return fmt("[%s, #%" PRId64 "]", Base.c_str(), I.Imm);
+  case IndexMode::PreIndex:
+    return fmt("[%s, #%" PRId64 "]!", Base.c_str(), I.Imm);
+  case IndexMode::PostIndex:
+    return fmt("[%s], #%" PRId64, Base.c_str(), I.Imm);
+  }
+  CALIBRO_UNREACHABLE("bad index mode");
+}
+
+std::string threeReg(const char *Mnemonic, const Insn &I) {
+  std::string S = fmt("%s %s, %s, %s", Mnemonic,
+                      regName(I.Rd, I.Is64).c_str(),
+                      regName(I.Rn, I.Is64).c_str(),
+                      regName(I.Rm, I.Is64).c_str());
+  if (I.Shift != 0)
+    S += fmt(", lsl #%u", I.Shift);
+  return S;
+}
+
+std::string addSubImm(const char *Mnemonic, const Insn &I, bool SpOperands) {
+  std::string S = fmt("%s %s, %s, #%" PRId64 " (%" PRId64 ")", Mnemonic,
+                      regName(I.Rd, I.Is64, SpOperands).c_str(),
+                      regName(I.Rn, I.Is64, SpOperands).c_str(),
+                      I.Imm << (I.Shift == 12 ? 12 : 0),
+                      I.Imm << (I.Shift == 12 ? 12 : 0));
+  return S;
+}
+
+} // namespace
+
+std::string a64::regName(uint8_t Reg, bool Is64, bool SpContext) {
+  if (Reg == 31) {
+    if (SpContext)
+      return Is64 ? "sp" : "wsp";
+    return Is64 ? "xzr" : "wzr";
+  }
+  return fmt("%c%u", Is64 ? 'x' : 'w', Reg);
+}
+
+std::string a64::toString(const Insn &I, uint64_t Pc) {
+  switch (I.Op) {
+  case Opcode::Invalid:
+    return "<invalid>";
+
+  case Opcode::AddImm: {
+    // ADD with SP operands and #0 is the canonical `mov` alias; keep the raw
+    // form for clarity (the paper's listings do too).
+    int64_t V = I.Imm << (I.Shift == 12 ? 12 : 0);
+    return fmt("add %s, %s, #0x%" PRIx64 " (%" PRId64 ")",
+               regName(I.Rd, I.Is64, true).c_str(),
+               regName(I.Rn, I.Is64, true).c_str(), V, V);
+  }
+  case Opcode::SubImm: {
+    int64_t V = I.Imm << (I.Shift == 12 ? 12 : 0);
+    return fmt("sub %s, %s, #0x%" PRIx64 " (%" PRId64 ")",
+               regName(I.Rd, I.Is64, true).c_str(),
+               regName(I.Rn, I.Is64, true).c_str(), V, V);
+  }
+  case Opcode::AddsImm:
+    return addSubImm("adds", I, false);
+  case Opcode::SubsImm:
+    if (I.Rd == ZR)
+      return fmt("cmp %s, #%" PRId64,
+                 regName(I.Rn, I.Is64).c_str(),
+                 I.Imm << (I.Shift == 12 ? 12 : 0));
+    return addSubImm("subs", I, false);
+
+  case Opcode::MovZ:
+  case Opcode::MovN:
+  case Opcode::MovK: {
+    const char *M = I.Op == Opcode::MovZ
+                        ? "movz"
+                        : (I.Op == Opcode::MovN ? "movn" : "movk");
+    if (I.Shift == 0)
+      return fmt("%s %s, #0x%" PRIx64, M, regName(I.Rd, I.Is64).c_str(),
+                 I.Imm);
+    return fmt("%s %s, #0x%" PRIx64 ", lsl #%u", M,
+               regName(I.Rd, I.Is64).c_str(), I.Imm, I.Shift);
+  }
+
+  case Opcode::AddReg:
+    return threeReg("add", I);
+  case Opcode::SubReg:
+    return threeReg("sub", I);
+  case Opcode::AddsReg:
+    return threeReg("adds", I);
+  case Opcode::SubsReg:
+    if (I.Rd == ZR && I.Shift == 0)
+      return fmt("cmp %s, %s", regName(I.Rn, I.Is64).c_str(),
+                 regName(I.Rm, I.Is64).c_str());
+    return threeReg("subs", I);
+  case Opcode::AndReg:
+    return threeReg("and", I);
+  case Opcode::OrrReg:
+    if (I.Rn == ZR && I.Shift == 0)
+      return fmt("mov %s, %s", regName(I.Rd, I.Is64).c_str(),
+                 regName(I.Rm, I.Is64).c_str());
+    return threeReg("orr", I);
+  case Opcode::EorReg:
+    return threeReg("eor", I);
+  case Opcode::AndsReg:
+    if (I.Rd == ZR && I.Shift == 0)
+      return fmt("tst %s, %s", regName(I.Rn, I.Is64).c_str(),
+                 regName(I.Rm, I.Is64).c_str());
+    return threeReg("ands", I);
+  case Opcode::Lslv:
+    return threeReg("lsl", I);
+  case Opcode::Lsrv:
+    return threeReg("lsr", I);
+  case Opcode::Asrv:
+    return threeReg("asr", I);
+
+  case Opcode::Madd:
+    if (I.Ra == ZR)
+      return threeReg("mul", I);
+    return fmt("madd %s, %s, %s, %s", regName(I.Rd, I.Is64).c_str(),
+               regName(I.Rn, I.Is64).c_str(), regName(I.Rm, I.Is64).c_str(),
+               regName(I.Ra, I.Is64).c_str());
+  case Opcode::Msub:
+    return fmt("msub %s, %s, %s, %s", regName(I.Rd, I.Is64).c_str(),
+               regName(I.Rn, I.Is64).c_str(), regName(I.Rm, I.Is64).c_str(),
+               regName(I.Ra, I.Is64).c_str());
+  case Opcode::Sdiv:
+    return threeReg("sdiv", I);
+  case Opcode::Udiv:
+    return threeReg("udiv", I);
+
+  case Opcode::Csel:
+    return fmt("csel %s, %s, %s, %s", regName(I.Rd, I.Is64).c_str(),
+               regName(I.Rn, I.Is64).c_str(), regName(I.Rm, I.Is64).c_str(),
+               condName(I.CC));
+  case Opcode::Csinc:
+    if (I.Rn == ZR && I.Rm == ZR)
+      return fmt("cset %s, %s", regName(I.Rd, I.Is64).c_str(),
+                 condName(invert(I.CC)));
+    return fmt("csinc %s, %s, %s, %s", regName(I.Rd, I.Is64).c_str(),
+               regName(I.Rn, I.Is64).c_str(), regName(I.Rm, I.Is64).c_str(),
+               condName(I.CC));
+
+  case Opcode::LdrImm:
+    return fmt("ldr %s, %s", regName(I.Rd, I.Is64).c_str(),
+               memOperand(I).c_str());
+  case Opcode::StrImm:
+    return fmt("str %s, %s", regName(I.Rd, I.Is64).c_str(),
+               memOperand(I).c_str());
+  case Opcode::LdrbImm:
+    return fmt("ldrb %s, %s", regName(I.Rd, false).c_str(),
+               memOperand(I).c_str());
+  case Opcode::StrbImm:
+    return fmt("strb %s, %s", regName(I.Rd, false).c_str(),
+               memOperand(I).c_str());
+  case Opcode::Ldp:
+    return fmt("ldp %s, %s, %s", regName(I.Rd, I.Is64).c_str(),
+               regName(I.Ra, I.Is64).c_str(), pairMemOperand(I).c_str());
+  case Opcode::Stp:
+    return fmt("stp %s, %s, %s", regName(I.Rd, I.Is64).c_str(),
+               regName(I.Ra, I.Is64).c_str(), pairMemOperand(I).c_str());
+  case Opcode::LdrLit:
+    return fmt("ldr %s, %s", regName(I.Rd, I.Is64).c_str(),
+               branchOperand(I, Pc).c_str());
+
+  case Opcode::Adr:
+    return fmt("adr %s, %s", regName(I.Rd, true).c_str(),
+               branchOperand(I, Pc).c_str());
+  case Opcode::Adrp:
+    return fmt("adrp %s, %s", regName(I.Rd, true).c_str(),
+               branchOperand(I, Pc).c_str());
+
+  case Opcode::B:
+    return fmt("b %s", branchOperand(I, Pc).c_str());
+  case Opcode::Bl:
+    return fmt("bl %s", branchOperand(I, Pc).c_str());
+  case Opcode::Bcond:
+    return fmt("b.%s %s", condName(I.CC), branchOperand(I, Pc).c_str());
+  case Opcode::Cbz:
+    return fmt("cbz %s, %s", regName(I.Rd, I.Is64).c_str(),
+               branchOperand(I, Pc).c_str());
+  case Opcode::Cbnz:
+    return fmt("cbnz %s, %s", regName(I.Rd, I.Is64).c_str(),
+               branchOperand(I, Pc).c_str());
+  case Opcode::Tbz:
+    return fmt("tbz %s, #%u, %s", regName(I.Rd, I.Is64).c_str(), I.BitPos,
+               branchOperand(I, Pc).c_str());
+  case Opcode::Tbnz:
+    return fmt("tbnz %s, #%u, %s", regName(I.Rd, I.Is64).c_str(), I.BitPos,
+               branchOperand(I, Pc).c_str());
+
+  case Opcode::Br:
+    return fmt("br %s", regName(I.Rn, true).c_str());
+  case Opcode::Blr:
+    return fmt("blr %s", regName(I.Rn, true).c_str());
+  case Opcode::Ret:
+    if (I.Rn == LR)
+      return "ret";
+    return fmt("ret %s", regName(I.Rn, true).c_str());
+
+  case Opcode::Nop:
+    return "nop";
+  case Opcode::Brk:
+    return fmt("brk #0x%" PRIx64, I.Imm);
+  }
+  CALIBRO_UNREACHABLE("unknown opcode in toString");
+}

@@ -1,0 +1,36 @@
+//===- aarch64/Disasm.h - Textual disassembly -------------------*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders Insn values as human-readable assembly, objdump-style. Used by
+/// the OAT dumper, the Table-2 walkthrough example and test diagnostics.
+/// PC-relative operands are printed with both the raw offset and, when the
+/// instruction address is supplied, the resolved target address — matching
+/// the paper's listing style: `cbz w0, #+0xc (addr 0x13832c)`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_AARCH64_DISASM_H
+#define CALIBRO_AARCH64_DISASM_H
+
+#include "aarch64/Insn.h"
+
+#include <string>
+
+namespace calibro {
+namespace a64 {
+
+/// Renders the register name: x5/w5, sp/wsp, xzr/wzr.
+std::string regName(uint8_t Reg, bool Is64, bool SpContext = false);
+
+/// Renders \p I as assembly text. If \p Pc is provided, PC-relative operands
+/// are annotated with the resolved absolute target.
+std::string toString(const Insn &I, uint64_t Pc = ~uint64_t(0));
+
+} // namespace a64
+} // namespace calibro
+
+#endif // CALIBRO_AARCH64_DISASM_H

@@ -1,0 +1,372 @@
+//===- aarch64/Encoder.cpp - AArch64 instruction encoder -----------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aarch64/Encoder.h"
+
+#include "support/Compiler.h"
+#include "support/MathExtras.h"
+
+#include <string>
+
+using namespace calibro;
+using namespace calibro::a64;
+
+namespace {
+
+/// Byte scale (log2) of a 32/64-bit scalar memory access.
+unsigned scaleOf(bool Is64) { return Is64 ? 3 : 2; }
+
+std::string rangeMsg(const char *What) {
+  return std::string("immediate out of range for ") + What;
+}
+
+/// Validation result for one instruction; empty string means OK.
+std::string checkImpl(const Insn &I) {
+  switch (I.Op) {
+  case Opcode::Invalid:
+    return "cannot encode Opcode::Invalid";
+
+  case Opcode::AddImm:
+  case Opcode::SubImm:
+  case Opcode::AddsImm:
+  case Opcode::SubsImm:
+    if (!isUInt<12>(static_cast<uint64_t>(I.Imm)))
+      return rangeMsg("add/sub imm12");
+    if (I.Shift != 0 && I.Shift != 12)
+      return "add/sub immediate shift must be 0 or 12";
+    return {};
+
+  case Opcode::MovZ:
+  case Opcode::MovN:
+  case Opcode::MovK:
+    if (!isUInt<16>(static_cast<uint64_t>(I.Imm)))
+      return rangeMsg("mov imm16");
+    if (I.Shift % 16 != 0 || I.Shift > (I.Is64 ? 48 : 16))
+      return "mov wide shift must be 0/16/32/48 (0/16 for W)";
+    return {};
+
+  case Opcode::AddReg:
+  case Opcode::SubReg:
+  case Opcode::AddsReg:
+  case Opcode::SubsReg:
+  case Opcode::AndReg:
+  case Opcode::OrrReg:
+  case Opcode::EorReg:
+  case Opcode::AndsReg:
+    if (I.Shift >= (I.Is64 ? 64 : 32))
+      return "register shift amount out of range";
+    return {};
+
+  case Opcode::Lslv:
+  case Opcode::Lsrv:
+  case Opcode::Asrv:
+  case Opcode::Madd:
+  case Opcode::Msub:
+  case Opcode::Sdiv:
+  case Opcode::Udiv:
+  case Opcode::Csel:
+  case Opcode::Csinc:
+    return {};
+
+  case Opcode::LdrImm:
+  case Opcode::StrImm: {
+    unsigned Scale = scaleOf(I.Is64);
+    if (I.Imm < 0 || (I.Imm & ((1 << Scale) - 1)) != 0 ||
+        !isUInt<12>(static_cast<uint64_t>(I.Imm) >> Scale))
+      return rangeMsg("ldr/str scaled imm12");
+    return {};
+  }
+
+  case Opcode::LdrbImm:
+  case Opcode::StrbImm:
+    if (I.Imm < 0 || !isUInt<12>(static_cast<uint64_t>(I.Imm)))
+      return rangeMsg("ldrb/strb imm12");
+    return {};
+
+  case Opcode::Ldp:
+  case Opcode::Stp: {
+    unsigned Scale = scaleOf(I.Is64);
+    if (!isShiftedInt<7, 3>(I.Imm) && I.Is64)
+      return rangeMsg("ldp/stp scaled imm7");
+    if (!I.Is64 && !isShiftedInt<7, 2>(I.Imm))
+      return rangeMsg("ldp/stp scaled imm7");
+    (void)Scale;
+    return {};
+  }
+
+  case Opcode::LdrLit:
+    if (!isShiftedInt<19, 2>(I.Imm))
+      return rangeMsg("ldr literal imm19");
+    return {};
+
+  case Opcode::Adr:
+    if (!isInt<21>(I.Imm))
+      return rangeMsg("adr imm21");
+    return {};
+
+  case Opcode::Adrp:
+    if ((I.Imm & 0xfff) != 0 || !isInt<33>(I.Imm))
+      return rangeMsg("adrp page imm21");
+    return {};
+
+  case Opcode::B:
+  case Opcode::Bl:
+    if (!isShiftedInt<26, 2>(I.Imm))
+      return rangeMsg("b/bl imm26");
+    return {};
+
+  case Opcode::Bcond:
+  case Opcode::Cbz:
+  case Opcode::Cbnz:
+    if (!isShiftedInt<19, 2>(I.Imm))
+      return rangeMsg("imm19 branch");
+    return {};
+
+  case Opcode::Tbz:
+  case Opcode::Tbnz:
+    if (!isShiftedInt<14, 2>(I.Imm))
+      return rangeMsg("tbz/tbnz imm14");
+    if (I.BitPos >= 64)
+      return "tbz/tbnz bit position out of range";
+    // Canonical form: the register width is implied by the tested bit, so a
+    // decode(encode(I)) round trip reproduces I exactly.
+    if (I.Is64 != (I.BitPos >= 32))
+      return "tbz/tbnz width must match tested bit (Is64 iff bit >= 32)";
+    return {};
+
+  case Opcode::Br:
+  case Opcode::Blr:
+  case Opcode::Ret:
+  case Opcode::Nop:
+    return {};
+
+  case Opcode::Brk:
+    if (!isUInt<16>(static_cast<uint64_t>(I.Imm)))
+      return rangeMsg("brk imm16");
+    return {};
+  }
+  CALIBRO_UNREACHABLE("unknown opcode in checkImpl");
+}
+
+uint32_t sf(const Insn &I) { return I.Is64 ? (1u << 31) : 0; }
+
+uint32_t encodeAddSubImm(const Insn &I, uint32_t OpBit, uint32_t SBit) {
+  uint32_t W = sf(I) | (OpBit << 30) | (SBit << 29) | (0b100010u << 23);
+  if (I.Shift == 12)
+    W |= 1u << 22;
+  W |= static_cast<uint32_t>(I.Imm) << 10;
+  W |= uint32_t(I.Rn) << 5;
+  W |= I.Rd;
+  return W;
+}
+
+uint32_t encodeAddSubReg(const Insn &I, uint32_t OpBit, uint32_t SBit) {
+  return sf(I) | (OpBit << 30) | (SBit << 29) | (0b01011u << 24) |
+         (uint32_t(I.Rm) << 16) | (uint32_t(I.Shift) << 10) |
+         (uint32_t(I.Rn) << 5) | I.Rd;
+}
+
+uint32_t encodeLogicalReg(const Insn &I, uint32_t Opc) {
+  return sf(I) | (Opc << 29) | (0b01010u << 24) | (uint32_t(I.Rm) << 16) |
+         (uint32_t(I.Shift) << 10) | (uint32_t(I.Rn) << 5) | I.Rd;
+}
+
+uint32_t encodeMovWide(const Insn &I, uint32_t Opc) {
+  uint32_t Hw = I.Shift / 16;
+  return sf(I) | (Opc << 29) | (0b100101u << 23) | (Hw << 21) |
+         (static_cast<uint32_t>(I.Imm) << 5) | I.Rd;
+}
+
+uint32_t encodeDp2Src(const Insn &I, uint32_t SubOp) {
+  return sf(I) | (0b11010110u << 21) | (uint32_t(I.Rm) << 16) |
+         (SubOp << 10) | (uint32_t(I.Rn) << 5) | I.Rd;
+}
+
+uint32_t encodeDp3Src(const Insn &I, uint32_t O0) {
+  return sf(I) | (0b11011u << 24) | (uint32_t(I.Rm) << 16) | (O0 << 15) |
+         (uint32_t(I.Ra) << 10) | (uint32_t(I.Rn) << 5) | I.Rd;
+}
+
+uint32_t encodeCondSelect(const Insn &I, uint32_t Op2) {
+  return sf(I) | (0b11010100u << 21) | (uint32_t(I.Rm) << 16) |
+         (static_cast<uint32_t>(I.CC) << 12) | (Op2 << 10) |
+         (uint32_t(I.Rn) << 5) | I.Rd;
+}
+
+uint32_t encodeLoadStoreUImm(const Insn &I, uint32_t Size, uint32_t Opc) {
+  uint32_t Imm12 = static_cast<uint32_t>(I.Imm) >> Size;
+  return (Size << 30) | (0b111u << 27) | (0b01u << 24) | (Opc << 22) |
+         (Imm12 << 10) | (uint32_t(I.Rn) << 5) | I.Rd;
+}
+
+uint32_t encodeLdpStp(const Insn &I, bool IsLoad) {
+  uint32_t Opc = I.Is64 ? 0b10u : 0b00u;
+  uint32_t ModeBits = 0b010;
+  switch (I.Mode) {
+  case IndexMode::Offset:
+    ModeBits = 0b010;
+    break;
+  case IndexMode::PreIndex:
+    ModeBits = 0b011;
+    break;
+  case IndexMode::PostIndex:
+    ModeBits = 0b001;
+    break;
+  }
+  uint32_t Imm7 =
+      static_cast<uint32_t>((I.Imm >> scaleOf(I.Is64)) & 0x7f);
+  return (Opc << 30) | (0b101u << 27) | (ModeBits << 23) |
+         ((IsLoad ? 1u : 0u) << 22) | (Imm7 << 15) | (uint32_t(I.Ra) << 10) |
+         (uint32_t(I.Rn) << 5) | I.Rd;
+}
+
+uint32_t encodeImm19Branch(const Insn &I, uint32_t Base) {
+  uint32_t Imm19 = static_cast<uint32_t>((I.Imm >> 2) & 0x7ffff);
+  return Base | (Imm19 << 5);
+}
+
+} // namespace
+
+Error a64::validate(const Insn &I) {
+  std::string Msg = checkImpl(I);
+  if (Msg.empty())
+    return Error::success();
+  return makeError(Msg);
+}
+
+Expected<uint32_t> a64::encodeChecked(const Insn &I) {
+  if (auto E = validate(I))
+    return E;
+  return encode(I);
+}
+
+uint32_t a64::encode(const Insn &I) {
+  assert(checkImpl(I).empty() && "encoding an invalid instruction");
+  switch (I.Op) {
+  case Opcode::Invalid:
+    break;
+
+  case Opcode::AddImm:
+    return encodeAddSubImm(I, /*OpBit=*/0, /*SBit=*/0);
+  case Opcode::SubImm:
+    return encodeAddSubImm(I, 1, 0);
+  case Opcode::AddsImm:
+    return encodeAddSubImm(I, 0, 1);
+  case Opcode::SubsImm:
+    return encodeAddSubImm(I, 1, 1);
+
+  case Opcode::MovN:
+    return encodeMovWide(I, 0b00);
+  case Opcode::MovZ:
+    return encodeMovWide(I, 0b10);
+  case Opcode::MovK:
+    return encodeMovWide(I, 0b11);
+
+  case Opcode::AddReg:
+    return encodeAddSubReg(I, 0, 0);
+  case Opcode::SubReg:
+    return encodeAddSubReg(I, 1, 0);
+  case Opcode::AddsReg:
+    return encodeAddSubReg(I, 0, 1);
+  case Opcode::SubsReg:
+    return encodeAddSubReg(I, 1, 1);
+
+  case Opcode::AndReg:
+    return encodeLogicalReg(I, 0b00);
+  case Opcode::OrrReg:
+    return encodeLogicalReg(I, 0b01);
+  case Opcode::EorReg:
+    return encodeLogicalReg(I, 0b10);
+  case Opcode::AndsReg:
+    return encodeLogicalReg(I, 0b11);
+
+  case Opcode::Udiv:
+    return encodeDp2Src(I, 0b000010);
+  case Opcode::Sdiv:
+    return encodeDp2Src(I, 0b000011);
+  case Opcode::Lslv:
+    return encodeDp2Src(I, 0b001000);
+  case Opcode::Lsrv:
+    return encodeDp2Src(I, 0b001001);
+  case Opcode::Asrv:
+    return encodeDp2Src(I, 0b001010);
+
+  case Opcode::Madd:
+    return encodeDp3Src(I, 0);
+  case Opcode::Msub:
+    return encodeDp3Src(I, 1);
+
+  case Opcode::Csel:
+    return encodeCondSelect(I, 0b00);
+  case Opcode::Csinc:
+    return encodeCondSelect(I, 0b01);
+
+  case Opcode::LdrImm:
+    return encodeLoadStoreUImm(I, I.Is64 ? 0b11 : 0b10, 0b01);
+  case Opcode::StrImm:
+    return encodeLoadStoreUImm(I, I.Is64 ? 0b11 : 0b10, 0b00);
+  case Opcode::LdrbImm:
+    return encodeLoadStoreUImm(I, 0b00, 0b01);
+  case Opcode::StrbImm:
+    return encodeLoadStoreUImm(I, 0b00, 0b00);
+
+  case Opcode::Ldp:
+    return encodeLdpStp(I, /*IsLoad=*/true);
+  case Opcode::Stp:
+    return encodeLdpStp(I, /*IsLoad=*/false);
+
+  case Opcode::LdrLit: {
+    uint32_t Opc = I.Is64 ? 0b01u : 0b00u;
+    uint32_t Imm19 = static_cast<uint32_t>((I.Imm >> 2) & 0x7ffff);
+    return (Opc << 30) | (0b011u << 27) | (Imm19 << 5) | I.Rd;
+  }
+
+  case Opcode::Adr:
+  case Opcode::Adrp: {
+    bool IsAdrp = I.Op == Opcode::Adrp;
+    int64_t Raw = IsAdrp ? (I.Imm >> 12) : I.Imm;
+    uint32_t ImmLo = static_cast<uint32_t>(Raw & 0x3);
+    uint32_t ImmHi = static_cast<uint32_t>((Raw >> 2) & 0x7ffff);
+    return (IsAdrp ? (1u << 31) : 0u) | (ImmLo << 29) | (0b10000u << 24) |
+           (ImmHi << 5) | I.Rd;
+  }
+
+  case Opcode::B:
+    return 0x14000000u | (static_cast<uint32_t>(I.Imm >> 2) & 0x3ffffff);
+  case Opcode::Bl:
+    return 0x94000000u | (static_cast<uint32_t>(I.Imm >> 2) & 0x3ffffff);
+
+  case Opcode::Bcond:
+    return encodeImm19Branch(I, 0x54000000u) |
+           static_cast<uint32_t>(I.CC);
+  case Opcode::Cbz:
+    return encodeImm19Branch(I, sf(I) | 0x34000000u) | I.Rd;
+  case Opcode::Cbnz:
+    return encodeImm19Branch(I, sf(I) | 0x35000000u) | I.Rd;
+
+  case Opcode::Tbz:
+  case Opcode::Tbnz: {
+    uint32_t Base = I.Op == Opcode::Tbz ? 0x36000000u : 0x37000000u;
+    uint32_t B5 = (I.BitPos >> 5) & 1;
+    uint32_t B40 = I.BitPos & 0x1f;
+    uint32_t Imm14 = static_cast<uint32_t>((I.Imm >> 2) & 0x3fff);
+    return Base | (B5 << 31) | (B40 << 19) | (Imm14 << 5) | I.Rd;
+  }
+
+  case Opcode::Br:
+    return 0xD61F0000u | (uint32_t(I.Rn) << 5);
+  case Opcode::Blr:
+    return 0xD63F0000u | (uint32_t(I.Rn) << 5);
+  case Opcode::Ret:
+    return 0xD65F0000u | (uint32_t(I.Rn) << 5);
+
+  case Opcode::Nop:
+    return 0xD503201Fu;
+  case Opcode::Brk:
+    return 0xD4200000u | (static_cast<uint32_t>(I.Imm) << 5);
+  }
+  CALIBRO_UNREACHABLE("unknown opcode in encode");
+}

@@ -1,0 +1,37 @@
+//===- aarch64/Encoder.h - AArch64 instruction encoder ----------*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Encodes Insn values into genuine 32-bit A64 machine words. Immediate
+/// ranges are validated: encode() asserts on a violation, encodeChecked()
+/// reports it as a recoverable error (used by tests and by the patcher,
+/// where a branch pushed out of range is a real, reportable condition).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_AARCH64_ENCODER_H
+#define CALIBRO_AARCH64_ENCODER_H
+
+#include "aarch64/Insn.h"
+#include "support/Error.h"
+
+namespace calibro {
+namespace a64 {
+
+/// Returns true (and no message) if \p I is encodable; otherwise a message
+/// describing the violated constraint.
+Error validate(const Insn &I);
+
+/// Encodes \p I into its A64 machine word. Asserts that \p I is valid.
+uint32_t encode(const Insn &I);
+
+/// Encodes \p I, reporting range violations as errors instead of asserting.
+Expected<uint32_t> encodeChecked(const Insn &I);
+
+} // namespace a64
+} // namespace calibro
+
+#endif // CALIBRO_AARCH64_ENCODER_H

@@ -1,0 +1,213 @@
+//===- aarch64/Insn.h - AArch64 instruction model ---------------*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decoded-instruction model for the AArch64 subset Calibro generates,
+/// analyzes, outlines and simulates. The subset covers everything the ART-
+/// style code generator emits: integer data processing, loads/stores
+/// (including pairs and PC-relative literals), the full conditional/
+/// unconditional branch family, ADR/ADRP, and a few system instructions.
+///
+/// Instructions are encoded to / decoded from genuine 32-bit AArch64 words
+/// (see Encoder.h / Decoder.h), so the outliner's patch math operates on the
+/// real immediate fields with the real range limits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_AARCH64_INSN_H
+#define CALIBRO_AARCH64_INSN_H
+
+#include <cstdint>
+
+namespace calibro {
+namespace a64 {
+
+/// General-purpose register numbers. 0-30 are X0-X30; 31 is XZR or SP
+/// depending on the instruction (the usual AArch64 convention).
+enum : uint8_t {
+  // Named registers with an ABI or ART-specific role.
+  ArtMethodReg = 0, ///< x0 holds the callee ArtMethod* at every Java call.
+  IP0 = 16,         ///< First intra-procedure-call scratch register.
+  IP1 = 17,         ///< Second intra-procedure-call scratch register.
+  ThreadReg = 19,   ///< x19: ART reserves it for the Thread* (tr).
+  FP = 29,          ///< Frame pointer.
+  LR = 30,          ///< Link register (x30).
+  SP = 31,          ///< Stack pointer (in address contexts).
+  ZR = 31,          ///< Zero register (in operand contexts).
+};
+
+/// Condition codes for B.cond / CSEL / CSINC.
+enum class Cond : uint8_t {
+  EQ = 0x0,
+  NE = 0x1,
+  HS = 0x2,
+  LO = 0x3,
+  MI = 0x4,
+  PL = 0x5,
+  VS = 0x6,
+  VC = 0x7,
+  HI = 0x8,
+  LS = 0x9,
+  GE = 0xa,
+  LT = 0xb,
+  GT = 0xc,
+  LE = 0xd,
+  AL = 0xe,
+};
+
+/// Returns the condition with inverted sense (EQ <-> NE, ...).
+inline Cond invert(Cond C) {
+  return static_cast<Cond>(static_cast<uint8_t>(C) ^ 1);
+}
+
+/// Addressing mode for LDP/STP.
+enum class IndexMode : uint8_t {
+  Offset,   ///< [Xn, #imm]
+  PreIndex, ///< [Xn, #imm]!
+  PostIndex ///< [Xn], #imm
+};
+
+/// Opcodes of the supported AArch64 subset.
+enum class Opcode : uint8_t {
+  Invalid = 0,
+
+  // Data-processing, immediate.
+  AddImm,  ///< ADD  Rd, Rn, #imm12 {LSL #12}
+  SubImm,  ///< SUB  Rd, Rn, #imm12 {LSL #12}
+  AddsImm, ///< ADDS Rd, Rn, #imm12 (CMN when Rd=ZR)
+  SubsImm, ///< SUBS Rd, Rn, #imm12 (CMP when Rd=ZR)
+  MovZ,    ///< MOVZ Rd, #imm16, LSL #(16*hw)
+  MovN,    ///< MOVN Rd, #imm16, LSL #(16*hw)
+  MovK,    ///< MOVK Rd, #imm16, LSL #(16*hw)
+
+  // Data-processing, register.
+  AddReg,  ///< ADD  Rd, Rn, Rm {LSL #imm6}
+  SubReg,  ///< SUB  Rd, Rn, Rm {LSL #imm6}
+  AddsReg, ///< ADDS Rd, Rn, Rm
+  SubsReg, ///< SUBS Rd, Rn, Rm (CMP when Rd=ZR)
+  AndReg,  ///< AND  Rd, Rn, Rm
+  OrrReg,  ///< ORR  Rd, Rn, Rm (MOV Rd, Rm when Rn=ZR)
+  EorReg,  ///< EOR  Rd, Rn, Rm
+  AndsReg, ///< ANDS Rd, Rn, Rm (TST when Rd=ZR)
+  Lslv,    ///< LSLV Rd, Rn, Rm
+  Lsrv,    ///< LSRV Rd, Rn, Rm
+  Asrv,    ///< ASRV Rd, Rn, Rm
+  Madd,    ///< MADD Rd, Rn, Rm, Ra (MUL when Ra=ZR)
+  Msub,    ///< MSUB Rd, Rn, Rm, Ra
+  Sdiv,    ///< SDIV Rd, Rn, Rm
+  Udiv,    ///< UDIV Rd, Rn, Rm
+  Csel,    ///< CSEL Rd, Rn, Rm, cond
+  Csinc,   ///< CSINC Rd, Rn, Rm, cond (CSET when Rn=Rm=ZR, inverted cond)
+
+  // Loads and stores.
+  LdrImm,  ///< LDR  Rt, [Rn, #imm12*size]  (32/64-bit)
+  StrImm,  ///< STR  Rt, [Rn, #imm12*size]
+  LdrbImm, ///< LDRB Wt, [Rn, #imm12]
+  StrbImm, ///< STRB Wt, [Rn, #imm12]
+  Ldp,     ///< LDP  Rt, Rt2, [Rn, #imm7*size] with IndexMode
+  Stp,     ///< STP  Rt, Rt2, [Rn, #imm7*size] with IndexMode
+  LdrLit,  ///< LDR  Rt, label  (PC-relative literal load)
+
+  // PC-relative address computation.
+  Adr,  ///< ADR  Rd, label        (+-1 MiB)
+  Adrp, ///< ADRP Rd, label        (+-4 GiB, 4 KiB pages)
+
+  // Branches.
+  B,     ///< B    label (imm26)
+  Bl,    ///< BL   label (imm26)
+  Bcond, ///< B.cond label (imm19)
+  Cbz,   ///< CBZ  Rt, label (imm19)
+  Cbnz,  ///< CBNZ Rt, label (imm19)
+  Tbz,   ///< TBZ  Rt, #bit, label (imm14)
+  Tbnz,  ///< TBNZ Rt, #bit, label (imm14)
+  Br,    ///< BR   Rn
+  Blr,   ///< BLR  Rn
+  Ret,   ///< RET  Rn (defaults to x30)
+
+  // System.
+  Nop, ///< NOP
+  Brk, ///< BRK #imm16
+};
+
+/// A decoded AArch64 instruction.
+///
+/// Field use depends on the opcode; unused fields are zero. \c Imm holds,
+/// depending on the opcode: a zero-extended arithmetic immediate, a *byte*
+/// offset for PC-relative instructions (relative to the instruction
+/// address), a byte offset for memory operands, or the BRK payload.
+struct Insn {
+  Opcode Op = Opcode::Invalid;
+  bool Is64 = true;      ///< sf bit: X (true) or W (false) operation width.
+  uint8_t Rd = 0;        ///< Destination / transfer register (Rt).
+  uint8_t Rn = 0;        ///< First source / base register.
+  uint8_t Rm = 0;        ///< Second source register.
+  uint8_t Ra = 0;        ///< Third source (MADD/MSUB) or Rt2 (LDP/STP).
+  uint8_t Shift = 0;     ///< Shift amount (imm6) or hw*16 for MOVZ/N/K.
+  uint8_t BitPos = 0;    ///< Tested bit for TBZ/TBNZ.
+  Cond CC = Cond::AL;    ///< Condition for Bcond/Csel/Csinc.
+  IndexMode Mode = IndexMode::Offset; ///< LDP/STP addressing mode.
+  int64_t Imm = 0;       ///< See struct comment.
+
+  bool operator==(const Insn &) const = default;
+};
+
+/// True for instructions that terminate a basic block (paper §3.2:
+/// "terminator instructions ... such as jump and return instructions").
+inline bool isTerminator(Opcode Op) {
+  switch (Op) {
+  case Opcode::B:
+  case Opcode::Bcond:
+  case Opcode::Cbz:
+  case Opcode::Cbnz:
+  case Opcode::Tbz:
+  case Opcode::Tbnz:
+  case Opcode::Br:
+  case Opcode::Ret:
+  case Opcode::Brk:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// True for call instructions (do not terminate a block; control returns).
+inline bool isCall(Opcode Op) {
+  return Op == Opcode::Bl || Op == Opcode::Blr;
+}
+
+/// True for instructions whose immediate is a PC-relative byte offset and
+/// therefore needs repair whenever code moves (paper §3.3.4 lists b, bl,
+/// cbz, cbnz, tbz, tbnz, adr, adrp and ldr; b.cond is the conditional form
+/// of b).
+inline bool isPcRelative(Opcode Op) {
+  switch (Op) {
+  case Opcode::B:
+  case Opcode::Bl:
+  case Opcode::Bcond:
+  case Opcode::Cbz:
+  case Opcode::Cbnz:
+  case Opcode::Tbz:
+  case Opcode::Tbnz:
+  case Opcode::Adr:
+  case Opcode::Adrp:
+  case Opcode::LdrLit:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// True for the indirect-jump instruction (BR): methods containing one are
+/// excluded from outlining (paper §3.2).
+inline bool isIndirectJump(Opcode Op) { return Op == Opcode::Br; }
+
+/// Instruction size: the subset is pure A64, fixed 4 bytes.
+inline constexpr uint32_t InsnSize = 4;
+
+} // namespace a64
+} // namespace calibro
+
+#endif // CALIBRO_AARCH64_INSN_H

@@ -1,0 +1,49 @@
+//===- aarch64/PcRel.cpp - PC-relative target and patch math --------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aarch64/PcRel.h"
+
+#include "aarch64/Decoder.h"
+#include "aarch64/Encoder.h"
+
+using namespace calibro;
+using namespace calibro::a64;
+
+std::optional<uint64_t> a64::pcRelTarget(const Insn &I, uint64_t Pc) {
+  if (!isPcRelative(I.Op))
+    return std::nullopt;
+  if (I.Op == Opcode::Adrp)
+    return (Pc & ~uint64_t(0xfff)) + static_cast<uint64_t>(I.Imm);
+  return Pc + static_cast<uint64_t>(I.Imm);
+}
+
+Error a64::retarget(Insn &I, uint64_t Pc, uint64_t NewTarget) {
+  if (!isPcRelative(I.Op))
+    return makeError("retarget on a non-PC-relative instruction");
+  int64_t NewImm;
+  if (I.Op == Opcode::Adrp) {
+    NewImm = static_cast<int64_t>((NewTarget & ~uint64_t(0xfff)) -
+                                  (Pc & ~uint64_t(0xfff)));
+  } else {
+    NewImm = static_cast<int64_t>(NewTarget - Pc);
+  }
+  Insn Patched = I;
+  Patched.Imm = NewImm;
+  if (auto E = validate(Patched))
+    return E;
+  I = Patched;
+  return Error::success();
+}
+
+Expected<uint32_t> a64::retargetWord(uint32_t Word, uint64_t Pc,
+                                     uint64_t NewTarget) {
+  auto I = decode(Word);
+  if (!I)
+    return makeError("retargetWord: undecodable word");
+  if (auto E = retarget(*I, Pc, NewTarget))
+    return E;
+  return encode(*I);
+}

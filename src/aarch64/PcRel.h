@@ -1,0 +1,45 @@
+//===- aarch64/PcRel.h - PC-relative target and patch math ------*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The arithmetic the linking-time outliner needs for PC-relative
+/// instructions (paper §3.3.4): computing an instruction's absolute target
+/// from its address, and re-encoding the instruction so that it points at a
+/// target after code has moved. Works on both decoded Insn values and raw
+/// machine words.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_AARCH64_PCREL_H
+#define CALIBRO_AARCH64_PCREL_H
+
+#include "aarch64/Insn.h"
+#include "support/Error.h"
+
+#include <optional>
+
+namespace calibro {
+namespace a64 {
+
+/// Returns the absolute target of a PC-relative instruction at address
+/// \p Pc, or std::nullopt if \p I is not PC-relative. For ADRP the target is
+/// the (page-aligned) address the instruction materializes.
+std::optional<uint64_t> pcRelTarget(const Insn &I, uint64_t Pc);
+
+/// Rewrites \p I (assumed to sit at \p Pc) so that it targets
+/// \p NewTarget. Fails when the displacement no longer fits the immediate
+/// field. Non-PC-relative instructions are rejected.
+Error retarget(Insn &I, uint64_t Pc, uint64_t NewTarget);
+
+/// Word-level convenience: decode, retarget, re-encode. This is what the
+/// binary patching step runs over the .text image.
+Expected<uint32_t> retargetWord(uint32_t Word, uint64_t Pc,
+                                uint64_t NewTarget);
+
+} // namespace a64
+} // namespace calibro
+
+#endif // CALIBRO_AARCH64_PCREL_H

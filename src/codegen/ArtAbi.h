@@ -1,0 +1,71 @@
+//===- codegen/ArtAbi.h - ART runtime ABI constants -------------*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ABI contract between generated code, the runtime image and the
+/// simulator — this repo's stand-in for the real ART runtime layout:
+///
+///  * x19 ("tr") holds the Thread*, whose record contains the ArtMethod**
+///    method table followed by the native entrypoint table. Entrypoint
+///    calls are `ldr x30, [x19, #off]; blr x30` — the paper's "ART native
+///    function calling pattern" (Fig. 4b).
+///  * Every Java method is named by an ArtMethod object; its entry code
+///    address lives at a fixed offset, so calls are
+///    `ldr x30, [x0, #ArtMethodEntryPointOffset]; blr x30` — the paper's
+///    "Java function calling pattern" (Fig. 4a).
+///  * Non-leaf methods probe [sp - StackOverflowReservedBytes] on entry —
+///    the "stack overflow checking pattern" (Fig. 4c).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_CODEGEN_ARTABI_H
+#define CALIBRO_CODEGEN_ARTABI_H
+
+#include <cstdint>
+
+namespace calibro {
+namespace art {
+
+/// Native runtime entrypoints reachable through the Thread record.
+enum class Entrypoint : uint32_t {
+  AllocObject,      ///< pAllocObjectResolved: x1 = class idx, returns x0.
+  ThrowNullPointer, ///< pThrowNullPointerException (noreturn).
+  ThrowDivZero,     ///< pThrowDivZeroException (noreturn).
+  ThrowStackOverflow, ///< pThrowStackOverflowError (noreturn).
+  DeliverException, ///< pDeliverException: x1 = exception object (noreturn).
+  JniStart,         ///< JNI transition in.
+  JniEnd,           ///< JNI transition out; produces the native result.
+  Count
+};
+
+inline constexpr uint32_t NumEntrypoints =
+    static_cast<uint32_t>(Entrypoint::Count);
+
+/// Thread record layout (addressed off x19).
+/// [0] ArtMethod** method table; [8 + 8*i] entrypoint i.
+inline constexpr uint32_t ThreadMethodTableOffset = 0;
+
+/// Byte offset of entrypoint \p E in the Thread record.
+inline constexpr uint32_t entrypointOffset(Entrypoint E) {
+  return 8 + 8 * static_cast<uint32_t>(E);
+}
+
+/// Total Thread record size.
+inline constexpr uint32_t ThreadRecordSize = 8 + 8 * NumEntrypoints;
+
+/// ArtMethod object layout: [0] method index, [8] declaring class,
+/// [ArtMethodEntryPointOffset] entry code address.
+inline constexpr uint32_t ArtMethodEntryPointOffset = 24;
+inline constexpr uint32_t ArtMethodSize = 32;
+
+/// Size of the guard region probed by the stack overflow check (Fig. 4c
+/// uses 0x2000 on arm64, matching real ART).
+inline constexpr uint32_t StackOverflowReservedBytes = 0x2000;
+
+} // namespace art
+} // namespace calibro
+
+#endif // CALIBRO_CODEGEN_ARTABI_H

@@ -1,0 +1,140 @@
+//===- codegen/CompiledMethod.h - Compilation artifacts ---------*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-method output of code generation: encoded AArch64 words, call
+/// relocations, the StackMap, and — central to this paper — the
+/// MethodSideInfo that the compiler records for the linking-time binary
+/// outliner (LTBO.1, paper §3.2): embedded-data ranges, PC-relative
+/// instructions with their targets, terminator offsets, the indirect-jump
+/// and native-method flags, and slow-path ranges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_CODEGEN_COMPILEDMETHOD_H
+#define CALIBRO_CODEGEN_COMPILEDMETHOD_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace calibro {
+namespace codegen {
+
+/// What a `bl` relocation refers to. Targets are symbolic until the link
+/// step binds them — which is exactly why the outliner never needs to patch
+/// call instructions (paper §3.2, last bullet).
+enum class RelocKind : uint8_t {
+  CtoStub,      ///< A compilation-time-outlining stub (paper §3.1).
+  OutlinedFunc, ///< A function created by the link-time outliner (§3.3.3).
+};
+
+/// One unresolved `bl` site.
+struct Relocation {
+  uint32_t Offset = 0;   ///< Byte offset of the bl within the method code.
+  RelocKind Kind = RelocKind::CtoStub;
+  uint32_t TargetId = 0; ///< Stub id or outlined-function id.
+
+  bool operator==(const Relocation &) const = default;
+};
+
+/// A PC-relative instruction and its (method-local) target, both as byte
+/// offsets from the method start. Collected at compilation time so the
+/// outliner can re-patch without disassembling (paper §3.2/§3.3.4).
+struct PcRelRecord {
+  uint32_t InsnOffset = 0;
+  uint32_t TargetOffset = 0;
+
+  bool operator==(const PcRelRecord &) const = default;
+};
+
+/// A range [Offset, Offset+Size) of non-instruction bytes embedded in the
+/// method body (literal pools). The outliner skips these instead of
+/// mis-decoding them (paper §3.2, "Embedding data").
+struct EmbeddedDataRange {
+  uint32_t Offset = 0;
+  uint32_t Size = 0;
+
+  bool operator==(const EmbeddedDataRange &) const = default;
+};
+
+/// A half-open byte range [Begin, End).
+struct ByteRange {
+  uint32_t Begin = 0;
+  uint32_t End = 0;
+
+  bool contains(uint32_t Off) const { return Off >= Begin && Off < End; }
+  bool operator==(const ByteRange &) const = default;
+};
+
+/// The LTBO.1 side information for one method (paper §3.2).
+struct MethodSideInfo {
+  std::vector<uint32_t> TerminatorOffsets;   ///< Basic-block separators.
+  std::vector<PcRelRecord> PcRelRecords;     ///< To re-patch after moves.
+  std::vector<EmbeddedDataRange> EmbeddedData;
+  std::vector<ByteRange> SlowPathRanges;     ///< Outlinable even when hot.
+  bool HasIndirectJump = false; ///< br present: excluded from outlining.
+  bool IsNative = false;        ///< JNI trampoline: excluded from outlining.
+};
+
+/// One StackMap entry: the state mapping at a safepoint (paper §3.5). The
+/// native PC is the return address of the call that forms the safepoint.
+struct StackMapEntry {
+  uint32_t NativePcOffset = 0;
+  uint32_t DexPc = 0;
+
+  bool operator==(const StackMapEntry &) const = default;
+};
+
+/// Per-method StackMap, sorted by native PC.
+struct StackMap {
+  std::vector<StackMapEntry> Entries;
+};
+
+/// One compiled method: the unit the linker consumes (paper Fig. 5's
+/// "binary code" boxes).
+struct CompiledMethod {
+  uint32_t MethodIdx = 0;
+  std::string Name;
+  std::vector<uint32_t> Code; ///< Encoded words; pools are raw data words.
+  std::vector<Relocation> Relocs;
+  MethodSideInfo Side;
+  StackMap Map;
+
+  uint32_t codeSizeBytes() const {
+    return static_cast<uint32_t>(Code.size() * 4);
+  }
+};
+
+/// A function created by the link-time outliner (paper §3.3.3): one
+/// preserved copy of a repeated sequence plus the `br x30` return. Its code
+/// may itself carry `bl` relocations captured from the original sites.
+struct OutlinedFunc {
+  uint32_t Id = 0;
+  std::vector<uint32_t> Code;
+  std::vector<Relocation> Relocs;
+  uint32_t SeqLength = 0;    ///< Outlined sequence length in instructions.
+  uint32_t Occurrences = 0;  ///< Number of replaced occurrences.
+};
+
+/// The kinds of CTO stubs (paper §3.1 / Observation 3's three patterns).
+enum class CtoStubKind : uint8_t {
+  JavaCall,   ///< ldr x16, [x0,  #Imm]; br x16
+  RtCall,     ///< ldr x16, [x19, #Imm]; br x16
+  StackCheck, ///< sub x16, sp, #0x2000; ldr wzr, [x16]; ret
+};
+
+/// One materialized CTO stub.
+struct CtoStub {
+  CtoStubKind Kind;
+  uint32_t Imm = 0; ///< Load offset for the call kinds; unused otherwise.
+  std::vector<uint32_t> Code;
+};
+
+} // namespace codegen
+} // namespace calibro
+
+#endif // CALIBRO_CODEGEN_COMPILEDMETHOD_H

@@ -1,0 +1,63 @@
+//===- core/BenefitModel.h - Outlining benefit model ------------*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's benefit model (Fig. 2):
+///
+///   OriginalSize   = Length * RepeatedTimes
+///   OptimizedSize  = RepeatedTimes + 1 + Length
+///   ReductionRatio = (OriginalSize - OptimizedSize) / OriginalSize
+///
+/// where Length counts instructions in the repeated sequence, RepeatedTimes
+/// counts its occurrences, the `RepeatedTimes` term is one call instruction
+/// per occurrence, and the `+ 1` is the extra return (`br x30`) of the
+/// outlined function. All sizes are in instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_CORE_BENEFITMODEL_H
+#define CALIBRO_CORE_BENEFITMODEL_H
+
+#include <cstdint>
+
+namespace calibro {
+namespace core {
+
+/// Instruction count before outlining.
+inline constexpr uint64_t originalSize(uint64_t Length, uint64_t Repeats) {
+  return Length * Repeats;
+}
+
+/// Instruction count after outlining: one call per occurrence, plus the
+/// preserved copy, plus its return instruction.
+inline constexpr uint64_t optimizedSize(uint64_t Length, uint64_t Repeats) {
+  return Repeats + 1 + Length;
+}
+
+/// Saved instructions; negative values mean outlining would grow the code.
+inline constexpr int64_t benefit(uint64_t Length, uint64_t Repeats) {
+  return static_cast<int64_t>(originalSize(Length, Repeats)) -
+         static_cast<int64_t>(optimizedSize(Length, Repeats));
+}
+
+/// True when outlining the sequence shrinks the code.
+inline constexpr bool isProfitable(uint64_t Length, uint64_t Repeats) {
+  return benefit(Length, Repeats) > 0;
+}
+
+/// The paper's reduction-ratio estimate for one repeated sequence.
+inline constexpr double reductionRatio(uint64_t Length, uint64_t Repeats) {
+  uint64_t Orig = originalSize(Length, Repeats);
+  if (Orig == 0)
+    return 0.0;
+  return static_cast<double>(benefit(Length, Repeats)) /
+         static_cast<double>(Orig);
+}
+
+} // namespace core
+} // namespace calibro
+
+#endif // CALIBRO_CORE_BENEFITMODEL_H

@@ -1,0 +1,121 @@
+//===- core/Calibro.cpp - The Calibro build driver --------------------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Calibro.h"
+
+#include "codegen/CodeGenerator.h"
+#include "hir/Passes.h"
+#include "oat/Linker.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+
+using namespace calibro;
+using namespace calibro::core;
+
+Expected<BuildResult> core::buildApp(const dex::App &App,
+                                     const CalibroOptions &Opts) {
+  Timer Total;
+  if (auto E = dex::verifyApp(App))
+    return E;
+
+  BuildResult Result;
+  BuildStats &Stats = Result.Stats;
+
+  // Compilation: per-method, independent of every other method, and run
+  // concurrently like dex2oat does (Fig. 5). Results land in order-stable
+  // slots, so the build is deterministic for any thread count.
+  Timer CompileTimer;
+  codegen::CtoStubCache StubCache;
+  codegen::CodeGenerator Gen({.EnableCto = Opts.EnableCto}, StubCache);
+
+  std::vector<const dex::Method *> Order;
+  Order.reserve(App.numMethods());
+  App.forEachMethod([&](const dex::Method &M) { Order.push_back(&M); });
+  Stats.NumMethods = Order.size();
+
+  std::vector<codegen::CompiledMethod> Methods(Order.size());
+  std::vector<std::size_t> Simplified(Order.size(), 0);
+  std::vector<std::string> Errors(Order.size());
+  auto Pipeline = hir::defaultPipeline();
+
+  auto CompileOne = [&](std::size_t I) {
+    const dex::Method &M = *Order[I];
+    if (M.IsNative) {
+      Methods[I] = Gen.compileNative(M);
+      return;
+    }
+    auto G = hir::buildHGraph(M);
+    if (!G) {
+      Errors[I] = G.message();
+      return;
+    }
+    for (const auto &PS : hir::runPipeline(*G, Pipeline))
+      Simplified[I] += PS.Simplified;
+    Methods[I] = Gen.compile(*G);
+  };
+
+  if (Opts.CompileThreads == 1) {
+    for (std::size_t I = 0; I < Order.size(); ++I)
+      CompileOne(I);
+  } else {
+    ThreadPool Pool(Opts.CompileThreads);
+    Pool.parallelFor(Order.size(), CompileOne);
+  }
+
+  for (std::size_t I = 0; I < Order.size(); ++I) {
+    if (!Errors[I].empty())
+      return makeError(Errors[I]);
+    Stats.HirInsnsSimplified += Simplified[I];
+    Stats.NumNativeMethods += Methods[I].Side.IsNative;
+  }
+  Stats.CompileSeconds = CompileTimer.seconds();
+  for (const auto &M : Methods)
+    for (const auto &R : M.Relocs)
+      if (R.Kind == codegen::RelocKind::CtoStub)
+        ++Stats.CtoCallSites;
+
+  // LTBO.2: whole-program outlining before linking.
+  std::vector<codegen::OutlinedFunc> Outlined;
+  if (Opts.EnableLtbo) {
+    Timer LtboTimer;
+    std::unordered_set<uint32_t> Hot;
+    OutlinerOptions OOpts;
+    OOpts.MinSeqLen = Opts.MinSeqLen;
+    OOpts.MaxSeqLen = Opts.MaxSeqLen;
+    OOpts.Partitions = Opts.LtboPartitions;
+    OOpts.Threads = Opts.LtboThreads;
+    OOpts.Detector = Opts.LtboDetector;
+    if (Opts.Profile) {
+      Hot = profile::selectHotMethods(*Opts.Profile, Opts.HotCoverage);
+      OOpts.HotMethods = &Hot;
+    }
+    auto R = runLtbo(Methods, OOpts);
+    if (!R)
+      return R.takeError();
+    Outlined = std::move(R->Funcs);
+    Stats.Ltbo = R->Stats;
+    Stats.LtboSeconds = LtboTimer.seconds();
+  }
+
+  // Linking: bind every symbolic call, lay out the .text image.
+  Timer LinkTimer;
+  oat::LinkInput In;
+  In.AppName = App.Name;
+  In.BaseAddress = Opts.BaseAddress;
+  In.Methods = std::move(Methods);
+  In.Stubs = StubCache.takeStubs();
+  In.Outlined = std::move(Outlined);
+  Stats.CtoStubCount = In.Stubs.size();
+  auto O = oat::link(In);
+  if (!O)
+    return O.takeError();
+  Stats.LinkSeconds = LinkTimer.seconds();
+
+  Result.Oat = std::move(*O);
+  Stats.TextBytes = Result.Oat.textBytes();
+  Stats.TotalSeconds = Total.seconds();
+  return Result;
+}

@@ -1,0 +1,91 @@
+//===- core/Calibro.h - The Calibro build driver ----------------*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point of the library: the dex2oat-style build pipeline
+/// with Calibro's two stages wired in (paper Fig. 5).
+///
+///   apk (dex::App)
+///     -> per method: HGraph -> opt passes -> CTO & LTBO.1 -> binary code
+///     -> LTBO.2 (whole-program binary outlining)
+///     -> linking -> OAT
+///
+/// Typical use:
+/// \code
+///   calibro::core::CalibroOptions Opts;
+///   Opts.EnableCto = Opts.EnableLtbo = true;
+///   Opts.LtboPartitions = 8;            // PlOpti
+///   Opts.Profile = &ProfileFromLastRun; // enables HfOpti
+///   auto Build = calibro::core::buildApp(App, Opts);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_CORE_CALIBRO_H
+#define CALIBRO_CORE_CALIBRO_H
+
+#include "core/Outliner.h"
+#include "dex/Dex.h"
+#include "oat/OatFile.h"
+#include "profile/Profile.h"
+
+namespace calibro {
+namespace core {
+
+/// Build configuration. The paper's evaluated configurations map to:
+///  * Baseline:            all fields default (HGraph opts always run).
+///  * CTO:                 EnableCto.
+///  * CTO+LTBO:            EnableCto + EnableLtbo (Partitions=1).
+///  * CTO+LTBO+PlOpti:     ... + LtboPartitions=8, LtboThreads=N.
+///  * CTO+LTBO+PlOpti+HfOpti: ... + Profile set (HotCoverage=0.8).
+struct CalibroOptions {
+  bool EnableCto = false;
+  bool EnableLtbo = false;
+  /// Worker threads for per-method compilation (dex2oat compiles methods
+  /// concurrently; 0 = hardware concurrency). Builds are deterministic
+  /// regardless of this value.
+  uint32_t CompileThreads = 0;
+  uint32_t LtboPartitions = 1;
+  uint32_t LtboThreads = 1;
+  DetectorKind LtboDetector = DetectorKind::SuffixTree;
+  uint32_t MinSeqLen = 2;
+  uint32_t MaxSeqLen = 64;
+  /// When set, hot-function filtering (HfOpti) is applied with this
+  /// profile.
+  const profile::Profile *Profile = nullptr;
+  double HotCoverage = 0.80;
+  uint64_t BaseAddress = 0x10000000;
+};
+
+/// Statistics of one build.
+struct BuildStats {
+  std::size_t NumMethods = 0;
+  std::size_t NumNativeMethods = 0;
+  std::size_t HirInsnsSimplified = 0; ///< By the HGraph pass pipeline.
+  std::size_t CtoStubCount = 0;
+  std::size_t CtoCallSites = 0;
+  OutlineStats Ltbo;
+  double CompileSeconds = 0; ///< dex -> HGraph -> opt -> binary.
+  double LtboSeconds = 0;    ///< Whole-program outlining (LTBO.2).
+  double LinkSeconds = 0;
+  double TotalSeconds = 0;
+  uint64_t TextBytes = 0;
+};
+
+/// One finished build.
+struct BuildResult {
+  oat::OatFile Oat;
+  BuildStats Stats;
+};
+
+/// Compiles and links \p App under \p Opts.
+Expected<BuildResult> buildApp(const dex::App &App,
+                               const CalibroOptions &Opts);
+
+} // namespace core
+} // namespace calibro
+
+#endif // CALIBRO_CORE_CALIBRO_H

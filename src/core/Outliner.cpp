@@ -1,0 +1,434 @@
+//===- core/Outliner.cpp - Linking-time binary outlining (LTBO.2) ----------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Outliner.h"
+
+#include "aarch64/Decoder.h"
+#include "aarch64/Encoder.h"
+#include "aarch64/PcRel.h"
+#include "core/BenefitModel.h"
+#include "suffixtree/SuffixArray.h"
+#include "suffixtree/SuffixTree.h"
+#include "support/Compiler.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <mutex>
+
+using namespace calibro;
+using namespace calibro::core;
+using namespace calibro::codegen;
+
+namespace {
+
+/// True when executing \p I inside an outlined function would observe or
+/// destroy the return address the outlining `bl` produced. Unused register
+/// fields of Insn are zero, so checking all of them is exact for the
+/// supported subset.
+bool touchesLr(const a64::Insn &I) {
+  if (I.Op == a64::Opcode::Bl || I.Op == a64::Opcode::Blr)
+    return true; // Implicit LR write.
+  return I.Rd == a64::LR || I.Rn == a64::LR || I.Rm == a64::LR ||
+         I.Ra == a64::LR;
+}
+
+/// One selected occurrence, in method-local coordinates.
+struct MethodOcc {
+  uint32_t WordStart = 0;
+  uint32_t LenWords = 0;
+  uint32_t FuncId = 0;
+};
+
+/// Sequence position provenance: which method row and word produced it.
+struct PosInfo {
+  int32_t MethodRow = -1; ///< -1 for inter-method separators.
+  uint32_t Word = 0;
+};
+
+/// Marks separator words for one method: embedded data, terminators,
+/// PC-relative instructions, LR-sensitive instructions, and — under hot
+/// function filtering — everything outside the slow-path ranges.
+std::vector<bool> computeSeparators(const CompiledMethod &M, bool HotFiltered,
+                                    std::string &ErrorOut) {
+  std::size_t NumWords = M.Code.size();
+  std::vector<bool> Sep(NumWords, false);
+  std::vector<bool> IsData(NumWords, false);
+
+  for (const auto &D : M.Side.EmbeddedData)
+    for (uint32_t W = D.Offset / 4; W < (D.Offset + D.Size) / 4; ++W) {
+      Sep[W] = true;
+      IsData[W] = true;
+    }
+  for (uint32_t T : M.Side.TerminatorOffsets)
+    Sep[T / 4] = true;
+  for (const auto &R : M.Side.PcRelRecords)
+    Sep[R.InsnOffset / 4] = true;
+
+  for (std::size_t W = 0; W < NumWords; ++W) {
+    if (IsData[W])
+      continue;
+    auto I = a64::decode(M.Code[W]);
+    if (!I) {
+      ErrorOut = "method '" + M.Name + "': undecodable non-data word";
+      return Sep;
+    }
+    if (touchesLr(*I))
+      Sep[W] = true;
+  }
+
+  if (HotFiltered) {
+    // Only the recorded slow paths stay outlinable (paper §3.4.2).
+    std::vector<bool> InSlowPath(NumWords, false);
+    for (const auto &R : M.Side.SlowPathRanges)
+      for (uint32_t W = R.Begin / 4; W < R.End / 4; ++W)
+        InSlowPath[W] = true;
+    for (std::size_t W = 0; W < NumWords; ++W)
+      if (!InSlowPath[W])
+        Sep[W] = true;
+  }
+  return Sep;
+}
+
+/// Marks words that some branch jumps to (from the recorded PcRelRecords).
+/// An occurrence may start at such a word but must not contain one in its
+/// interior: the interior instructions no longer exist at their old
+/// addresses after outlining.
+std::vector<bool> computeBranchTargets(const CompiledMethod &M) {
+  std::vector<bool> Target(M.Code.size(), false);
+  for (const auto &R : M.Side.PcRelRecords)
+    if (R.TargetOffset / 4 < M.Code.size())
+      Target[R.TargetOffset / 4] = true;
+  return Target;
+}
+
+/// Rewrites one method given its selected occurrences (sorted, disjoint):
+/// replaces each occurrence with a relocated `bl`, then remaps and patches
+/// every piece of metadata (paper §3.3.4 and §3.5).
+Error rewriteMethod(CompiledMethod &M, std::vector<MethodOcc> Occs) {
+  std::sort(Occs.begin(), Occs.end(),
+            [](const MethodOcc &A, const MethodOcc &B) {
+              return A.WordStart < B.WordStart;
+            });
+
+  std::size_t NumWords = M.Code.size();
+  std::vector<uint32_t> NewOffOfWord(NumWords + 1, 0);
+  std::vector<uint32_t> NewCode;
+  NewCode.reserve(NumWords);
+  std::vector<Relocation> NewRelocs;
+
+  const uint32_t BlWord = a64::encode(a64::Insn{.Op = a64::Opcode::Bl});
+
+  std::size_t OI = 0;
+  for (std::size_t W = 0; W < NumWords;) {
+    uint32_t NewOff = static_cast<uint32_t>(NewCode.size() * 4);
+    if (OI < Occs.size() && W == Occs[OI].WordStart) {
+      const MethodOcc &O = Occs[OI];
+      for (uint32_t K = 0; K < O.LenWords; ++K)
+        NewOffOfWord[W + K] = NewOff;
+      NewCode.push_back(BlWord);
+      NewRelocs.push_back({NewOff, RelocKind::OutlinedFunc, O.FuncId});
+      W += O.LenWords;
+      ++OI;
+      continue;
+    }
+    NewOffOfWord[W] = NewOff;
+    NewCode.push_back(M.Code[W]);
+    ++W;
+  }
+  NewOffOfWord[NumWords] = static_cast<uint32_t>(NewCode.size() * 4);
+
+  // Removals can break the 8-byte alignment of the trailing literal pool
+  // (64-bit ldr-literal loads require it). Re-pad with one NOP in front of
+  // the pool and shift everything at or past the pool start.
+  uint32_t PoolStart = ~uint32_t(0);
+  for (const auto &D : M.Side.EmbeddedData)
+    PoolStart = std::min(PoolStart, NewOffOfWord[D.Offset / 4]);
+  uint32_t PoolShift = 0;
+  if (PoolStart != ~uint32_t(0) && PoolStart % 8 != 0) {
+    NewCode.insert(NewCode.begin() + PoolStart / 4,
+                   a64::encode(a64::Insn{.Op = a64::Opcode::Nop}));
+    PoolShift = 4;
+  }
+
+  auto remap = [&](uint32_t OldOff) {
+    uint32_t Off = NewOffOfWord[OldOff / 4];
+    return Off >= PoolStart ? Off + PoolShift : Off;
+  };
+
+  // Carry the original relocations over; `bl` words are always separators,
+  // so none of them can sit inside a removed region.
+  for (const auto &R : M.Relocs)
+    NewRelocs.push_back({remap(R.Offset), R.Kind, R.TargetId});
+  std::sort(NewRelocs.begin(), NewRelocs.end(),
+            [](const Relocation &A, const Relocation &B) {
+              return A.Offset < B.Offset;
+            });
+
+  // Patch PC-relative instructions against their targets' new offsets.
+  std::vector<PcRelRecord> NewPcRel;
+  NewPcRel.reserve(M.Side.PcRelRecords.size());
+  for (const auto &R : M.Side.PcRelRecords) {
+    uint32_t NewInsn = remap(R.InsnOffset);
+    uint32_t NewTarget = remap(R.TargetOffset);
+    uint32_t &Word = NewCode[NewInsn / 4];
+    auto Patched = a64::retargetWord(Word, NewInsn, NewTarget);
+    if (!Patched)
+      return makeError("method '" + M.Name +
+                       "': pc-relative patch failed: " + Patched.message());
+    Word = *Patched;
+    NewPcRel.push_back({NewInsn, NewTarget});
+  }
+
+  for (auto &T : M.Side.TerminatorOffsets)
+    T = remap(T);
+  for (auto &D : M.Side.EmbeddedData)
+    D.Offset = remap(D.Offset);
+  for (auto &S : M.Side.SlowPathRanges) {
+    uint32_t End = S.End == M.codeSizeBytes()
+                       ? NewOffOfWord[NumWords]
+                       : remap(S.End);
+    S.Begin = remap(S.Begin);
+    S.End = End;
+  }
+  for (auto &E : M.Map.Entries)
+    E.NativePcOffset = remap(E.NativePcOffset);
+
+  M.Side.PcRelRecords = std::move(NewPcRel);
+  M.Relocs = std::move(NewRelocs);
+  M.Code = std::move(NewCode);
+  return Error::success();
+}
+
+/// All work for one partition: sequence construction, detection (suffix
+/// tree or suffix array, per options), candidate selection, and the
+/// rewriting of this group's methods.
+template <typename DetectorT>
+Error runGroupImpl(std::vector<CompiledMethod> &Methods,
+                   const std::vector<std::size_t> &Rows, uint32_t GroupIdx,
+                   const OutlinerOptions &Opts,
+                   std::vector<OutlinedFunc> &FuncsOut,
+                   OutlineStats &Stats) {
+  Timer BuildTimer;
+
+  // Step 2 (paper §3.3.2): map this group's binary code to one symbol
+  // sequence with unique separators.
+  std::vector<st::Symbol> Seq;
+  std::vector<PosInfo> Pos;
+  std::vector<std::vector<bool>> Targets(Rows.size());
+  uint64_t SepCounter = 0;
+
+  for (std::size_t GI = 0; GI < Rows.size(); ++GI) {
+    const CompiledMethod &M = Methods[Rows[GI]];
+    bool Hot = Opts.HotMethods && Opts.HotMethods->count(M.MethodIdx);
+    if (Hot)
+      ++Stats.HotFilteredMethods;
+    std::string Err;
+    std::vector<bool> Sep = computeSeparators(M, Hot, Err);
+    if (!Err.empty())
+      return makeError(Err);
+    Targets[GI] = computeBranchTargets(M);
+    for (std::size_t W = 0; W < M.Code.size(); ++W) {
+      Seq.push_back(Sep[W] ? st::SeparatorBase + SepCounter++
+                           : st::Symbol(M.Code[W]));
+      Pos.push_back({static_cast<int32_t>(GI), static_cast<uint32_t>(W)});
+    }
+    Seq.push_back(st::SeparatorBase + SepCounter++);
+    Pos.push_back({-1, 0});
+  }
+  Stats.SymbolCount += Seq.size();
+
+  DetectorT Tree(std::move(Seq));
+  Stats.TreeNodes += Tree.numNodes();
+  Stats.BuildTreeSeconds += BuildTimer.seconds();
+
+  // Step 3 (paper §3.3.3): rank candidates by the Fig. 2 benefit model and
+  // claim occurrences greedily.
+  Timer SelectTimer;
+  struct Cand {
+    int32_t Node;
+    uint32_t Len;
+    uint32_t Count;
+    uint32_t First; ///< Earliest occurrence, for content-based ordering.
+    int64_t Ben;
+  };
+  std::vector<Cand> Cands;
+  Tree.forEachRepeat(Opts.MinSeqLen, Opts.MaxSeqLen, 2,
+                     [&](const typename DetectorT::RepeatInfo &R) {
+                       int64_t Ben = benefit(R.Length, R.Count);
+                       if (Ben > 0)
+                         Cands.push_back({R.Node, R.Length, R.Count, 0, Ben});
+                     });
+  for (Cand &C : Cands)
+    C.First = Tree.positionsOf(C.Node).front();
+  // The tie-break is content-based ((first occurrence, length) names the
+  // sequence uniquely), so every detection backend selects identically.
+  std::sort(Cands.begin(), Cands.end(), [](const Cand &A, const Cand &B) {
+    if (A.Ben != B.Ben)
+      return A.Ben > B.Ben;
+    if (A.Len != B.Len)
+      return A.Len > B.Len;
+    return A.First < B.First;
+  });
+
+  std::vector<bool> Claimed(Tree.textSize(), false);
+  auto Text = Tree.text();
+  std::vector<std::vector<MethodOcc>> OccsByMethod(Rows.size());
+  uint32_t LocalFuncs = 0;
+  std::vector<uint32_t> Selected;
+
+  for (const Cand &C : Cands) {
+    Selected.clear();
+    uint32_t LastEnd = 0;
+    for (uint32_t P : Tree.positionsOf(C.Node)) {
+      if (!Selected.empty() && P < LastEnd)
+        continue; // Overlaps the previous selection of this candidate.
+      bool Ok = true;
+      for (uint32_t Q = P; Q < P + C.Len && Ok; ++Q)
+        Ok = !Claimed[Q];
+      // Interior branch targets invalidate an occurrence: after outlining,
+      // nothing would exist at those addresses to jump to.
+      if (Ok) {
+        const PosInfo &PI = Pos[P];
+        assert(PI.MethodRow >= 0 && "occurrence starts at a separator");
+        const auto &TargetAt = Targets[PI.MethodRow];
+        for (uint32_t K = 1; K < C.Len && Ok; ++K)
+          Ok = !TargetAt[PI.Word + K];
+      }
+      if (!Ok)
+        continue;
+      Selected.push_back(P);
+      LastEnd = P + C.Len;
+    }
+    if (!isProfitable(C.Len, Selected.size()))
+      continue;
+
+    assert(LocalFuncs < (1u << 20) && "too many outlined functions in group");
+    uint32_t FuncId = (GroupIdx << 20) | LocalFuncs++;
+
+    OutlinedFunc Fn;
+    Fn.Id = FuncId;
+    Fn.SeqLength = C.Len;
+    Fn.Occurrences = static_cast<uint32_t>(Selected.size());
+    uint32_t P0 = Selected.front();
+    for (uint32_t K = 0; K < C.Len; ++K) {
+      assert(Text[P0 + K] < st::SeparatorBase &&
+             "separator inside a repeated sequence");
+      Fn.Code.push_back(static_cast<uint32_t>(Text[P0 + K]));
+    }
+    a64::Insn RetBr{.Op = a64::Opcode::Br};
+    RetBr.Rn = a64::LR;
+    Fn.Code.push_back(a64::encode(RetBr));
+    FuncsOut.push_back(std::move(Fn));
+
+    for (uint32_t P : Selected) {
+      const PosInfo &PI = Pos[P];
+      OccsByMethod[PI.MethodRow].push_back({PI.Word, C.Len, FuncId});
+      for (uint32_t Q = P; Q < P + C.Len; ++Q)
+        Claimed[Q] = true;
+    }
+    ++Stats.SequencesOutlined;
+    Stats.OccurrencesReplaced += Selected.size();
+    Stats.InsnsRemoved +=
+        static_cast<uint64_t>(benefit(C.Len, Selected.size()));
+  }
+  Stats.SelectSeconds += SelectTimer.seconds();
+
+  // Steps 3+4: rewrite this group's methods and patch PC-relative code.
+  Timer RewriteTimer;
+  for (std::size_t GI = 0; GI < Rows.size(); ++GI) {
+    if (OccsByMethod[GI].empty())
+      continue;
+    if (auto E = rewriteMethod(Methods[Rows[GI]], std::move(OccsByMethod[GI])))
+      return E;
+  }
+  Stats.RewriteSeconds += RewriteTimer.seconds();
+  return Error::success();
+}
+
+} // namespace
+
+Expected<OutlineResult> core::runLtbo(std::vector<CompiledMethod> &Methods,
+                                      const OutlinerOptions &Opts) {
+  if (Opts.Partitions == 0 || Opts.MinSeqLen < 2 ||
+      Opts.MaxSeqLen < Opts.MinSeqLen)
+    return makeError("runLtbo: invalid options");
+
+  OutlineResult Result;
+
+  // Step 1 (paper §3.3.1): choose candidate methods.
+  std::vector<std::size_t> Candidates;
+  for (std::size_t Row = 0; Row < Methods.size(); ++Row) {
+    const auto &M = Methods[Row];
+    if (M.Side.IsNative) {
+      ++Result.Stats.ExcludedNative;
+      continue;
+    }
+    if (M.Side.HasIndirectJump) {
+      ++Result.Stats.ExcludedIndirectJump;
+      continue;
+    }
+    Candidates.push_back(Row);
+  }
+  Result.Stats.CandidateMethods = Candidates.size();
+
+  // PlOpti (paper §3.4.1): simple even partition of the candidate methods.
+  uint32_t K = Opts.Partitions;
+  std::vector<std::vector<std::size_t>> Groups(K);
+  for (std::size_t I = 0; I < Candidates.size(); ++I)
+    Groups[I % K].push_back(Candidates[I]);
+
+  std::vector<OutlineStats> GroupStats(K);
+  std::vector<std::vector<OutlinedFunc>> GroupFuncs(K);
+  std::vector<std::string> GroupErrors(K);
+
+  auto RunOne = [&](std::size_t G) {
+    if (Groups[G].empty())
+      return;
+    Error E = Opts.Detector == DetectorKind::SuffixTree
+                  ? runGroupImpl<st::SuffixTree>(
+                        Methods, Groups[G], static_cast<uint32_t>(G), Opts,
+                        GroupFuncs[G], GroupStats[G])
+                  : runGroupImpl<st::SuffixArray>(
+                        Methods, Groups[G], static_cast<uint32_t>(G), Opts,
+                        GroupFuncs[G], GroupStats[G]);
+    if (E)
+      GroupErrors[G] = E.message();
+  };
+
+  if (Opts.Threads > 1 && K > 1) {
+    ThreadPool Pool(std::min<std::size_t>(Opts.Threads, K));
+    for (std::size_t G = 0; G < K; ++G)
+      Pool.enqueue([&, G] { RunOne(G); });
+    Pool.wait();
+  } else {
+    for (std::size_t G = 0; G < K; ++G)
+      RunOne(G);
+  }
+
+  for (std::size_t G = 0; G < K; ++G) {
+    if (!GroupErrors[G].empty())
+      return makeError(GroupErrors[G]);
+    auto &S = GroupStats[G];
+    Result.Stats.HotFilteredMethods += S.HotFilteredMethods;
+    Result.Stats.SequencesOutlined += S.SequencesOutlined;
+    Result.Stats.OccurrencesReplaced += S.OccurrencesReplaced;
+    Result.Stats.InsnsRemoved += S.InsnsRemoved;
+    Result.Stats.SymbolCount += S.SymbolCount;
+    Result.Stats.TreeNodes += S.TreeNodes;
+    Result.Stats.BuildTreeSeconds += S.BuildTreeSeconds;
+    Result.Stats.SelectSeconds += S.SelectSeconds;
+    Result.Stats.RewriteSeconds += S.RewriteSeconds;
+    for (auto &F : GroupFuncs[G])
+      Result.Funcs.push_back(std::move(F));
+  }
+  std::sort(Result.Funcs.begin(), Result.Funcs.end(),
+            [](const OutlinedFunc &A, const OutlinedFunc &B) {
+              return A.Id < B.Id;
+            });
+  return Result;
+}

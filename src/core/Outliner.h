@@ -1,0 +1,100 @@
+//===- core/Outliner.h - Linking-time binary outlining (LTBO.2) -*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The linking-time half of LTBO (paper §3.3): the whole-program binary
+/// outliner that runs over all compiled methods before the link step binds
+/// call targets. The four steps are exactly the paper's:
+///
+///  1. Choosing candidate methods (§3.3.1): methods with indirect jumps and
+///     JNI trampolines are excluded, using the flags the compiler recorded.
+///  2. Detecting repetitive code sequences (§3.3.2): each method's words
+///     become a symbol sequence; every terminator maps to a globally unique
+///     separator so no repeat crosses a basic block. This implementation
+///     additionally maps to separators: embedded-data words (never code),
+///     PC-relative instructions (their target is position-dependent, so a
+///     shared outlined copy cannot be correct for every occurrence), and
+///     instructions that read or write x30 (an outlined body must preserve
+///     the return address its `bl` just produced). A suffix tree over the
+///     sequence yields every repeated candidate with its occurrences.
+///  3. Outlining (§3.3.3): candidates are ranked by the Fig. 2 benefit
+///     model; occurrences are claimed greedily and non-overlapping, each
+///     selected sequence becomes one OutlinedFunc ending in `br x30`, and
+///     every occurrence is replaced by a single `bl` carrying a symbolic
+///     relocation (bound later by the linker).
+///  4. Patching PC-relative addressing instructions (§3.3.4): using the
+///     recorded PcRelRecords, every PC-relative instruction is re-encoded
+///     against its target's new offset. StackMaps, relocations,
+///     terminator/embedded-data/slow-path metadata are remapped in the same
+///     pass (§3.5's consistency obligation).
+///
+/// The paralleled-suffix-tree optimization (§3.4.1) partitions candidate
+/// methods into K groups and runs detection + outlining per group on a
+/// thread pool; hot-function filtering (§3.4.2) restricts outlining in hot
+/// methods to their recorded slow-path ranges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_CORE_OUTLINER_H
+#define CALIBRO_CORE_OUTLINER_H
+
+#include "codegen/CompiledMethod.h"
+#include "support/Error.h"
+
+#include <unordered_set>
+
+namespace calibro {
+namespace core {
+
+/// Which repeated-sequence detection backend LTBO uses. The paper (and
+/// prior outlining work) uses suffix trees; the suffix-array backend finds
+/// exactly the same repeats with a smaller working set and exists for
+/// cross-validation and the build-time ablation.
+enum class DetectorKind : uint8_t { SuffixTree, SuffixArray };
+
+/// LTBO.2 options.
+struct OutlinerOptions {
+  uint32_t MinSeqLen = 2;  ///< Minimum candidate length (instructions).
+  uint32_t MaxSeqLen = 64; ///< Maximum candidate length (instructions).
+  uint32_t Partitions = 1; ///< K suffix trees (PlOpti when > 1).
+  uint32_t Threads = 1;    ///< Worker threads for the parallel build.
+  DetectorKind Detector = DetectorKind::SuffixTree;
+  /// Hot methods (HfOpti): outlining inside them is restricted to their
+  /// slow-path ranges. Null disables filtering.
+  const std::unordered_set<uint32_t> *HotMethods = nullptr;
+};
+
+/// What LTBO.2 did, for the build-time and ablation experiments.
+struct OutlineStats {
+  std::size_t CandidateMethods = 0;
+  std::size_t ExcludedIndirectJump = 0;
+  std::size_t ExcludedNative = 0;
+  std::size_t HotFilteredMethods = 0;
+  std::size_t SequencesOutlined = 0;
+  std::size_t OccurrencesReplaced = 0;
+  uint64_t InsnsRemoved = 0;       ///< Net instruction-count saving.
+  uint64_t SymbolCount = 0;        ///< Total sequence length fed to trees.
+  uint64_t TreeNodes = 0;          ///< Sum of node counts over all trees.
+  double BuildTreeSeconds = 0;
+  double SelectSeconds = 0;
+  double RewriteSeconds = 0;
+};
+
+/// Result of one LTBO.2 run.
+struct OutlineResult {
+  std::vector<codegen::OutlinedFunc> Funcs;
+  OutlineStats Stats;
+};
+
+/// Runs the whole-program outliner over \p Methods, rewriting them in
+/// place and returning the outlined functions to hand to the linker.
+Expected<OutlineResult> runLtbo(std::vector<codegen::CompiledMethod> &Methods,
+                                const OutlinerOptions &Opts);
+
+} // namespace core
+} // namespace calibro
+
+#endif // CALIBRO_CORE_OUTLINER_H

@@ -1,0 +1,107 @@
+//===- oat/Dump.cpp - Textual OAT dump --------------------------------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "oat/Dump.h"
+
+#include "aarch64/Decoder.h"
+#include "aarch64/Disasm.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace calibro;
+using namespace calibro::oat;
+
+namespace {
+
+void appendf(std::string &S, const char *Fmt, ...) {
+  char Buf[256];
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  S += Buf;
+}
+
+bool inEmbedded(const codegen::MethodSideInfo &Side, uint32_t Off) {
+  for (const auto &D : Side.EmbeddedData)
+    if (Off >= D.Offset && Off < D.Offset + D.Size)
+      return true;
+  return false;
+}
+
+void disasmRange(std::string &S, const OatFile &O, uint32_t Begin,
+                 uint32_t Size, const codegen::MethodSideInfo *Side) {
+  for (uint32_t Off = 0; Off < Size; Off += 4) {
+    uint64_t Addr = O.BaseAddress + Begin + Off;
+    uint32_t Word = O.Text[(Begin + Off) / 4];
+    if (Side && inEmbedded(*Side, Off)) {
+      appendf(S, "  0x%" PRIx64 ": .word 0x%08x  ; embedded data\n", Addr,
+              Word);
+      continue;
+    }
+    auto I = a64::decode(Word);
+    if (I)
+      appendf(S, "  0x%" PRIx64 ": %s\n", Addr,
+              a64::toString(*I, Addr).c_str());
+    else
+      appendf(S, "  0x%" PRIx64 ": .word 0x%08x  ; <undecodable>\n", Addr,
+              Word);
+  }
+}
+
+const char *stubKindName(codegen::CtoStubKind K) {
+  switch (K) {
+  case codegen::CtoStubKind::JavaCall:
+    return "JavaCall";
+  case codegen::CtoStubKind::RtCall:
+    return "RtCall";
+  case codegen::CtoStubKind::StackCheck:
+    return "StackCheck";
+  }
+  return "?";
+}
+
+} // namespace
+
+std::string oat::dumpMethod(const OatFile &O, const OatMethodEntry &M) {
+  std::string S;
+  appendf(S, "0x%" PRIx64 " <%s> (%u bytes, %zu safepoints)\n",
+          O.methodAddress(M), M.Name.c_str(), M.CodeSize,
+          M.Map.Entries.size());
+  disasmRange(S, O, M.CodeOffset, M.CodeSize, &M.Side);
+  return S;
+}
+
+std::string oat::dumpOat(const OatFile &O, bool Disassemble) {
+  std::string S;
+  appendf(S, "OAT image '%s'\n", O.AppName.c_str());
+  appendf(S, "  base address : 0x%" PRIx64 "\n", O.BaseAddress);
+  appendf(S, "  .text size   : %" PRIu64 " bytes\n", O.textBytes());
+  appendf(S, "  methods      : %zu\n", O.Methods.size());
+  appendf(S, "  cto stubs    : %zu\n", O.CtoStubs.size());
+  appendf(S, "  outlined fns : %zu\n", O.Outlined.size());
+  appendf(S, "  stackmap size: %" PRIu64 " bytes\n", O.stackMapBytes());
+  if (!Disassemble)
+    return S;
+
+  for (const auto &M : O.Methods) {
+    S += '\n';
+    S += dumpMethod(O, M);
+  }
+  for (const auto &T : O.CtoStubs) {
+    appendf(S, "\n0x%" PRIx64 " <cto:%s#%u>\n", O.BaseAddress + T.CodeOffset,
+            stubKindName(T.Kind), T.Imm);
+    disasmRange(S, O, T.CodeOffset, T.CodeSize, nullptr);
+  }
+  for (const auto &F : O.Outlined) {
+    appendf(S, "\n0x%" PRIx64 " <OutlinedFunc%u>\n",
+            O.BaseAddress + F.CodeOffset, F.Id);
+    disasmRange(S, O, F.CodeOffset, F.CodeSize, nullptr);
+  }
+  return S;
+}

@@ -1,0 +1,34 @@
+//===- oat/Dump.h - Textual OAT dump ----------------------------*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a linked OAT image as text (oatdump-style), with per-method
+/// disassembly that uses the side information to print embedded data as
+/// data rather than mis-decoded instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_OAT_DUMP_H
+#define CALIBRO_OAT_DUMP_H
+
+#include "oat/OatFile.h"
+
+#include <string>
+
+namespace calibro {
+namespace oat {
+
+/// Renders a summary header plus, when \p Disassemble is set, a full
+/// disassembly of every method, stub and outlined function.
+std::string dumpOat(const OatFile &O, bool Disassemble);
+
+/// Disassembles one method entry (with absolute addresses).
+std::string dumpMethod(const OatFile &O, const OatMethodEntry &M);
+
+} // namespace oat
+} // namespace calibro
+
+#endif // CALIBRO_OAT_DUMP_H

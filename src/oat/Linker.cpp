@@ -1,0 +1,129 @@
+//===- oat/Linker.cpp - OAT linking -----------------------------------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "oat/Linker.h"
+
+#include "aarch64/Decoder.h"
+#include "aarch64/Encoder.h"
+#include "support/MathExtras.h"
+
+using namespace calibro;
+using namespace calibro::oat;
+using namespace calibro::codegen;
+
+namespace {
+
+/// NOP word used as inter-method alignment padding.
+constexpr uint32_t PadWord = 0xD503201Fu;
+
+/// Appends \p Code at the next \p Align boundary; returns its byte offset.
+uint32_t place(std::vector<uint32_t> &Text, const std::vector<uint32_t> &Code,
+               uint32_t Align) {
+  uint64_t Off = alignTo(Text.size() * 4, Align);
+  while (Text.size() * 4 < Off)
+    Text.push_back(PadWord);
+  uint32_t Result = static_cast<uint32_t>(Text.size() * 4);
+  Text.insert(Text.end(), Code.begin(), Code.end());
+  return Result;
+}
+
+/// Binds one `bl` site at absolute text offset \p SiteOff to \p TargetOff.
+Error bindCall(std::vector<uint32_t> &Text, uint32_t SiteOff,
+               uint32_t TargetOff, const std::string &Where) {
+  auto I = a64::decode(Text[SiteOff / 4]);
+  if (!I || I->Op != a64::Opcode::Bl)
+    return makeError(Where + ": relocation does not sit on a bl");
+  I->Imm = static_cast<int64_t>(TargetOff) - static_cast<int64_t>(SiteOff);
+  auto Word = a64::encodeChecked(*I);
+  if (!Word)
+    return makeError(Where + ": bl displacement out of range");
+  Text[SiteOff / 4] = *Word;
+  return Error::success();
+}
+
+} // namespace
+
+Expected<OatFile> oat::link(const LinkInput &In) {
+  OatFile O;
+  O.AppName = In.AppName;
+  O.BaseAddress = In.BaseAddress;
+
+  // Layout: methods (16-aligned, like ART), then CTO stubs and outlined
+  // functions (4-aligned; they are tiny and their density is the point).
+  struct PendingReloc {
+    uint32_t SiteOff;
+    RelocKind Kind;
+    uint32_t TargetId;
+    std::string Where;
+  };
+  std::vector<PendingReloc> Pending;
+
+  for (const auto &M : In.Methods) {
+    uint32_t Off = place(O.Text, M.Code, 16);
+    OatMethodEntry E;
+    E.MethodIdx = M.MethodIdx;
+    E.Name = M.Name;
+    E.CodeOffset = Off;
+    E.CodeSize = M.codeSizeBytes();
+    E.Side = M.Side;
+    E.Map = M.Map;
+    O.Methods.push_back(std::move(E));
+    for (const auto &R : M.Relocs)
+      Pending.push_back({Off + R.Offset, R.Kind, R.TargetId,
+                         "method " + M.Name});
+  }
+
+  std::vector<uint32_t> StubOff(In.Stubs.size());
+  for (std::size_t S = 0; S < In.Stubs.size(); ++S) {
+    uint32_t Off = place(O.Text, In.Stubs[S].Code, 4);
+    StubOff[S] = Off;
+    O.CtoStubs.push_back({In.Stubs[S].Kind, In.Stubs[S].Imm, Off,
+                          static_cast<uint32_t>(In.Stubs[S].Code.size() * 4)});
+  }
+
+  std::vector<uint32_t> OutOff(In.Outlined.size());
+  for (std::size_t F = 0; F < In.Outlined.size(); ++F) {
+    const OutlinedFunc &Fn = In.Outlined[F];
+    uint32_t Off = place(O.Text, Fn.Code, 4);
+    OutOff[F] = Off;
+    O.Outlined.push_back(
+        {Fn.Id, Off, static_cast<uint32_t>(Fn.Code.size() * 4)});
+    for (const auto &R : Fn.Relocs)
+      Pending.push_back({Off + R.Offset, R.Kind, R.TargetId,
+                         "outlined fn " + std::to_string(Fn.Id)});
+  }
+
+  // Bind every call now that all addresses exist.
+  for (const auto &P : Pending) {
+    uint32_t Target;
+    switch (P.Kind) {
+    case RelocKind::CtoStub:
+      if (P.TargetId >= StubOff.size())
+        return makeError(P.Where + ": dangling CTO stub relocation");
+      Target = StubOff[P.TargetId];
+      break;
+    case RelocKind::OutlinedFunc: {
+      // Outlined ids are positional: find the entry with this id.
+      uint32_t Found = ~uint32_t(0);
+      for (std::size_t F = 0; F < In.Outlined.size(); ++F)
+        if (In.Outlined[F].Id == P.TargetId) {
+          Found = OutOff[F];
+          break;
+        }
+      if (Found == ~uint32_t(0))
+        return makeError(P.Where + ": dangling outlined-function relocation");
+      Target = Found;
+      break;
+    }
+    default:
+      return makeError(P.Where + ": unknown relocation kind");
+    }
+    if (auto E = bindCall(O.Text, P.SiteOff, Target, P.Where))
+      return E;
+  }
+
+  return O;
+}

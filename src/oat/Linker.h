@@ -1,0 +1,40 @@
+//===- oat/Linker.h - OAT linking -------------------------------*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The link step of the pipeline (paper Fig. 5, "linking"): lays out every
+/// compiled method, CTO stub and outlined function into one .text image,
+/// binds the symbolic `bl` targets, and emits the OatFile. Binding happens
+/// *after* link-time outlining, which is why the outliner never patches
+/// call instructions (paper §3.2, last bullet).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_OAT_LINKER_H
+#define CALIBRO_OAT_LINKER_H
+
+#include "oat/OatFile.h"
+
+namespace calibro {
+namespace oat {
+
+/// Everything the linker consumes for one app.
+struct LinkInput {
+  std::string AppName;
+  uint64_t BaseAddress = 0x10000000;
+  std::vector<codegen::CompiledMethod> Methods;
+  std::vector<codegen::CtoStub> Stubs;
+  std::vector<codegen::OutlinedFunc> Outlined;
+};
+
+/// Links \p In into an OatFile. Fails on dangling relocations or malformed
+/// call sites.
+Expected<OatFile> link(const LinkInput &In);
+
+} // namespace oat
+} // namespace calibro
+
+#endif // CALIBRO_OAT_LINKER_H

@@ -1,0 +1,151 @@
+//===- oat/OatFile.cpp - OAT image model ------------------------------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "oat/OatFile.h"
+
+#include "aarch64/Decoder.h"
+#include "aarch64/PcRel.h"
+
+#include <algorithm>
+
+using namespace calibro;
+using namespace calibro::oat;
+
+uint64_t OatFile::stackMapBytes() const {
+  uint64_t N = 0;
+  for (const auto &M : Methods)
+    N += M.Map.Entries.size() * sizeof(codegen::StackMapEntry);
+  return N;
+}
+
+const OatMethodEntry *OatFile::findMethod(uint32_t MethodIdx) const {
+  for (const auto &M : Methods)
+    if (M.MethodIdx == MethodIdx)
+      return &M;
+  return nullptr;
+}
+
+const OatMethodEntry *OatFile::methodContaining(uint32_t TextOff) const {
+  for (const auto &M : Methods)
+    if (TextOff >= M.CodeOffset && TextOff < M.CodeOffset + M.CodeSize)
+      return &M;
+  return nullptr;
+}
+
+const OatOutlinedEntry *OatFile::outlinedContaining(uint32_t TextOff) const {
+  for (const auto &F : Outlined)
+    if (TextOff >= F.CodeOffset && TextOff < F.CodeOffset + F.CodeSize)
+      return &F;
+  return nullptr;
+}
+
+bool OatFile::hasSafepoint(const OatMethodEntry &M, uint32_t PcOff) {
+  return std::any_of(M.Map.Entries.begin(), M.Map.Entries.end(),
+                     [PcOff](const codegen::StackMapEntry &E) {
+                       return E.NativePcOffset == PcOff;
+                     });
+}
+
+namespace {
+
+Error failAt(const std::string &Where, const char *Msg) {
+  return makeError(Where + ": " + Msg);
+}
+
+/// True when \p Off lies inside one of the method's embedded-data ranges.
+bool inEmbeddedData(const codegen::MethodSideInfo &Side, uint32_t Off) {
+  for (const auto &D : Side.EmbeddedData)
+    if (Off >= D.Offset && Off < D.Offset + D.Size)
+      return true;
+  return false;
+}
+
+} // namespace
+
+Error oat::validateOat(const OatFile &O) {
+  uint64_t TextSize = O.textBytes();
+
+  // Ranges: in bounds, word-aligned, mutually disjoint.
+  std::vector<std::pair<uint32_t, uint32_t>> Ranges;
+  auto addRange = [&](uint32_t Off, uint32_t Size,
+                      const std::string &Where) -> Error {
+    if (Off % 4 != 0 || Size % 4 != 0)
+      return failAt(Where, "unaligned code range");
+    if (Off + static_cast<uint64_t>(Size) > TextSize)
+      return failAt(Where, "code range exceeds .text");
+    Ranges.emplace_back(Off, Off + Size);
+    return Error::success();
+  };
+  for (const auto &M : O.Methods)
+    if (auto E = addRange(M.CodeOffset, M.CodeSize, "method " + M.Name))
+      return E;
+  for (const auto &S : O.CtoStubs)
+    if (auto E = addRange(S.CodeOffset, S.CodeSize, "cto stub"))
+      return E;
+  for (const auto &F : O.Outlined)
+    if (auto E =
+            addRange(F.CodeOffset, F.CodeSize,
+                     "outlined fn " + std::to_string(F.Id)))
+      return E;
+  std::sort(Ranges.begin(), Ranges.end());
+  for (std::size_t I = 1; I < Ranges.size(); ++I)
+    if (Ranges[I].first < Ranges[I - 1].second)
+      return makeError("validateOat: overlapping code ranges");
+
+  // Per-method metadata consistency.
+  for (const auto &M : O.Methods) {
+    std::string Where = "method " + M.Name;
+    const codegen::MethodSideInfo &Side = M.Side;
+
+    for (const auto &D : Side.EmbeddedData)
+      if (D.Offset + static_cast<uint64_t>(D.Size) > M.CodeSize)
+        return failAt(Where, "embedded data range out of bounds");
+    for (const auto &R : Side.SlowPathRanges)
+      if (R.Begin > R.End || R.End > M.CodeSize)
+        return failAt(Where, "slow path range out of bounds");
+    for (uint32_t T : Side.TerminatorOffsets) {
+      if (T % 4 != 0 || T >= M.CodeSize)
+        return failAt(Where, "terminator offset out of bounds");
+      auto I = a64::decode(O.Text[(M.CodeOffset + T) / 4]);
+      if (!I || !a64::isTerminator(I->Op))
+        return failAt(Where, "terminator offset not at a terminator");
+    }
+
+    // Every recorded PC-relative instruction must decode and really point
+    // at the recorded target (paper §3.3.4's invariant after patching).
+    for (const auto &R : Side.PcRelRecords) {
+      if (R.InsnOffset % 4 != 0 || R.InsnOffset >= M.CodeSize)
+        return failAt(Where, "pc-rel record out of bounds");
+      if (R.TargetOffset > M.CodeSize)
+        return failAt(Where, "pc-rel target out of bounds");
+      auto I = a64::decode(O.Text[(M.CodeOffset + R.InsnOffset) / 4]);
+      if (!I || !a64::isPcRelative(I->Op))
+        return failAt(Where, "pc-rel record not at a pc-relative insn");
+      uint64_t Pc = O.BaseAddress + M.CodeOffset + R.InsnOffset;
+      auto Target = a64::pcRelTarget(*I, Pc);
+      if (!Target ||
+          *Target != O.BaseAddress + M.CodeOffset + R.TargetOffset)
+        return failAt(Where, "pc-rel record target mismatch");
+      // 64-bit literal loads require an 8-byte-aligned pool slot.
+      if (I->Op == a64::Opcode::LdrLit && I->Is64 && (*Target % 8) != 0)
+        return failAt(Where, "misaligned 64-bit literal pool slot");
+    }
+
+    // StackMap entries point right after a call instruction.
+    for (const auto &E : M.Map.Entries) {
+      if (E.NativePcOffset % 4 != 0 || E.NativePcOffset == 0 ||
+          E.NativePcOffset > M.CodeSize)
+        return failAt(Where, "stack map native pc out of bounds");
+      uint32_t CallOff = E.NativePcOffset - 4;
+      if (inEmbeddedData(Side, CallOff))
+        return failAt(Where, "stack map native pc inside embedded data");
+      auto I = a64::decode(O.Text[(M.CodeOffset + CallOff) / 4]);
+      if (!I || !a64::isCall(I->Op))
+        return failAt(Where, "stack map native pc not after a call");
+    }
+  }
+  return Error::success();
+}

@@ -1,0 +1,102 @@
+//===- oat/OatFile.h - OAT image model --------------------------*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-memory model of an OAT file: the linked .text image plus the
+/// method table, CTO stub table, outlined-function table, per-method
+/// StackMaps and the retained side information. Real OAT files are special
+/// ELF files; this model keeps exactly the parts the paper's pipeline and
+/// experiments touch (text segment for size accounting, method metadata for
+/// runtime lookup, StackMaps for the §3.5 consistency obligation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_OAT_OATFILE_H
+#define CALIBRO_OAT_OATFILE_H
+
+#include "codegen/CompiledMethod.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace calibro {
+namespace oat {
+
+/// One linked method.
+struct OatMethodEntry {
+  uint32_t MethodIdx = 0;
+  std::string Name;
+  uint32_t CodeOffset = 0; ///< Byte offset of the entry point in .text.
+  uint32_t CodeSize = 0;   ///< Bytes, including embedded pools.
+  codegen::MethodSideInfo Side; ///< Post-outlining side information.
+  codegen::StackMap Map;
+};
+
+/// One linked CTO stub.
+struct OatStubEntry {
+  codegen::CtoStubKind Kind = codegen::CtoStubKind::JavaCall;
+  uint32_t Imm = 0;
+  uint32_t CodeOffset = 0;
+  uint32_t CodeSize = 0;
+};
+
+/// One linked outlined function.
+struct OatOutlinedEntry {
+  uint32_t Id = 0;
+  uint32_t CodeOffset = 0;
+  uint32_t CodeSize = 0;
+};
+
+/// A linked OAT image.
+struct OatFile {
+  std::string AppName;
+  uint64_t BaseAddress = 0;   ///< Load address of .text.
+  std::vector<uint32_t> Text; ///< The .text image, word-addressed.
+  std::vector<OatMethodEntry> Methods;
+  std::vector<OatStubEntry> CtoStubs;
+  std::vector<OatOutlinedEntry> Outlined;
+
+  /// .text size in bytes — the paper's on-disk code-size metric (Table 4).
+  uint64_t textBytes() const { return Text.size() * 4; }
+
+  /// StackMap metadata size in bytes (NativePc + DexPc per entry), part of
+  /// the memory-usage metric (Table 5).
+  uint64_t stackMapBytes() const;
+
+  /// Absolute entry address of a method.
+  uint64_t methodAddress(const OatMethodEntry &M) const {
+    return BaseAddress + M.CodeOffset;
+  }
+
+  /// Finds the method entry by global method index; nullptr when absent.
+  const OatMethodEntry *findMethod(uint32_t MethodIdx) const;
+
+  /// Finds the method whose code range contains \p TextOff; nullptr when
+  /// the offset falls outside every method (stub, outlined code, padding).
+  const OatMethodEntry *methodContaining(uint32_t TextOff) const;
+
+  /// Finds the outlined function whose range contains \p TextOff.
+  const OatOutlinedEntry *outlinedContaining(uint32_t TextOff) const;
+
+  /// True when the method has a safepoint whose native PC is \p PcOff
+  /// (relative to the method's CodeOffset).
+  static bool hasSafepoint(const OatMethodEntry &M, uint32_t PcOff);
+};
+
+/// Checks internal consistency of a linked image: entry ranges are disjoint
+/// and inside .text, every recorded PC-relative instruction decodes and its
+/// actual target equals the recorded one, StackMap entries sit right after
+/// call instructions, and embedded-data/slow-path ranges are in bounds.
+/// This is the §3.5 "binary code vs. metadata" invariant, run after every
+/// rewrite in tests.
+Error validateOat(const OatFile &O);
+
+} // namespace oat
+} // namespace calibro
+
+#endif // CALIBRO_OAT_OATFILE_H

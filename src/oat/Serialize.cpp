@@ -1,0 +1,503 @@
+//===- oat/Serialize.cpp - OAT files on disk (special ELF) ------------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "oat/Serialize.h"
+
+#include "support/BinaryStream.h"
+
+#include <cstdio>
+
+using namespace calibro;
+using namespace calibro::oat;
+using namespace calibro::codegen;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// ELF64 structures (just what the format needs).
+//===----------------------------------------------------------------------===//
+
+constexpr uint16_t EmAarch64 = 183;
+constexpr uint16_t EtDyn = 3;
+constexpr uint32_t ShtNull = 0;
+constexpr uint32_t ShtProgbits = 1;
+constexpr uint32_t ShtStrtab = 3;
+constexpr uint64_t ShfAlloc = 0x2;
+constexpr uint64_t ShfExecinstr = 0x4;
+
+constexpr std::size_t ElfHeaderSize = 64;
+constexpr std::size_t SectionHeaderSize = 64;
+
+struct SectionSpec {
+  std::string Name;
+  uint32_t Type = ShtProgbits;
+  uint64_t Flags = 0;
+  uint64_t Addr = 0;
+  uint64_t Align = 4;
+  std::vector<uint8_t> Payload;
+};
+
+//===----------------------------------------------------------------------===//
+// Payload encoding
+//===----------------------------------------------------------------------===//
+
+void putHeaderSection(ByteWriter &W, const OatFile &O) {
+  W.u32(0x3154414f); // "OAT1"
+  W.u32(OatFormatVersion);
+  W.u64(O.BaseAddress);
+  W.str(O.AppName);
+}
+
+/// StackMaps are stored delta-compressed over the sorted native PCs, the
+/// way ART packs its CodeInfo tables.
+void putStackMap(ByteWriter &W, const StackMap &Map) {
+  W.uleb(Map.Entries.size());
+  uint32_t PrevPc = 0;
+  for (const auto &E : Map.Entries) {
+    W.uleb((E.NativePcOffset - PrevPc) / 4);
+    W.uleb(E.DexPc);
+    PrevPc = E.NativePcOffset;
+  }
+}
+
+void putSideInfo(ByteWriter &W, const MethodSideInfo &S) {
+  W.uleb(S.TerminatorOffsets.size());
+  uint32_t Prev = 0;
+  for (uint32_t T : S.TerminatorOffsets) {
+    W.uleb((T - Prev) / 4);
+    Prev = T;
+  }
+  W.uleb(S.PcRelRecords.size());
+  for (const auto &R : S.PcRelRecords) {
+    W.uleb(R.InsnOffset / 4);
+    W.uleb(R.TargetOffset / 4);
+  }
+  W.uleb(S.EmbeddedData.size());
+  for (const auto &D : S.EmbeddedData) {
+    W.uleb(D.Offset / 4);
+    W.uleb(D.Size / 4);
+  }
+  W.uleb(S.SlowPathRanges.size());
+  for (const auto &R : S.SlowPathRanges) {
+    W.uleb(R.Begin / 4);
+    W.uleb(R.End / 4);
+  }
+  W.u8(static_cast<uint8_t>((S.HasIndirectJump ? 1 : 0) |
+                            (S.IsNative ? 2 : 0)));
+}
+
+void putMethodsSection(ByteWriter &W, const OatFile &O) {
+  W.uleb(O.Methods.size());
+  for (const auto &M : O.Methods) {
+    W.uleb(M.MethodIdx);
+    W.str(M.Name);
+    W.uleb(M.CodeOffset / 4);
+    W.uleb(M.CodeSize / 4);
+    putStackMap(W, M.Map);
+    putSideInfo(W, M.Side);
+  }
+}
+
+void putStubsSection(ByteWriter &W, const OatFile &O) {
+  W.uleb(O.CtoStubs.size());
+  for (const auto &S : O.CtoStubs) {
+    W.u8(static_cast<uint8_t>(S.Kind));
+    W.uleb(S.Imm);
+    W.uleb(S.CodeOffset / 4);
+    W.uleb(S.CodeSize / 4);
+  }
+}
+
+void putOutlinedSection(ByteWriter &W, const OatFile &O) {
+  W.uleb(O.Outlined.size());
+  for (const auto &F : O.Outlined) {
+    W.uleb(F.Id);
+    W.uleb(F.CodeOffset / 4);
+    W.uleb(F.CodeSize / 4);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Payload decoding
+//===----------------------------------------------------------------------===//
+
+#define READ_OR_RETURN(VAR, EXPR)                                             \
+  auto VAR##OrErr = (EXPR);                                                   \
+  if (!VAR##OrErr)                                                            \
+    return VAR##OrErr.takeError();                                            \
+  auto VAR = *VAR##OrErr;
+
+Error parseHeaderSection(std::span<const uint8_t> Bytes, OatFile &O) {
+  ByteReader R(Bytes);
+  READ_OR_RETURN(Magic, R.u32());
+  if (Magic != 0x3154414f)
+    return makeError("oat header: bad magic");
+  READ_OR_RETURN(Version, R.u32());
+  if (Version != OatFormatVersion)
+    return makeError("oat header: unsupported version");
+  READ_OR_RETURN(Base, R.u64());
+  READ_OR_RETURN(Name, R.str());
+  O.BaseAddress = Base;
+  O.AppName = Name;
+  return Error::success();
+}
+
+Error parseStackMap(ByteReader &R, StackMap &Map) {
+  READ_OR_RETURN(Count, R.uleb());
+  uint32_t Pc = 0;
+  for (uint64_t K = 0; K < Count; ++K) {
+    READ_OR_RETURN(Delta, R.uleb());
+    READ_OR_RETURN(DexPc, R.uleb());
+    Pc += static_cast<uint32_t>(Delta) * 4;
+    Map.Entries.push_back({Pc, static_cast<uint32_t>(DexPc)});
+  }
+  return Error::success();
+}
+
+Error parseSideInfo(ByteReader &R, MethodSideInfo &S) {
+  READ_OR_RETURN(NumTerm, R.uleb());
+  uint32_t Off = 0;
+  for (uint64_t K = 0; K < NumTerm; ++K) {
+    READ_OR_RETURN(Delta, R.uleb());
+    Off += static_cast<uint32_t>(Delta) * 4;
+    S.TerminatorOffsets.push_back(Off);
+  }
+  READ_OR_RETURN(NumPcRel, R.uleb());
+  for (uint64_t K = 0; K < NumPcRel; ++K) {
+    READ_OR_RETURN(Insn, R.uleb());
+    READ_OR_RETURN(Target, R.uleb());
+    S.PcRelRecords.push_back({static_cast<uint32_t>(Insn) * 4,
+                              static_cast<uint32_t>(Target) * 4});
+  }
+  READ_OR_RETURN(NumData, R.uleb());
+  for (uint64_t K = 0; K < NumData; ++K) {
+    READ_OR_RETURN(DOff, R.uleb());
+    READ_OR_RETURN(DSize, R.uleb());
+    S.EmbeddedData.push_back(
+        {static_cast<uint32_t>(DOff) * 4, static_cast<uint32_t>(DSize) * 4});
+  }
+  READ_OR_RETURN(NumSlow, R.uleb());
+  for (uint64_t K = 0; K < NumSlow; ++K) {
+    READ_OR_RETURN(Begin, R.uleb());
+    READ_OR_RETURN(End, R.uleb());
+    S.SlowPathRanges.push_back(
+        {static_cast<uint32_t>(Begin) * 4, static_cast<uint32_t>(End) * 4});
+  }
+  READ_OR_RETURN(Flags, R.u8());
+  S.HasIndirectJump = Flags & 1;
+  S.IsNative = Flags & 2;
+  return Error::success();
+}
+
+Error parseMethodsSection(std::span<const uint8_t> Bytes, OatFile &O) {
+  ByteReader R(Bytes);
+  READ_OR_RETURN(Count, R.uleb());
+  for (uint64_t K = 0; K < Count; ++K) {
+    OatMethodEntry M;
+    READ_OR_RETURN(Idx, R.uleb());
+    READ_OR_RETURN(Name, R.str());
+    READ_OR_RETURN(Off, R.uleb());
+    READ_OR_RETURN(Size, R.uleb());
+    M.MethodIdx = static_cast<uint32_t>(Idx);
+    M.Name = Name;
+    M.CodeOffset = static_cast<uint32_t>(Off) * 4;
+    M.CodeSize = static_cast<uint32_t>(Size) * 4;
+    if (auto E = parseStackMap(R, M.Map))
+      return E;
+    if (auto E = parseSideInfo(R, M.Side))
+      return E;
+    O.Methods.push_back(std::move(M));
+  }
+  return Error::success();
+}
+
+Error parseStubsSection(std::span<const uint8_t> Bytes, OatFile &O) {
+  ByteReader R(Bytes);
+  READ_OR_RETURN(Count, R.uleb());
+  for (uint64_t K = 0; K < Count; ++K) {
+    READ_OR_RETURN(Kind, R.u8());
+    READ_OR_RETURN(Imm, R.uleb());
+    READ_OR_RETURN(Off, R.uleb());
+    READ_OR_RETURN(Size, R.uleb());
+    if (Kind > static_cast<uint8_t>(CtoStubKind::StackCheck))
+      return makeError("oat stubs: bad stub kind");
+    O.CtoStubs.push_back({static_cast<CtoStubKind>(Kind),
+                          static_cast<uint32_t>(Imm),
+                          static_cast<uint32_t>(Off) * 4,
+                          static_cast<uint32_t>(Size) * 4});
+  }
+  return Error::success();
+}
+
+Error parseOutlinedSection(std::span<const uint8_t> Bytes, OatFile &O) {
+  ByteReader R(Bytes);
+  READ_OR_RETURN(Count, R.uleb());
+  for (uint64_t K = 0; K < Count; ++K) {
+    READ_OR_RETURN(Id, R.uleb());
+    READ_OR_RETURN(Off, R.uleb());
+    READ_OR_RETURN(Size, R.uleb());
+    O.Outlined.push_back({static_cast<uint32_t>(Id),
+                          static_cast<uint32_t>(Off) * 4,
+                          static_cast<uint32_t>(Size) * 4});
+  }
+  return Error::success();
+}
+
+} // namespace
+
+std::vector<uint8_t> oat::serializeOat(const OatFile &O) {
+  std::vector<SectionSpec> Sections;
+
+  {
+    SectionSpec Text;
+    Text.Name = ".text";
+    Text.Flags = ShfAlloc | ShfExecinstr;
+    Text.Addr = O.BaseAddress;
+    Text.Align = 16;
+    Text.Payload.resize(O.Text.size() * 4);
+    std::memcpy(Text.Payload.data(), O.Text.data(), Text.Payload.size());
+    Sections.push_back(std::move(Text));
+  }
+  {
+    SectionSpec S;
+    S.Name = ".oat.header";
+    ByteWriter W;
+    putHeaderSection(W, O);
+    S.Payload = W.take();
+    Sections.push_back(std::move(S));
+  }
+  {
+    SectionSpec S;
+    S.Name = ".oat.methods";
+    ByteWriter W;
+    putMethodsSection(W, O);
+    S.Payload = W.take();
+    Sections.push_back(std::move(S));
+  }
+  {
+    SectionSpec S;
+    S.Name = ".oat.stubs";
+    ByteWriter W;
+    putStubsSection(W, O);
+    S.Payload = W.take();
+    Sections.push_back(std::move(S));
+  }
+  {
+    SectionSpec S;
+    S.Name = ".oat.outlined";
+    ByteWriter W;
+    putOutlinedSection(W, O);
+    S.Payload = W.take();
+    Sections.push_back(std::move(S));
+  }
+
+  // Build .shstrtab (leading NUL, then each name).
+  SectionSpec Strtab;
+  Strtab.Name = ".shstrtab";
+  Strtab.Type = ShtStrtab;
+  Strtab.Align = 1;
+  std::vector<uint32_t> NameOff;
+  {
+    std::vector<uint8_t> &Tab = Strtab.Payload;
+    Tab.push_back(0);
+    auto Intern = [&Tab](const std::string &N) {
+      uint32_t Off = static_cast<uint32_t>(Tab.size());
+      Tab.insert(Tab.end(), N.begin(), N.end());
+      Tab.push_back(0);
+      return Off;
+    };
+    for (const auto &S : Sections)
+      NameOff.push_back(Intern(S.Name));
+    NameOff.push_back(Intern(Strtab.Name));
+  }
+  Sections.push_back(std::move(Strtab));
+
+  // Lay out: ELF header, payloads, section header table (null + sections).
+  ByteWriter W;
+  const uint8_t Ident[16] = {0x7f, 'E', 'L', 'F',
+                             2 /*ELFCLASS64*/, 1 /*LSB*/, 1 /*EV_CURRENT*/,
+                             0, 0, 0, 0, 0, 0, 0, 0, 0};
+  W.bytes(Ident, 16);
+  W.u16(EtDyn);
+  W.u16(EmAarch64);
+  W.u32(1); // e_version
+  W.u64(O.BaseAddress); // e_entry: the image load address.
+  W.u64(0);             // e_phoff (no program headers in this container).
+  std::size_t ShoffPatch = W.size();
+  W.u64(0); // e_shoff, patched below.
+  W.u32(0); // e_flags
+  W.u16(ElfHeaderSize);
+  W.u16(0); // e_phentsize
+  W.u16(0); // e_phnum
+  W.u16(SectionHeaderSize);
+  W.u16(static_cast<uint16_t>(Sections.size() + 1)); // + SHT_NULL.
+  W.u16(static_cast<uint16_t>(Sections.size()));     // .shstrtab index.
+
+  std::vector<uint64_t> PayloadOff(Sections.size());
+  for (std::size_t I = 0; I < Sections.size(); ++I) {
+    W.align(Sections[I].Align);
+    PayloadOff[I] = W.size();
+    W.bytes(Sections[I].Payload.data(), Sections[I].Payload.size());
+  }
+
+  W.align(8);
+  uint64_t Shoff = W.size();
+  // SHT_NULL entry.
+  for (int K = 0; K < 8; ++K)
+    W.u64(0);
+  for (std::size_t I = 0; I < Sections.size(); ++I) {
+    const SectionSpec &S = Sections[I];
+    W.u32(NameOff[I]);
+    W.u32(S.Type);
+    W.u64(S.Flags);
+    W.u64(S.Addr);
+    W.u64(PayloadOff[I]);
+    W.u64(S.Payload.size());
+    W.u32(0); // sh_link
+    W.u32(0); // sh_info
+    W.u64(S.Align);
+    W.u64(0); // sh_entsize
+  }
+
+  auto Bytes = W.take();
+  std::memcpy(Bytes.data() + ShoffPatch, &Shoff, 8);
+  return Bytes;
+}
+
+Expected<OatFile> oat::deserializeOat(std::span<const uint8_t> Bytes) {
+  ByteReader R(Bytes);
+  uint8_t Ident[16];
+  if (auto E = R.bytes(Ident, 16))
+    return E;
+  if (Ident[0] != 0x7f || Ident[1] != 'E' || Ident[2] != 'L' ||
+      Ident[3] != 'F')
+    return makeError("not an ELF file");
+  if (Ident[4] != 2 || Ident[5] != 1)
+    return makeError("not a little-endian ELF64");
+  READ_OR_RETURN(Type, R.u16());
+  READ_OR_RETURN(Machine, R.u16());
+  if (Machine != EmAarch64)
+    return makeError("not an AArch64 image");
+  (void)Type;
+  READ_OR_RETURN(EVersion, R.u32());
+  (void)EVersion;
+  READ_OR_RETURN(Entry, R.u64());
+  (void)Entry;
+  READ_OR_RETURN(Phoff, R.u64());
+  (void)Phoff;
+  READ_OR_RETURN(Shoff, R.u64());
+  READ_OR_RETURN(Flags, R.u32());
+  (void)Flags;
+  READ_OR_RETURN(Ehsize, R.u16());
+  (void)Ehsize;
+  READ_OR_RETURN(Phentsize, R.u16());
+  (void)Phentsize;
+  READ_OR_RETURN(Phnum, R.u16());
+  (void)Phnum;
+  READ_OR_RETURN(Shentsize, R.u16());
+  if (Shentsize != SectionHeaderSize)
+    return makeError("unexpected section header size");
+  READ_OR_RETURN(Shnum, R.u16());
+  READ_OR_RETURN(Shstrndx, R.u16());
+  if (Shnum == 0 || Shstrndx >= Shnum)
+    return makeError("bad section header table shape");
+
+  struct RawSection {
+    uint32_t NameOff;
+    uint64_t Off, Size;
+  };
+  std::vector<RawSection> Raw;
+  for (uint16_t S = 0; S < Shnum; ++S) {
+    if (auto E = R.seek(static_cast<std::size_t>(Shoff) +
+                        std::size_t(S) * SectionHeaderSize))
+      return E;
+    READ_OR_RETURN(NameOff, R.u32());
+    READ_OR_RETURN(SType, R.u32());
+    (void)SType;
+    READ_OR_RETURN(SFlags, R.u64());
+    (void)SFlags;
+    READ_OR_RETURN(Addr, R.u64());
+    (void)Addr;
+    READ_OR_RETURN(Off, R.u64());
+    READ_OR_RETURN(Size, R.u64());
+    if (Off + Size > Bytes.size())
+      return makeError("section payload out of bounds");
+    Raw.push_back({NameOff, Off, Size});
+  }
+
+  auto nameOf = [&](const RawSection &S) -> std::string {
+    const RawSection &Tab = Raw[Shstrndx];
+    std::string Name;
+    for (uint64_t P = Tab.Off + S.NameOff;
+         P < Tab.Off + Tab.Size && Bytes[P]; ++P)
+      Name.push_back(static_cast<char>(Bytes[P]));
+    return Name;
+  };
+  auto payloadOf = [&](const RawSection &S) {
+    return Bytes.subspan(static_cast<std::size_t>(S.Off),
+                         static_cast<std::size_t>(S.Size));
+  };
+
+  OatFile O;
+  bool SawText = false, SawHeader = false, SawMethods = false;
+  for (const auto &S : Raw) {
+    std::string Name = nameOf(S);
+    if (Name == ".text") {
+      if (S.Size % 4 != 0)
+        return makeError(".text size not word-aligned");
+      O.Text.resize(static_cast<std::size_t>(S.Size) / 4);
+      std::memcpy(O.Text.data(), Bytes.data() + S.Off,
+                  static_cast<std::size_t>(S.Size));
+      SawText = true;
+    } else if (Name == ".oat.header") {
+      if (auto E = parseHeaderSection(payloadOf(S), O))
+        return E;
+      SawHeader = true;
+    } else if (Name == ".oat.methods") {
+      if (auto E = parseMethodsSection(payloadOf(S), O))
+        return E;
+      SawMethods = true;
+    } else if (Name == ".oat.stubs") {
+      if (auto E = parseStubsSection(payloadOf(S), O))
+        return E;
+    } else if (Name == ".oat.outlined") {
+      if (auto E = parseOutlinedSection(payloadOf(S), O))
+        return E;
+    }
+  }
+  if (!SawText || !SawHeader || !SawMethods)
+    return makeError("missing required OAT sections");
+  if (auto E = validateOat(O))
+    return E;
+  return O;
+}
+
+Error oat::writeOatFile(const OatFile &O, const std::string &Path) {
+  auto Bytes = serializeOat(O);
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return makeError("cannot open '" + Path + "' for writing");
+  std::size_t Written = std::fwrite(Bytes.data(), 1, Bytes.size(), F);
+  std::fclose(F);
+  if (Written != Bytes.size())
+    return makeError("short write to '" + Path + "'");
+  return Error::success();
+}
+
+Expected<OatFile> oat::readOatFile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return makeError("cannot open '" + Path + "'");
+  std::fseek(F, 0, SEEK_END);
+  long Size = std::ftell(F);
+  std::fseek(F, 0, SEEK_SET);
+  std::vector<uint8_t> Bytes(static_cast<std::size_t>(Size < 0 ? 0 : Size));
+  std::size_t Read = std::fread(Bytes.data(), 1, Bytes.size(), F);
+  std::fclose(F);
+  if (Read != Bytes.size())
+    return makeError("short read from '" + Path + "'");
+  return deserializeOat(Bytes);
+}

@@ -1,0 +1,56 @@
+//===- oat/Serialize.h - OAT files on disk (special ELF) --------*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-disk OAT format. As the paper notes (§1, challenge 1), "OAT files
+/// are special ELF files, containing a part of Android-specific content":
+/// this writer emits a genuine ELF64 (little-endian, EM_AARCH64) whose
+/// sections carry the image —
+///
+///   .text             the linked code image (loaded at BaseAddress)
+///   .oat.header       app name, base address, format version
+///   .oat.methods      method table: index, name, range, StackMap (varint
+///                     delta-compressed, like ART), side information
+///   .oat.stubs        CTO stub table
+///   .oat.outlined     outlined-function table
+///   .shstrtab         section names
+///
+/// The reader parses the ELF structure, locates the sections by name, and
+/// reconstructs the OatFile exactly (round-trip is bit-faithful; tests
+/// assert re-serialization is byte-identical).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_OAT_SERIALIZE_H
+#define CALIBRO_OAT_SERIALIZE_H
+
+#include "oat/OatFile.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace calibro {
+namespace oat {
+
+/// Current format version, stored in .oat.header.
+inline constexpr uint32_t OatFormatVersion = 1;
+
+/// Serializes \p O into an ELF64 image.
+std::vector<uint8_t> serializeOat(const OatFile &O);
+
+/// Parses an ELF64 OAT image. Fails with a message on any structural
+/// corruption (bad magic, truncated sections, version mismatch).
+Expected<OatFile> deserializeOat(std::span<const uint8_t> Bytes);
+
+/// File convenience wrappers.
+Error writeOatFile(const OatFile &O, const std::string &Path);
+Expected<OatFile> readOatFile(const std::string &Path);
+
+} // namespace oat
+} // namespace calibro
+
+#endif // CALIBRO_OAT_SERIALIZE_H

@@ -1,0 +1,36 @@
+//===- profile/Profile.cpp - Runtime profiles and hot-set selection --------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/Profile.h"
+
+#include <algorithm>
+
+using namespace calibro;
+using namespace calibro::profile;
+
+std::unordered_set<uint32_t>
+profile::selectHotMethods(const Profile &P, double CoverageFraction) {
+  std::vector<std::pair<uint32_t, uint64_t>> Sorted(P.CyclesByMethod.begin(),
+                                                    P.CyclesByMethod.end());
+  std::sort(Sorted.begin(), Sorted.end(), [](const auto &A, const auto &B) {
+    if (A.second != B.second)
+      return A.second > B.second;
+    return A.first < B.first;
+  });
+
+  uint64_t Total = P.totalCycles();
+  uint64_t Budget =
+      static_cast<uint64_t>(static_cast<double>(Total) * CoverageFraction);
+  std::unordered_set<uint32_t> Hot;
+  uint64_t Acc = 0;
+  for (const auto &[Idx, Cycles] : Sorted) {
+    if (Acc >= Budget)
+      break;
+    Hot.insert(Idx);
+    Acc += Cycles;
+  }
+  return Hot;
+}

@@ -1,0 +1,84 @@
+//===- sim/CycleModel.h - Timing model and I-cache --------------*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The performance model behind the paper's runtime experiments (Table 7):
+/// a simple in-order cost model plus an instruction cache. Code outlining
+/// adds call/return pairs (pipeline cost) but shrinks the text working set
+/// (fewer I-cache misses) — both effects the paper discusses in §3.4 — so
+/// the model charges both.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_SIM_CYCLEMODEL_H
+#define CALIBRO_SIM_CYCLEMODEL_H
+
+#include <array>
+#include <cstdint>
+
+namespace calibro {
+namespace sim {
+
+/// Per-event cycle costs. Defaults roughly follow a little in-order core.
+struct CycleConfig {
+  uint32_t Base = 1;         ///< Every instruction.
+  uint32_t TakenBranch = 1;  ///< Extra for a taken branch.
+  uint32_t Call = 1;         ///< Extra for bl/blr (the outlining tax).
+  uint32_t Ret = 1;          ///< Extra for ret / br x30 returns.
+  uint32_t Mem = 1;          ///< Extra for loads/stores.
+  uint32_t ICacheMiss = 30;  ///< Extra per I-cache line miss.
+};
+
+/// A set-associative instruction cache with LRU replacement.
+/// Default geometry: 32 KiB, 64-byte lines, 4 ways (Cortex-ish).
+class ICache {
+public:
+  ICache() { reset(); }
+
+  void reset() {
+    Tags.fill(~uint64_t(0));
+    Stamps.fill(0);
+    Tick = 0;
+  }
+
+  /// Accesses the line containing \p Addr; returns true on a miss.
+  bool access(uint64_t Addr) {
+    uint64_t Line = Addr >> LineBits;
+    uint64_t Set = Line & (NumSets - 1);
+    uint64_t Tag = Line >> SetBits;
+    std::size_t Base = static_cast<std::size_t>(Set) * Ways;
+    ++Tick;
+    for (std::size_t W = 0; W < Ways; ++W) {
+      if (Tags[Base + W] == Tag) {
+        Stamps[Base + W] = Tick;
+        return false;
+      }
+    }
+    // Miss: evict the LRU way.
+    std::size_t Victim = Base;
+    for (std::size_t W = 1; W < Ways; ++W)
+      if (Stamps[Base + W] < Stamps[Victim])
+        Victim = Base + W;
+    Tags[Victim] = Tag;
+    Stamps[Victim] = Tick;
+    return true;
+  }
+
+  static constexpr unsigned LineBits = 6;  ///< 64-byte lines.
+  static constexpr unsigned SetBits = 7;   ///< 128 sets.
+  static constexpr std::size_t NumSets = 1u << SetBits;
+  static constexpr std::size_t Ways = 4;   ///< 32 KiB total.
+
+private:
+  std::array<uint64_t, NumSets * Ways> Tags;
+  std::array<uint64_t, NumSets * Ways> Stamps;
+  uint64_t Tick = 0;
+};
+
+} // namespace sim
+} // namespace calibro
+
+#endif // CALIBRO_SIM_CYCLEMODEL_H

@@ -1,0 +1,671 @@
+//===- sim/Simulator.cpp - AArch64 interpreter for OAT images -------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+
+#include "aarch64/Decoder.h"
+#include "aarch64/Disasm.h"
+#include "codegen/ArtAbi.h"
+#include "support/Compiler.h"
+#include "support/MathExtras.h"
+
+#include <cstring>
+
+using namespace calibro;
+using namespace calibro::sim;
+using namespace calibro::a64;
+
+namespace {
+
+/// Runtime image internal layout (relative to layout::ImageBase).
+constexpr uint64_t ThreadOff = 0;
+constexpr uint64_t MethodTableOff = 0x1000;
+
+constexpr uint64_t GuardSize = art::StackOverflowReservedBytes;
+
+/// Extra cycles charged for servicing runtime entrypoints.
+constexpr uint64_t AllocServiceCycles = 150;
+constexpr uint64_t JniServiceCycles = 100;
+
+uint64_t mix64(uint64_t Z) {
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+uint64_t truncW(uint64_t V, bool Is64) { return Is64 ? V : (V & 0xffffffffu); }
+
+} // namespace
+
+const char *sim::outcomeName(Outcome O) {
+  switch (O) {
+  case Outcome::Ok:
+    return "ok";
+  case Outcome::NullPointerException:
+    return "null-pointer-exception";
+  case Outcome::DivZeroException:
+    return "div-zero-exception";
+  case Outcome::StackOverflow:
+    return "stack-overflow";
+  case Outcome::Exception:
+    return "exception";
+  }
+  CALIBRO_UNREACHABLE("bad outcome");
+}
+
+Simulator::Simulator(const oat::OatFile &Oat, SimOptions Opts)
+    : Oat(Oat), Opts(Opts) {
+  // Pre-decode the text image once; embedded data simply stays undecodable
+  // and must never be fetched.
+  Decoded.resize(Oat.Text.size());
+  for (std::size_t I = 0; I < Oat.Text.size(); ++I)
+    Decoded[I] = decode(Oat.Text[I]);
+
+  MethodAt.assign(Oat.Text.size(), -1);
+  for (std::size_t M = 0; M < Oat.Methods.size(); ++M) {
+    const auto &E = Oat.Methods[M];
+    for (uint32_t W = E.CodeOffset / 4; W < (E.CodeOffset + E.CodeSize) / 4;
+         ++W)
+      MethodAt[W] = static_cast<int32_t>(M);
+  }
+
+  TextBytes.resize(Oat.Text.size() * 4);
+  std::memcpy(TextBytes.data(), Oat.Text.data(), TextBytes.size());
+
+  // Build the runtime image: thread record, method table, ArtMethods.
+  uint64_t NumMethods = Oat.Methods.size();
+  uint64_t ArtMethodsOff = alignTo(MethodTableOff + 8 * NumMethods, 4096);
+  Image.assign(ArtMethodsOff + art::ArtMethodSize * NumMethods, 0);
+
+  auto put64 = [&](uint64_t Off, uint64_t V) {
+    std::memcpy(Image.data() + Off, &V, 8);
+  };
+  put64(ThreadOff + art::ThreadMethodTableOffset,
+        layout::ImageBase + MethodTableOff);
+  for (uint32_t E = 0; E < art::NumEntrypoints; ++E)
+    put64(ThreadOff + art::entrypointOffset(static_cast<art::Entrypoint>(E)),
+          layout::EntrypointBase + layout::EntrypointStride * E);
+  for (const auto &M : Oat.Methods) {
+    uint64_t Am = ArtMethodsOff + uint64_t(art::ArtMethodSize) * M.MethodIdx;
+    put64(MethodTableOff + 8 * uint64_t(M.MethodIdx),
+          layout::ImageBase + Am);
+    put64(Am + 0, M.MethodIdx);
+    put64(Am + art::ArtMethodEntryPointOffset, Oat.methodAddress(M));
+  }
+
+  OutlinedEntryAt.assign(Oat.Text.size(), -1);
+  for (std::size_t F = 0; F < Oat.Outlined.size(); ++F)
+    OutlinedEntryAt[Oat.Outlined[F].CodeOffset / 4] = static_cast<int32_t>(F);
+
+  Stack.assign(layout::StackSize, 0);
+  reset();
+}
+
+void Simulator::reset() {
+  Heap.clear();
+  HeapTop = 0;
+  IC.reset();
+  Prof = profile::Profile();
+  TouchedPages.clear();
+  OutlinedEntries.assign(Oat.Outlined.size(), 0);
+}
+
+namespace {
+
+std::string faultMsg(const char *What, uint64_t Addr, uint64_t Pc) {
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf), "%s at address 0x%llx (pc 0x%llx)", What,
+                static_cast<unsigned long long>(Addr),
+                static_cast<unsigned long long>(Pc));
+  return Buf;
+}
+
+} // namespace
+
+Expected<uint64_t> Simulator::load(uint64_t Addr, unsigned Size) {
+  if (Addr % Size != 0)
+    return makeError(faultMsg("unaligned load", Addr, Pc));
+  const uint8_t *P = nullptr;
+  uint64_t TextBase = Oat.BaseAddress;
+  if (Addr >= TextBase && Addr + Size <= TextBase + TextBytes.size())
+    P = TextBytes.data() + (Addr - TextBase);
+  else if (Addr >= layout::ImageBase &&
+           Addr + Size <= layout::ImageBase + Image.size())
+    P = Image.data() + (Addr - layout::ImageBase);
+  else if (Addr >= layout::HeapBase &&
+           Addr + Size <= layout::HeapBase + Heap.size())
+    P = Heap.data() + (Addr - layout::HeapBase);
+  else if (Addr >= layout::StackBase &&
+           Addr + Size <= layout::StackBase + Stack.size())
+    P = Stack.data() + (Addr - layout::StackBase);
+  else
+    return makeError(faultMsg("unmapped load", Addr, Pc));
+  uint64_t V = 0;
+  std::memcpy(&V, P, Size);
+  return V;
+}
+
+Error Simulator::store(uint64_t Addr, unsigned Size, uint64_t Value) {
+  if (Addr % Size != 0)
+    return makeError(faultMsg("unaligned store", Addr, Pc));
+  uint8_t *P = nullptr;
+  if (Addr >= layout::HeapBase && Addr + Size <= layout::HeapBase + Heap.size())
+    P = Heap.data() + (Addr - layout::HeapBase);
+  else if (Addr >= layout::StackBase &&
+           Addr + Size <= layout::StackBase + Stack.size())
+    P = Stack.data() + (Addr - layout::StackBase);
+  else
+    return makeError(faultMsg("unmapped or read-only store", Addr, Pc));
+  std::memcpy(P, &Value, Size);
+  return Error::success();
+}
+
+bool Simulator::condHolds(Cond CC) const {
+  switch (CC) {
+  case Cond::EQ:
+    return Nzcv.Z;
+  case Cond::NE:
+    return !Nzcv.Z;
+  case Cond::HS:
+    return Nzcv.C;
+  case Cond::LO:
+    return !Nzcv.C;
+  case Cond::MI:
+    return Nzcv.N;
+  case Cond::PL:
+    return !Nzcv.N;
+  case Cond::VS:
+    return Nzcv.V;
+  case Cond::VC:
+    return !Nzcv.V;
+  case Cond::HI:
+    return Nzcv.C && !Nzcv.Z;
+  case Cond::LS:
+    return !(Nzcv.C && !Nzcv.Z);
+  case Cond::GE:
+    return Nzcv.N == Nzcv.V;
+  case Cond::LT:
+    return Nzcv.N != Nzcv.V;
+  case Cond::GT:
+    return !Nzcv.Z && Nzcv.N == Nzcv.V;
+  case Cond::LE:
+    return Nzcv.Z || Nzcv.N != Nzcv.V;
+  case Cond::AL:
+    return true;
+  }
+  CALIBRO_UNREACHABLE("bad condition code");
+}
+
+void Simulator::setAddSubFlags(uint64_t A, uint64_t B, bool IsSub, bool Is64) {
+  uint64_t Bx = IsSub ? ~B : B;
+  uint64_t CarryIn = IsSub ? 1 : 0;
+  if (Is64) {
+    unsigned __int128 Wide =
+        static_cast<unsigned __int128>(A) + Bx + CarryIn;
+    uint64_t Res = static_cast<uint64_t>(Wide);
+    Nzcv.N = (Res >> 63) & 1;
+    Nzcv.Z = Res == 0;
+    Nzcv.C = static_cast<uint64_t>(Wide >> 64) != 0;
+    Nzcv.V = ((~(A ^ Bx) & (A ^ Res)) >> 63) & 1;
+  } else {
+    A &= 0xffffffffu;
+    Bx &= 0xffffffffu;
+    uint64_t Wide = A + Bx + CarryIn;
+    uint32_t Res = static_cast<uint32_t>(Wide);
+    Nzcv.N = (Res >> 31) & 1;
+    Nzcv.Z = Res == 0;
+    Nzcv.C = (Wide >> 32) != 0;
+    Nzcv.V = ((~(A ^ Bx) & (A ^ Res)) >> 31) & 1;
+  }
+}
+
+void Simulator::traceEvent(uint64_t Kind, uint64_t Value, RunResult &R) {
+  R.TraceHash = mix64(R.TraceHash ^ mix64(Kind * 0x9e3779b97f4a7c15ULL + Value));
+}
+
+Error Simulator::handleEntrypoint(uint64_t EpPc, RunResult &R, bool &Halt) {
+  uint64_t Id = (EpPc - layout::EntrypointBase) / layout::EntrypointStride;
+  if (Id >= art::NumEntrypoints)
+    return makeError("jump to an invalid entrypoint address");
+  switch (static_cast<art::Entrypoint>(Id)) {
+  case art::Entrypoint::AllocObject: {
+    if (Opts.CheckSafepoints) {
+      uint64_t Ret = X[30];
+      uint64_t TextBase = Oat.BaseAddress;
+      if (Ret < TextBase || Ret >= TextBase + TextBytes.size())
+        return makeError("allocation with return address outside .text");
+      int32_t M = MethodAt[(Ret - TextBase) / 4];
+      if (M < 0)
+        return makeError("allocation with return address outside any method");
+      const auto &E = Oat.Methods[M];
+      uint32_t PcOff =
+          static_cast<uint32_t>(Ret - TextBase) - E.CodeOffset;
+      if (!oat::OatFile::hasSafepoint(E, PcOff))
+        return makeError("missing StackMap safepoint at allocation in " +
+                         E.Name);
+    }
+    if (HeapTop + 64 > (uint64_t(1) << 28))
+      return makeError("simulated heap exhausted");
+    uint64_t Obj = layout::HeapBase + HeapTop;
+    HeapTop += 64;
+    Heap.resize(HeapTop, 0);
+    // Store the class index in the object header.
+    std::memcpy(Heap.data() + (Obj - layout::HeapBase), &X[1], 8);
+    X[0] = Obj;
+    traceEvent(1, X[1], R);
+    R.Cycles += AllocServiceCycles;
+    Pc = X[30];
+    return Error::success();
+  }
+  case art::Entrypoint::ThrowNullPointer:
+    R.What = Outcome::NullPointerException;
+    Halt = true;
+    return Error::success();
+  case art::Entrypoint::ThrowDivZero:
+    R.What = Outcome::DivZeroException;
+    Halt = true;
+    return Error::success();
+  case art::Entrypoint::ThrowStackOverflow:
+    R.What = Outcome::StackOverflow;
+    Halt = true;
+    return Error::success();
+  case art::Entrypoint::DeliverException:
+    traceEvent(4, X[1], R);
+    R.What = Outcome::Exception;
+    Halt = true;
+    return Error::success();
+  case art::Entrypoint::JniStart:
+    traceEvent(2, 0, R);
+    R.Cycles += JniServiceCycles;
+    Pc = X[30];
+    return Error::success();
+  case art::Entrypoint::JniEnd:
+    X[0] = mix64(X[1] ^ 0x6a09e667f3bcc909ULL);
+    traceEvent(3, X[1], R);
+    R.Cycles += JniServiceCycles;
+    Pc = X[30];
+    return Error::success();
+  case art::Entrypoint::Count:
+    break;
+  }
+  return makeError("unhandled entrypoint");
+}
+
+Expected<RunResult> Simulator::call(uint32_t MethodIdx,
+                                    std::span<const int64_t> Args) {
+  const oat::OatMethodEntry *M = Oat.findMethod(MethodIdx);
+  if (!M)
+    return makeError("call: unknown method index");
+  if (Args.size() > 4)
+    return makeError("call: more than 4 arguments");
+
+  for (auto &R : X)
+    R = 0;
+  Nzcv = Flags();
+  Sp = layout::StackBase + layout::StackSize;
+  X[a64::ThreadReg] = layout::ImageBase;
+  // x0 = the callee's ArtMethod*, as the ART calling convention requires.
+  uint64_t TableAddr = layout::ImageBase + MethodTableOff + 8 * uint64_t(MethodIdx);
+  uint64_t Am = 0;
+  std::memcpy(&Am, Image.data() + (TableAddr - layout::ImageBase), 8);
+  X[0] = Am;
+  for (std::size_t A = 0; A < Args.size(); ++A)
+    X[1 + A] = static_cast<uint64_t>(Args[A]);
+  X[a64::LR] = layout::ExitMagic;
+  Pc = Oat.methodAddress(*M);
+
+  RunResult R;
+  return runLoop(R);
+}
+
+Expected<RunResult> Simulator::runLoop(RunResult &R) {
+  uint64_t TextBase = Oat.BaseAddress;
+  uint64_t TextEnd = TextBase + TextBytes.size();
+  int32_t CurMethodRow = -1;
+
+  for (;;) {
+    if (Pc == layout::ExitMagic) {
+      R.ReturnValue = static_cast<int64_t>(X[0]);
+      traceEvent(9, X[0], R);
+      return R;
+    }
+    if (Pc >= layout::EntrypointBase &&
+        Pc < layout::EntrypointBase +
+                layout::EntrypointStride * art::NumEntrypoints) {
+      bool Halt = false;
+      if (auto E = handleEntrypoint(Pc, R, Halt))
+        return E;
+      if (Halt) {
+        traceEvent(8, static_cast<uint64_t>(R.What), R);
+        return R;
+      }
+      continue;
+    }
+    if (Pc < TextBase || Pc >= TextEnd || (Pc & 3) != 0)
+      return makeError("pc left the text segment");
+
+    uint64_t WordIdx = (Pc - TextBase) / 4;
+    const auto &MaybeInsn = Decoded[WordIdx];
+    if (!MaybeInsn)
+      return makeError("fetched an undecodable word (embedded data?)");
+    const Insn &I = *MaybeInsn;
+
+    if (++R.Insns > Opts.MaxInsns)
+      return makeError("instruction budget exhausted (runaway execution?)");
+
+    if (Opts.TraceTo)
+      std::fprintf(Opts.TraceTo,
+                   "0x%llx: %-40s x0=%llx x1=%llx x16=%llx x28=%llx x30=%llx\n",
+                   static_cast<unsigned long long>(Pc),
+                   a64::toString(I, Pc).c_str(),
+                   static_cast<unsigned long long>(X[0]),
+                   static_cast<unsigned long long>(X[1]),
+                   static_cast<unsigned long long>(X[16]),
+                   static_cast<unsigned long long>(X[28]),
+                   static_cast<unsigned long long>(X[30]));
+
+    uint64_t InsnCycles = Opts.Cycles.Base;
+    if (IC.access(Pc)) {
+      ++R.ICacheMisses;
+      InsnCycles += Opts.Cycles.ICacheMiss;
+    }
+    TouchedPages.insert(Pc >> Opts.PageShift);
+    if (MethodAt[WordIdx] >= 0)
+      CurMethodRow = MethodAt[WordIdx];
+    if (OutlinedEntryAt[WordIdx] >= 0)
+      ++OutlinedEntries[OutlinedEntryAt[WordIdx]];
+
+    uint64_t NextPc = Pc + 4;
+    bool IsMem = false;
+
+    switch (I.Op) {
+    case Opcode::Invalid:
+      return makeError("invalid opcode reached execution");
+
+    case Opcode::AddImm:
+    case Opcode::SubImm: {
+      uint64_t V = static_cast<uint64_t>(I.Imm) << (I.Shift == 12 ? 12 : 0);
+      uint64_t S = readGpOrSp(I.Rn);
+      uint64_t Res = I.Op == Opcode::AddImm ? S + V : S - V;
+      writeGpOrSp(I.Rd, truncW(Res, I.Is64));
+      break;
+    }
+    case Opcode::AddsImm:
+    case Opcode::SubsImm: {
+      bool IsSub = I.Op == Opcode::SubsImm;
+      uint64_t V = static_cast<uint64_t>(I.Imm) << (I.Shift == 12 ? 12 : 0);
+      uint64_t S = readGpOrSp(I.Rn);
+      setAddSubFlags(S, V, IsSub, I.Is64);
+      writeGp(I.Rd, truncW(IsSub ? S - V : S + V, I.Is64));
+      break;
+    }
+
+    case Opcode::MovZ:
+      writeGp(I.Rd, truncW(static_cast<uint64_t>(I.Imm) << I.Shift, I.Is64));
+      break;
+    case Opcode::MovN:
+      writeGp(I.Rd,
+              truncW(~(static_cast<uint64_t>(I.Imm) << I.Shift), I.Is64));
+      break;
+    case Opcode::MovK: {
+      uint64_t Old = readGp(I.Rd);
+      uint64_t Mask = uint64_t(0xffff) << I.Shift;
+      uint64_t Res =
+          (Old & ~Mask) | (static_cast<uint64_t>(I.Imm) << I.Shift);
+      writeGp(I.Rd, truncW(Res, I.Is64));
+      break;
+    }
+
+    case Opcode::AddReg:
+    case Opcode::SubReg: {
+      uint64_t A = readGp(I.Rn);
+      uint64_t B = truncW(readGp(I.Rm), I.Is64) << I.Shift;
+      uint64_t Res = I.Op == Opcode::AddReg ? A + B : A - B;
+      writeGp(I.Rd, truncW(Res, I.Is64));
+      break;
+    }
+    case Opcode::AddsReg:
+    case Opcode::SubsReg: {
+      bool IsSub = I.Op == Opcode::SubsReg;
+      uint64_t A = readGp(I.Rn);
+      uint64_t B = truncW(readGp(I.Rm), I.Is64) << I.Shift;
+      setAddSubFlags(A, B, IsSub, I.Is64);
+      writeGp(I.Rd, truncW(IsSub ? A - B : A + B, I.Is64));
+      break;
+    }
+
+    case Opcode::AndReg:
+    case Opcode::OrrReg:
+    case Opcode::EorReg:
+    case Opcode::AndsReg: {
+      uint64_t A = readGp(I.Rn);
+      uint64_t B = truncW(readGp(I.Rm), I.Is64) << I.Shift;
+      uint64_t Res;
+      switch (I.Op) {
+      case Opcode::AndReg:
+      case Opcode::AndsReg:
+        Res = A & B;
+        break;
+      case Opcode::OrrReg:
+        Res = A | B;
+        break;
+      default:
+        Res = A ^ B;
+        break;
+      }
+      Res = truncW(Res, I.Is64);
+      if (I.Op == Opcode::AndsReg) {
+        Nzcv.N = (Res >> (I.Is64 ? 63 : 31)) & 1;
+        Nzcv.Z = Res == 0;
+        Nzcv.C = Nzcv.V = false;
+      }
+      writeGp(I.Rd, Res);
+      break;
+    }
+
+    case Opcode::Lslv:
+    case Opcode::Lsrv:
+    case Opcode::Asrv: {
+      unsigned Width = I.Is64 ? 64 : 32;
+      uint64_t A = truncW(readGp(I.Rn), I.Is64);
+      unsigned Amount =
+          static_cast<unsigned>(readGp(I.Rm) & (Width - 1));
+      uint64_t Res;
+      if (I.Op == Opcode::Lslv)
+        Res = A << Amount;
+      else if (I.Op == Opcode::Lsrv)
+        Res = A >> Amount;
+      else {
+        int64_t SA = I.Is64 ? static_cast<int64_t>(A)
+                            : static_cast<int64_t>(static_cast<int32_t>(A));
+        Res = static_cast<uint64_t>(SA >> Amount);
+      }
+      writeGp(I.Rd, truncW(Res, I.Is64));
+      break;
+    }
+
+    case Opcode::Madd:
+    case Opcode::Msub: {
+      uint64_t Prod = readGp(I.Rn) * readGp(I.Rm);
+      uint64_t Base = readGp(I.Ra);
+      uint64_t Res = I.Op == Opcode::Madd ? Base + Prod : Base - Prod;
+      writeGp(I.Rd, truncW(Res, I.Is64));
+      break;
+    }
+    case Opcode::Sdiv: {
+      int64_t A, B;
+      if (I.Is64) {
+        A = static_cast<int64_t>(readGp(I.Rn));
+        B = static_cast<int64_t>(readGp(I.Rm));
+      } else {
+        A = static_cast<int32_t>(readGp(I.Rn));
+        B = static_cast<int32_t>(readGp(I.Rm));
+      }
+      int64_t Res;
+      if (B == 0)
+        Res = 0;
+      else if (A == INT64_MIN && B == -1)
+        Res = INT64_MIN;
+      else
+        Res = A / B;
+      writeGp(I.Rd, truncW(static_cast<uint64_t>(Res), I.Is64));
+      break;
+    }
+    case Opcode::Udiv: {
+      uint64_t A = truncW(readGp(I.Rn), I.Is64);
+      uint64_t B = truncW(readGp(I.Rm), I.Is64);
+      writeGp(I.Rd, B == 0 ? 0 : truncW(A / B, I.Is64));
+      break;
+    }
+
+    case Opcode::Csel:
+      writeGp(I.Rd, truncW(condHolds(I.CC) ? readGp(I.Rn) : readGp(I.Rm),
+                           I.Is64));
+      break;
+    case Opcode::Csinc:
+      writeGp(I.Rd,
+              truncW(condHolds(I.CC) ? readGp(I.Rn) : readGp(I.Rm) + 1,
+                     I.Is64));
+      break;
+
+    case Opcode::LdrImm:
+    case Opcode::LdrbImm: {
+      IsMem = true;
+      unsigned Size = I.Op == Opcode::LdrbImm ? 1 : (I.Is64 ? 8 : 4);
+      uint64_t Addr = readGpOrSp(I.Rn) + static_cast<uint64_t>(I.Imm);
+      // The stack-overflow probe lands in the guard region below the stack.
+      if (Addr >= layout::StackBase - GuardSize && Addr < layout::StackBase) {
+        R.What = Outcome::StackOverflow;
+        traceEvent(8, static_cast<uint64_t>(R.What), R);
+        return R;
+      }
+      auto V = load(Addr, Size);
+      if (!V)
+        return V.takeError();
+      writeGp(I.Rd, *V);
+      break;
+    }
+    case Opcode::StrImm:
+    case Opcode::StrbImm: {
+      IsMem = true;
+      unsigned Size = I.Op == Opcode::StrbImm ? 1 : (I.Is64 ? 8 : 4);
+      uint64_t Addr = readGpOrSp(I.Rn) + static_cast<uint64_t>(I.Imm);
+      uint64_t V = truncW(readGp(I.Rd), Size == 8);
+      if (Size == 1)
+        V &= 0xff;
+      if (auto E = store(Addr, Size, V))
+        return E;
+      if (Addr >= layout::HeapBase && Addr < layout::StackBase)
+        traceEvent(0x10, mix64(Addr) ^ V, R);
+      break;
+    }
+
+    case Opcode::Ldp:
+    case Opcode::Stp: {
+      IsMem = true;
+      unsigned Size = I.Is64 ? 8 : 4;
+      uint64_t Base = readGpOrSp(I.Rn);
+      uint64_t Addr =
+          I.Mode == IndexMode::PostIndex ? Base : Base + static_cast<uint64_t>(I.Imm);
+      if (I.Op == Opcode::Ldp) {
+        auto V1 = load(Addr, Size);
+        if (!V1)
+          return V1.takeError();
+        auto V2 = load(Addr + Size, Size);
+        if (!V2)
+          return V2.takeError();
+        writeGp(I.Rd, *V1);
+        writeGp(I.Ra, *V2);
+      } else {
+        if (auto E = store(Addr, Size, truncW(readGp(I.Rd), I.Is64)))
+          return E;
+        if (auto E = store(Addr + Size, Size, truncW(readGp(I.Ra), I.Is64)))
+          return E;
+      }
+      if (I.Mode != IndexMode::Offset)
+        writeGpOrSp(I.Rn, Base + static_cast<uint64_t>(I.Imm));
+      break;
+    }
+
+    case Opcode::LdrLit: {
+      IsMem = true;
+      auto V = load(Pc + static_cast<uint64_t>(I.Imm), I.Is64 ? 8 : 4);
+      if (!V)
+        return V.takeError();
+      writeGp(I.Rd, *V);
+      break;
+    }
+
+    case Opcode::Adr:
+      writeGp(I.Rd, Pc + static_cast<uint64_t>(I.Imm));
+      break;
+    case Opcode::Adrp:
+      writeGp(I.Rd, (Pc & ~uint64_t(0xfff)) + static_cast<uint64_t>(I.Imm));
+      break;
+
+    case Opcode::B:
+      NextPc = Pc + static_cast<uint64_t>(I.Imm);
+      break;
+    case Opcode::Bl:
+      X[a64::LR] = Pc + 4;
+      NextPc = Pc + static_cast<uint64_t>(I.Imm);
+      ++R.Calls;
+      InsnCycles += Opts.Cycles.Call;
+      break;
+    case Opcode::Bcond:
+      if (condHolds(I.CC))
+        NextPc = Pc + static_cast<uint64_t>(I.Imm);
+      break;
+    case Opcode::Cbz:
+    case Opcode::Cbnz: {
+      uint64_t V = truncW(readGp(I.Rd), I.Is64);
+      bool Taken = (V == 0) == (I.Op == Opcode::Cbz);
+      if (Taken)
+        NextPc = Pc + static_cast<uint64_t>(I.Imm);
+      break;
+    }
+    case Opcode::Tbz:
+    case Opcode::Tbnz: {
+      bool Bit = (readGp(I.Rd) >> I.BitPos) & 1;
+      if (Bit == (I.Op == Opcode::Tbnz))
+        NextPc = Pc + static_cast<uint64_t>(I.Imm);
+      break;
+    }
+    case Opcode::Br:
+      NextPc = readGp(I.Rn);
+      break;
+    case Opcode::Blr:
+      // Read the target before writing the link register: `blr x30` must
+      // branch to the old x30 value.
+      NextPc = readGp(I.Rn);
+      X[a64::LR] = Pc + 4;
+      ++R.Calls;
+      InsnCycles += Opts.Cycles.Call;
+      break;
+    case Opcode::Ret:
+      NextPc = readGp(I.Rn);
+      InsnCycles += Opts.Cycles.Ret;
+      break;
+
+    case Opcode::Nop:
+      break;
+    case Opcode::Brk:
+      return makeError("brk executed (throw helper fell through?)");
+    }
+
+    if (IsMem)
+      InsnCycles += Opts.Cycles.Mem;
+    if (NextPc != Pc + 4 && I.Op != Opcode::Bl && I.Op != Opcode::Blr &&
+        I.Op != Opcode::Ret)
+      InsnCycles += Opts.Cycles.TakenBranch;
+
+    R.Cycles += InsnCycles;
+    if (Opts.CollectProfile && CurMethodRow >= 0)
+      Prof.add(Oat.Methods[CurMethodRow].MethodIdx, InsnCycles);
+
+    Pc = NextPc;
+  }
+}

@@ -1,0 +1,194 @@
+//===- sim/Simulator.h - AArch64 interpreter for OAT images -----*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes linked OAT images: this repo's stand-in for the Pixel 7 the
+/// paper runs on. The simulator provides:
+///
+///  * Architectural execution of the AArch64 subset (registers, NZCV,
+///    memory), with the ART runtime contract: x19 points at the thread
+///    record, the runtime image holds the method table and ArtMethod
+///    objects, and entrypoint addresses are intercepted and serviced by
+///    C++ hooks (allocation, throws, JNI transitions).
+///  * A cycle model with an I-cache (Table 7's CPU-cycle metric).
+///  * A deterministic architectural trace hash (runtime events + heap
+///    stores + return value), which is how tests prove that an outlined
+///    build is behaviour-identical to the baseline.
+///  * Safepoint checking: at every allocation the caller's PC must have a
+///    StackMap entry — the §3.5 consistency obligation, enforced at
+///    runtime.
+///  * Per-method cycle attribution (the simpleperf substitute, Fig. 6) and
+///    touched-code-page accounting (Table 5's memory metric).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_SIM_SIMULATOR_H
+#define CALIBRO_SIM_SIMULATOR_H
+
+#include "aarch64/Insn.h"
+#include "oat/OatFile.h"
+#include "profile/Profile.h"
+#include "sim/CycleModel.h"
+#include "support/Error.h"
+
+#include <cstdio>
+#include <optional>
+#include <span>
+#include <unordered_set>
+
+namespace calibro {
+namespace sim {
+
+/// How a call into the image ended.
+enum class Outcome : uint8_t {
+  Ok,
+  NullPointerException,
+  DivZeroException,
+  StackOverflow,
+  Exception, ///< Explicit `throw` delivered.
+};
+
+/// Returns a printable name for \p O.
+const char *outcomeName(Outcome O);
+
+/// Result of one call into the image.
+struct RunResult {
+  Outcome What = Outcome::Ok;
+  int64_t ReturnValue = 0;
+  uint64_t Insns = 0;
+  uint64_t Cycles = 0;
+  uint64_t Calls = 0;        ///< bl/blr executed.
+  uint64_t ICacheMisses = 0;
+  uint64_t TraceHash = 0;    ///< Architectural effect digest.
+};
+
+/// Simulator options.
+struct SimOptions {
+  uint64_t MaxInsns = 200'000'000; ///< Runaway guard per call().
+  bool CheckSafepoints = true;     ///< Enforce StackMap presence at allocs.
+  bool CollectProfile = false;     ///< Attribute cycles per method.
+  /// log2 of the residency granularity for touched-code accounting. 12
+  /// (4 KiB OS pages) is physical reality; the Table 5 memory model uses a
+  /// smaller granularity because the simulated apps are ~1000x smaller
+  /// than the commercial OAT files whose page-level density the paper
+  /// measures.
+  unsigned PageShift = 12;
+  /// When set, every executed instruction is disassembled to this stream
+  /// (debugging aid; extremely verbose).
+  std::FILE *TraceTo = nullptr;
+  CycleConfig Cycles;
+};
+
+/// The simulated address space layout.
+namespace layout {
+inline constexpr uint64_t ImageBase = 0x20000000;    ///< Runtime image.
+inline constexpr uint64_t HeapBase = 0x30000000;
+inline constexpr uint64_t StackBase = 0x40000000;
+inline constexpr uint64_t StackSize = 1u << 20;      ///< 1 MiB.
+inline constexpr uint64_t EntrypointBase = 0x60000000;
+inline constexpr uint64_t EntrypointStride = 16;
+inline constexpr uint64_t ExitMagic = 0x7f000000;    ///< Top-level return.
+} // namespace layout
+
+/// One simulator instance bound to one OAT image.
+///
+/// Heap state and page/profile statistics persist across call()s (an app
+/// "session"); reset() starts a fresh session.
+class Simulator {
+public:
+  Simulator(const oat::OatFile &Oat, SimOptions Opts);
+
+  /// Calls method \p MethodIdx with up to 4 integer arguments. Returns the
+  /// run result, or an Error on a simulator fault (unmapped access, missing
+  /// safepoint, undecodable instruction — all invariant violations, never
+  /// legitimate program behaviour).
+  Expected<RunResult> call(uint32_t MethodIdx, std::span<const int64_t> Args);
+
+  /// Clears heap, statistics, profile and cache state.
+  void reset();
+
+  /// Per-method cycle attribution (requires CollectProfile).
+  const profile::Profile &profileData() const { return Prof; }
+
+  /// Distinct .text pages (of 2^PageShift bytes) fetched since reset().
+  std::size_t touchedTextPages() const { return TouchedPages.size(); }
+
+  /// Resident code bytes: touched pages times the page size.
+  uint64_t touchedTextBytes() const {
+    return uint64_t(TouchedPages.size()) << Opts.PageShift;
+  }
+
+  /// Total heap bytes allocated since reset().
+  uint64_t heapBytesAllocated() const { return HeapTop; }
+
+  /// Dynamic entry count per outlined function (indexed like
+  /// OatFile::Outlined). Quantifies the runtime tax of each outlining
+  /// decision; accumulated since reset().
+  const std::vector<uint64_t> &outlinedEntryCounts() const {
+    return OutlinedEntries;
+  }
+
+private:
+  struct Flags {
+    bool N = false, Z = false, C = false, V = false;
+  };
+
+  Expected<RunResult> runLoop(RunResult &R);
+  Error handleEntrypoint(uint64_t Pc, RunResult &R, bool &Halt);
+
+  // Memory access. Size is 1, 4 or 8.
+  Expected<uint64_t> load(uint64_t Addr, unsigned Size);
+  Error store(uint64_t Addr, unsigned Size, uint64_t Value);
+
+  uint64_t readGp(uint8_t R) const { return R == 31 ? 0 : X[R]; }
+  uint64_t readGpOrSp(uint8_t R) const { return R == 31 ? Sp : X[R]; }
+  void writeGp(uint8_t R, uint64_t V) {
+    if (R != 31)
+      X[R] = V;
+  }
+  void writeGpOrSp(uint8_t R, uint64_t V) {
+    if (R == 31)
+      Sp = V;
+    else
+      X[R] = V;
+  }
+
+  bool condHolds(a64::Cond CC) const;
+  void setAddSubFlags(uint64_t A, uint64_t B, bool IsSub, bool Is64);
+
+  void traceEvent(uint64_t Kind, uint64_t Value, RunResult &R);
+
+  const oat::OatFile &Oat;
+  SimOptions Opts;
+
+  // Pre-decoded text and word->method mapping.
+  std::vector<std::optional<a64::Insn>> Decoded;
+  std::vector<int32_t> MethodAt; ///< Method table index per text word; -1.
+  std::vector<uint8_t> TextBytes;
+
+  // Runtime image (thread record, method table, ArtMethod objects).
+  std::vector<uint8_t> Image;
+  std::vector<uint8_t> Heap;
+  std::vector<uint8_t> Stack;
+  uint64_t HeapTop = 0;
+
+  // Architectural state.
+  uint64_t X[31] = {};
+  uint64_t Sp = 0;
+  uint64_t Pc = 0;
+  Flags Nzcv;
+
+  ICache IC;
+  profile::Profile Prof;
+  std::unordered_set<uint64_t> TouchedPages;
+  std::vector<int32_t> OutlinedEntryAt; ///< Per text word: outlined row or -1.
+  std::vector<uint64_t> OutlinedEntries;
+};
+
+} // namespace sim
+} // namespace calibro
+
+#endif // CALIBRO_SIM_SIMULATOR_H

@@ -1,0 +1,126 @@
+//===- suffixtree/SuffixArray.cpp - SA+LCP repeat detection ----------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suffixtree/SuffixArray.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace calibro;
+using namespace calibro::st;
+
+namespace {
+
+constexpr Symbol Sentinel = ~uint64_t(0);
+
+} // namespace
+
+SuffixArray::SuffixArray(std::vector<Symbol> Text) : Txt(std::move(Text)) {
+  assert(std::find(Txt.begin(), Txt.end(), Sentinel) == Txt.end() &&
+         "input sequence may not contain the reserved sentinel symbol");
+  Txt.push_back(Sentinel);
+  uint32_t N = static_cast<uint32_t>(Txt.size());
+
+  // Prefix-doubling construction. Initial ranks come from sorting the
+  // symbols themselves (the alphabet is sparse 64-bit).
+  Sa.resize(N);
+  std::iota(Sa.begin(), Sa.end(), 0);
+  std::vector<uint32_t> Rank(N), Tmp(N);
+  {
+    std::sort(Sa.begin(), Sa.end(),
+              [&](uint32_t A, uint32_t B) { return Txt[A] < Txt[B]; });
+    uint32_t R = 0;
+    Rank[Sa[0]] = 0;
+    for (uint32_t I = 1; I < N; ++I) {
+      if (Txt[Sa[I]] != Txt[Sa[I - 1]])
+        ++R;
+      Rank[Sa[I]] = R;
+    }
+  }
+  for (uint32_t K = 1; K < N; K *= 2) {
+    auto Key = [&](uint32_t S) {
+      uint64_t Hi = Rank[S];
+      uint64_t Lo = S + K < N ? Rank[S + K] + 1 : 0;
+      return (Hi << 32) | Lo;
+    };
+    std::sort(Sa.begin(), Sa.end(),
+              [&](uint32_t A, uint32_t B) { return Key(A) < Key(B); });
+    Tmp[Sa[0]] = 0;
+    for (uint32_t I = 1; I < N; ++I)
+      Tmp[Sa[I]] = Tmp[Sa[I - 1]] + (Key(Sa[I - 1]) != Key(Sa[I]) ? 1 : 0);
+    Rank = Tmp;
+    if (Rank[Sa[N - 1]] == N - 1)
+      break;
+  }
+
+  // Kasai's LCP: Lcp[I] = lcp(SA[I-1], SA[I]); Lcp[0] = 0.
+  Lcp.assign(N, 0);
+  {
+    std::vector<uint32_t> Inv(N);
+    for (uint32_t I = 0; I < N; ++I)
+      Inv[Sa[I]] = I;
+    uint32_t H = 0;
+    for (uint32_t S = 0; S < N; ++S) {
+      if (Inv[S] == 0) {
+        H = 0;
+        continue;
+      }
+      uint32_t Prev = Sa[Inv[S] - 1];
+      while (S + H < N && Prev + H < N && Txt[S + H] == Txt[Prev + H])
+        ++H;
+      Lcp[Inv[S]] = H;
+      if (H)
+        --H;
+    }
+  }
+
+  // Enumerate LCP intervals (the suffix tree's internal nodes) with the
+  // classic stack sweep (Abouelhoda et al.).
+  struct Open {
+    uint32_t LcpVal;
+    uint32_t Lo;
+  };
+  std::vector<Open> Stack;
+  Stack.push_back({0, 0});
+  for (uint32_t I = 1; I <= N; ++I) {
+    uint32_t Cur = I < N ? Lcp[I] : 0;
+    uint32_t Lo = I - 1;
+    while (Stack.back().LcpVal > Cur) {
+      Open Top = Stack.back();
+      Stack.pop_back();
+      // Interval [Top.Lo, I-1] with repeat length Top.LcpVal.
+      Intervals.push_back({Top.Lo, I - 1, Top.LcpVal});
+      Lo = Top.Lo;
+    }
+    if (Cur > Stack.back().LcpVal)
+      Stack.push_back({Cur, Lo});
+  }
+}
+
+void SuffixArray::forEachRepeat(
+    uint32_t MinLen, uint32_t MaxLen, uint32_t MinCount,
+    const std::function<void(const RepeatInfo &)> &Fn) const {
+  assert(MinCount >= 2 && "a repeat needs at least two occurrences");
+  for (std::size_t K = 0; K < Intervals.size(); ++K) {
+    const Interval &IV = Intervals[K];
+    uint32_t Count = IV.Hi - IV.Lo + 1;
+    if (Count < MinCount || IV.Len < MinLen)
+      continue;
+    RepeatInfo R;
+    R.Node = static_cast<int32_t>(K);
+    R.Length = IV.Len < MaxLen ? IV.Len : MaxLen;
+    R.Count = Count;
+    Fn(R);
+  }
+}
+
+std::vector<uint32_t> SuffixArray::positionsOf(int32_t Interval) const {
+  const auto &IV = Intervals[static_cast<std::size_t>(Interval)];
+  std::vector<uint32_t> Positions(Sa.begin() + IV.Lo, Sa.begin() + IV.Hi + 1);
+  std::sort(Positions.begin(), Positions.end());
+  return Positions;
+}

@@ -1,0 +1,77 @@
+//===- suffixtree/SuffixArray.h - SA+LCP repeat detection -------*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An independent redundancy-detection backend: a suffix array (prefix-
+/// doubling construction, O(n log^2 n)) with Kasai's LCP array, enumerating
+/// repeated sequences as LCP intervals. LCP intervals correspond one-to-one
+/// to the internal nodes of the suffix tree, so this backend must report
+/// exactly the same repeats with exactly the same occurrence sets as
+/// st::SuffixTree — which is how the test suite cross-validates the Ukkonen
+/// implementation (and vice versa). It is also the memory-lean alternative
+/// the build-time experiments can compare against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_SUFFIXTREE_SUFFIXARRAY_H
+#define CALIBRO_SUFFIXTREE_SUFFIXARRAY_H
+
+#include "suffixtree/SuffixTree.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace calibro {
+namespace st {
+
+/// Suffix array + LCP over one symbol sequence, with the same repeat
+/// enumeration interface as SuffixTree.
+class SuffixArray {
+public:
+  /// Builds the array. O(n log^2 n).
+  explicit SuffixArray(std::vector<Symbol> Text);
+
+  /// Length of the original sequence (without the internal sentinel).
+  std::size_t textSize() const { return Txt.size() - 1; }
+
+  /// The stored sequence, without the internal sentinel.
+  std::span<const Symbol> text() const {
+    return std::span<const Symbol>(Txt.data(), Txt.size() - 1);
+  }
+
+  using RepeatInfo = SuffixTree::RepeatInfo;
+
+  /// Number of LCP intervals — the counterpart of the suffix tree's
+  /// internal-node count (leaves are implicit in the array itself).
+  std::size_t numNodes() const { return Intervals.size(); }
+
+  /// Visits every LCP interval whose repeat length is >= \p MinLen
+  /// (clamped to \p MaxLen) with >= \p MinCount occurrences. The Node
+  /// handle indexes the internal interval table.
+  void forEachRepeat(uint32_t MinLen, uint32_t MaxLen, uint32_t MinCount,
+                     const std::function<void(const RepeatInfo &)> &Fn) const;
+
+  /// Start positions of the repeat named by \p Interval, ascending.
+  std::vector<uint32_t> positionsOf(int32_t Interval) const;
+
+private:
+  struct Interval {
+    uint32_t Lo;  ///< First suffix-array row (inclusive).
+    uint32_t Hi;  ///< Last suffix-array row (inclusive).
+    uint32_t Len; ///< Repeat length (the interval's LCP value).
+  };
+
+  std::vector<Symbol> Txt;
+  std::vector<uint32_t> Sa;
+  std::vector<uint32_t> Lcp;
+  std::vector<Interval> Intervals;
+};
+
+} // namespace st
+} // namespace calibro
+
+#endif // CALIBRO_SUFFIXTREE_SUFFIXARRAY_H

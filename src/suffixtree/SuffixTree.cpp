@@ -1,0 +1,214 @@
+//===- suffixtree/SuffixTree.cpp - Ukkonen suffix tree --------------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suffixtree/SuffixTree.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace calibro;
+using namespace calibro::st;
+
+namespace {
+
+/// Internal sentinel: above every separator a caller can allocate.
+constexpr Symbol Sentinel = ~uint64_t(0);
+
+} // namespace
+
+SuffixTree::SuffixTree(std::vector<Symbol> Text) : Txt(std::move(Text)) {
+  assert(std::find(Txt.begin(), Txt.end(), Sentinel) == Txt.end() &&
+         "input sequence may not contain the reserved sentinel symbol");
+  Txt.push_back(Sentinel);
+
+  Nodes.reserve(Txt.size() * 2);
+  Trans.reserve(Txt.size() * 2);
+  newNode(-1, -1); // Root is node 0.
+
+  for (std::size_t Pos = 0; Pos < Txt.size(); ++Pos)
+    extend(static_cast<int32_t>(Pos));
+  finalize();
+}
+
+int32_t SuffixTree::newNode(int32_t Start, int32_t End) {
+  Nodes.push_back(Node{Start, End, 0});
+  return static_cast<int32_t>(Nodes.size()) - 1;
+}
+
+int32_t SuffixTree::go(int32_t N, Symbol S) const {
+  auto It = Trans.find(TransKey{N, S});
+  return It == Trans.end() ? -1 : It->second;
+}
+
+void SuffixTree::setChild(int32_t N, Symbol S, int32_t Child) {
+  Trans[TransKey{N, S}] = Child;
+}
+
+int32_t SuffixTree::edgeLength(int32_t N, int32_t Pos) const {
+  const Node &Nd = Nodes[N];
+  int32_t End = Nd.End == -1 ? Pos + 1 : Nd.End;
+  return End - Nd.Start;
+}
+
+void SuffixTree::extend(int32_t Pos) {
+  LastNewNode = -1;
+  ++Remaining;
+  while (Remaining > 0) {
+    if (ActiveLength == 0)
+      ActiveEdge = Pos;
+    int32_t Next = go(ActiveNode, Txt[ActiveEdge]);
+    if (Next == -1) {
+      // Rule 2: no edge starts with the current symbol; add a leaf.
+      int32_t Leaf = newNode(Pos, -1);
+      setChild(ActiveNode, Txt[ActiveEdge], Leaf);
+      if (LastNewNode != -1) {
+        Nodes[LastNewNode].SuffixLink = ActiveNode;
+        LastNewNode = -1;
+      }
+    } else {
+      // Walk down if the active point passed the end of this edge.
+      int32_t ELen = edgeLength(Next, Pos);
+      if (ActiveLength >= ELen) {
+        ActiveEdge += ELen;
+        ActiveLength -= ELen;
+        ActiveNode = Next;
+        continue;
+      }
+      if (Txt[Nodes[Next].Start + ActiveLength] == Txt[Pos]) {
+        // Rule 3: already present; this extension (and all following ones
+        // this phase) is implicit.
+        if (LastNewNode != -1 && ActiveNode != 0) {
+          Nodes[LastNewNode].SuffixLink = ActiveNode;
+          LastNewNode = -1;
+        }
+        ++ActiveLength;
+        break;
+      }
+      // Rule 2 with split: the edge diverges at the active point.
+      int32_t Split = newNode(Nodes[Next].Start, Nodes[Next].Start + ActiveLength);
+      setChild(ActiveNode, Txt[ActiveEdge], Split);
+      int32_t Leaf = newNode(Pos, -1);
+      setChild(Split, Txt[Pos], Leaf);
+      Nodes[Next].Start += ActiveLength;
+      setChild(Split, Txt[Nodes[Next].Start], Next);
+      if (LastNewNode != -1)
+        Nodes[LastNewNode].SuffixLink = Split;
+      LastNewNode = Split;
+    }
+    --Remaining;
+    if (ActiveNode == 0 && ActiveLength > 0) {
+      --ActiveLength;
+      ActiveEdge = Pos - Remaining + 1;
+    } else if (ActiveNode != 0) {
+      ActiveNode = Nodes[ActiveNode].SuffixLink;
+    }
+  }
+}
+
+void SuffixTree::finalize() {
+  int32_t N = static_cast<int32_t>(Nodes.size());
+  int32_t TextLen = static_cast<int32_t>(Txt.size());
+
+  // Group children per parent in deterministic (symbol-sorted) order. The
+  // transition map's iteration order is unspecified, so sort.
+  std::vector<std::pair<TransKey, int32_t>> Edges(Trans.begin(), Trans.end());
+  std::sort(Edges.begin(), Edges.end(), [](const auto &A, const auto &B) {
+    if (A.first.Node != B.first.Node)
+      return A.first.Node < B.first.Node;
+    return A.first.Sym < B.first.Sym;
+  });
+  std::vector<int32_t> ChildLo(N + 1, 0);
+  for (const auto &E : Edges)
+    ++ChildLo[E.first.Node + 1];
+  for (int32_t I = 0; I < N; ++I)
+    ChildLo[I + 1] += ChildLo[I];
+  std::vector<int32_t> Children(Edges.size());
+  {
+    std::vector<int32_t> Fill(ChildLo.begin(), ChildLo.end() - 1);
+    for (const auto &E : Edges)
+      Children[Fill[E.first.Node]++] = E.second;
+  }
+
+  Depth.assign(N, 0);
+  LeafCount.assign(N, 0);
+  LeafLo.assign(N, 0);
+  LeafHi.assign(N, 0);
+  LeafSuffixes.clear();
+  DfsOrder.clear();
+
+  // Iterative DFS: pre-visit computes depth and the LeafSuffixes range
+  // start; post-visit accumulates leaf counts and closes the range.
+  struct Frame {
+    int32_t Node;
+    bool Post;
+  };
+  std::vector<Frame> Stack;
+  Stack.push_back({0, false});
+  while (!Stack.empty()) {
+    Frame F = Stack.back();
+    Stack.pop_back();
+    int32_t Nd = F.Node;
+    if (F.Post) {
+      int32_t Sum = 0;
+      for (int32_t CI = ChildLo[Nd]; CI < ChildLo[Nd + 1]; ++CI)
+        Sum += LeafCount[Children[CI]];
+      LeafCount[Nd] = Sum;
+      LeafHi[Nd] = static_cast<int32_t>(LeafSuffixes.size());
+      continue;
+    }
+    bool IsLeaf = ChildLo[Nd] == ChildLo[Nd + 1];
+    if (IsLeaf) {
+      // The suffix this leaf represents starts depth symbols before the end.
+      LeafCount[Nd] = 1;
+      LeafLo[Nd] = static_cast<int32_t>(LeafSuffixes.size());
+      LeafSuffixes.push_back(static_cast<uint32_t>(TextLen - Depth[Nd]));
+      LeafHi[Nd] = static_cast<int32_t>(LeafSuffixes.size());
+      continue;
+    }
+    LeafLo[Nd] = static_cast<int32_t>(LeafSuffixes.size());
+    if (Nd != 0)
+      DfsOrder.push_back(Nd);
+    Stack.push_back({Nd, true});
+    // Push children in reverse so the DFS visits them in symbol order.
+    for (int32_t CI = ChildLo[Nd + 1] - 1; CI >= ChildLo[Nd]; --CI) {
+      int32_t C = Children[CI];
+      int32_t End = Nodes[C].End == -1 ? TextLen : Nodes[C].End;
+      Depth[C] = Depth[Nd] + (End - Nodes[C].Start);
+      Stack.push_back({C, false});
+    }
+  }
+
+  // Construction state is no longer needed; release the transition map, the
+  // dominant memory consumer (this mirrors the paper's observation that the
+  // tree's working set, not the text, is what hurts).
+  Trans.clear();
+  Trans.rehash(0);
+}
+
+void SuffixTree::forEachRepeat(
+    uint32_t MinLen, uint32_t MaxLen, uint32_t MinCount,
+    const std::function<void(const RepeatInfo &)> &Fn) const {
+  assert(MinCount >= 2 && "a repeat needs at least two occurrences");
+  for (int32_t Nd : DfsOrder) {
+    if (static_cast<uint32_t>(LeafCount[Nd]) < MinCount)
+      continue;
+    uint32_t Len = static_cast<uint32_t>(Depth[Nd]);
+    if (Len < MinLen)
+      continue;
+    RepeatInfo R;
+    R.Node = Nd;
+    R.Length = Len < MaxLen ? Len : MaxLen;
+    R.Count = static_cast<uint32_t>(LeafCount[Nd]);
+    Fn(R);
+  }
+}
+
+std::vector<uint32_t> SuffixTree::positionsOf(int32_t Node) const {
+  std::vector<uint32_t> Positions(LeafSuffixes.begin() + LeafLo[Node],
+                                  LeafSuffixes.begin() + LeafHi[Node]);
+  std::sort(Positions.begin(), Positions.end());
+  return Positions;
+}

@@ -1,0 +1,143 @@
+//===- suffixtree/SuffixTree.h - Ukkonen suffix tree ------------*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A suffix tree over sequences of 64-bit symbols, built online with
+/// Ukkonen's algorithm (Ukkonen, Algorithmica 1995) in O(n) expected time.
+///
+/// This is the redundancy-detection substrate of the paper (§2.1.2, §3.3.2):
+/// the whole program's instruction stream is mapped to a symbol sequence
+/// (instruction encodings, with every basic-block terminator replaced by a
+/// globally unique separator symbol), the tree is built once, and every
+/// internal node with >= 2 descendant leaves names a repeated sequence whose
+/// length is the node's path depth and whose occurrences are the suffix
+/// indices of those leaves. Unique separators can never appear inside a
+/// repeated sequence, which confines every candidate to a basic block
+/// exactly as §3.3.2 requires.
+///
+/// The symbol alphabet is uint64_t so that 32-bit instruction words and
+/// out-of-band separator symbols (>= 2^32) coexist in one sequence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_SUFFIXTREE_SUFFIXTREE_H
+#define CALIBRO_SUFFIXTREE_SUFFIXTREE_H
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace calibro {
+namespace st {
+
+/// Sequence symbol. Instruction words occupy [0, 2^32); separator and
+/// sentinel symbols live above.
+using Symbol = uint64_t;
+
+/// First symbol value reserved for separators. Callers allocate unique
+/// separators as SeparatorBase + counter.
+inline constexpr Symbol SeparatorBase = uint64_t(1) << 32;
+
+/// A suffix tree of one symbol sequence.
+///
+/// The constructor appends an internal, globally unique sentinel so callers
+/// can pass arbitrary sequences. All reported positions refer to the
+/// original (un-sentineled) sequence.
+class SuffixTree {
+public:
+  /// Builds the tree. O(text length) expected.
+  explicit SuffixTree(std::vector<Symbol> Text);
+
+  /// Length of the original sequence (without the internal sentinel).
+  std::size_t textSize() const { return Txt.size() - 1; }
+
+  /// The stored sequence, without the internal sentinel.
+  std::span<const Symbol> text() const {
+    return std::span<const Symbol>(Txt.data(), Txt.size() - 1);
+  }
+
+  /// Total node count including root and leaves (for memory accounting and
+  /// the build-time experiment).
+  std::size_t numNodes() const { return Nodes.size(); }
+
+  /// A repeated sequence discovered in the tree.
+  struct RepeatInfo {
+    int32_t Node;    ///< Tree node handle, usable with positionsOf().
+    uint32_t Length; ///< Repeated-sequence length (clamped to MaxLen).
+    uint32_t Count;  ///< Number of (possibly overlapping) occurrences.
+  };
+
+  /// Visits every internal node whose path depth is >= \p MinLen and whose
+  /// descendant-leaf count is >= \p MinCount. Lengths longer than \p MaxLen
+  /// are reported clamped to MaxLen (the occurrence positions stay valid for
+  /// the length-MaxLen prefix). Visit order is deterministic.
+  void forEachRepeat(uint32_t MinLen, uint32_t MaxLen, uint32_t MinCount,
+                     const std::function<void(const RepeatInfo &)> &Fn) const;
+
+  /// Returns the start positions (suffix indices) of the repeated sequence
+  /// represented by \p Node, in increasing order. O(count · log count).
+  std::vector<uint32_t> positionsOf(int32_t Node) const;
+
+  /// Path depth (repeated-sequence length before clamping) of \p Node.
+  uint32_t depthOf(int32_t Node) const {
+    return static_cast<uint32_t>(Depth[Node]);
+  }
+
+private:
+  struct Node {
+    int32_t Start;      ///< Edge label: Txt[Start, End). Root: Start == -1.
+    int32_t End;        ///< Exclusive end; -1 while a leaf is still open.
+    int32_t SuffixLink; ///< Ukkonen suffix link; 0 (root) by default.
+  };
+
+  struct TransKey {
+    int32_t Node;
+    Symbol Sym;
+    bool operator==(const TransKey &) const = default;
+  };
+
+  struct TransKeyHash {
+    std::size_t operator()(const TransKey &K) const {
+      uint64_t Z = K.Sym + 0x9e3779b97f4a7c15ULL * (uint64_t(K.Node) + 1);
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      return static_cast<std::size_t>(Z ^ (Z >> 31));
+    }
+  };
+
+  int32_t newNode(int32_t Start, int32_t End);
+  int32_t go(int32_t Node, Symbol S) const;
+  void setChild(int32_t Node, Symbol S, int32_t Child);
+  int32_t edgeLength(int32_t Node, int32_t Pos) const;
+  void extend(int32_t Pos);
+  void finalize();
+
+  std::vector<Symbol> Txt;
+  std::vector<Node> Nodes;
+  std::unordered_map<TransKey, int32_t, TransKeyHash> Trans;
+
+  // Ukkonen state (only meaningful during construction).
+  int32_t ActiveNode = 0;
+  int32_t ActiveEdge = 0;
+  int32_t ActiveLength = 0;
+  int32_t Remaining = 0;
+  int32_t LastNewNode = -1;
+
+  // Derived, filled by finalize().
+  std::vector<int32_t> Depth;        ///< Path depth per node.
+  std::vector<int32_t> LeafCount;    ///< Descendant leaves per node.
+  std::vector<int32_t> LeafLo;       ///< First index into LeafSuffixes.
+  std::vector<int32_t> LeafHi;       ///< One past the last index.
+  std::vector<uint32_t> LeafSuffixes; ///< Suffix indices in DFS order.
+  std::vector<int32_t> DfsOrder;     ///< Internal nodes in DFS order.
+};
+
+} // namespace st
+} // namespace calibro
+
+#endif // CALIBRO_SUFFIXTREE_SUFFIXTREE_H

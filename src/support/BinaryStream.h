@@ -1,0 +1,158 @@
+//===- support/BinaryStream.h - Little-endian byte streams ------*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-level writer/reader used by the OAT file format: little-endian
+/// fixed-width integers, LEB128 varints (ART compresses its StackMaps and
+/// method metadata the same way), and length-prefixed strings. The reader
+/// reports truncation as recoverable errors so a corrupt file can never
+/// crash the loader.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_SUPPORT_BINARYSTREAM_H
+#define CALIBRO_SUPPORT_BINARYSTREAM_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace calibro {
+
+/// Appends little-endian data to a growing byte buffer.
+class ByteWriter {
+public:
+  std::vector<uint8_t> take() { return std::move(Buf); }
+  std::size_t size() const { return Buf.size(); }
+
+  void u8(uint8_t V) { Buf.push_back(V); }
+
+  void u16(uint16_t V) { raw(&V, 2); }
+  void u32(uint32_t V) { raw(&V, 4); }
+  void u64(uint64_t V) { raw(&V, 8); }
+
+  /// Unsigned LEB128.
+  void uleb(uint64_t V) {
+    do {
+      uint8_t Byte = V & 0x7f;
+      V >>= 7;
+      if (V)
+        Byte |= 0x80;
+      Buf.push_back(Byte);
+    } while (V);
+  }
+
+  /// Length-prefixed UTF-8 string.
+  void str(const std::string &S) {
+    uleb(S.size());
+    Buf.insert(Buf.end(), S.begin(), S.end());
+  }
+
+  /// Raw bytes.
+  void bytes(const void *P, std::size_t N) { raw(P, N); }
+
+  /// Zero padding up to the next multiple of \p Align.
+  void align(std::size_t Align) {
+    while (Buf.size() % Align)
+      Buf.push_back(0);
+  }
+
+  /// Overwrites 4 bytes at \p Off (for back-patching headers).
+  void patch32(std::size_t Off, uint32_t V) {
+    std::memcpy(Buf.data() + Off, &V, 4);
+  }
+
+private:
+  void raw(const void *P, std::size_t N) {
+    const auto *B = static_cast<const uint8_t *>(P);
+    Buf.insert(Buf.end(), B, B + N);
+  }
+
+  std::vector<uint8_t> Buf;
+};
+
+/// Reads little-endian data from a byte span with bounds checking.
+class ByteReader {
+public:
+  explicit ByteReader(std::span<const uint8_t> Data) : Data(Data) {}
+
+  std::size_t offset() const { return Off; }
+  std::size_t remaining() const { return Data.size() - Off; }
+
+  Expected<uint8_t> u8() {
+    if (Off + 1 > Data.size())
+      return makeError("byte stream truncated (u8)");
+    return Data[Off++];
+  }
+
+  Expected<uint16_t> u16() { return fixed<uint16_t>(); }
+  Expected<uint32_t> u32() { return fixed<uint32_t>(); }
+  Expected<uint64_t> u64() { return fixed<uint64_t>(); }
+
+  Expected<uint64_t> uleb() {
+    uint64_t V = 0;
+    unsigned Shift = 0;
+    for (;;) {
+      if (Off >= Data.size())
+        return makeError("byte stream truncated (uleb)");
+      if (Shift >= 64)
+        return makeError("uleb128 value overflows 64 bits");
+      uint8_t Byte = Data[Off++];
+      V |= uint64_t(Byte & 0x7f) << Shift;
+      if (!(Byte & 0x80))
+        return V;
+      Shift += 7;
+    }
+  }
+
+  Expected<std::string> str() {
+    auto N = uleb();
+    if (!N)
+      return N.takeError();
+    if (Off + *N > Data.size())
+      return makeError("byte stream truncated (string)");
+    std::string S(reinterpret_cast<const char *>(Data.data() + Off),
+                  static_cast<std::size_t>(*N));
+    Off += static_cast<std::size_t>(*N);
+    return S;
+  }
+
+  Error bytes(void *P, std::size_t N) {
+    if (Off + N > Data.size())
+      return makeError("byte stream truncated (bytes)");
+    std::memcpy(P, Data.data() + Off, N);
+    Off += N;
+    return Error::success();
+  }
+
+  Error seek(std::size_t NewOff) {
+    if (NewOff > Data.size())
+      return makeError("seek past end of stream");
+    Off = NewOff;
+    return Error::success();
+  }
+
+private:
+  template <typename T> Expected<T> fixed() {
+    if (Off + sizeof(T) > Data.size())
+      return makeError("byte stream truncated (fixed)");
+    T V;
+    std::memcpy(&V, Data.data() + Off, sizeof(T));
+    Off += sizeof(T);
+    return V;
+  }
+
+  std::span<const uint8_t> Data;
+  std::size_t Off = 0;
+};
+
+} // namespace calibro
+
+#endif // CALIBRO_SUPPORT_BINARYSTREAM_H

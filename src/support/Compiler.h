@@ -1,0 +1,43 @@
+//===- support/Compiler.h - Compiler abstraction helpers --------*- C++ -*-===//
+//
+// Part of the Calibro project, a reproduction of the CGO'25 paper
+// "Calibro: Compilation-Assisted Linking-Time Binary Code Outlining".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small compiler-portability helpers shared by every Calibro library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_SUPPORT_COMPILER_H
+#define CALIBRO_SUPPORT_COMPILER_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace calibro {
+
+/// Marks a point in the program that is statically believed to be
+/// unreachable. Reaching it is unconditionally a bug: the message is printed
+/// and the process aborts, in all build modes.
+[[noreturn]] inline void unreachableImpl(const char *Msg, const char *File,
+                                         unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+/// Reports a fatal usage or environment error (bad input file, impossible
+/// configuration) and exits. Library code uses Expected/Error instead; this
+/// is reserved for tool-level code.
+[[noreturn]] inline void reportFatalError(const char *Msg) {
+  std::fprintf(stderr, "calibro fatal error: %s\n", Msg);
+  std::exit(1);
+}
+
+} // namespace calibro
+
+#define CALIBRO_UNREACHABLE(msg)                                               \
+  ::calibro::unreachableImpl(msg, __FILE__, __LINE__)
+
+#endif // CALIBRO_SUPPORT_COMPILER_H

@@ -1,0 +1,143 @@
+//===- support/Error.h - Lightweight recoverable error handling -*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal, exception-free recoverable-error scheme in the spirit of
+/// llvm::Error / llvm::Expected. An Error is either success or a message;
+/// Expected<T> carries either a value or an Error. Errors must be checked
+/// before destruction in asserts builds, which catches silently dropped
+/// failures early.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_SUPPORT_ERROR_H
+#define CALIBRO_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace calibro {
+
+/// A recoverable error: success, or a failure described by a message.
+///
+/// The object must be checked (tested via operator bool) or moved from before
+/// it is destroyed; destruction of an unchecked failure asserts. This mirrors
+/// llvm::Error's discipline without the RTTI machinery.
+class [[nodiscard]] Error {
+public:
+  /// Creates a success value.
+  static Error success() { return Error(); }
+
+  /// Creates a failure value carrying \p Msg.
+  static Error failure(std::string Msg) {
+    Error E;
+    E.Failed = true;
+    E.Msg = std::move(Msg);
+    E.Checked = false;
+    return E;
+  }
+
+  Error(Error &&Other) noexcept
+      : Failed(Other.Failed), Checked(Other.Checked),
+        Msg(std::move(Other.Msg)) {
+    Other.Checked = true;
+  }
+
+  Error &operator=(Error &&Other) noexcept {
+    assert(Checked && "overwriting an unchecked Error");
+    Failed = Other.Failed;
+    Checked = Other.Checked;
+    Msg = std::move(Other.Msg);
+    Other.Checked = true;
+    return *this;
+  }
+
+  Error(const Error &) = delete;
+  Error &operator=(const Error &) = delete;
+
+  ~Error() { assert(Checked && "destroying an unchecked Error"); }
+
+  /// Tests for failure and marks the error checked. True means failure.
+  explicit operator bool() {
+    Checked = true;
+    return Failed;
+  }
+
+  /// Returns the failure message (empty for success).
+  const std::string &message() const { return Msg; }
+
+private:
+  Error() = default;
+
+  bool Failed = false;
+  bool Checked = true;
+  std::string Msg;
+};
+
+/// Creates a failure Error from a message.
+inline Error makeError(std::string Msg) {
+  return Error::failure(std::move(Msg));
+}
+
+/// Explicitly discards an error that is known to be benign.
+inline void consumeError(Error E) { (void)bool(E); }
+
+/// Either a T or an Error. Test with operator bool (true == has a value),
+/// then access the value with operator* / operator-> or the error with
+/// takeError().
+template <typename T> class [[nodiscard]] Expected {
+public:
+  /// Constructs a success value.
+  Expected(T Value) : Value(std::move(Value)), Err(Error::success()) {}
+
+  /// Constructs a failure value.
+  Expected(Error E) : Err(std::move(E)) {
+    assert(Err.message().size() && "Expected constructed from success Error");
+  }
+
+  Expected(Expected &&) noexcept = default;
+
+  /// True when a value is present.
+  explicit operator bool() {
+    if (!Value.has_value())
+      return false;
+    consumeErrorFlag();
+    return true;
+  }
+
+  T &operator*() {
+    assert(Value.has_value() && "dereferencing an errored Expected");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(Value.has_value() && "dereferencing an errored Expected");
+    return *Value;
+  }
+  T *operator->() { return &operator*(); }
+  const T *operator->() const { return &operator*(); }
+
+  /// Extracts the error. Returns success() if a value is present.
+  Error takeError() {
+    if (Value.has_value())
+      return Error::success();
+    return std::move(Err);
+  }
+
+  /// Returns the failure message (empty when a value is present).
+  const std::string &message() const { return Err.message(); }
+
+private:
+  void consumeErrorFlag() { (void)bool(Err); }
+
+  std::optional<T> Value;
+  Error Err;
+};
+
+} // namespace calibro
+
+#endif // CALIBRO_SUPPORT_ERROR_H

@@ -1,0 +1,74 @@
+//===- support/MathExtras.h - Bit and range arithmetic ----------*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bit-twiddling helpers shared by the AArch64 encoder and the patcher:
+/// signed-range checks for branch immediates, field extraction/insertion,
+/// and alignment math.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_SUPPORT_MATHEXTRAS_H
+#define CALIBRO_SUPPORT_MATHEXTRAS_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace calibro {
+
+/// True if \p X fits in a signed N-bit integer.
+template <unsigned N> constexpr bool isInt(int64_t X) {
+  static_assert(N > 0 && N < 64, "invalid bit width");
+  return X >= -(int64_t(1) << (N - 1)) && X < (int64_t(1) << (N - 1));
+}
+
+/// True if \p X is a multiple of 2^S and X/2^S fits in a signed N-bit value.
+template <unsigned N, unsigned S> constexpr bool isShiftedInt(int64_t X) {
+  static_assert(N + S <= 64, "invalid shifted bit width");
+  return (X % (int64_t(1) << S)) == 0 && isInt<N>(X >> S);
+}
+
+/// True if \p X fits in an unsigned N-bit integer.
+template <unsigned N> constexpr bool isUInt(uint64_t X) {
+  static_assert(N > 0 && N < 64, "invalid bit width");
+  return X < (uint64_t(1) << N);
+}
+
+/// Extracts the bit field [Lo, Lo+Width) from \p Value.
+constexpr uint32_t extractBits(uint32_t Value, unsigned Lo, unsigned Width) {
+  assert(Lo + Width <= 32 && "field out of range");
+  if (Width == 32)
+    return Value >> Lo;
+  return (Value >> Lo) & ((uint32_t(1) << Width) - 1);
+}
+
+/// Returns \p Value with bit field [Lo, Lo+Width) replaced by \p Field.
+constexpr uint32_t insertBits(uint32_t Value, uint32_t Field, unsigned Lo,
+                              unsigned Width) {
+  assert(Lo + Width <= 32 && "field out of range");
+  uint32_t Mask =
+      (Width == 32 ? ~uint32_t(0) : ((uint32_t(1) << Width) - 1)) << Lo;
+  return (Value & ~Mask) | ((Field << Lo) & Mask);
+}
+
+/// Sign-extends the low \p Width bits of \p Value.
+constexpr int64_t signExtend(uint64_t Value, unsigned Width) {
+  assert(Width > 0 && Width <= 64 && "invalid width");
+  if (Width == 64)
+    return static_cast<int64_t>(Value);
+  uint64_t SignBit = uint64_t(1) << (Width - 1);
+  return static_cast<int64_t>((Value ^ SignBit)) - static_cast<int64_t>(SignBit);
+}
+
+/// Rounds \p Value up to the next multiple of \p Align (a power of two).
+constexpr uint64_t alignTo(uint64_t Value, uint64_t Align) {
+  assert(Align != 0 && (Align & (Align - 1)) == 0 && "non power-of-two align");
+  return (Value + Align - 1) & ~(Align - 1);
+}
+
+} // namespace calibro
+
+#endif // CALIBRO_SUPPORT_MATHEXTRAS_H

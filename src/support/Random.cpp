@@ -1,0 +1,32 @@
+//===- support/Random.cpp - Deterministic random number utilities --------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace calibro;
+
+ZipfSampler::ZipfSampler(std::size_t N, double S) {
+  assert(N > 0 && "Zipf over an empty support");
+  Cdf.resize(N);
+  double Sum = 0.0;
+  for (std::size_t I = 0; I < N; ++I) {
+    Sum += 1.0 / std::pow(static_cast<double>(I + 1), S);
+    Cdf[I] = Sum;
+  }
+  for (auto &V : Cdf)
+    V /= Sum;
+}
+
+std::size_t ZipfSampler::sample(Rng &R) const {
+  double U = R.nextDouble();
+  auto It = std::lower_bound(Cdf.begin(), Cdf.end(), U);
+  if (It == Cdf.end())
+    return Cdf.size() - 1;
+  return static_cast<std::size_t>(It - Cdf.begin());
+}

@@ -1,0 +1,113 @@
+//===- support/Random.h - Deterministic random number utilities -*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded random generators used by the synthetic workload generator and by
+/// property tests. All generators are fully deterministic for a given seed so
+/// that every experiment in EXPERIMENTS.md is reproducible bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_SUPPORT_RANDOM_H
+#define CALIBRO_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace calibro {
+
+/// SplitMix64: a tiny, high-quality 64-bit generator. Used directly and as
+/// the seeding routine for Xoshiro256**.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Xoshiro256**: the main workhorse generator for workload synthesis.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) {
+    SplitMix64 SM(Seed);
+    for (auto &Word : State)
+      Word = SM.next();
+  }
+
+  /// Returns a uniformly distributed 64-bit value.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow() with zero bound");
+    // Multiply-shift rejection-free mapping (slightly biased for huge bounds,
+    // irrelevant for workload synthesis).
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * Bound) >> 64);
+  }
+
+  /// Returns a uniform value in [Lo, Hi] inclusive.
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p P.
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+/// Samples from a Zipf distribution over {0, .., N-1} with exponent S.
+///
+/// Used to model the heavy-tailed reuse of code idioms across an app's
+/// methods (Observation 2: short sequences repeat very often). Sampling uses
+/// a precomputed CDF, so construction is O(N) and sampling is O(log N).
+class ZipfSampler {
+public:
+  ZipfSampler(std::size_t N, double S);
+
+  /// Draws one index; smaller indices are exponentially more likely.
+  std::size_t sample(Rng &R) const;
+
+  std::size_t size() const { return Cdf.size(); }
+
+private:
+  std::vector<double> Cdf;
+};
+
+} // namespace calibro
+
+#endif // CALIBRO_SUPPORT_RANDOM_H

@@ -1,0 +1,89 @@
+//===- support/ThreadPool.cpp - Fixed-size worker thread pool ------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <atomic>
+
+using namespace calibro;
+
+ThreadPool::ThreadPool(std::size_t NumThreads) {
+  if (NumThreads == 0) {
+    NumThreads = std::thread::hardware_concurrency();
+    if (NumThreads == 0)
+      NumThreads = 1;
+  }
+  Workers.reserve(NumThreads);
+  for (std::size_t I = 0; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WorkAvailable.notify_all();
+  for (auto &W : Workers)
+    W.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Queue.push_back(std::move(Task));
+  }
+  WorkAvailable.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllDone.wait(Lock, [this] { return Queue.empty() && ActiveTasks == 0; });
+}
+
+void ThreadPool::parallelFor(std::size_t N,
+                             const std::function<void(std::size_t)> &Fn) {
+  // Chunk the index space so tiny iterations do not drown in queue traffic.
+  std::size_t NumChunks = numThreads() * 4;
+  if (NumChunks > N)
+    NumChunks = N;
+  if (NumChunks == 0)
+    return;
+  std::size_t ChunkSize = (N + NumChunks - 1) / NumChunks;
+  for (std::size_t Begin = 0; Begin < N; Begin += ChunkSize) {
+    std::size_t End = Begin + ChunkSize < N ? Begin + ChunkSize : N;
+    enqueue([&Fn, Begin, End] {
+      for (std::size_t I = Begin; I < End; ++I)
+        Fn(I);
+    });
+  }
+  wait();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkAvailable.wait(Lock,
+                         [this] { return ShuttingDown || !Queue.empty(); });
+      if (Queue.empty()) {
+        // ShuttingDown and drained: exit the worker.
+        return;
+      }
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+      ++ActiveTasks;
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --ActiveTasks;
+      if (Queue.empty() && ActiveTasks == 0)
+        AllDone.notify_all();
+    }
+  }
+}

@@ -1,0 +1,63 @@
+//===- support/ThreadPool.h - Fixed-size worker thread pool -----*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool used by the paralleled-suffix-tree
+/// optimization (paper §3.4.1). Tasks are plain std::function<void()>; wait()
+/// blocks until every enqueued task has finished, which is the only
+/// synchronization the partition-per-tree design needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_SUPPORT_THREADPOOL_H
+#define CALIBRO_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace calibro {
+
+/// Fixed-size pool of worker threads with a FIFO task queue.
+class ThreadPool {
+public:
+  /// Creates \p NumThreads workers. Zero means std::thread::hardware_concurrency.
+  explicit ThreadPool(std::size_t NumThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void enqueue(std::function<void()> Task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void wait();
+
+  std::size_t numThreads() const { return Workers.size(); }
+
+  /// Runs \p Fn(I) for every I in [0, N) across the pool and waits.
+  void parallelFor(std::size_t N, const std::function<void(std::size_t)> &Fn);
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable WorkAvailable;
+  std::condition_variable AllDone;
+  std::size_t ActiveTasks = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace calibro
+
+#endif // CALIBRO_SUPPORT_THREADPOOL_H

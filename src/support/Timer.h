@@ -1,0 +1,42 @@
+//===- support/Timer.h - Wall-clock timing helpers --------------*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock timers used by the build-time experiment (paper Table 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_SUPPORT_TIMER_H
+#define CALIBRO_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace calibro {
+
+/// A simple start/stop wall-clock timer reporting seconds.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the timer.
+  void reset() { Start = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace calibro
+
+#endif // CALIBRO_SUPPORT_TIMER_H

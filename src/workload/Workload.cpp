@@ -1,0 +1,550 @@
+//===- workload/Workload.cpp - Synthetic application generator -------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Workload.h"
+
+#include "support/Compiler.h"
+#include "support/Random.h"
+
+#include <cassert>
+
+using namespace calibro;
+using namespace calibro::workload;
+using namespace calibro::dex;
+
+namespace {
+
+// Register conventions inside generated methods. Keeping idioms on a fixed
+// register window (v1..v7, all "home" registers in the code generator)
+// makes every instantiation of an idiom byte-identical in the binary, which
+// is what produces cross-method binary redundancy.
+constexpr uint16_t IdiomRegLo = 1;
+constexpr uint16_t IdiomRegHi = 5;
+constexpr uint16_t ObjReg = 8;   ///< Holds the method's allocated object.
+constexpr uint16_t TempReg = 6;  ///< Guards, switch selector (home).
+/// Loop counters live in a home register (v7, i.e. x27), like any real
+/// register allocator keeps hot induction variables: the loop machinery is
+/// then single instructions and never an outlining candidate.
+constexpr uint16_t LoopRegs[] = {7};
+
+/// Big constants that force literal-pool embedding (3+ movz chunks).
+constexpr int64_t BigConsts[] = {
+    0x123456789abLL,
+    0x0fedcba98765LL,
+    0x7777000011112222LL,
+    -0x123456789abcdLL,
+};
+
+struct Idiom {
+  std::vector<Insn> Insns;
+};
+
+uint16_t pickReg(Rng &R) {
+  return static_cast<uint16_t>(R.nextInRange(IdiomRegLo, IdiomRegHi));
+}
+
+/// Generates one straight-line idiom over the fixed register window. With
+/// \p Diverse, immediates are drawn from wide ranges so that independently
+/// generated code rarely coincides (used for per-method unique filler);
+/// without it, immediates are small and heavily shared (the idiom pool).
+Idiom genIdiom(Rng &R, bool Diverse = false) {
+  Idiom I;
+  std::size_t Len = Diverse ? R.nextInRange(6, 16) : R.nextInRange(2, 7);
+  while (I.Insns.size() < Len) {
+    Insn X;
+    switch (R.nextBelow(12)) {
+    case 0:
+      X.Opcode = Op::Add;
+      break;
+    case 1:
+      X.Opcode = Op::Sub;
+      break;
+    case 2:
+      X.Opcode = Op::Mul;
+      break;
+    case 3:
+      X.Opcode = Op::And;
+      break;
+    case 4:
+      X.Opcode = Op::Or;
+      break;
+    case 5:
+      X.Opcode = Op::Xor;
+      break;
+    case 6:
+      X.Opcode = Op::AddImm;
+      X.A = pickReg(R);
+      X.B = pickReg(R);
+      X.Imm = Diverse
+                  ? static_cast<int64_t>(R.nextInRange(0, 4000)) - 2000
+                  : static_cast<int64_t>(R.nextInRange(0, 200)) - 100;
+      I.Insns.push_back(X);
+      continue;
+    case 7:
+    case 8:
+      X.Opcode = Op::ConstInt;
+      X.A = pickReg(R);
+      // Diverse constants span 32 bits (a movz+movk pair in the binary),
+      // making independently generated filler essentially unique.
+      X.Imm = Diverse ? static_cast<int64_t>(R.next() & 0xffffffffu)
+                      : static_cast<int64_t>(R.nextBelow(256));
+      I.Insns.push_back(X);
+      continue;
+    case 9:
+      X.Opcode = Op::ConstInt;
+      X.A = pickReg(R);
+      X.Imm = BigConsts[R.nextBelow(std::size(BigConsts))];
+      I.Insns.push_back(X);
+      continue;
+    case 10:
+      X.Opcode = Op::Move;
+      X.A = pickReg(R);
+      X.B = pickReg(R);
+      I.Insns.push_back(X);
+      continue;
+    case 11: {
+      // Guarded division: constant non-zero divisor.
+      Insn C;
+      C.Opcode = Op::ConstInt;
+      C.A = pickReg(R);
+      C.Imm = static_cast<int64_t>(R.nextInRange(1, 9));
+      I.Insns.push_back(C);
+      X.Opcode = Op::Div;
+      X.A = pickReg(R);
+      X.B = pickReg(R);
+      X.C = C.A;
+      I.Insns.push_back(X);
+      continue;
+    }
+    }
+    X.A = pickReg(R);
+    X.B = pickReg(R);
+    X.C = pickReg(R);
+    I.Insns.push_back(X);
+  }
+  return I;
+}
+
+/// The whole generation context for one app.
+struct Gen {
+  const AppSpec &Spec;
+  Rng R;
+  std::vector<Idiom> Idioms;
+  ZipfSampler IdiomPick;
+  ZipfSampler UtilityPick;
+  ZipfSampler WorkerPick;
+
+  uint32_t NumEntries, NumWorkers, NumUtilities, Total;
+
+  explicit Gen(const AppSpec &S)
+      : Spec(S), R(S.Seed), IdiomPick(S.NumIdioms, S.IdiomZipfS),
+        UtilityPick(S.NumUtilities, S.CalleeZipfS),
+        WorkerPick(S.NumWorkers, S.CalleeZipfS) {
+    NumEntries = S.NumEntries;
+    NumWorkers = S.NumWorkers;
+    NumUtilities = S.NumUtilities;
+    Total = NumEntries + NumWorkers + NumUtilities;
+    Idioms.reserve(S.NumIdioms);
+    for (uint32_t I = 0; I < S.NumIdioms; ++I)
+      Idioms.push_back(genIdiom(R));
+  }
+
+  uint32_t utilityIdx(std::size_t K) const {
+    return NumEntries + NumWorkers + static_cast<uint32_t>(K);
+  }
+  uint32_t workerIdx(std::size_t K) const {
+    return NumEntries + static_cast<uint32_t>(K);
+  }
+
+  void appendIdiom(Method &M) {
+    const Idiom &I = Idioms[IdiomPick.sample(R)];
+    M.Code.insert(M.Code.end(), I.Insns.begin(), I.Insns.end());
+  }
+
+  /// Fresh, method-unique straight-line code (the non-redundant filler).
+  void appendFresh(Method &M) {
+    Idiom I = genIdiom(R, /*Diverse=*/true);
+    M.Code.insert(M.Code.end(), I.Insns.begin(), I.Insns.end());
+  }
+
+  /// new-instance into ObjReg plus one or two shared field templates.
+  void appendAllocAndFields(Method &M) {
+    Insn A;
+    A.Opcode = Op::NewInstance;
+    A.A = ObjReg;
+    A.Idx = static_cast<uint32_t>(R.nextBelow(32));
+    M.Code.push_back(A);
+    std::size_t Fields = R.nextInRange(1, 2);
+    for (std::size_t F = 0; F < Fields; ++F) {
+      int64_t Off = 8 * static_cast<int64_t>(R.nextInRange(1, 3));
+      Insn Get;
+      Get.Opcode = Op::IGet;
+      Get.A = 4;
+      Get.B = ObjReg;
+      Get.Imm = Off;
+      M.Code.push_back(Get);
+      Insn Upd;
+      Upd.Opcode = Op::AddImm;
+      Upd.A = 4;
+      Upd.B = 4;
+      Upd.Imm = 1;
+      M.Code.push_back(Upd);
+      Insn Put;
+      Put.Opcode = Op::IPut;
+      Put.A = 4;
+      Put.B = ObjReg;
+      Put.Imm = Off;
+      M.Code.push_back(Put);
+    }
+  }
+
+  /// A never-executed cold block carrying shared idioms: `if (1) goto skip;
+  /// <idioms>; return v1; skip:`. This is where most cross-method
+  /// redundancy lives, mirroring real apps whose error/fallback paths share
+  /// library code — and it is exactly the code outlining can take without
+  /// runtime cost (paper §3.4.2's observation).
+  void appendColdBlock(Method &M) {
+    Insn C;
+    C.Opcode = Op::ConstInt;
+    C.A = TempReg;
+    C.Imm = 1;
+    M.Code.push_back(C);
+    Insn Skip;
+    Skip.Opcode = Op::IfNez;
+    Skip.A = TempReg;
+    std::size_t SkipPc = M.Code.size();
+    M.Code.push_back(Skip);
+    std::size_t NumIdioms = R.nextInRange(1, 3);
+    for (std::size_t K = 0; K < NumIdioms; ++K)
+      appendIdiom(M);
+    Insn Ret;
+    Ret.Opcode = Op::Return;
+    Ret.A = 1;
+    M.Code.push_back(Ret);
+    M.Code[SkipPc].Target = static_cast<uint32_t>(M.Code.size());
+  }
+
+  /// A never-taken throw: cold code that still occupies space.
+  void appendGuardedThrow(Method &M) {
+    Insn C;
+    C.Opcode = Op::ConstInt;
+    C.A = TempReg;
+    C.Imm = 1;
+    M.Code.push_back(C);
+    Insn Skip;
+    Skip.Opcode = Op::IfNez;
+    Skip.A = TempReg;
+    Skip.Target = static_cast<uint32_t>(M.Code.size()) + 2;
+    M.Code.push_back(Skip);
+    Insn T;
+    T.Opcode = Op::Throw;
+    T.A = TempReg;
+    M.Code.push_back(T);
+  }
+
+  /// invoke-static (or invoke-virtual when \p Virtual and the method has an
+  /// object) of \p Callee; result accumulated into v1. Argument and result
+  /// registers vary between sites like real register allocation does.
+  void appendCall(Method &M, uint32_t Callee, bool Virtual) {
+    uint16_t ArgA = static_cast<uint16_t>(1 + R.nextBelow(3));
+    uint16_t ArgB = static_cast<uint16_t>(ArgA + 1);
+    uint16_t Res = R.nextBool(0.5) ? 4 : 5;
+    Insn Call;
+    Call.Opcode = Virtual ? Op::InvokeVirtual : Op::InvokeStatic;
+    Call.A = Res;
+    Call.Idx = Callee;
+    if (Virtual) {
+      Call.Args = {ObjReg, ArgA, NoReg, NoReg};
+      Call.NumArgs = 2;
+    } else {
+      Call.Args = {ArgA, ArgB, NoReg, NoReg};
+      Call.NumArgs = 2;
+    }
+    M.Code.push_back(Call);
+    Insn Acc;
+    Acc.Opcode = Op::Add;
+    Acc.A = 1;
+    Acc.B = 1;
+    Acc.C = Res;
+    M.Code.push_back(Acc);
+  }
+
+  /// Shared method header: seed the accumulator registers.
+  void appendHeader(Method &M) {
+    Insn C1;
+    C1.Opcode = Op::ConstInt;
+    C1.A = 1;
+    C1.Imm = static_cast<int64_t>((M.Idx * 7 + 1) & 0x3ff);
+    M.Code.push_back(C1);
+    Insn C2;
+    C2.Opcode = Op::ConstInt;
+    C2.A = 2;
+    C2.Imm = static_cast<int64_t>((M.Idx * 13 + 3) & 0x3ff);
+    M.Code.push_back(C2);
+    Insn C3;
+    C3.Opcode = Op::ConstInt;
+    C3.A = 3;
+    C3.Imm = 5;
+    M.Code.push_back(C3);
+  }
+
+  void appendReturn(Method &M) {
+    Insn Ret;
+    Ret.Opcode = Op::Return;
+    Ret.A = 1;
+    M.Code.push_back(Ret);
+  }
+
+  uint16_t CurLoopReg = LoopRegs[0];
+
+  /// Emits `for (vLoop = N; vLoop != 0; --vLoop) { Body(); }`.
+  template <typename BodyFn>
+  void appendLoop(Method &M, uint64_t Iterations, BodyFn &&Body) {
+    Insn Init;
+    Init.Opcode = Op::ConstInt;
+    Init.A = CurLoopReg;
+    Init.Imm = static_cast<int64_t>(Iterations);
+    M.Code.push_back(Init);
+    uint32_t Top = static_cast<uint32_t>(M.Code.size());
+    Body();
+    Insn Dec;
+    Dec.Opcode = Op::AddImm;
+    Dec.A = CurLoopReg;
+    Dec.B = CurLoopReg;
+    Dec.Imm = -1;
+    M.Code.push_back(Dec);
+    Insn Back;
+    Back.Opcode = Op::IfNez;
+    Back.A = CurLoopReg;
+    Back.Target = Top;
+    M.Code.push_back(Back);
+  }
+
+  Method makeUtility(uint32_t Idx, bool Native) {
+    Method M;
+    M.Idx = Idx;
+    M.Name = "Lutil/U" + std::to_string(Idx) + ";->run";
+    M.NumArgs = 2;
+    M.NumRegs = static_cast<uint16_t>(R.nextInRange(13, 17));
+    M.ReturnsValue = true;
+    if (Native) {
+      M.IsNative = true;
+      M.Name += "!jni";
+      return M;
+    }
+    CurLoopReg = LoopRegs[R.nextBelow(std::size(LoopRegs))];
+    appendHeader(M);
+    // The executed body is mostly method-unique work in a small loop; a
+    // sprinkle of hot idioms remains (what HfOpti later protects). The
+    // shared redundancy sits in never-executed cold blocks.
+    std::size_t Segments = R.nextInRange(4, 8);
+    appendLoop(M, R.nextInRange(12, 24), [&] {
+      for (std::size_t S = 0; S < Segments; ++S) {
+        if (R.nextBool(0.05))
+          appendIdiom(M);
+        else
+          appendFresh(M);
+      }
+    });
+    if (R.nextBool(0.25))
+      appendAllocAndFields(M);
+    std::size_t ColdBlocks = R.nextInRange(1, 2);
+    for (std::size_t K = 0; K < ColdBlocks; ++K)
+      appendColdBlock(M);
+    if (R.nextBool(Spec.ThrowFraction))
+      appendGuardedThrow(M);
+    appendReturn(M);
+    return M;
+  }
+
+  void appendSwitch(Method &M) {
+    uint32_t NumCases = static_cast<uint32_t>(R.nextInRange(4, 8));
+    uint32_t Mask = 7; // Selector in [0, 8); tables may be smaller.
+    Insn C;
+    C.Opcode = Op::ConstInt;
+    C.A = TempReg;
+    C.Imm = Mask;
+    M.Code.push_back(C);
+    Insn AndI;
+    AndI.Opcode = Op::And;
+    AndI.A = TempReg;
+    AndI.B = 0;
+    AndI.C = TempReg;
+    M.Code.push_back(AndI);
+    Insn Sw;
+    Sw.Opcode = Op::Switch;
+    Sw.A = TempReg;
+    Sw.Imm = static_cast<int64_t>(M.SwitchTables.size());
+    uint32_t SwPc = static_cast<uint32_t>(M.Code.size());
+    M.Code.push_back(Sw);
+    // Default (fallthrough) case.
+    Insn Def;
+    Def.Opcode = Op::ConstInt;
+    Def.A = 1;
+    Def.Imm = 999;
+    M.Code.push_back(Def);
+    Insn DefGoto;
+    DefGoto.Opcode = Op::Goto;
+    uint32_t DefGotoPc = static_cast<uint32_t>(M.Code.size());
+    M.Code.push_back(DefGoto);
+    std::vector<uint32_t> Table;
+    std::vector<uint32_t> CaseGotos;
+    for (uint32_t K = 0; K < NumCases; ++K) {
+      Table.push_back(static_cast<uint32_t>(M.Code.size()));
+      Insn CV;
+      CV.Opcode = Op::ConstInt;
+      CV.A = 1;
+      CV.Imm = static_cast<int64_t>(K) * 17 + 1;
+      M.Code.push_back(CV);
+      Insn G;
+      G.Opcode = Op::Goto;
+      CaseGotos.push_back(static_cast<uint32_t>(M.Code.size()));
+      M.Code.push_back(G);
+    }
+    uint32_t End = static_cast<uint32_t>(M.Code.size());
+    M.Code[DefGotoPc].Target = End;
+    for (uint32_t GPc : CaseGotos)
+      M.Code[GPc].Target = End;
+    M.SwitchTables.push_back(std::move(Table));
+    (void)SwPc;
+  }
+
+  Method makeWorker(uint32_t Idx, bool WithSwitch) {
+    Method M;
+    M.Idx = Idx;
+    M.Name = "Lapp/W" + std::to_string(Idx) + ";->work";
+    M.NumArgs = 2;
+    M.NumRegs = static_cast<uint16_t>(R.nextInRange(14, 20));
+    M.ReturnsValue = true;
+    CurLoopReg = LoopRegs[R.nextBelow(std::size(LoopRegs))];
+    appendHeader(M);
+    bool HasObj = R.nextBool(0.5);
+    if (HasObj)
+      appendAllocAndFields(M);
+    if (WithSwitch)
+      appendSwitch(M);
+
+    // Hot loop: unique code plus calls; the occasional hot idiom.
+    std::size_t Segments = R.nextInRange(5, 9);
+    appendLoop(M, R.nextInRange(2, 4), [&] {
+      for (std::size_t S = 0; S < Segments; ++S) {
+        double P = R.nextDouble();
+        if (P < 0.04) {
+          appendIdiom(M);
+        } else if (P < 0.20) {
+          uint32_t Callee = utilityIdx(UtilityPick.sample(R));
+          appendCall(M, Callee, HasObj && R.nextBool(0.3));
+        } else {
+          appendFresh(M);
+        }
+      }
+    });
+    // Warm, once-per-invocation idioms and the cold shared tail.
+    std::size_t WarmIdioms = R.nextInRange(1, 3);
+    for (std::size_t K = 0; K < WarmIdioms; ++K)
+      appendIdiom(M);
+    std::size_t ColdBlocks = R.nextInRange(1, 3);
+    for (std::size_t K = 0; K < ColdBlocks; ++K)
+      appendColdBlock(M);
+    if (R.nextBool(Spec.ThrowFraction))
+      appendGuardedThrow(M);
+    appendReturn(M);
+    return M;
+  }
+
+  Method makeEntry(uint32_t Idx) {
+    Method M;
+    M.Idx = Idx;
+    M.Name = "Lapp/Entry" + std::to_string(Idx) + ";->handle";
+    M.NumArgs = 1;
+    M.NumRegs = 14;
+    M.ReturnsValue = true;
+    CurLoopReg = LoopRegs[R.nextBelow(std::size(LoopRegs))];
+    appendHeader(M);
+    std::size_t Calls = R.nextInRange(2, 4);
+    appendLoop(M, R.nextInRange(2, 4), [&] {
+      for (std::size_t C = 0; C < Calls; ++C) {
+        uint32_t Callee = workerIdx(WorkerPick.sample(R));
+        appendCall(M, Callee, false);
+      }
+      appendIdiom(M);
+    });
+    appendReturn(M);
+    return M;
+  }
+};
+
+} // namespace
+
+dex::App workload::makeApp(const AppSpec &Spec) {
+  Gen G(Spec);
+  App A;
+  A.Name = Spec.Name;
+  A.Files.resize(Spec.NumDexFiles == 0 ? 1 : Spec.NumDexFiles);
+
+  auto fileOf = [&](uint32_t Idx) -> File & {
+    return A.Files[Idx % A.Files.size()];
+  };
+
+  for (uint32_t E = 0; E < G.NumEntries; ++E)
+    fileOf(E).Methods.push_back(G.makeEntry(E));
+  for (uint32_t W = 0; W < G.NumWorkers; ++W) {
+    bool WithSwitch = G.R.nextBool(Spec.SwitchFraction);
+    uint32_t Idx = G.workerIdx(W);
+    fileOf(Idx).Methods.push_back(G.makeWorker(Idx, WithSwitch));
+  }
+  for (uint32_t U = 0; U < G.NumUtilities; ++U) {
+    bool Native = G.R.nextBool(Spec.NativeFraction);
+    uint32_t Idx = G.utilityIdx(U);
+    fileOf(Idx).Methods.push_back(G.makeUtility(Idx, Native));
+  }
+  return A;
+}
+
+std::vector<Invocation> workload::makeScript(const AppSpec &Spec,
+                                             std::size_t Length,
+                                             uint64_t Seed) {
+  Rng R(Seed ^ Spec.Seed);
+  ZipfSampler EntryPick(Spec.NumEntries, 1.0);
+  std::vector<Invocation> Script;
+  Script.reserve(Length);
+  for (std::size_t K = 0; K < Length; ++K) {
+    Invocation I;
+    I.MethodIdx = static_cast<uint32_t>(EntryPick.sample(R));
+    I.Args = {static_cast<int64_t>(R.nextBelow(100))};
+    Script.push_back(std::move(I));
+  }
+  return Script;
+}
+
+std::vector<AppSpec> workload::paperApps(double Scale) {
+  // Proportional to Table 4's baseline OAT sizes (in MB).
+  struct Row {
+    const char *Name;
+    double SizeMb;
+    uint64_t Seed;
+  };
+  static const Row Rows[] = {
+      {"Toutiao", 357, 0x101}, {"Taobao", 225, 0x202},
+      {"Fanqie", 264, 0x303},  {"Meituan", 247, 0x404},
+      {"Kuaishou", 612, 0x505}, {"Wechat", 388, 0x606},
+  };
+  std::vector<AppSpec> Specs;
+  for (const Row &R : Rows) {
+    AppSpec S;
+    S.Name = R.Name;
+    S.Seed = R.Seed;
+    double Factor = R.SizeMb / 357.0 * Scale;
+    S.NumWorkers = static_cast<uint32_t>(300 * Factor);
+    S.NumUtilities = static_cast<uint32_t>(150 * Factor);
+    if (S.NumWorkers < 20)
+      S.NumWorkers = 20;
+    if (S.NumUtilities < 10)
+      S.NumUtilities = 10;
+    Specs.push_back(std::move(S));
+  }
+  return Specs;
+}

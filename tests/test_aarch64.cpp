@@ -1,0 +1,415 @@
+//===- tests/test_aarch64.cpp - AArch64 encoder/decoder tests --------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aarch64/Decoder.h"
+#include "aarch64/Disasm.h"
+#include "aarch64/Encoder.h"
+#include "aarch64/PcRel.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace calibro;
+using namespace calibro::a64;
+
+namespace {
+
+Insn makeInsn(Opcode Op) {
+  Insn I;
+  I.Op = Op;
+  return I;
+}
+
+TEST(Encoder, KnownEncodings) {
+  // Cross-checked against an independent assembler (GNU as).
+  Insn Nop = makeInsn(Opcode::Nop);
+  EXPECT_EQ(encode(Nop), 0xD503201Fu);
+
+  Insn Ret = makeInsn(Opcode::Ret);
+  Ret.Rn = LR;
+  EXPECT_EQ(encode(Ret), 0xD65F03C0u);
+
+  // add x0, x1, #42
+  Insn Add = makeInsn(Opcode::AddImm);
+  Add.Rd = 0;
+  Add.Rn = 1;
+  Add.Imm = 42;
+  EXPECT_EQ(encode(Add), 0x9100A820u);
+
+  // sub x16, sp, #0x2000 (the stack-overflow probe, Fig. 4c).
+  Insn Sub = makeInsn(Opcode::SubImm);
+  Sub.Rd = IP0;
+  Sub.Rn = SP;
+  Sub.Imm = 2;
+  Sub.Shift = 12;
+  EXPECT_EQ(encode(Sub), 0xD1400BF0u);
+
+  // ldr x30, [x0, #24] (the Java call pattern, Fig. 4a).
+  Insn Ldr = makeInsn(Opcode::LdrImm);
+  Ldr.Rd = LR;
+  Ldr.Rn = 0;
+  Ldr.Imm = 24;
+  EXPECT_EQ(encode(Ldr), 0xF9400C1Eu);
+
+  // blr x30
+  Insn Blr = makeInsn(Opcode::Blr);
+  Blr.Rn = LR;
+  EXPECT_EQ(encode(Blr), 0xD63F03C0u);
+
+  // ldr wzr, [x16]
+  Insn Probe = makeInsn(Opcode::LdrImm);
+  Probe.Is64 = false;
+  Probe.Rd = ZR;
+  Probe.Rn = IP0;
+  EXPECT_EQ(encode(Probe), 0xB940021Fu);
+
+  // stp x29, x30, [sp, #-16]!
+  Insn Push = makeInsn(Opcode::Stp);
+  Push.Rd = FP;
+  Push.Rn = SP;
+  Push.Ra = LR;
+  Push.Mode = IndexMode::PreIndex;
+  Push.Imm = -16;
+  EXPECT_EQ(encode(Push), 0xA9BF7BFDu);
+
+  // b #+8
+  Insn B = makeInsn(Opcode::B);
+  B.Imm = 8;
+  EXPECT_EQ(encode(B), 0x14000002u);
+
+  // bl #-4
+  Insn Bl = makeInsn(Opcode::Bl);
+  Bl.Imm = -4;
+  EXPECT_EQ(encode(Bl), 0x97FFFFFFu);
+
+  // cbz w0, #+0xc (paper Table 2's example).
+  Insn Cbz = makeInsn(Opcode::Cbz);
+  Cbz.Is64 = false;
+  Cbz.Rd = 0;
+  Cbz.Imm = 0xc;
+  EXPECT_EQ(encode(Cbz), 0x34000060u);
+
+  // movz x1, #0x100
+  Insn Mov = makeInsn(Opcode::MovZ);
+  Mov.Rd = 1;
+  Mov.Imm = 0x100;
+  EXPECT_EQ(encode(Mov), 0xD2802001u);
+
+  // br x16
+  Insn Br = makeInsn(Opcode::Br);
+  Br.Rn = IP0;
+  EXPECT_EQ(encode(Br), 0xD61F0200u);
+}
+
+TEST(Decoder, RejectsGarbage) {
+  EXPECT_FALSE(decode(0x00000000u).has_value());
+  EXPECT_FALSE(decode(0xFFFFFFFFu).has_value());
+  // An FP instruction (fadd s0, s0, s0) is outside the subset.
+  EXPECT_FALSE(decode(0x1E202800u).has_value());
+}
+
+TEST(Decoder, RoundTripKnown) {
+  Insn Push = makeInsn(Opcode::Stp);
+  Push.Rd = FP;
+  Push.Rn = SP;
+  Push.Ra = LR;
+  Push.Mode = IndexMode::PreIndex;
+  Push.Imm = -16;
+  auto D = decode(encode(Push));
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(*D, Push);
+}
+
+/// Generates a random valid instruction for round-trip testing.
+Insn randomInsn(Rng &R) {
+  for (;;) {
+    Insn I;
+    I.Op = static_cast<Opcode>(R.nextInRange(1, 45));
+    I.Is64 = R.nextBool(0.7);
+    I.Rd = static_cast<uint8_t>(R.nextBelow(32));
+    I.Rn = static_cast<uint8_t>(R.nextBelow(32));
+    I.Rm = static_cast<uint8_t>(R.nextBelow(32));
+    I.Ra = static_cast<uint8_t>(R.nextBelow(32));
+    // Only Bcond/Csel/Csinc encode a condition; everyone else keeps the
+    // default so the round trip compares equal.
+    if (I.Op == Opcode::Bcond || I.Op == Opcode::Csel ||
+        I.Op == Opcode::Csinc)
+      I.CC = static_cast<Cond>(R.nextBelow(15));
+
+    switch (I.Op) {
+    case Opcode::AddImm:
+    case Opcode::SubImm:
+    case Opcode::AddsImm:
+    case Opcode::SubsImm:
+      I.Imm = static_cast<int64_t>(R.nextBelow(4096));
+      I.Shift = R.nextBool(0.2) ? 12 : 0;
+      break;
+    case Opcode::MovZ:
+    case Opcode::MovN:
+    case Opcode::MovK:
+      I.Imm = static_cast<int64_t>(R.nextBelow(65536));
+      I.Shift = static_cast<uint8_t>(16 * R.nextBelow(I.Is64 ? 4 : 2));
+      break;
+    case Opcode::AddReg:
+    case Opcode::SubReg:
+    case Opcode::AddsReg:
+    case Opcode::SubsReg:
+    case Opcode::AndReg:
+    case Opcode::OrrReg:
+    case Opcode::EorReg:
+    case Opcode::AndsReg:
+      I.Shift = static_cast<uint8_t>(R.nextBelow(I.Is64 ? 64 : 32));
+      break;
+    case Opcode::Lslv:
+    case Opcode::Lsrv:
+    case Opcode::Asrv:
+    case Opcode::Madd:
+    case Opcode::Msub:
+    case Opcode::Sdiv:
+    case Opcode::Udiv:
+    case Opcode::Csel:
+    case Opcode::Csinc:
+    case Opcode::Br:
+    case Opcode::Blr:
+    case Opcode::Ret:
+    case Opcode::Nop:
+      break;
+    case Opcode::LdrImm:
+    case Opcode::StrImm:
+      I.Imm = static_cast<int64_t>(R.nextBelow(4096)) << (I.Is64 ? 3 : 2);
+      break;
+    case Opcode::LdrbImm:
+    case Opcode::StrbImm:
+      I.Is64 = false;
+      I.Imm = static_cast<int64_t>(R.nextBelow(4096));
+      break;
+    case Opcode::Ldp:
+    case Opcode::Stp:
+      I.Mode = static_cast<IndexMode>(R.nextBelow(3));
+      I.Imm = (static_cast<int64_t>(R.nextBelow(128)) - 64)
+              << (I.Is64 ? 3 : 2);
+      break;
+    case Opcode::LdrLit:
+      I.Imm = (static_cast<int64_t>(R.nextBelow(1 << 19)) - (1 << 18)) * 4;
+      break;
+    case Opcode::Adr:
+      I.Imm = static_cast<int64_t>(R.nextBelow(1 << 21)) - (1 << 20);
+      break;
+    case Opcode::Adrp:
+      I.Imm = (static_cast<int64_t>(R.nextBelow(1 << 21)) - (1 << 20))
+              << 12;
+      break;
+    case Opcode::B:
+    case Opcode::Bl:
+      I.Imm = (static_cast<int64_t>(R.nextBelow(1 << 26)) - (1 << 25)) * 4;
+      break;
+    case Opcode::Bcond:
+    case Opcode::Cbz:
+    case Opcode::Cbnz:
+      I.Imm = (static_cast<int64_t>(R.nextBelow(1 << 19)) - (1 << 18)) * 4;
+      break;
+    case Opcode::Tbz:
+    case Opcode::Tbnz:
+      I.BitPos = static_cast<uint8_t>(R.nextBelow(64));
+      I.Is64 = I.BitPos >= 32;
+      I.Imm = (static_cast<int64_t>(R.nextBelow(1 << 14)) - (1 << 13)) * 4;
+      break;
+    case Opcode::Brk:
+      I.Imm = static_cast<int64_t>(R.nextBelow(65536));
+      break;
+    default:
+      continue; // Invalid or out-of-range opcode id; draw again.
+    }
+    if (auto E = validate(I)) {
+      consumeError(std::move(E));
+      continue;
+    }
+    return I;
+  }
+}
+
+class RoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+/// Property: decode(encode(I)) == I for every valid instruction, modulo
+/// fields that do not participate in the encoding (zeroed by validate's
+/// canonical-form rules).
+TEST_P(RoundTrip, EncodeDecodeIdentity) {
+  Rng R(GetParam());
+  for (int K = 0; K < 5000; ++K) {
+    Insn I = randomInsn(R);
+    // Canonicalize fields the encoding cannot represent so the comparison
+    // is meaningful.
+    switch (I.Op) {
+    case Opcode::B:
+    case Opcode::Bl:
+    case Opcode::Nop:
+    case Opcode::Brk:
+      I.Rd = I.Rn = I.Rm = I.Ra = 0;
+      I.Is64 = true;
+      break;
+    case Opcode::Bcond:
+      I.Rd = I.Rn = I.Rm = I.Ra = 0;
+      I.Is64 = true;
+      break;
+    case Opcode::Br:
+    case Opcode::Blr:
+    case Opcode::Ret:
+      I.Rd = I.Rm = I.Ra = 0;
+      I.Is64 = true;
+      break;
+    case Opcode::Adr:
+    case Opcode::Adrp:
+    case Opcode::LdrLit:
+      I.Rn = I.Rm = I.Ra = 0;
+      if (I.Op != Opcode::LdrLit)
+        I.Is64 = true;
+      break;
+    case Opcode::Cbz:
+    case Opcode::Cbnz:
+      I.Rn = I.Rm = I.Ra = 0;
+      break;
+    case Opcode::Tbz:
+    case Opcode::Tbnz:
+      I.Rn = I.Rm = I.Ra = 0;
+      break;
+    case Opcode::MovZ:
+    case Opcode::MovN:
+    case Opcode::MovK:
+      I.Rn = I.Rm = I.Ra = 0;
+      break;
+    case Opcode::AddImm:
+    case Opcode::SubImm:
+    case Opcode::AddsImm:
+    case Opcode::SubsImm:
+      I.Rm = I.Ra = 0;
+      break;
+    case Opcode::LdrImm:
+    case Opcode::StrImm:
+    case Opcode::LdrbImm:
+    case Opcode::StrbImm:
+      I.Rm = I.Ra = 0;
+      break;
+    case Opcode::Ldp:
+    case Opcode::Stp:
+      I.Rm = 0;
+      break;
+    case Opcode::AddReg:
+    case Opcode::SubReg:
+    case Opcode::AddsReg:
+    case Opcode::SubsReg:
+    case Opcode::AndReg:
+    case Opcode::OrrReg:
+    case Opcode::EorReg:
+    case Opcode::AndsReg:
+    case Opcode::Lslv:
+    case Opcode::Lsrv:
+    case Opcode::Asrv:
+    case Opcode::Sdiv:
+    case Opcode::Udiv:
+      I.Ra = 0;
+      break;
+    case Opcode::Csel:
+    case Opcode::Csinc:
+      I.Ra = 0;
+      break;
+    default:
+      break;
+    }
+    uint32_t W = encode(I);
+    auto D = decode(W);
+    ASSERT_TRUE(D.has_value()) << "undecodable: " << toString(I);
+    EXPECT_EQ(*D, I) << "round trip mismatch: " << toString(I) << " vs "
+                     << toString(*D);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTrip,
+                         ::testing::Values(1, 2, 3, 42, 0xdeadbeef));
+
+TEST(PcRel, TargetAndRetarget) {
+  Insn B = makeInsn(Opcode::B);
+  B.Imm = 0x100;
+  auto T = pcRelTarget(B, 0x1000);
+  ASSERT_TRUE(T.has_value());
+  EXPECT_EQ(*T, 0x1100u);
+
+  ASSERT_FALSE(bool(retarget(B, 0x1000, 0x2000)));
+  EXPECT_EQ(B.Imm, 0x1000);
+  EXPECT_EQ(*pcRelTarget(B, 0x1000), 0x2000u);
+
+  // Adrp: page-granular.
+  Insn P = makeInsn(Opcode::Adrp);
+  P.Imm = 0x3000;
+  EXPECT_EQ(*pcRelTarget(P, 0x1234), 0x4000u);
+  ASSERT_FALSE(bool(retarget(P, 0x1234, 0x9abc)));
+  EXPECT_EQ(*pcRelTarget(P, 0x1234), 0x9000u);
+
+  // Out-of-range retarget must fail, not wrap.
+  Insn C = makeInsn(Opcode::Cbz);
+  C.Rd = 0;
+  C.Imm = 0;
+  EXPECT_TRUE(bool(retarget(C, 0, uint64_t(1) << 22)));
+
+  // Non-PC-relative instructions are rejected.
+  Insn A = makeInsn(Opcode::AddImm);
+  A.Imm = 1;
+  EXPECT_TRUE(bool(retarget(A, 0, 4)));
+}
+
+TEST(PcRel, RetargetWordPaperExample) {
+  // Paper Table 2: cbz w0 at 0x138320 targeting 0x13832c gets re-pointed
+  // to 0x138328 after outlining.
+  Insn Cbz = makeInsn(Opcode::Cbz);
+  Cbz.Is64 = false;
+  Cbz.Rd = 0;
+  Cbz.Imm = 0xc;
+  uint32_t W = encode(Cbz);
+  auto Patched = retargetWord(W, 0x138320, 0x138328);
+  ASSERT_TRUE(bool(Patched));
+  auto D = decode(*Patched);
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(D->Imm, 0x8);
+}
+
+TEST(Disasm, PaperStyleListing) {
+  Insn Cbz = makeInsn(Opcode::Cbz);
+  Cbz.Is64 = false;
+  Cbz.Rd = 0;
+  Cbz.Imm = 0xc;
+  EXPECT_EQ(toString(Cbz, 0x138320), "cbz w0, #+0xc (addr 0x13832c)");
+
+  Insn Ldr = makeInsn(Opcode::LdrImm);
+  Ldr.Rd = LR;
+  Ldr.Rn = 0;
+  Ldr.Imm = 24;
+  EXPECT_EQ(toString(Ldr), "ldr x30, [x0, #24]");
+
+  Insn Blr = makeInsn(Opcode::Blr);
+  Blr.Rn = LR;
+  EXPECT_EQ(toString(Blr), "blr x30");
+
+  Insn Mov = makeInsn(Opcode::OrrReg);
+  Mov.Rd = 3;
+  Mov.Rn = ZR;
+  Mov.Rm = 4;
+  EXPECT_EQ(toString(Mov), "mov x3, x4");
+}
+
+TEST(Insn, Classification) {
+  EXPECT_TRUE(isTerminator(Opcode::B));
+  EXPECT_TRUE(isTerminator(Opcode::Ret));
+  EXPECT_TRUE(isTerminator(Opcode::Br));
+  EXPECT_TRUE(isTerminator(Opcode::Cbz));
+  EXPECT_FALSE(isTerminator(Opcode::Bl));
+  EXPECT_FALSE(isTerminator(Opcode::Blr));
+  EXPECT_TRUE(isCall(Opcode::Bl));
+  EXPECT_TRUE(isCall(Opcode::Blr));
+  EXPECT_TRUE(isPcRelative(Opcode::Adrp));
+  EXPECT_TRUE(isPcRelative(Opcode::LdrLit));
+  EXPECT_FALSE(isPcRelative(Opcode::LdrImm));
+}
+
+} // namespace

@@ -1,0 +1,61 @@
+//===- tests/test_benefit.cpp - Fig. 2 benefit model tests ------------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BenefitModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace calibro::core;
+
+namespace {
+
+TEST(BenefitModel, PaperEquations) {
+  // OriginalSize = L * N; OptimizedSize = N + 1 + L.
+  EXPECT_EQ(originalSize(5, 10), 50u);
+  EXPECT_EQ(optimizedSize(5, 10), 16u);
+  EXPECT_EQ(benefit(5, 10), 34);
+  EXPECT_DOUBLE_EQ(reductionRatio(5, 10), 34.0 / 50.0);
+}
+
+TEST(BenefitModel, BreakEvenBoundaries) {
+  // L=2: 2N > N + 3  =>  N >= 4.
+  EXPECT_FALSE(isProfitable(2, 3));
+  EXPECT_TRUE(isProfitable(2, 4));
+  // L=3: 3N > N + 4  =>  N >= 3.
+  EXPECT_FALSE(isProfitable(3, 2));
+  EXPECT_TRUE(isProfitable(3, 3));
+  // N=2: 2L > L + 3  =>  L >= 4.
+  EXPECT_FALSE(isProfitable(3, 2));
+  EXPECT_TRUE(isProfitable(4, 2));
+}
+
+TEST(BenefitModel, NeverProfitableCases) {
+  EXPECT_FALSE(isProfitable(1, 100)); // Single instruction: bl costs as much.
+  EXPECT_FALSE(isProfitable(100, 1)); // Single occurrence.
+  EXPECT_FALSE(isProfitable(0, 0));
+}
+
+class BenefitSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t>> {};
+
+TEST_P(BenefitSweep, RatioConsistency) {
+  auto [L, N] = GetParam();
+  int64_t B = benefit(L, N);
+  EXPECT_EQ(B > 0, isProfitable(L, N));
+  if (originalSize(L, N) > 0) {
+    double Ratio = reductionRatio(L, N);
+    EXPECT_LE(Ratio, 1.0);
+    EXPECT_DOUBLE_EQ(Ratio * static_cast<double>(originalSize(L, N)),
+                     static_cast<double>(B));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BenefitSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 8u, 16u, 64u),
+                       ::testing::Values(1u, 2u, 3u, 4u, 10u, 100u, 1000u)));
+
+} // namespace

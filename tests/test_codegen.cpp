@@ -1,0 +1,316 @@
+//===- tests/test_codegen.cpp - Code generation tests -----------------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aarch64/Decoder.h"
+#include "aarch64/PcRel.h"
+#include "codegen/ArtAbi.h"
+#include "codegen/CodeGenerator.h"
+#include "hir/HGraph.h"
+#include "hir/Passes.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace calibro;
+using namespace calibro::codegen;
+
+namespace {
+
+dex::Insn op(dex::Op O, uint16_t A = 0, uint16_t B = 0, uint16_t C = 0,
+             int64_t Imm = 0) {
+  dex::Insn I;
+  I.Opcode = O;
+  I.A = A;
+  I.B = B;
+  I.C = C;
+  I.Imm = Imm;
+  return I;
+}
+
+CompiledMethod compileOne(const dex::Method &M, bool EnableCto = false,
+                          CtoStubCache *Shared = nullptr) {
+  CtoStubCache Local;
+  CtoStubCache &Cache = Shared ? *Shared : Local;
+  CodeGenerator Gen({.EnableCto = EnableCto}, Cache);
+  if (M.IsNative)
+    return Gen.compileNative(M);
+  auto G = hir::buildHGraph(M);
+  EXPECT_TRUE(bool(G)) << G.message();
+  return Gen.compile(*G);
+}
+
+/// Counts the occurrences of a decoded-opcode predicate in method code,
+/// skipping embedded data.
+template <typename Pred>
+std::size_t countInsns(const CompiledMethod &M, Pred &&P) {
+  std::size_t N = 0;
+  for (std::size_t W = 0; W < M.Code.size(); ++W) {
+    bool IsData = false;
+    for (const auto &D : M.Side.EmbeddedData)
+      IsData |= W * 4 >= D.Offset && W * 4 < D.Offset + D.Size;
+    if (IsData)
+      continue;
+    auto I = a64::decode(M.Code[W]);
+    if (I && P(*I))
+      ++N;
+  }
+  return N;
+}
+
+dex::Method leafMethod() {
+  dex::Method M;
+  M.Name = "leaf";
+  M.NumRegs = 8;
+  M.NumArgs = 2;
+  M.ReturnsValue = true;
+  M.Code = {op(dex::Op::Add, 2, 0, 1), op(dex::Op::Return, 2)};
+  return M;
+}
+
+dex::Method allocMethod() {
+  dex::Method M;
+  M.Name = "alloc";
+  M.NumRegs = 8;
+  M.NumArgs = 0;
+  M.ReturnsValue = true;
+  M.Code = {op(dex::Op::NewInstance, 1, 0, 0), op(dex::Op::IGet, 2, 1, 0, 8),
+            op(dex::Op::Return, 2)};
+  M.Code[0].Idx = 5;
+  return M;
+}
+
+TEST(CodeGen, LeafMethodHasNoStackCheck) {
+  CompiledMethod M = compileOne(leafMethod());
+  // The Fig. 4c probe is `sub x16, sp, #0x2000`.
+  std::size_t Probes = countInsns(M, [](const a64::Insn &I) {
+    return I.Op == a64::Opcode::SubImm && I.Rd == a64::IP0 &&
+           I.Rn == a64::SP && I.Shift == 12 && I.Imm == 2;
+  });
+  EXPECT_EQ(Probes, 0u);
+}
+
+TEST(CodeGen, NonLeafHasStackCheckAndArtPatterns) {
+  CompiledMethod M = compileOne(allocMethod());
+  std::size_t Probes = countInsns(M, [](const a64::Insn &I) {
+    return I.Op == a64::Opcode::SubImm && I.Rd == a64::IP0 &&
+           I.Rn == a64::SP && I.Shift == 12 && I.Imm == 2;
+  });
+  EXPECT_EQ(Probes, 1u);
+  // The Fig. 4b entrypoint-call pattern: ldr x30, [x19, #off].
+  std::size_t RtLoads = countInsns(M, [](const a64::Insn &I) {
+    return I.Op == a64::Opcode::LdrImm && I.Rd == a64::LR &&
+           I.Rn == a64::ThreadReg;
+  });
+  EXPECT_GE(RtLoads, 2u); // Alloc + the NPE slow path.
+}
+
+TEST(CodeGen, JavaCallPattern) {
+  dex::Method M;
+  M.Name = "caller";
+  M.NumRegs = 8;
+  M.NumArgs = 1;
+  M.ReturnsValue = true;
+  dex::Insn Call = op(dex::Op::InvokeStatic, 2);
+  Call.Idx = 3;
+  Call.Args = {0, dex::NoReg, dex::NoReg, dex::NoReg};
+  Call.NumArgs = 1;
+  M.Code = {Call, op(dex::Op::Return, 2)};
+  CompiledMethod C = compileOne(M);
+  // Fig. 4a: ldr x30, [x0, #ArtMethodEntryPointOffset]; blr x30.
+  std::size_t Pattern = countInsns(C, [](const a64::Insn &I) {
+    return I.Op == a64::Opcode::LdrImm && I.Rd == a64::LR && I.Rn == 0 &&
+           I.Imm == art::ArtMethodEntryPointOffset;
+  });
+  EXPECT_EQ(Pattern, 1u);
+  EXPECT_EQ(countInsns(C, [](const a64::Insn &I) {
+              return I.Op == a64::Opcode::Blr;
+            }),
+            1u);
+  // One safepoint recorded right after the call.
+  ASSERT_EQ(C.Map.Entries.size(), 1u);
+  auto After = a64::decode(C.Code[C.Map.Entries[0].NativePcOffset / 4 - 1]);
+  ASSERT_TRUE(After.has_value());
+  EXPECT_TRUE(a64::isCall(After->Op));
+}
+
+TEST(CodeGen, CtoReplacesPatternsWithCalls) {
+  CtoStubCache Cache;
+  CompiledMethod M = compileOne(allocMethod(), /*EnableCto=*/true, &Cache);
+  // No inline patterns remain.
+  EXPECT_EQ(countInsns(M, [](const a64::Insn &I) {
+              return I.Op == a64::Opcode::LdrImm && I.Rd == a64::LR;
+            }),
+            0u);
+  EXPECT_EQ(countInsns(M, [](const a64::Insn &I) {
+              return I.Op == a64::Opcode::Blr;
+            }),
+            0u);
+  // Each replaced site is a bl with a CtoStub relocation.
+  EXPECT_GE(M.Relocs.size(), 3u); // Stack check + alloc + slow paths.
+  for (const auto &R : M.Relocs)
+    EXPECT_EQ(R.Kind, RelocKind::CtoStub);
+  // The cache holds the full pre-registered stub set (stack check, Java
+  // call, one per entrypoint) exactly once, regardless of how many sites
+  // used each stub.
+  EXPECT_EQ(Cache.size(), std::size_t(2 + art::NumEntrypoints));
+  // The three stubs this method actually calls are distinct.
+  std::set<uint32_t> UsedStubs;
+  for (const auto &R : M.Relocs)
+    UsedStubs.insert(R.TargetId);
+  EXPECT_EQ(UsedStubs.size(), 3u);
+}
+
+TEST(CodeGen, CtoCacheSharesAcrossMethods) {
+  CtoStubCache Cache;
+  compileOne(allocMethod(), true, &Cache);
+  std::size_t After1 = Cache.size();
+  compileOne(allocMethod(), true, &Cache);
+  EXPECT_EQ(Cache.size(), After1) << "same patterns must reuse stubs";
+}
+
+TEST(CodeGen, CtoStubBodies) {
+  auto Java = buildCtoStubCode(CtoStubKind::JavaCall, 24);
+  ASSERT_EQ(Java.size(), 2u);
+  auto I0 = a64::decode(Java[0]);
+  auto I1 = a64::decode(Java[1]);
+  ASSERT_TRUE(I0 && I1);
+  EXPECT_EQ(I0->Op, a64::Opcode::LdrImm);
+  EXPECT_EQ(I0->Rd, a64::IP0);
+  EXPECT_EQ(I0->Rn, 0);
+  EXPECT_EQ(I0->Imm, 24);
+  EXPECT_EQ(I1->Op, a64::Opcode::Br);
+  EXPECT_EQ(I1->Rn, a64::IP0);
+
+  auto Check = buildCtoStubCode(CtoStubKind::StackCheck, 0);
+  ASSERT_EQ(Check.size(), 3u);
+  EXPECT_EQ(a64::decode(Check[2])->Op, a64::Opcode::Ret);
+}
+
+TEST(CodeGen, SideInfoTerminatorsAndPcRel) {
+  dex::Method M;
+  M.Name = "branchy";
+  M.NumRegs = 8;
+  M.NumArgs = 1;
+  M.ReturnsValue = true;
+  dex::Insn If = op(dex::Op::IfLtz, 0);
+  If.Target = 2;
+  M.Code = {If, op(dex::Op::ConstInt, 1, 0, 0, 7), op(dex::Op::Return, 1)};
+  M.Code[2].A = 1;
+  CompiledMethod C = compileOne(M);
+  ASSERT_FALSE(C.Side.TerminatorOffsets.empty());
+  for (uint32_t T : C.Side.TerminatorOffsets) {
+    auto I = a64::decode(C.Code[T / 4]);
+    ASSERT_TRUE(I.has_value());
+    EXPECT_TRUE(a64::isTerminator(I->Op));
+  }
+  ASSERT_FALSE(C.Side.PcRelRecords.empty());
+  for (const auto &R : C.Side.PcRelRecords) {
+    auto I = a64::decode(C.Code[R.InsnOffset / 4]);
+    ASSERT_TRUE(I.has_value());
+    ASSERT_TRUE(a64::isPcRelative(I->Op));
+    auto Target = a64::pcRelTarget(*I, R.InsnOffset);
+    ASSERT_TRUE(Target.has_value());
+    EXPECT_EQ(*Target, R.TargetOffset);
+  }
+}
+
+TEST(CodeGen, BigConstantsUseLiteralPool) {
+  dex::Method M;
+  M.Name = "bigconst";
+  M.NumRegs = 8;
+  M.ReturnsValue = true;
+  M.Code = {op(dex::Op::ConstInt, 1, 0, 0, 0x123456789abLL),
+            op(dex::Op::Return, 1)};
+  CompiledMethod C = compileOne(M);
+  ASSERT_EQ(C.Side.EmbeddedData.size(), 1u);
+  const auto &D = C.Side.EmbeddedData[0];
+  EXPECT_EQ(D.Size, 8u);
+  EXPECT_EQ(D.Offset % 8, 0u);
+  // The pool holds the value.
+  uint64_t Lo = C.Code[D.Offset / 4];
+  uint64_t Hi = C.Code[D.Offset / 4 + 1];
+  EXPECT_EQ((Hi << 32) | Lo, 0x123456789abULL);
+  // And an ldr-literal references it.
+  EXPECT_EQ(countInsns(C, [](const a64::Insn &I) {
+              return I.Op == a64::Opcode::LdrLit;
+            }),
+            1u);
+}
+
+TEST(CodeGen, PoolDeduplicatesValues) {
+  dex::Method M;
+  M.Name = "dedup";
+  M.NumRegs = 8;
+  M.ReturnsValue = true;
+  M.Code = {op(dex::Op::ConstInt, 1, 0, 0, 0x123456789abLL),
+            op(dex::Op::ConstInt, 2, 0, 0, 0x123456789abLL),
+            op(dex::Op::Return, 1)};
+  CompiledMethod C = compileOne(M);
+  ASSERT_EQ(C.Side.EmbeddedData.size(), 1u);
+  EXPECT_EQ(C.Side.EmbeddedData[0].Size, 8u) << "same value, one pool slot";
+}
+
+TEST(CodeGen, SwitchSetsIndirectJumpFlag) {
+  dex::Method M;
+  M.Name = "switchy";
+  M.NumRegs = 8;
+  M.NumArgs = 1;
+  M.ReturnsValue = true;
+  dex::Insn Sw = op(dex::Op::Switch, 0);
+  Sw.Imm = 0;
+  M.SwitchTables.push_back({2u, 3u});
+  M.Code = {Sw, op(dex::Op::ConstInt, 1, 0, 0, 0), op(dex::Op::Return, 1),
+            op(dex::Op::Return, 1)};
+  CompiledMethod C = compileOne(M);
+  EXPECT_TRUE(C.Side.HasIndirectJump);
+  EXPECT_EQ(countInsns(C, [](const a64::Insn &I) {
+              return I.Op == a64::Opcode::Br;
+            }),
+            1u);
+  EXPECT_EQ(countInsns(C, [](const a64::Insn &I) {
+              return I.Op == a64::Opcode::Adr;
+            }),
+            1u);
+}
+
+TEST(CodeGen, NativeTrampoline) {
+  dex::Method M;
+  M.Name = "jni";
+  M.Idx = 9;
+  M.IsNative = true;
+  CompiledMethod C = compileOne(M);
+  EXPECT_TRUE(C.Side.IsNative);
+  EXPECT_FALSE(C.Map.Entries.empty());
+  // Calls JniStart and JniEnd.
+  EXPECT_EQ(countInsns(C, [](const a64::Insn &I) {
+              return I.Op == a64::Opcode::Blr;
+            }),
+            2u);
+}
+
+TEST(CodeGen, SlowPathRangesCoverThrowHelpers) {
+  CompiledMethod C = compileOne(allocMethod());
+  ASSERT_EQ(C.Side.SlowPathRanges.size(), 1u); // NPE from the IGet.
+  const auto &R = C.Side.SlowPathRanges[0];
+  EXPECT_LT(R.Begin, R.End);
+  // The slow path ends with brk.
+  auto Last = a64::decode(C.Code[R.End / 4 - 1]);
+  ASSERT_TRUE(Last.has_value());
+  EXPECT_EQ(Last->Op, a64::Opcode::Brk);
+}
+
+TEST(CodeGen, SavesOnlyUsedHomeRegisters) {
+  // leafMethod uses v0..v2 -> saves x20..x22 (3 homes), not all nine.
+  CompiledMethod C = compileOne(leafMethod());
+  std::size_t Saves = countInsns(C, [](const a64::Insn &I) {
+    return (I.Op == a64::Opcode::Stp || I.Op == a64::Opcode::StrImm) &&
+           I.Rd >= 20 && I.Rd <= 28 && I.Rn == a64::SP;
+  });
+  EXPECT_EQ(Saves, 2u); // stp x20,x21 + str x22.
+}
+
+} // namespace

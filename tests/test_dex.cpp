@@ -1,0 +1,185 @@
+//===- tests/test_dex.cpp - DEX model and verifier tests --------------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dex/Dex.h"
+
+#include <gtest/gtest.h>
+
+using namespace calibro;
+using namespace calibro::dex;
+
+namespace {
+
+Method minimalMethod() {
+  Method M;
+  M.Idx = 0;
+  M.Name = "m";
+  M.NumRegs = 4;
+  M.NumArgs = 1;
+  M.ReturnsValue = true;
+  Insn C;
+  C.Opcode = Op::ConstInt;
+  C.A = 1;
+  C.Imm = 5;
+  M.Code.push_back(C);
+  Insn Ret;
+  Ret.Opcode = Op::Return;
+  Ret.A = 1;
+  M.Code.push_back(Ret);
+  return M;
+}
+
+TEST(DexVerifier, AcceptsMinimalMethod) {
+  EXPECT_FALSE(bool(verifyMethod(minimalMethod(), 1)));
+}
+
+TEST(DexVerifier, RejectsRegisterOutOfRange) {
+  Method M = minimalMethod();
+  M.Code[0].A = 4; // NumRegs is 4 -> v4 invalid.
+  EXPECT_TRUE(bool(verifyMethod(M, 1)));
+}
+
+TEST(DexVerifier, RejectsFallOffEnd) {
+  Method M = minimalMethod();
+  M.Code.pop_back(); // Remove the return.
+  EXPECT_TRUE(bool(verifyMethod(M, 1)));
+}
+
+TEST(DexVerifier, RejectsBranchTargetOutOfRange) {
+  Method M = minimalMethod();
+  Insn If;
+  If.Opcode = Op::IfEqz;
+  If.A = 1;
+  If.Target = 99;
+  M.Code.insert(M.Code.begin() + 1, If);
+  EXPECT_TRUE(bool(verifyMethod(M, 1)));
+}
+
+TEST(DexVerifier, RejectsConditionalBranchAtEnd) {
+  Method M = minimalMethod();
+  Insn If;
+  If.Opcode = Op::IfEqz;
+  If.A = 1;
+  If.Target = 0;
+  M.Code.push_back(If); // After the return: branch is last insn.
+  EXPECT_TRUE(bool(verifyMethod(M, 1)));
+}
+
+TEST(DexVerifier, RejectsBadFieldOffset) {
+  Method M = minimalMethod();
+  Insn Get;
+  Get.Opcode = Op::IGet;
+  Get.A = 1;
+  Get.B = 2;
+  Get.Imm = 12; // Not 8-aligned.
+  M.Code.insert(M.Code.begin() + 1, Get);
+  EXPECT_TRUE(bool(verifyMethod(M, 1)));
+  M.Code[1].Imm = 40000; // Too large.
+  EXPECT_TRUE(bool(verifyMethod(M, 1)));
+  M.Code[1].Imm = 16;
+  EXPECT_FALSE(bool(verifyMethod(M, 1)));
+}
+
+TEST(DexVerifier, RejectsCalleeOutOfRange) {
+  Method M = minimalMethod();
+  Insn Call;
+  Call.Opcode = Op::InvokeStatic;
+  Call.A = 1;
+  Call.Idx = 7;
+  Call.NumArgs = 0;
+  M.Code.insert(M.Code.begin() + 1, Call);
+  EXPECT_TRUE(bool(verifyMethod(M, 1)));   // Only 1 method in the app.
+  EXPECT_FALSE(bool(verifyMethod(M, 10))); // 10 methods: idx 7 is fine.
+}
+
+TEST(DexVerifier, RejectsVirtualWithoutReceiver) {
+  Method M = minimalMethod();
+  Insn Call;
+  Call.Opcode = Op::InvokeVirtual;
+  Call.A = 1;
+  Call.Idx = 0;
+  Call.NumArgs = 0;
+  M.Code.insert(M.Code.begin() + 1, Call);
+  EXPECT_TRUE(bool(verifyMethod(M, 1)));
+}
+
+TEST(DexVerifier, RejectsReturnKindMismatch) {
+  Method M = minimalMethod();
+  M.ReturnsValue = false; // But code ends with return v1.
+  EXPECT_TRUE(bool(verifyMethod(M, 1)));
+
+  Method V = minimalMethod();
+  V.Code.back().Opcode = Op::ReturnVoid; // return-void in value method.
+  EXPECT_TRUE(bool(verifyMethod(V, 1)));
+}
+
+TEST(DexVerifier, RejectsNativeWithCode) {
+  Method M = minimalMethod();
+  M.IsNative = true;
+  EXPECT_TRUE(bool(verifyMethod(M, 1)));
+  M.Code.clear();
+  EXPECT_FALSE(bool(verifyMethod(M, 1)));
+}
+
+TEST(DexVerifier, RejectsHugeRegisterFile) {
+  Method M = minimalMethod();
+  M.NumRegs = 65;
+  EXPECT_TRUE(bool(verifyMethod(M, 1)));
+}
+
+TEST(DexVerifier, SwitchChecks) {
+  Method M = minimalMethod();
+  Insn Sw;
+  Sw.Opcode = Op::Switch;
+  Sw.A = 1;
+  Sw.Imm = 0;
+  M.Code.insert(M.Code.begin() + 1, Sw);
+  // No tables registered.
+  EXPECT_TRUE(bool(verifyMethod(M, 1)));
+  M.SwitchTables.push_back({0u});
+  EXPECT_FALSE(bool(verifyMethod(M, 1)));
+  M.SwitchTables[0] = {99u}; // Case target out of range.
+  EXPECT_TRUE(bool(verifyMethod(M, 1)));
+  M.SwitchTables[0] = {};
+  EXPECT_TRUE(bool(verifyMethod(M, 1))); // Empty table.
+}
+
+TEST(DexApp, DuplicateIndicesRejected) {
+  App A;
+  A.Name = "app";
+  A.Files.resize(1);
+  Method M1 = minimalMethod();
+  Method M2 = minimalMethod();
+  M2.Idx = 0; // Duplicate.
+  A.Files[0].Methods = {M1, M2};
+  EXPECT_TRUE(bool(verifyApp(A)));
+  A.Files[0].Methods[1].Idx = 1;
+  EXPECT_FALSE(bool(verifyApp(A)));
+}
+
+TEST(DexApp, Lookup) {
+  App A;
+  A.Files.resize(2);
+  Method M = minimalMethod();
+  M.Idx = 3;
+  A.Files[1].Methods.push_back(M);
+  EXPECT_EQ(A.numMethods(), 1u);
+  ASSERT_NE(A.findMethod(3), nullptr);
+  EXPECT_EQ(A.findMethod(0), nullptr);
+}
+
+TEST(DexOps, Classification) {
+  EXPECT_TRUE(endsBlock(Op::Goto));
+  EXPECT_TRUE(endsBlock(Op::Return));
+  EXPECT_TRUE(endsBlock(Op::Throw));
+  EXPECT_TRUE(endsBlock(Op::Switch));
+  EXPECT_FALSE(endsBlock(Op::IfEq));
+  EXPECT_FALSE(endsBlock(Op::InvokeStatic));
+  EXPECT_STREQ(opName(Op::NewInstance), "new-instance");
+  EXPECT_STREQ(opName(Op::IfLtz), "if-ltz");
+}
+
+} // namespace

@@ -1,0 +1,207 @@
+//===- tests/test_oat.cpp - Linker and OAT validation tests -----------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aarch64/Decoder.h"
+#include "aarch64/Encoder.h"
+#include "codegen/CodeGenerator.h"
+#include "hir/HGraph.h"
+#include "oat/Dump.h"
+#include "oat/Linker.h"
+
+#include <gtest/gtest.h>
+
+using namespace calibro;
+using namespace calibro::codegen;
+using namespace calibro::oat;
+
+namespace {
+
+dex::Method callerMethod(uint32_t Idx) {
+  dex::Method M;
+  M.Idx = Idx;
+  M.Name = "caller" + std::to_string(Idx);
+  M.NumRegs = 8;
+  M.NumArgs = 1;
+  M.ReturnsValue = true;
+  dex::Insn Alloc;
+  Alloc.Opcode = dex::Op::NewInstance;
+  Alloc.A = 1;
+  Alloc.Idx = 3;
+  dex::Insn Ret;
+  Ret.Opcode = dex::Op::Return;
+  Ret.A = 1;
+  M.Code = {Alloc, Ret};
+  return M;
+}
+
+LinkInput makeInput(bool Cto) {
+  LinkInput In;
+  In.AppName = "linktest";
+  CtoStubCache Cache;
+  CodeGenerator Gen({.EnableCto = Cto}, Cache);
+  for (uint32_t I = 0; I < 3; ++I) {
+    auto G = hir::buildHGraph(callerMethod(I));
+    EXPECT_TRUE(bool(G));
+    In.Methods.push_back(Gen.compile(*G));
+  }
+  In.Stubs = Cache.takeStubs();
+  return In;
+}
+
+TEST(Linker, LayoutIsAlignedAndDisjoint) {
+  auto O = link(makeInput(true));
+  ASSERT_TRUE(bool(O)) << O.message();
+  EXPECT_EQ(O->Methods.size(), 3u);
+  EXPECT_FALSE(O->CtoStubs.empty());
+  for (const auto &M : O->Methods)
+    EXPECT_EQ(M.CodeOffset % 16, 0u);
+  EXPECT_FALSE(bool(validateOat(*O)));
+}
+
+TEST(Linker, BindsCtoCalls) {
+  auto O = link(makeInput(true));
+  ASSERT_TRUE(bool(O));
+  // Every bl in a method must land inside a stub.
+  std::size_t Calls = 0;
+  for (const auto &M : O->Methods) {
+    for (uint32_t W = M.CodeOffset / 4;
+         W < (M.CodeOffset + M.CodeSize) / 4; ++W) {
+      auto I = a64::decode(O->Text[W]);
+      if (!I || I->Op != a64::Opcode::Bl)
+        continue;
+      ++Calls;
+      uint64_t Target = W * 4 + static_cast<uint64_t>(I->Imm);
+      bool InStub = false;
+      for (const auto &S : O->CtoStubs)
+        InStub |= Target >= S.CodeOffset &&
+                  Target < S.CodeOffset + S.CodeSize;
+      EXPECT_TRUE(InStub) << "bl target not a stub";
+    }
+  }
+  EXPECT_GT(Calls, 0u);
+}
+
+TEST(Linker, RejectsDanglingRelocation) {
+  auto In = makeInput(true);
+  In.Stubs.clear(); // Relocations now dangle.
+  auto O = link(In);
+  EXPECT_FALSE(bool(O));
+  consumeError(O.takeError());
+}
+
+TEST(Linker, LinksOutlinedFunctions) {
+  auto In = makeInput(false);
+  // Hand-craft an outlined function and a call to it.
+  OutlinedFunc Fn;
+  Fn.Id = 42;
+  a64::Insn Nop{.Op = a64::Opcode::Nop};
+  a64::Insn RetBr{.Op = a64::Opcode::Br};
+  RetBr.Rn = a64::LR;
+  Fn.Code = {a64::encode(Nop), a64::encode(RetBr)};
+  Fn.SeqLength = 1;
+  Fn.Occurrences = 1;
+  In.Outlined.push_back(Fn);
+
+  // Replace the first method's first word with a bl to it.
+  a64::Insn Bl{.Op = a64::Opcode::Bl};
+  In.Methods[0].Code[0] = a64::encode(Bl);
+  In.Methods[0].Relocs.push_back({0, RelocKind::OutlinedFunc, 42});
+  // (The stp it replaced was load-bearing; this image is not meant to run.)
+
+  auto O = link(In);
+  ASSERT_TRUE(bool(O)) << O.message();
+  ASSERT_EQ(O->Outlined.size(), 1u);
+  auto I = a64::decode(O->Text[O->Methods[0].CodeOffset / 4]);
+  ASSERT_TRUE(I && I->Op == a64::Opcode::Bl);
+  EXPECT_EQ(O->Methods[0].CodeOffset + static_cast<uint64_t>(I->Imm),
+            O->Outlined[0].CodeOffset);
+}
+
+TEST(Validate, CatchesTamperedPcRel) {
+  auto O = link(makeInput(false));
+  ASSERT_TRUE(bool(O));
+  ASSERT_FALSE(bool(validateOat(*O)));
+  // Find a method with a PC-relative record and break the instruction.
+  for (auto &M : O->Methods) {
+    if (M.Side.PcRelRecords.empty())
+      continue;
+    const auto &R = M.Side.PcRelRecords[0];
+    uint32_t &Word = O->Text[(M.CodeOffset + R.InsnOffset) / 4];
+    auto I = a64::decode(Word);
+    ASSERT_TRUE(I.has_value());
+    I->Imm += 8; // Point it somewhere else.
+    Word = a64::encode(*I);
+    EXPECT_TRUE(bool(validateOat(*O)));
+    return;
+  }
+  FAIL() << "no pc-relative record found";
+}
+
+TEST(Validate, CatchesBadStackMap) {
+  auto O = link(makeInput(false));
+  ASSERT_TRUE(bool(O));
+  auto &M = O->Methods[0];
+  ASSERT_FALSE(M.Map.Entries.empty());
+  M.Map.Entries[0].NativePcOffset = 4; // After the prologue stp: not a call.
+  EXPECT_TRUE(bool(validateOat(*O)));
+}
+
+TEST(Validate, CatchesOverlappingRanges) {
+  auto O = link(makeInput(false));
+  ASSERT_TRUE(bool(O));
+  O->Methods[1].CodeOffset = O->Methods[0].CodeOffset;
+  EXPECT_TRUE(bool(validateOat(*O)));
+}
+
+TEST(OatFile, Queries) {
+  auto O = link(makeInput(true));
+  ASSERT_TRUE(bool(O));
+  const auto *M = O->findMethod(1);
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(O->methodContaining(M->CodeOffset), M);
+  EXPECT_EQ(O->methodContaining(M->CodeOffset + M->CodeSize - 4), M);
+  EXPECT_EQ(O->findMethod(99), nullptr);
+  EXPECT_GT(O->stackMapBytes(), 0u);
+  EXPECT_EQ(O->methodAddress(*M), O->BaseAddress + M->CodeOffset);
+}
+
+TEST(Dump, ContainsNamesAndDisasm) {
+  auto O = link(makeInput(true));
+  ASSERT_TRUE(bool(O));
+  std::string S = dumpOat(*O, /*Disassemble=*/true);
+  EXPECT_NE(S.find("caller0"), std::string::npos);
+  EXPECT_NE(S.find("stp x29, x30"), std::string::npos);
+  EXPECT_NE(S.find("cto:"), std::string::npos);
+}
+
+TEST(Dump, MarksEmbeddedData) {
+  dex::Method M;
+  M.Idx = 0;
+  M.Name = "pool";
+  M.NumRegs = 8;
+  M.ReturnsValue = true;
+  dex::Insn C;
+  C.Opcode = dex::Op::ConstInt;
+  C.A = 1;
+  C.Imm = 0x123456789abLL;
+  dex::Insn Ret;
+  Ret.Opcode = dex::Op::Return;
+  Ret.A = 1;
+  M.Code = {C, Ret};
+  LinkInput In;
+  In.AppName = "pool";
+  CtoStubCache Cache;
+  CodeGenerator Gen({}, Cache);
+  auto G = hir::buildHGraph(M);
+  ASSERT_TRUE(bool(G));
+  In.Methods.push_back(Gen.compile(*G));
+  auto O = link(In);
+  ASSERT_TRUE(bool(O));
+  std::string S = dumpOat(*O, true);
+  EXPECT_NE(S.find("embedded data"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,415 @@
+//===- tests/test_outliner.cpp - LTBO outliner tests ------------------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aarch64/Decoder.h"
+#include "codegen/CodeGenerator.h"
+#include "core/BenefitModel.h"
+#include "core/Outliner.h"
+#include "core/RedundancyAnalysis.h"
+#include "hir/HGraph.h"
+#include "oat/Linker.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace calibro;
+using namespace calibro::codegen;
+using namespace calibro::core;
+
+namespace {
+
+dex::Insn op(dex::Op O, uint16_t A = 0, uint16_t B = 0, uint16_t C = 0,
+             int64_t Imm = 0) {
+  dex::Insn I;
+  I.Opcode = O;
+  I.A = A;
+  I.B = B;
+  I.C = C;
+  I.Imm = Imm;
+  return I;
+}
+
+/// A method whose body is a fixed arithmetic chain — compiling it twice
+/// under different names yields byte-identical bodies, i.e. cross-method
+/// binary redundancy.
+dex::Method chainMethod(uint32_t Idx, const std::string &Name) {
+  dex::Method M;
+  M.Idx = Idx;
+  M.Name = Name;
+  M.NumRegs = 8;
+  M.NumArgs = 2;
+  M.ReturnsValue = true;
+  M.Code = {op(dex::Op::Add, 2, 0, 1),    op(dex::Op::Xor, 3, 2, 0),
+            op(dex::Op::Mul, 2, 2, 3),    op(dex::Op::And, 3, 2, 1),
+            op(dex::Op::Sub, 2, 2, 3),    op(dex::Op::Or, 3, 2, 0),
+            op(dex::Op::Add, 2, 2, 3),    op(dex::Op::Return, 2)};
+  return M;
+}
+
+std::vector<CompiledMethod> compileMethods(std::vector<dex::Method> Ms,
+                                           bool Cto = false) {
+  CtoStubCache Cache;
+  CodeGenerator Gen({.EnableCto = Cto}, Cache);
+  std::vector<CompiledMethod> Out;
+  for (const auto &M : Ms) {
+    if (M.IsNative) {
+      Out.push_back(Gen.compileNative(M));
+      continue;
+    }
+    auto G = hir::buildHGraph(M);
+    EXPECT_TRUE(bool(G)) << G.message();
+    Out.push_back(Gen.compile(*G));
+  }
+  return Out;
+}
+
+TEST(Outliner, OutlinesCrossMethodRedundancy) {
+  std::vector<dex::Method> Ms;
+  for (uint32_t I = 0; I < 6; ++I)
+    Ms.push_back(chainMethod(I, "chain" + std::to_string(I)));
+  auto Compiled = compileMethods(Ms);
+  uint64_t Before = 0;
+  for (const auto &M : Compiled)
+    Before += M.Code.size();
+
+  auto R = runLtbo(Compiled, {});
+  ASSERT_TRUE(bool(R)) << R.message();
+  EXPECT_GT(R->Stats.SequencesOutlined, 0u);
+  EXPECT_GT(R->Stats.InsnsRemoved, 0u);
+  EXPECT_EQ(R->Stats.CandidateMethods, 6u);
+
+  uint64_t After = 0;
+  for (const auto &M : Compiled)
+    After += M.Code.size();
+  uint64_t OutlinedWords = 0;
+  for (const auto &F : R->Funcs)
+    OutlinedWords += F.Code.size();
+  // Net saving accounting (Fig. 2): the words removed from method bodies,
+  // minus the outlined copies (sequence + br x30), equal the reported net.
+  EXPECT_EQ(R->Stats.InsnsRemoved, Before - After - OutlinedWords);
+
+  // Every outlined function ends in br x30 and contains no LR-touching,
+  // PC-relative or terminator instructions before it.
+  for (const auto &F : R->Funcs) {
+    ASSERT_GE(F.Code.size(), 2u);
+    auto Last = a64::decode(F.Code.back());
+    ASSERT_TRUE(Last.has_value());
+    EXPECT_EQ(Last->Op, a64::Opcode::Br);
+    EXPECT_EQ(Last->Rn, a64::LR);
+    for (std::size_t W = 0; W + 1 < F.Code.size(); ++W) {
+      auto I = a64::decode(F.Code[W]);
+      ASSERT_TRUE(I.has_value());
+      EXPECT_FALSE(a64::isTerminator(I->Op));
+      EXPECT_FALSE(a64::isPcRelative(I->Op));
+      EXPECT_FALSE(a64::isCall(I->Op));
+      EXPECT_NE(I->Rd, a64::LR);
+    }
+  }
+}
+
+TEST(Outliner, ReplacedOccurrencesCarryRelocations) {
+  std::vector<dex::Method> Ms;
+  for (uint32_t I = 0; I < 6; ++I)
+    Ms.push_back(chainMethod(I, "c" + std::to_string(I)));
+  auto Compiled = compileMethods(Ms);
+  auto R = runLtbo(Compiled, {});
+  ASSERT_TRUE(bool(R));
+  std::size_t OutlinedCalls = 0;
+  for (const auto &M : Compiled)
+    for (const auto &Rel : M.Relocs)
+      if (Rel.Kind == RelocKind::OutlinedFunc) {
+        ++OutlinedCalls;
+        auto I = a64::decode(M.Code[Rel.Offset / 4]);
+        ASSERT_TRUE(I.has_value());
+        EXPECT_EQ(I->Op, a64::Opcode::Bl);
+      }
+  EXPECT_EQ(OutlinedCalls, R->Stats.OccurrencesReplaced);
+}
+
+TEST(Outliner, ExcludesIndirectJumpAndNativeMethods) {
+  std::vector<dex::Method> Ms;
+  for (uint32_t I = 0; I < 4; ++I)
+    Ms.push_back(chainMethod(I, "c" + std::to_string(I)));
+  // A switch method (indirect jump).
+  dex::Method Sw;
+  Sw.Idx = 4;
+  Sw.Name = "switchy";
+  Sw.NumRegs = 8;
+  Sw.NumArgs = 1;
+  Sw.ReturnsValue = true;
+  dex::Insn S = op(dex::Op::Switch, 0);
+  S.Imm = 0;
+  Sw.SwitchTables.push_back({2u});
+  Sw.Code = {S, op(dex::Op::ConstInt, 1, 0, 0, 9), op(dex::Op::Return, 1)};
+  Ms.push_back(Sw);
+  // A native method.
+  dex::Method N;
+  N.Idx = 5;
+  N.Name = "jni";
+  N.IsNative = true;
+  Ms.push_back(N);
+
+  auto Compiled = compileMethods(Ms);
+  std::vector<uint32_t> SwitchWords = Compiled[4].Code;
+  std::vector<uint32_t> NativeWords = Compiled[5].Code;
+
+  auto R = runLtbo(Compiled, {});
+  ASSERT_TRUE(bool(R));
+  EXPECT_EQ(R->Stats.CandidateMethods, 4u);
+  EXPECT_EQ(R->Stats.ExcludedIndirectJump, 1u);
+  EXPECT_EQ(R->Stats.ExcludedNative, 1u);
+  EXPECT_EQ(Compiled[4].Code, SwitchWords) << "switch method untouched";
+  EXPECT_EQ(Compiled[5].Code, NativeWords) << "native method untouched";
+}
+
+TEST(Outliner, BenefitModelGatesSelection) {
+  // Two identical methods: their shared body appears twice. For a repeat
+  // of length L with N=2, benefit = 2L - (L + 3) = L - 3, so only
+  // sequences longer than 3 instructions get outlined.
+  auto Compiled = compileMethods({chainMethod(0, "a"), chainMethod(1, "b")});
+  auto R = runLtbo(Compiled, {});
+  ASSERT_TRUE(bool(R));
+  for (const auto &F : R->Funcs) {
+    EXPECT_TRUE(isProfitable(F.SeqLength, F.Occurrences))
+        << "len " << F.SeqLength << " x " << F.Occurrences;
+  }
+}
+
+TEST(Outliner, HotFilteringRestrictsToSlowPaths) {
+  // Methods with an IGet have an NPE slow path; make them hot.
+  std::vector<dex::Method> Ms;
+  for (uint32_t I = 0; I < 6; ++I) {
+    dex::Method M = chainMethod(I, "hot" + std::to_string(I));
+    M.Code.insert(M.Code.begin(), op(dex::Op::IGet, 4, 0, 0, 8));
+    Ms.push_back(M);
+  }
+  auto Unfiltered = compileMethods(Ms);
+  auto FilteredIn = Unfiltered; // Copy for the second run.
+
+  auto RAll = runLtbo(Unfiltered, {});
+  ASSERT_TRUE(bool(RAll));
+
+  std::unordered_set<uint32_t> Hot = {0, 1, 2, 3, 4, 5};
+  OutlinerOptions HotOpts;
+  HotOpts.HotMethods = &Hot;
+  auto RHot = runLtbo(FilteredIn, HotOpts);
+  ASSERT_TRUE(bool(RHot));
+  EXPECT_EQ(RHot->Stats.HotFilteredMethods, 6u);
+  EXPECT_LT(RHot->Stats.InsnsRemoved, RAll->Stats.InsnsRemoved)
+      << "hot filtering must cost some size reduction";
+  // Whatever is outlined in the hot methods must come from slow paths:
+  // every replaced bl must sit inside a recorded slow-path range.
+  for (const auto &M : FilteredIn) {
+    for (const auto &Rel : M.Relocs) {
+      if (Rel.Kind != RelocKind::OutlinedFunc)
+        continue;
+      bool InSlow = false;
+      for (const auto &SP : M.Side.SlowPathRanges)
+        InSlow |= SP.contains(Rel.Offset);
+      EXPECT_TRUE(InSlow) << "outlined non-slow-path code in a hot method";
+    }
+  }
+  // The shared slow-path context pair still outlines (paper §3.4.2).
+  EXPECT_GT(RHot->Stats.SequencesOutlined, 0u);
+}
+
+TEST(Outliner, PartitioningLosesSomeReduction) {
+  std::vector<dex::Method> Ms;
+  for (uint32_t I = 0; I < 12; ++I)
+    Ms.push_back(chainMethod(I, "p" + std::to_string(I)));
+  auto Single = compileMethods(Ms);
+  auto Parted = Single;
+
+  auto R1 = runLtbo(Single, {});
+  OutlinerOptions POpts;
+  POpts.Partitions = 4;
+  auto R4 = runLtbo(Parted, POpts);
+  ASSERT_TRUE(bool(R1) && bool(R4));
+  // With 12 identical methods split 4 ways, each partition still finds the
+  // repeats among its 3 methods, but pays for 4 outlined copies.
+  EXPECT_GE(R1->Stats.InsnsRemoved, R4->Stats.InsnsRemoved);
+  EXPECT_GT(R4->Stats.SequencesOutlined, 0u);
+}
+
+TEST(Outliner, RewrittenMethodsLinkAndValidate) {
+  std::vector<dex::Method> Ms;
+  for (uint32_t I = 0; I < 6; ++I)
+    Ms.push_back(chainMethod(I, "v" + std::to_string(I)));
+  auto Compiled = compileMethods(Ms);
+  auto R = runLtbo(Compiled, {});
+  ASSERT_TRUE(bool(R));
+  oat::LinkInput In;
+  In.AppName = "outline-validate";
+  In.Methods = std::move(Compiled);
+  In.Outlined = std::move(R->Funcs);
+  auto O = oat::link(In);
+  ASSERT_TRUE(bool(O)) << O.message();
+  EXPECT_FALSE(bool(oat::validateOat(*O)));
+}
+
+TEST(Outliner, SuffixArrayBackendMatchesSuffixTree) {
+  // Both detection backends enumerate the same maximal repeats, so the
+  // whole outlining pipeline must produce identical methods and functions.
+  std::vector<dex::Method> Ms;
+  for (uint32_t I = 0; I < 10; ++I)
+    Ms.push_back(chainMethod(I, "d" + std::to_string(I)));
+  auto ViaTree = compileMethods(Ms);
+  auto ViaArray = ViaTree;
+
+  OutlinerOptions TreeOpts;
+  auto RT = runLtbo(ViaTree, TreeOpts);
+  OutlinerOptions ArrayOpts;
+  ArrayOpts.Detector = DetectorKind::SuffixArray;
+  auto RA = runLtbo(ViaArray, ArrayOpts);
+  ASSERT_TRUE(bool(RT) && bool(RA));
+
+  EXPECT_EQ(RT->Stats.InsnsRemoved, RA->Stats.InsnsRemoved);
+  EXPECT_EQ(RT->Stats.OccurrencesReplaced, RA->Stats.OccurrencesReplaced);
+  ASSERT_EQ(ViaTree.size(), ViaArray.size());
+  for (std::size_t M = 0; M < ViaTree.size(); ++M)
+    EXPECT_EQ(ViaTree[M].Code, ViaArray[M].Code) << "method " << M;
+  ASSERT_EQ(RT->Funcs.size(), RA->Funcs.size());
+  for (std::size_t F = 0; F < RT->Funcs.size(); ++F)
+    EXPECT_EQ(RT->Funcs[F].Code, RA->Funcs[F].Code);
+}
+
+TEST(Outliner, FailureInjectionCorruptSideInfo) {
+  // Shift every recorded PcRel target by one instruction before outlining.
+  // The patcher trusts the compile-time info (by design, §3.2), so the
+  // corruption propagates self-consistently — structural validation cannot
+  // see it. Two safety nets must still exist: an un-rewritten method keeps
+  // the now-lying record (validateOat catches that, see test_oat), and a
+  // rewritten image diverges behaviourally (the differential harness
+  // catches that). This test exercises the second net.
+  std::vector<dex::Method> Ms;
+  for (uint32_t I = 0; I < 6; ++I) {
+    dex::Method M = chainMethod(I, "f" + std::to_string(I));
+    // Branch over the whole outlinable chain to the return: after
+    // outlining shrinks the chain, an unpatched branch overshoots.
+    dex::Insn If = op(dex::Op::IfLtz, 0);
+    // After the insertion below, the Return lands at index Code.size().
+    If.Target = static_cast<uint32_t>(M.Code.size());
+    M.Code.insert(M.Code.begin(), If);
+    // Different frame sizes per method: a stale branch that escapes into a
+    // neighbouring method cannot land in a byte-compatible epilogue.
+    M.NumRegs = static_cast<uint16_t>(10 + 2 * I);
+    Ms.push_back(M);
+  }
+
+  auto Clean = compileMethods(Ms);
+  auto Corrupt = Clean;
+  // Drop the recorded terminators and PC-relative instructions entirely:
+  // the outliner now treats branches as ordinary instructions (it may move
+  // them into shared copies) and never re-patches them.
+  for (auto &M : Corrupt) {
+    M.Side.PcRelRecords.clear();
+    M.Side.TerminatorOffsets.clear();
+  }
+
+  auto RClean = runLtbo(Clean, {});
+  auto RCorrupt = runLtbo(Corrupt, {});
+  ASSERT_TRUE(bool(RClean) && bool(RCorrupt));
+
+  auto LinkUp = [](std::vector<CompiledMethod> Methods,
+                   std::vector<OutlinedFunc> Funcs) {
+    oat::LinkInput In;
+    In.AppName = "inject";
+    In.Methods = std::move(Methods);
+    In.Outlined = std::move(Funcs);
+    auto O = oat::link(In);
+    EXPECT_TRUE(bool(O));
+    return std::move(*O);
+  };
+  auto OClean = LinkUp(std::move(Clean), std::move(RClean->Funcs));
+  auto OCorrupt = LinkUp(std::move(Corrupt), std::move(RCorrupt->Funcs));
+
+  // The corrupted run must have made different (more aggressive) outlining
+  // decisions: without separators it can swallow branches whole.
+  EXPECT_NE(OClean.Text, OCorrupt.Text);
+  // The clean image is fully consistent; the corrupted one has lost its
+  // terminator metadata, so its recorded invariants no longer describe the
+  // code. (Behavioural divergence is input-dependent: on small symmetric
+  // inputs the stale branches can land in byte-compatible code — the
+  // integration suite's differential harness is the net that catches real
+  // instances at app scale.)
+  EXPECT_FALSE(bool(oat::validateOat(OClean)));
+  sim::Simulator SimA(OClean, {});
+  for (uint32_t M = 0; M < 6; ++M) {
+    int64_t Args[2] = {-7, 5};
+    auto RA = SimA.call(M, Args);
+    ASSERT_TRUE(bool(RA)) << RA.message();
+    EXPECT_EQ(RA->What, sim::Outcome::Ok);
+  }
+}
+
+TEST(Outliner, EmbeddedDataIsNeverOutlined) {
+  // Give two methods identical literal pools; the pool words must stay in
+  // place (they are separators) even though they repeat.
+  std::vector<dex::Method> Ms;
+  for (uint32_t I = 0; I < 6; ++I) {
+    dex::Method M = chainMethod(I, "pool" + std::to_string(I));
+    dex::Insn C = op(dex::Op::ConstInt, 3, 0, 0, 0x123456789abLL);
+    M.Code.insert(M.Code.begin(), C);
+    Ms.push_back(M);
+  }
+  auto Compiled = compileMethods(Ms);
+  auto R = runLtbo(Compiled, {});
+  ASSERT_TRUE(bool(R));
+  for (const auto &M : Compiled) {
+    ASSERT_EQ(M.Side.EmbeddedData.size(), 1u);
+    const auto &D = M.Side.EmbeddedData[0];
+    uint64_t Lo = M.Code[D.Offset / 4];
+    uint64_t Hi = M.Code[D.Offset / 4 + 1];
+    EXPECT_EQ((Hi << 32) | Lo, 0x123456789abULL)
+        << "literal pool moved or vanished";
+  }
+}
+
+TEST(Outliner, RejectsBadOptions) {
+  std::vector<CompiledMethod> None;
+  OutlinerOptions Bad;
+  Bad.Partitions = 0;
+  auto R = runLtbo(None, Bad);
+  EXPECT_FALSE(bool(R));
+  consumeError(R.takeError());
+
+  OutlinerOptions Bad2;
+  Bad2.MinSeqLen = 1;
+  auto R2 = runLtbo(None, Bad2);
+  EXPECT_FALSE(bool(R2));
+  consumeError(R2.takeError());
+}
+
+TEST(RedundancyAnalysis, FindsPlantedRedundancy) {
+  std::vector<dex::Method> Ms;
+  for (uint32_t I = 0; I < 8; ++I)
+    Ms.push_back(chainMethod(I, "r" + std::to_string(I)));
+  auto Compiled = compileMethods(Ms);
+  auto Report = analyzeRedundancy(Compiled, {});
+  EXPECT_GT(Report.TotalInsns, 0u);
+  EXPECT_GT(Report.EstimatedReductionRatio, 0.3)
+      << "eight identical bodies must show heavy redundancy";
+  EXPECT_FALSE(Report.TopPatterns.empty());
+  EXPECT_FALSE(Report.RepeatsByLength.empty());
+  // Top pattern repeats at least as often as any other.
+  for (std::size_t I = 1; I < Report.TopPatterns.size(); ++I)
+    EXPECT_GE(Report.TopPatterns[0].Count, Report.TopPatterns[I].Count);
+}
+
+TEST(RedundancyAnalysis, TerminatorSeparationLowersEstimate) {
+  std::vector<dex::Method> Ms;
+  for (uint32_t I = 0; I < 8; ++I)
+    Ms.push_back(chainMethod(I, "t" + std::to_string(I)));
+  auto Compiled = compileMethods(Ms);
+  AnalysisOptions Plain;
+  AnalysisOptions Separated;
+  Separated.SeparateAtTerminators = true;
+  auto A = analyzeRedundancy(Compiled, Plain);
+  auto B = analyzeRedundancy(Compiled, Separated);
+  EXPECT_GE(A.EstimatedReductionRatio, B.EstimatedReductionRatio);
+}
+
+} // namespace

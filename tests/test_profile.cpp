@@ -1,0 +1,86 @@
+//===- tests/test_profile.cpp - Profile and hot-set selection tests ---------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/Profile.h"
+
+#include <gtest/gtest.h>
+
+using namespace calibro;
+using namespace calibro::profile;
+
+namespace {
+
+TEST(Profile, AddAndMerge) {
+  Profile P;
+  P.add(1, 100);
+  P.add(1, 50);
+  P.add(2, 10);
+  EXPECT_EQ(P.CyclesByMethod[1], 150u);
+  EXPECT_EQ(P.totalCycles(), 160u);
+
+  Profile Q;
+  Q.add(2, 30);
+  Q.add(3, 5);
+  P.merge(Q);
+  EXPECT_EQ(P.CyclesByMethod[2], 40u);
+  EXPECT_EQ(P.totalCycles(), 195u);
+}
+
+TEST(HotSet, SelectsTopCoverage) {
+  // 80/10/5/5 split: 80% coverage selects exactly the top method.
+  Profile P;
+  P.add(0, 800);
+  P.add(1, 100);
+  P.add(2, 50);
+  P.add(3, 50);
+  auto Hot = selectHotMethods(P, 0.80);
+  EXPECT_EQ(Hot.size(), 1u);
+  EXPECT_TRUE(Hot.count(0));
+
+  // 90% needs the top two.
+  auto Hot90 = selectHotMethods(P, 0.90);
+  EXPECT_EQ(Hot90.size(), 2u);
+  EXPECT_TRUE(Hot90.count(0));
+  EXPECT_TRUE(Hot90.count(1));
+}
+
+TEST(HotSet, UniformDistribution) {
+  Profile P;
+  for (uint32_t I = 0; I < 10; ++I)
+    P.add(I, 100);
+  auto Hot = selectHotMethods(P, 0.80);
+  EXPECT_EQ(Hot.size(), 8u);
+}
+
+TEST(HotSet, EmptyProfile) {
+  Profile P;
+  auto Hot = selectHotMethods(P, 0.80);
+  EXPECT_TRUE(Hot.empty());
+}
+
+TEST(HotSet, FullCoverageTakesAll) {
+  Profile P;
+  P.add(0, 1);
+  P.add(1, 1);
+  auto Hot = selectHotMethods(P, 1.0);
+  EXPECT_EQ(Hot.size(), 2u);
+}
+
+TEST(HotSet, DeterministicTieBreaking) {
+  Profile P;
+  for (uint32_t I = 0; I < 6; ++I)
+    P.add(I, 10);
+  auto A = selectHotMethods(P, 0.5);
+  auto B = selectHotMethods(P, 0.5);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.size(), 3u);
+  // Ties break toward lower method indices.
+  EXPECT_TRUE(A.count(0));
+  EXPECT_TRUE(A.count(1));
+  EXPECT_TRUE(A.count(2));
+}
+
+} // namespace

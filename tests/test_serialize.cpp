@@ -1,0 +1,190 @@
+//===- tests/test_serialize.cpp - OAT file format tests ---------------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Calibro.h"
+#include "oat/Serialize.h"
+#include "sim/Simulator.h"
+#include "support/BinaryStream.h"
+#include "workload/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace calibro;
+
+namespace {
+
+oat::OatFile buildSample() {
+  workload::AppSpec Spec;
+  Spec.Name = "sertest";
+  Spec.Seed = 21;
+  Spec.NumWorkers = 24;
+  Spec.NumUtilities = 12;
+  dex::App App = workload::makeApp(Spec);
+  core::CalibroOptions Opts;
+  Opts.EnableCto = true;
+  Opts.EnableLtbo = true;
+  auto B = core::buildApp(App, Opts);
+  EXPECT_TRUE(bool(B)) << B.message();
+  return std::move(B->Oat);
+}
+
+TEST(ByteStream, FixedAndVarints) {
+  ByteWriter W;
+  W.u8(0xab);
+  W.u16(0x1234);
+  W.u32(0xdeadbeef);
+  W.u64(0x0123456789abcdefULL);
+  W.uleb(0);
+  W.uleb(127);
+  W.uleb(128);
+  W.uleb(0xffffffffffffffffULL);
+  W.str("calibro");
+  auto Bytes = W.take();
+
+  ByteReader R(Bytes);
+  EXPECT_EQ(*R.u8(), 0xab);
+  EXPECT_EQ(*R.u16(), 0x1234);
+  EXPECT_EQ(*R.u32(), 0xdeadbeefu);
+  EXPECT_EQ(*R.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(*R.uleb(), 0u);
+  EXPECT_EQ(*R.uleb(), 127u);
+  EXPECT_EQ(*R.uleb(), 128u);
+  EXPECT_EQ(*R.uleb(), 0xffffffffffffffffULL);
+  EXPECT_EQ(*R.str(), "calibro");
+  EXPECT_EQ(R.remaining(), 0u);
+}
+
+TEST(ByteStream, TruncationIsAnError) {
+  ByteWriter W;
+  W.u32(42);
+  auto Bytes = W.take();
+  ByteReader R(Bytes);
+  auto V64 = R.u64();
+  EXPECT_FALSE(bool(V64));
+  consumeError(V64.takeError());
+
+  // A varint with all continuation bits set must not loop forever.
+  std::vector<uint8_t> Bad(16, 0xff);
+  ByteReader R2(Bad);
+  auto V = R2.uleb();
+  EXPECT_FALSE(bool(V));
+  consumeError(V.takeError());
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  oat::OatFile O = buildSample();
+  auto Bytes = oat::serializeOat(O);
+  auto Back = oat::deserializeOat(Bytes);
+  ASSERT_TRUE(bool(Back)) << Back.message();
+
+  EXPECT_EQ(Back->AppName, O.AppName);
+  EXPECT_EQ(Back->BaseAddress, O.BaseAddress);
+  EXPECT_EQ(Back->Text, O.Text);
+  ASSERT_EQ(Back->Methods.size(), O.Methods.size());
+  for (std::size_t M = 0; M < O.Methods.size(); ++M) {
+    const auto &A = O.Methods[M];
+    const auto &B = Back->Methods[M];
+    EXPECT_EQ(A.MethodIdx, B.MethodIdx);
+    EXPECT_EQ(A.Name, B.Name);
+    EXPECT_EQ(A.CodeOffset, B.CodeOffset);
+    EXPECT_EQ(A.CodeSize, B.CodeSize);
+    EXPECT_EQ(A.Map.Entries, B.Map.Entries);
+    EXPECT_EQ(A.Side.TerminatorOffsets, B.Side.TerminatorOffsets);
+    EXPECT_EQ(A.Side.PcRelRecords, B.Side.PcRelRecords);
+    EXPECT_EQ(A.Side.EmbeddedData, B.Side.EmbeddedData);
+    EXPECT_EQ(A.Side.SlowPathRanges, B.Side.SlowPathRanges);
+    EXPECT_EQ(A.Side.HasIndirectJump, B.Side.HasIndirectJump);
+    EXPECT_EQ(A.Side.IsNative, B.Side.IsNative);
+  }
+  ASSERT_EQ(Back->CtoStubs.size(), O.CtoStubs.size());
+  ASSERT_EQ(Back->Outlined.size(), O.Outlined.size());
+
+  // Re-serialization must be byte-identical (the format is canonical).
+  EXPECT_EQ(oat::serializeOat(*Back), Bytes);
+}
+
+TEST(Serialize, DeserializedImageRunsIdentically) {
+  oat::OatFile O = buildSample();
+  auto Back = oat::deserializeOat(oat::serializeOat(O));
+  ASSERT_TRUE(bool(Back));
+
+  sim::Simulator SimA(O, {});
+  sim::Simulator SimB(*Back, {});
+  for (uint32_t Entry = 0; Entry < 4; ++Entry) {
+    int64_t Args[1] = {static_cast<int64_t>(Entry) * 13 + 1};
+    auto RA = SimA.call(Entry, Args);
+    auto RB = SimB.call(Entry, Args);
+    ASSERT_TRUE(bool(RA) && bool(RB));
+    EXPECT_EQ(RA->ReturnValue, RB->ReturnValue);
+    EXPECT_EQ(RA->TraceHash, RB->TraceHash);
+    EXPECT_EQ(RA->Cycles, RB->Cycles);
+  }
+}
+
+TEST(Serialize, IsValidElf64) {
+  auto Bytes = oat::serializeOat(buildSample());
+  ASSERT_GE(Bytes.size(), 64u);
+  EXPECT_EQ(Bytes[0], 0x7f);
+  EXPECT_EQ(Bytes[1], 'E');
+  EXPECT_EQ(Bytes[2], 'L');
+  EXPECT_EQ(Bytes[3], 'F');
+  EXPECT_EQ(Bytes[4], 2); // ELFCLASS64
+  EXPECT_EQ(Bytes[5], 1); // Little-endian
+  uint16_t Machine;
+  std::memcpy(&Machine, Bytes.data() + 18, 2);
+  EXPECT_EQ(Machine, 183); // EM_AARCH64
+}
+
+TEST(Serialize, RejectsCorruption) {
+  auto Bytes = oat::serializeOat(buildSample());
+
+  {
+    auto Bad = Bytes;
+    Bad[0] = 0x00; // Break the ELF magic.
+    auto R = oat::deserializeOat(Bad);
+    EXPECT_FALSE(bool(R));
+    consumeError(R.takeError());
+  }
+  {
+    auto Bad = Bytes;
+    Bad.resize(Bytes.size() / 2); // Truncate.
+    auto R = oat::deserializeOat(Bad);
+    EXPECT_FALSE(bool(R));
+    consumeError(R.takeError());
+  }
+  {
+    // Flipping a code word that a PcRel record covers must be caught by
+    // the embedded validateOat pass.
+    auto O = buildSample();
+    const oat::OatMethodEntry *Victim = nullptr;
+    for (const auto &M : O.Methods)
+      if (!M.Side.PcRelRecords.empty()) {
+        Victim = &M;
+        break;
+      }
+    ASSERT_NE(Victim, nullptr);
+    O.Text[(Victim->CodeOffset + Victim->Side.PcRelRecords[0].InsnOffset) /
+           4] = 0xD503201F; // NOP where a branch should be.
+    auto Bad = oat::serializeOat(O);
+    auto R = oat::deserializeOat(Bad);
+    EXPECT_FALSE(bool(R));
+    consumeError(R.takeError());
+  }
+}
+
+TEST(Serialize, FileRoundTrip) {
+  oat::OatFile O = buildSample();
+  std::string Path = ::testing::TempDir() + "/calibro_sertest.oat";
+  ASSERT_FALSE(bool(oat::writeOatFile(O, Path)));
+  auto Back = oat::readOatFile(Path);
+  ASSERT_TRUE(bool(Back)) << Back.message();
+  EXPECT_EQ(Back->Text, O.Text);
+  std::remove(Path.c_str());
+}
+
+} // namespace

@@ -1,0 +1,336 @@
+//===- tests/test_sim.cpp - Simulator tests ---------------------------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Calibro.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace calibro;
+using namespace calibro::sim;
+
+namespace {
+
+dex::Insn op(dex::Op O, uint16_t A = 0, uint16_t B = 0, uint16_t C = 0,
+             int64_t Imm = 0) {
+  dex::Insn I;
+  I.Opcode = O;
+  I.A = A;
+  I.B = B;
+  I.C = C;
+  I.Imm = Imm;
+  return I;
+}
+
+dex::Insn ret(uint16_t A) { return op(dex::Op::Return, A); }
+
+/// Builds a one-file app from the given methods and links it baseline.
+oat::OatFile buildApp(std::vector<dex::Method> Methods) {
+  dex::App A;
+  A.Name = "simtest";
+  A.Files.resize(1);
+  for (uint32_t I = 0; I < Methods.size(); ++I)
+    Methods[I].Idx = I;
+  A.Files[0].Methods = std::move(Methods);
+  core::CalibroOptions Opts;
+  auto B = core::buildApp(A, Opts);
+  EXPECT_TRUE(bool(B)) << B.message();
+  return std::move(B->Oat);
+}
+
+dex::Method arithMethod() {
+  // return (v0 + v1) * 3 - v1
+  dex::Method M;
+  M.Name = "arith";
+  M.NumRegs = 8;
+  M.NumArgs = 2;
+  M.ReturnsValue = true;
+  M.Code = {op(dex::Op::Add, 2, 0, 1),
+            op(dex::Op::ConstInt, 3, 0, 0, 3),
+            op(dex::Op::Mul, 2, 2, 3),
+            op(dex::Op::Sub, 2, 2, 1),
+            ret(2)};
+  return M;
+}
+
+TEST(Sim, ArithmeticMatchesReference) {
+  auto Oat = buildApp({arithMethod()});
+  Simulator Sim(Oat, {});
+  for (int64_t A : {0LL, 5LL, -7LL, 1LL << 40}) {
+    for (int64_t B : {1LL, -3LL, 100LL}) {
+      int64_t Args[2] = {A, B};
+      auto R = Sim.call(0, Args);
+      ASSERT_TRUE(bool(R)) << R.message();
+      EXPECT_EQ(R->What, Outcome::Ok);
+      EXPECT_EQ(R->ReturnValue, (A + B) * 3 - B);
+    }
+  }
+}
+
+TEST(Sim, ShiftAndLogicSemantics) {
+  // return ((v0 << v1) ^ v0) & (v0 >> 1)  -- Shr is arithmetic.
+  dex::Method M;
+  M.Name = "bits";
+  M.NumRegs = 8;
+  M.NumArgs = 2;
+  M.ReturnsValue = true;
+  M.Code = {op(dex::Op::Shl, 2, 0, 1),
+            op(dex::Op::Xor, 2, 2, 0),
+            op(dex::Op::ConstInt, 3, 0, 0, 1),
+            op(dex::Op::Shr, 4, 0, 3),
+            op(dex::Op::And, 2, 2, 4),
+            ret(2)};
+  auto Oat = buildApp({M});
+  Simulator Sim(Oat, {});
+  for (int64_t A : {3LL, -9LL, 0x7fffffffffffLL}) {
+    for (int64_t B : {0LL, 1LL, 17LL, 63LL}) {
+      int64_t Args[2] = {A, B};
+      auto R = Sim.call(0, Args);
+      ASSERT_TRUE(bool(R)) << R.message();
+      int64_t Expect =
+          ((int64_t)((uint64_t)A << (B & 63)) ^ A) & (A >> 1);
+      EXPECT_EQ(R->ReturnValue, Expect);
+    }
+  }
+}
+
+TEST(Sim, DivisionSemantics) {
+  dex::Method M;
+  M.Name = "div";
+  M.NumRegs = 8;
+  M.NumArgs = 2;
+  M.ReturnsValue = true;
+  M.Code = {op(dex::Op::Div, 2, 0, 1), ret(2)};
+  auto Oat = buildApp({M});
+  Simulator Sim(Oat, {});
+
+  int64_t Args[2] = {100, 7};
+  auto R = Sim.call(0, Args);
+  ASSERT_TRUE(bool(R));
+  EXPECT_EQ(R->ReturnValue, 14);
+
+  int64_t ZeroArgs[2] = {100, 0};
+  auto RZ = Sim.call(0, ZeroArgs);
+  ASSERT_TRUE(bool(RZ));
+  EXPECT_EQ(RZ->What, Outcome::DivZeroException);
+
+  int64_t OvfArgs[2] = {INT64_MIN, -1};
+  auto RO = Sim.call(0, OvfArgs);
+  ASSERT_TRUE(bool(RO));
+  EXPECT_EQ(RO->ReturnValue, INT64_MIN) << "sdiv overflow semantics";
+}
+
+TEST(Sim, NullPointerException) {
+  dex::Method M;
+  M.Name = "npe";
+  M.NumRegs = 8;
+  M.NumArgs = 1;
+  M.ReturnsValue = true;
+  // IGet on the argument; calling with 0 must throw.
+  M.Code = {op(dex::Op::IGet, 1, 0, 0, 8), ret(1)};
+  auto Oat = buildApp({M});
+  Simulator Sim(Oat, {});
+  int64_t Null[1] = {0};
+  auto R = Sim.call(0, Null);
+  ASSERT_TRUE(bool(R)) << R.message();
+  EXPECT_EQ(R->What, Outcome::NullPointerException);
+}
+
+TEST(Sim, AllocFieldRoundTrip) {
+  // obj = new; obj.f8 = v0; return obj.f8 + 1
+  dex::Method M;
+  M.Name = "fields";
+  M.NumRegs = 8;
+  M.NumArgs = 1;
+  M.ReturnsValue = true;
+  dex::Insn Alloc = op(dex::Op::NewInstance, 1);
+  Alloc.Idx = 4;
+  M.Code = {Alloc,
+            op(dex::Op::IPut, 0, 1, 0, 8),
+            op(dex::Op::IGet, 2, 1, 0, 8),
+            op(dex::Op::AddImm, 2, 2, 0, 1),
+            ret(2)};
+  auto Oat = buildApp({M});
+  Simulator Sim(Oat, {});
+  int64_t Args[1] = {41};
+  auto R = Sim.call(0, Args);
+  ASSERT_TRUE(bool(R)) << R.message();
+  EXPECT_EQ(R->ReturnValue, 42);
+}
+
+TEST(Sim, CallsPropagateValues) {
+  dex::Method Callee = arithMethod(); // Will be idx 1.
+  dex::Method Caller;
+  Caller.Name = "caller";
+  Caller.NumRegs = 8;
+  Caller.NumArgs = 2;
+  Caller.ReturnsValue = true;
+  dex::Insn Call = op(dex::Op::InvokeStatic, 3);
+  Call.Idx = 1;
+  Call.Args = {0, 1, dex::NoReg, dex::NoReg};
+  Call.NumArgs = 2;
+  Caller.Code = {Call, op(dex::Op::AddImm, 3, 3, 0, 5), ret(3)};
+  auto Oat = buildApp({Caller, Callee});
+  Simulator Sim(Oat, {});
+  int64_t Args[2] = {10, 4};
+  auto R = Sim.call(0, Args);
+  ASSERT_TRUE(bool(R)) << R.message();
+  EXPECT_EQ(R->ReturnValue, (10 + 4) * 3 - 4 + 5);
+  EXPECT_GE(R->Calls, 1u);
+}
+
+TEST(Sim, ThrowDeliversException) {
+  dex::Method M;
+  M.Name = "thrower";
+  M.NumRegs = 8;
+  M.NumArgs = 1;
+  M.ReturnsValue = true;
+  M.Code = {op(dex::Op::Throw, 0), ret(0)};
+  auto Oat = buildApp({M});
+  Simulator Sim(Oat, {});
+  int64_t Args[1] = {7};
+  auto R = Sim.call(0, Args);
+  ASSERT_TRUE(bool(R)) << R.message();
+  EXPECT_EQ(R->What, Outcome::Exception);
+}
+
+TEST(Sim, SwitchDispatch) {
+  dex::Method M;
+  M.Name = "switchy";
+  M.NumRegs = 8;
+  M.NumArgs = 1;
+  M.ReturnsValue = true;
+  dex::Insn Sw = op(dex::Op::Switch, 0);
+  Sw.Imm = 0;
+  M.SwitchTables.push_back({3u, 5u, 7u});
+  // 0: switch 1: const v1=99 (default) 2: goto end
+  // 3: const v1=10; goto gone? -- build: each case returns directly.
+  dex::Insn DefC = op(dex::Op::ConstInt, 1, 0, 0, 99);
+  M.Code = {Sw,
+            DefC,
+            op(dex::Op::Goto, 0, 0, 0),
+            op(dex::Op::ConstInt, 1, 0, 0, 10),
+            op(dex::Op::Goto, 0, 0, 0),
+            op(dex::Op::ConstInt, 1, 0, 0, 20),
+            op(dex::Op::Goto, 0, 0, 0),
+            op(dex::Op::ConstInt, 1, 0, 0, 30),
+            ret(1)};
+  M.Code[2].Target = 8;
+  M.Code[4].Target = 8;
+  M.Code[6].Target = 8;
+  auto Oat = buildApp({M});
+  Simulator Sim(Oat, {});
+  auto Run = [&](int64_t V) {
+    int64_t Args[1] = {V};
+    auto R = Sim.call(0, Args);
+    EXPECT_TRUE(bool(R)) << R.message();
+    return R ? R->ReturnValue : -1;
+  };
+  EXPECT_EQ(Run(0), 10);
+  EXPECT_EQ(Run(1), 20);
+  EXPECT_EQ(Run(2), 30);
+  EXPECT_EQ(Run(3), 99);   // Out of range -> default.
+  EXPECT_EQ(Run(-1), 99);  // Negative -> default (unsigned compare).
+}
+
+TEST(Sim, StackOverflowDetected) {
+  // Infinite recursion trips the Fig. 4c probe once the guard is reached.
+  dex::Method M;
+  M.Name = "recurse";
+  M.NumRegs = 8;
+  M.NumArgs = 1;
+  M.ReturnsValue = true;
+  dex::Insn Call = op(dex::Op::InvokeStatic, 1);
+  Call.Idx = 0; // Self.
+  Call.Args = {0, dex::NoReg, dex::NoReg, dex::NoReg};
+  Call.NumArgs = 1;
+  M.Code = {Call, ret(1)};
+  auto Oat = buildApp({M});
+  Simulator Sim(Oat, {});
+  int64_t Args[1] = {1};
+  auto R = Sim.call(0, Args);
+  ASSERT_TRUE(bool(R)) << R.message();
+  EXPECT_EQ(R->What, Outcome::StackOverflow);
+}
+
+TEST(Sim, JniIsDeterministic) {
+  dex::Method N;
+  N.Name = "native";
+  N.IsNative = true;
+  auto Oat = buildApp({N});
+  Simulator Sim(Oat, {});
+  auto R1 = Sim.call(0, {});
+  auto R2 = Sim.call(0, {});
+  ASSERT_TRUE(bool(R1) && bool(R2));
+  EXPECT_EQ(R1->ReturnValue, R2->ReturnValue);
+  EXPECT_EQ(R1->TraceHash, R2->TraceHash);
+}
+
+TEST(Sim, TraceHashSensitiveToBehaviour) {
+  auto Oat = buildApp({arithMethod()});
+  Simulator Sim(Oat, {});
+  int64_t A1[2] = {1, 2};
+  int64_t A2[2] = {3, 4};
+  auto R1 = Sim.call(0, A1);
+  auto R2 = Sim.call(0, A2);
+  ASSERT_TRUE(bool(R1) && bool(R2));
+  EXPECT_NE(R1->TraceHash, R2->TraceHash);
+}
+
+TEST(Sim, MissingSafepointIsAFault) {
+  dex::Method M;
+  M.Name = "alloc";
+  M.NumRegs = 8;
+  M.ReturnsValue = true;
+  dex::Insn Alloc = op(dex::Op::NewInstance, 1);
+  Alloc.Idx = 0;
+  M.Code = {Alloc, ret(1)};
+  auto Oat = buildApp({M});
+  // Corrupt the StackMap: drop every entry.
+  Oat.Methods[0].Map.Entries.clear();
+  Simulator Sim(Oat, {});
+  auto R = Sim.call(0, {});
+  EXPECT_FALSE(bool(R)) << "allocation without a safepoint must fault";
+  consumeError(R.takeError());
+}
+
+TEST(Sim, StatisticsAccumulate) {
+  auto Oat = buildApp({arithMethod()});
+  SimOptions Opts;
+  Opts.CollectProfile = true;
+  Simulator Sim(Oat, Opts);
+  int64_t Args[2] = {1, 2};
+  auto R = Sim.call(0, Args);
+  ASSERT_TRUE(bool(R));
+  EXPECT_GT(R->Insns, 0u);
+  EXPECT_GT(R->Cycles, R->Insns); // Cycle model adds penalties.
+  EXPECT_GT(R->ICacheMisses, 0u); // Cold cache.
+  EXPECT_GT(Sim.touchedTextPages(), 0u);
+  EXPECT_GT(Sim.profileData().totalCycles(), 0u);
+
+  Sim.reset();
+  EXPECT_EQ(Sim.touchedTextPages(), 0u);
+  EXPECT_EQ(Sim.profileData().totalCycles(), 0u);
+}
+
+TEST(Sim, InstructionBudgetGuards) {
+  // An infinite loop trips MaxInsns as a fault, not a hang.
+  dex::Method M;
+  M.Name = "spin";
+  M.NumRegs = 8;
+  M.ReturnsValue = true;
+  M.Code = {op(dex::Op::Goto, 0, 0, 0), ret(1)};
+  M.Code[0].Target = 0;
+  auto Oat = buildApp({M});
+  SimOptions Opts;
+  Opts.MaxInsns = 1000;
+  Simulator Sim(Oat, Opts);
+  auto R = Sim.call(0, {});
+  EXPECT_FALSE(bool(R));
+  consumeError(R.takeError());
+}
+
+} // namespace

@@ -1,0 +1,143 @@
+//===- tests/test_workload.cpp - Workload generator tests -------------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace calibro;
+using namespace calibro::workload;
+
+namespace {
+
+AppSpec tinySpec(uint64_t Seed) {
+  AppSpec S;
+  S.Name = "tiny";
+  S.Seed = Seed;
+  S.NumWorkers = 40;
+  S.NumUtilities = 20;
+  return S;
+}
+
+TEST(Workload, GeneratedAppsVerify) {
+  for (uint64_t Seed : {1ull, 7ull, 42ull, 0xdeadull}) {
+    dex::App A = makeApp(tinySpec(Seed));
+    EXPECT_FALSE(bool(dex::verifyApp(A))) << "seed " << Seed;
+  }
+}
+
+TEST(Workload, PaperAppsVerify) {
+  for (const auto &Spec : paperApps(0.1)) {
+    dex::App A = makeApp(Spec);
+    EXPECT_FALSE(bool(dex::verifyApp(A))) << Spec.Name;
+    EXPECT_EQ(A.Name, Spec.Name);
+    EXPECT_EQ(A.numMethods(),
+              Spec.NumEntries + Spec.NumWorkers + Spec.NumUtilities);
+  }
+}
+
+TEST(Workload, DeterministicForSeed) {
+  dex::App A = makeApp(tinySpec(5));
+  dex::App B = makeApp(tinySpec(5));
+  ASSERT_EQ(A.numMethods(), B.numMethods());
+  for (std::size_t F = 0; F < A.Files.size(); ++F) {
+    ASSERT_EQ(A.Files[F].Methods.size(), B.Files[F].Methods.size());
+    for (std::size_t M = 0; M < A.Files[F].Methods.size(); ++M) {
+      const auto &MA = A.Files[F].Methods[M];
+      const auto &MB = B.Files[F].Methods[M];
+      EXPECT_EQ(MA.Name, MB.Name);
+      ASSERT_EQ(MA.Code.size(), MB.Code.size());
+      for (std::size_t I = 0; I < MA.Code.size(); ++I) {
+        EXPECT_EQ(MA.Code[I].Opcode, MB.Code[I].Opcode);
+        EXPECT_EQ(MA.Code[I].Imm, MB.Code[I].Imm);
+      }
+    }
+  }
+}
+
+TEST(Workload, DifferentSeedsDiffer) {
+  dex::App A = makeApp(tinySpec(5));
+  dex::App B = makeApp(tinySpec(6));
+  bool AnyDiff = A.numMethods() != B.numMethods();
+  if (!AnyDiff) {
+    for (std::size_t F = 0; F < A.Files.size() && !AnyDiff; ++F)
+      for (std::size_t M = 0;
+           M < A.Files[F].Methods.size() && !AnyDiff; ++M)
+        AnyDiff |= A.Files[F].Methods[M].Code.size() !=
+                   B.Files[F].Methods[M].Code.size();
+  }
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(Workload, ContainsExpectedMethodKinds) {
+  AppSpec S = tinySpec(9);
+  S.SwitchFraction = 0.5;
+  S.NativeFraction = 0.5;
+  dex::App A = makeApp(S);
+  std::size_t Switches = 0, Natives = 0;
+  A.forEachMethod([&](const dex::Method &M) {
+    Natives += M.IsNative;
+    Switches += !M.SwitchTables.empty();
+  });
+  EXPECT_GT(Switches, 0u);
+  EXPECT_GT(Natives, 0u);
+}
+
+TEST(Workload, CallGraphIsLayered) {
+  // Entries call workers, workers call utilities; no recursion is possible
+  // because callee indices always point into a later layer.
+  AppSpec S = tinySpec(11);
+  dex::App A = makeApp(S);
+  uint32_t WorkerLo = S.NumEntries;
+  uint32_t UtilLo = S.NumEntries + S.NumWorkers;
+  A.forEachMethod([&](const dex::Method &M) {
+    for (const auto &I : M.Code) {
+      if (I.Opcode != dex::Op::InvokeStatic &&
+          I.Opcode != dex::Op::InvokeVirtual)
+        continue;
+      if (M.Idx < WorkerLo) {
+        EXPECT_GE(I.Idx, WorkerLo);
+        EXPECT_LT(I.Idx, UtilLo);
+      } else if (M.Idx < UtilLo) {
+        EXPECT_GE(I.Idx, UtilLo);
+      } else {
+        FAIL() << "utilities must not call";
+      }
+    }
+  });
+}
+
+TEST(Workload, ScriptDeterministicAndValid) {
+  AppSpec S = tinySpec(3);
+  auto Script1 = makeScript(S, 50, 99);
+  auto Script2 = makeScript(S, 50, 99);
+  ASSERT_EQ(Script1.size(), 50u);
+  for (std::size_t I = 0; I < Script1.size(); ++I) {
+    EXPECT_EQ(Script1[I].MethodIdx, Script2[I].MethodIdx);
+    EXPECT_EQ(Script1[I].Args, Script2[I].Args);
+    EXPECT_LT(Script1[I].MethodIdx, S.NumEntries);
+    EXPECT_EQ(Script1[I].Args.size(), 1u); // Entries take one argument.
+  }
+}
+
+TEST(Workload, PaperAppsScaleWithTable4Sizes) {
+  auto Specs = paperApps(1.0);
+  ASSERT_EQ(Specs.size(), 6u);
+  auto Find = [&](const char *Name) -> const AppSpec & {
+    for (const auto &S : Specs)
+      if (S.Name == Name)
+        return S;
+    static AppSpec Empty;
+    return Empty;
+  };
+  // Kuaishou (612 MB) must be the largest, Taobao (225 MB) the smallest.
+  for (const auto &S : Specs) {
+    EXPECT_LE(S.NumWorkers, Find("Kuaishou").NumWorkers);
+    EXPECT_GE(S.NumWorkers, Find("Taobao").NumWorkers);
+  }
+}
+
+} // namespace

@@ -1,0 +1,160 @@
+//===- tools/calibro-dex2oat.cpp - Build OAT files from the CLI -------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dex2oat-shaped command-line front end: generates a synthetic app (a
+/// paper preset or a custom spec), compiles it under the selected Calibro
+/// configuration, and writes the resulting OAT (special ELF) to disk.
+///
+///   calibro-dex2oat --app Wechat --scale 0.5 --cto --ltbo
+///                   --partitions 8 --threads 2 --hf -o wechat.oat
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Calibro.h"
+#include "oat/Serialize.h"
+#include "sim/Simulator.h"
+#include "workload/Workload.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace calibro;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: calibro-dex2oat [options] -o <out.oat>\n"
+      "  --app <name>       paper app preset (Toutiao..Wechat; default "
+      "Wechat)\n"
+      "  --scale <s>        workload scale (default 0.5)\n"
+      "  --seed <n>         override the app seed\n"
+      "  --cto              enable compilation-time outlining (paper 3.1)\n"
+      "  --ltbo             enable link-time binary outlining (paper 3.3)\n"
+      "  --partitions <k>   paralleled suffix trees (paper 3.4.1)\n"
+      "  --threads <n>      LTBO worker threads\n"
+      "  --hf               hot-function filtering: profile a scripted run\n"
+      "                     of the unfiltered build first (paper 3.4.2)\n"
+      "  --min-len/--max-len <n>  candidate length bounds\n"
+      "  -o <file>          output path (required)\n");
+  std::exit(2);
+}
+
+const char *next(int &I, int Argc, char **Argv) {
+  if (++I >= Argc)
+    usage();
+  return Argv[I];
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string AppName = "Wechat";
+  std::string Out;
+  double Scale = 0.5;
+  uint64_t Seed = 0;
+  bool Hf = false;
+  core::CalibroOptions Opts;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--app")
+      AppName = next(I, argc, argv);
+    else if (A == "--scale")
+      Scale = std::atof(next(I, argc, argv));
+    else if (A == "--seed")
+      Seed = std::strtoull(next(I, argc, argv), nullptr, 0);
+    else if (A == "--cto")
+      Opts.EnableCto = true;
+    else if (A == "--ltbo")
+      Opts.EnableLtbo = true;
+    else if (A == "--partitions")
+      Opts.LtboPartitions = std::atoi(next(I, argc, argv));
+    else if (A == "--threads")
+      Opts.LtboThreads = std::atoi(next(I, argc, argv));
+    else if (A == "--min-len")
+      Opts.MinSeqLen = std::atoi(next(I, argc, argv));
+    else if (A == "--max-len")
+      Opts.MaxSeqLen = std::atoi(next(I, argc, argv));
+    else if (A == "--hf")
+      Hf = true;
+    else if (A == "-o")
+      Out = next(I, argc, argv);
+    else
+      usage();
+  }
+  if (Out.empty())
+    usage();
+
+  workload::AppSpec Spec;
+  bool Found = false;
+  for (const auto &S : workload::paperApps(Scale))
+    if (S.Name == AppName) {
+      Spec = S;
+      Found = true;
+    }
+  if (!Found) {
+    std::fprintf(stderr, "unknown app '%s'\n", AppName.c_str());
+    return 1;
+  }
+  if (Seed)
+    Spec.Seed = Seed;
+
+  dex::App App = workload::makeApp(Spec);
+  std::fprintf(stderr, "compiling %s: %zu methods, %zu dex files\n",
+               AppName.c_str(), App.numMethods(), App.Files.size());
+
+  profile::Profile Prof;
+  if (Hf) {
+    // Fig. 6: build unfiltered, run the script under the profiler, then
+    // let the profile guide the real build.
+    auto Pre = core::buildApp(App, Opts);
+    if (!Pre) {
+      std::fprintf(stderr, "build failed: %s\n", Pre.message().c_str());
+      return 1;
+    }
+    sim::SimOptions SOpts;
+    SOpts.CollectProfile = true;
+    sim::Simulator Sim(Pre->Oat, SOpts);
+    for (const auto &Inv : workload::makeScript(Spec, 30, 99)) {
+      auto R = Sim.call(Inv.MethodIdx, Inv.Args);
+      if (!R) {
+        std::fprintf(stderr, "profiling run fault: %s\n",
+                     R.message().c_str());
+        return 1;
+      }
+    }
+    Prof = Sim.profileData();
+    Opts.Profile = &Prof;
+  }
+
+  auto B = core::buildApp(App, Opts);
+  if (!B) {
+    std::fprintf(stderr, "build failed: %s\n", B.message().c_str());
+    return 1;
+  }
+  if (auto E = oat::writeOatFile(B->Oat, Out)) {
+    std::fprintf(stderr, "%s\n", E.message().c_str());
+    return 1;
+  }
+
+  const auto &St = B->Stats;
+  std::fprintf(stderr,
+               "wrote %s: .text %llu bytes, %zu methods, %zu stubs, %zu "
+               "outlined fns\n"
+               "  compile %.3fs, ltbo %.3fs (outlined %zu seqs, %zu "
+               "occurrences), link %.3fs\n",
+               Out.c_str(), (unsigned long long)B->Oat.textBytes(),
+               B->Oat.Methods.size(), B->Oat.CtoStubs.size(),
+               B->Oat.Outlined.size(), St.CompileSeconds, St.LtboSeconds,
+               St.Ltbo.SequencesOutlined, St.Ltbo.OccurrencesReplaced,
+               St.LinkSeconds);
+  return 0;
+}

@@ -1,0 +1,61 @@
+//===- tools/calibro-oatdump.cpp - Inspect OAT files from the CLI -----------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// oatdump for this repo's OAT (special ELF) files:
+///
+///   calibro-oatdump file.oat                # header summary
+///   calibro-oatdump --disasm file.oat       # full disassembly
+///   calibro-oatdump --method W17 file.oat   # methods matching a fragment
+///
+//===----------------------------------------------------------------------===//
+
+#include "oat/Dump.h"
+#include "oat/Serialize.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace calibro;
+
+int main(int argc, char **argv) {
+  bool Disasm = false;
+  const char *Filter = nullptr;
+  const char *Path = nullptr;
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--disasm"))
+      Disasm = true;
+    else if (!std::strcmp(argv[I], "--method") && I + 1 < argc)
+      Filter = argv[++I];
+    else
+      Path = argv[I];
+  }
+  if (!Path) {
+    std::fprintf(stderr,
+                 "usage: calibro-oatdump [--disasm] [--method <fragment>] "
+                 "<file.oat>\n");
+    return 2;
+  }
+
+  auto O = oat::readOatFile(Path);
+  if (!O) {
+    std::fprintf(stderr, "%s: %s\n", Path, O.message().c_str());
+    return 1;
+  }
+
+  if (Filter) {
+    std::fputs(oat::dumpOat(*O, false).c_str(), stdout);
+    for (const auto &M : O->Methods)
+      if (M.Name.find(Filter) != std::string::npos) {
+        std::fputs("\n", stdout);
+        std::fputs(oat::dumpMethod(*O, M).c_str(), stdout);
+      }
+    return 0;
+  }
+  std::fputs(oat::dumpOat(*O, Disasm).c_str(), stdout);
+  return 0;
+}
