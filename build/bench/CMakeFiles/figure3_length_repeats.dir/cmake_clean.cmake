@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_length_repeats.dir/figure3_length_repeats.cpp.o"
+  "CMakeFiles/figure3_length_repeats.dir/figure3_length_repeats.cpp.o.d"
+  "figure3_length_repeats"
+  "figure3_length_repeats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_length_repeats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_aarch64.dir/micro_aarch64.cpp.o"
+  "CMakeFiles/micro_aarch64.dir/micro_aarch64.cpp.o.d"
+  "micro_aarch64"
+  "micro_aarch64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_aarch64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_suffixtree.cpp" "bench/CMakeFiles/micro_suffixtree.dir/micro_suffixtree.cpp.o" "gcc" "bench/CMakeFiles/micro_suffixtree.dir/micro_suffixtree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/calibro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/calibro_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/calibro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/oat/CMakeFiles/calibro_oat.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/calibro_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/hir/CMakeFiles/calibro_hir.dir/DependInfo.cmake"
+  "/root/repo/build/src/dex/CMakeFiles/calibro_dex.dir/DependInfo.cmake"
+  "/root/repo/build/src/suffixtree/CMakeFiles/calibro_suffixtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/calibro_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/aarch64/CMakeFiles/calibro_aarch64.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/calibro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

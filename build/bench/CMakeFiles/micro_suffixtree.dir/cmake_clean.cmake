@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_suffixtree.dir/micro_suffixtree.cpp.o"
+  "CMakeFiles/micro_suffixtree.dir/micro_suffixtree.cpp.o.d"
+  "micro_suffixtree"
+  "micro_suffixtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_suffixtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs3_art_patterns.dir/obs3_art_patterns.cpp.o"
+  "CMakeFiles/obs3_art_patterns.dir/obs3_art_patterns.cpp.o.d"
+  "obs3_art_patterns"
+  "obs3_art_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs3_art_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

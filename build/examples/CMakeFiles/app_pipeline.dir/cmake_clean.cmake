@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_pipeline.dir/app_pipeline.cpp.o"
+  "CMakeFiles/app_pipeline.dir/app_pipeline.cpp.o.d"
+  "app_pipeline"
+  "app_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

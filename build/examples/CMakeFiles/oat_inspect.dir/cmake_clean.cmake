@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oat_inspect.dir/oat_inspect.cpp.o"
+  "CMakeFiles/oat_inspect.dir/oat_inspect.cpp.o.d"
+  "oat_inspect"
+  "oat_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oat_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outline_walkthrough.dir/outline_walkthrough.cpp.o"
+  "CMakeFiles/outline_walkthrough.dir/outline_walkthrough.cpp.o.d"
+  "outline_walkthrough"
+  "outline_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outline_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_guided.dir/profile_guided.cpp.o"
+  "CMakeFiles/profile_guided.dir/profile_guided.cpp.o.d"
+  "profile_guided"
+  "profile_guided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_guided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

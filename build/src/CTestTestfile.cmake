@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("aarch64")
+subdirs("dex")
+subdirs("hir")
+subdirs("codegen")
+subdirs("oat")
+subdirs("suffixtree")
+subdirs("sim")
+subdirs("profile")
+subdirs("workload")
+subdirs("core")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aarch64/Decoder.cpp" "src/aarch64/CMakeFiles/calibro_aarch64.dir/Decoder.cpp.o" "gcc" "src/aarch64/CMakeFiles/calibro_aarch64.dir/Decoder.cpp.o.d"
+  "/root/repo/src/aarch64/Disasm.cpp" "src/aarch64/CMakeFiles/calibro_aarch64.dir/Disasm.cpp.o" "gcc" "src/aarch64/CMakeFiles/calibro_aarch64.dir/Disasm.cpp.o.d"
+  "/root/repo/src/aarch64/Encoder.cpp" "src/aarch64/CMakeFiles/calibro_aarch64.dir/Encoder.cpp.o" "gcc" "src/aarch64/CMakeFiles/calibro_aarch64.dir/Encoder.cpp.o.d"
+  "/root/repo/src/aarch64/PcRel.cpp" "src/aarch64/CMakeFiles/calibro_aarch64.dir/PcRel.cpp.o" "gcc" "src/aarch64/CMakeFiles/calibro_aarch64.dir/PcRel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/calibro_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibro_aarch64.dir/Decoder.cpp.o"
+  "CMakeFiles/calibro_aarch64.dir/Decoder.cpp.o.d"
+  "CMakeFiles/calibro_aarch64.dir/Disasm.cpp.o"
+  "CMakeFiles/calibro_aarch64.dir/Disasm.cpp.o.d"
+  "CMakeFiles/calibro_aarch64.dir/Encoder.cpp.o"
+  "CMakeFiles/calibro_aarch64.dir/Encoder.cpp.o.d"
+  "CMakeFiles/calibro_aarch64.dir/PcRel.cpp.o"
+  "CMakeFiles/calibro_aarch64.dir/PcRel.cpp.o.d"
+  "libcalibro_aarch64.a"
+  "libcalibro_aarch64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibro_aarch64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibro_codegen.dir/CodeGenerator.cpp.o"
+  "CMakeFiles/calibro_codegen.dir/CodeGenerator.cpp.o.d"
+  "libcalibro_codegen.a"
+  "libcalibro_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibro_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

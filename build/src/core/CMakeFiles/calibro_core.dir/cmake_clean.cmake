@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibro_core.dir/Calibro.cpp.o"
+  "CMakeFiles/calibro_core.dir/Calibro.cpp.o.d"
+  "CMakeFiles/calibro_core.dir/Outliner.cpp.o"
+  "CMakeFiles/calibro_core.dir/Outliner.cpp.o.d"
+  "CMakeFiles/calibro_core.dir/RedundancyAnalysis.cpp.o"
+  "CMakeFiles/calibro_core.dir/RedundancyAnalysis.cpp.o.d"
+  "libcalibro_core.a"
+  "libcalibro_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

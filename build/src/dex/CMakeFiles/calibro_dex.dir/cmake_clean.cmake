@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibro_dex.dir/Dex.cpp.o"
+  "CMakeFiles/calibro_dex.dir/Dex.cpp.o.d"
+  "libcalibro_dex.a"
+  "libcalibro_dex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibro_dex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

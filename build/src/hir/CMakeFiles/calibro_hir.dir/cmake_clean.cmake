@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibro_hir.dir/HGraph.cpp.o"
+  "CMakeFiles/calibro_hir.dir/HGraph.cpp.o.d"
+  "CMakeFiles/calibro_hir.dir/Passes.cpp.o"
+  "CMakeFiles/calibro_hir.dir/Passes.cpp.o.d"
+  "libcalibro_hir.a"
+  "libcalibro_hir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibro_hir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

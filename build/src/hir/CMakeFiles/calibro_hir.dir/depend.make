@@ -1,0 +1,2 @@
+# Empty dependencies file for calibro_hir.
+# This may be replaced when dependencies are built.

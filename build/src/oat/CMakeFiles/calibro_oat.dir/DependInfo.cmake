@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oat/Dump.cpp" "src/oat/CMakeFiles/calibro_oat.dir/Dump.cpp.o" "gcc" "src/oat/CMakeFiles/calibro_oat.dir/Dump.cpp.o.d"
+  "/root/repo/src/oat/Linker.cpp" "src/oat/CMakeFiles/calibro_oat.dir/Linker.cpp.o" "gcc" "src/oat/CMakeFiles/calibro_oat.dir/Linker.cpp.o.d"
+  "/root/repo/src/oat/OatFile.cpp" "src/oat/CMakeFiles/calibro_oat.dir/OatFile.cpp.o" "gcc" "src/oat/CMakeFiles/calibro_oat.dir/OatFile.cpp.o.d"
+  "/root/repo/src/oat/Serialize.cpp" "src/oat/CMakeFiles/calibro_oat.dir/Serialize.cpp.o" "gcc" "src/oat/CMakeFiles/calibro_oat.dir/Serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codegen/CMakeFiles/calibro_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/aarch64/CMakeFiles/calibro_aarch64.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/calibro_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/hir/CMakeFiles/calibro_hir.dir/DependInfo.cmake"
+  "/root/repo/build/src/dex/CMakeFiles/calibro_dex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibro_oat.dir/Dump.cpp.o"
+  "CMakeFiles/calibro_oat.dir/Dump.cpp.o.d"
+  "CMakeFiles/calibro_oat.dir/Linker.cpp.o"
+  "CMakeFiles/calibro_oat.dir/Linker.cpp.o.d"
+  "CMakeFiles/calibro_oat.dir/OatFile.cpp.o"
+  "CMakeFiles/calibro_oat.dir/OatFile.cpp.o.d"
+  "CMakeFiles/calibro_oat.dir/Serialize.cpp.o"
+  "CMakeFiles/calibro_oat.dir/Serialize.cpp.o.d"
+  "libcalibro_oat.a"
+  "libcalibro_oat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibro_oat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

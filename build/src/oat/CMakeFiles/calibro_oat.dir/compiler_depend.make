@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for calibro_oat.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibro_profile.dir/Profile.cpp.o"
+  "CMakeFiles/calibro_profile.dir/Profile.cpp.o.d"
+  "libcalibro_profile.a"
+  "libcalibro_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibro_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibro_sim.dir/Simulator.cpp.o"
+  "CMakeFiles/calibro_sim.dir/Simulator.cpp.o.d"
+  "libcalibro_sim.a"
+  "libcalibro_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibro_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcalibro_sim.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibro_suffixtree.dir/SuffixArray.cpp.o"
+  "CMakeFiles/calibro_suffixtree.dir/SuffixArray.cpp.o.d"
+  "CMakeFiles/calibro_suffixtree.dir/SuffixTree.cpp.o"
+  "CMakeFiles/calibro_suffixtree.dir/SuffixTree.cpp.o.d"
+  "libcalibro_suffixtree.a"
+  "libcalibro_suffixtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibro_suffixtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibro_support.dir/Random.cpp.o"
+  "CMakeFiles/calibro_support.dir/Random.cpp.o.d"
+  "CMakeFiles/calibro_support.dir/ThreadPool.cpp.o"
+  "CMakeFiles/calibro_support.dir/ThreadPool.cpp.o.d"
+  "libcalibro_support.a"
+  "libcalibro_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibro_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibro_workload.dir/Workload.cpp.o"
+  "CMakeFiles/calibro_workload.dir/Workload.cpp.o.d"
+  "libcalibro_workload.a"
+  "libcalibro_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibro_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aarch64.dir/test_aarch64.cpp.o"
+  "CMakeFiles/test_aarch64.dir/test_aarch64.cpp.o.d"
+  "test_aarch64"
+  "test_aarch64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aarch64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

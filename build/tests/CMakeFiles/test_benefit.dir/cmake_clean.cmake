@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benefit.dir/test_benefit.cpp.o"
+  "CMakeFiles/test_benefit.dir/test_benefit.cpp.o.d"
+  "test_benefit"
+  "test_benefit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benefit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

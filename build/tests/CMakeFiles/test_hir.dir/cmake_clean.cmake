@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hir.dir/test_hir.cpp.o"
+  "CMakeFiles/test_hir.dir/test_hir.cpp.o.d"
+  "test_hir"
+  "test_hir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

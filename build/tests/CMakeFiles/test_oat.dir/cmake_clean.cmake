@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oat.dir/test_oat.cpp.o"
+  "CMakeFiles/test_oat.dir/test_oat.cpp.o.d"
+  "test_oat"
+  "test_oat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_outliner.dir/test_outliner.cpp.o"
+  "CMakeFiles/test_outliner.dir/test_outliner.cpp.o.d"
+  "test_outliner"
+  "test_outliner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_outliner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suffixtree.dir/test_suffixtree.cpp.o"
+  "CMakeFiles/test_suffixtree.dir/test_suffixtree.cpp.o.d"
+  "test_suffixtree"
+  "test_suffixtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suffixtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_aarch64 "/root/repo/build/tests/test_aarch64")
+set_tests_properties(test_aarch64 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;calibro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_benefit "/root/repo/build/tests/test_benefit")
+set_tests_properties(test_benefit PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;12;calibro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_codegen "/root/repo/build/tests/test_codegen")
+set_tests_properties(test_codegen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;13;calibro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_dex "/root/repo/build/tests/test_dex")
+set_tests_properties(test_dex PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;14;calibro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_hir "/root/repo/build/tests/test_hir")
+set_tests_properties(test_hir PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;15;calibro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;16;calibro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_oat "/root/repo/build/tests/test_oat")
+set_tests_properties(test_oat PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;17;calibro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_outliner "/root/repo/build/tests/test_outliner")
+set_tests_properties(test_outliner PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;18;calibro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_profile "/root/repo/build/tests/test_profile")
+set_tests_properties(test_profile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;19;calibro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_serialize "/root/repo/build/tests/test_serialize")
+set_tests_properties(test_serialize PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;20;calibro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sim "/root/repo/build/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;21;calibro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_suffixtree "/root/repo/build/tests/test_suffixtree")
+set_tests_properties(test_suffixtree PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;22;calibro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_support "/root/repo/build/tests/test_support")
+set_tests_properties(test_support PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;23;calibro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_workload "/root/repo/build/tests/test_workload")
+set_tests_properties(test_workload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;24;calibro_add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibro-dex2oat.dir/calibro-dex2oat.cpp.o"
+  "CMakeFiles/calibro-dex2oat.dir/calibro-dex2oat.cpp.o.d"
+  "calibro-dex2oat"
+  "calibro-dex2oat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibro-dex2oat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

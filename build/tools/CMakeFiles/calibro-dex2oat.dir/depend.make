@@ -1,0 +1,2 @@
+# Empty dependencies file for calibro-dex2oat.
+# This may be replaced when dependencies are built.

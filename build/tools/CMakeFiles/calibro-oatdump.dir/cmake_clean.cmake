@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibro-oatdump.dir/calibro-oatdump.cpp.o"
+  "CMakeFiles/calibro-oatdump.dir/calibro-oatdump.cpp.o.d"
+  "calibro-oatdump"
+  "calibro-oatdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibro-oatdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

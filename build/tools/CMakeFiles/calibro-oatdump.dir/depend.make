@@ -1,0 +1,2 @@
+# Empty dependencies file for calibro-oatdump.
+# This may be replaced when dependencies are built.

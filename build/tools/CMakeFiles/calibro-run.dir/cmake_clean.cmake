@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibro-run.dir/calibro-run.cpp.o"
+  "CMakeFiles/calibro-run.dir/calibro-run.cpp.o.d"
+  "calibro-run"
+  "calibro-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibro-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
