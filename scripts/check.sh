@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification cycle plus a sanitizer pass over the verification
+# suite. Usage: scripts/check.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+echo "== tier-1: configure + build + full test suite =="
+cmake -B "$BUILD" -S .
+cmake --build "$BUILD" -j
+ctest --test-dir "$BUILD" --output-on-failure -j
+
+echo "== sanitizers: ASan+UBSan build of the verification suite =="
+SAN_BUILD="${BUILD}-asan"
+cmake -B "$SAN_BUILD" -S . -DCALIBRO_SANITIZE=address,undefined
+cmake --build "$SAN_BUILD" -j --target test_verify test_outliner test_suffixtree
+ctest --test-dir "$SAN_BUILD" --output-on-failure \
+      -R '^(test_verify|test_outliner|test_suffixtree)$'
+
+echo "check.sh: all green"

@@ -11,6 +11,7 @@
 #include "oat/Linker.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
+#include "verify/OatVerifier.h"
 
 using namespace calibro;
 using namespace calibro::core;
@@ -115,6 +116,9 @@ Expected<BuildResult> core::buildApp(const dex::App &App,
   Stats.LinkSeconds = LinkTimer.seconds();
 
   Result.Oat = std::move(*O);
+  if (Opts.VerifyOutput)
+    if (auto E = verify::verifyOatFile(Result.Oat))
+      return E;
   Stats.TextBytes = Result.Oat.textBytes();
   Stats.TotalSeconds = Total.seconds();
   return Result;

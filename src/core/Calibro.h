@@ -58,6 +58,10 @@ struct CalibroOptions {
   const profile::Profile *Profile = nullptr;
   double HotCoverage = 0.80;
   uint64_t BaseAddress = 0x10000000;
+  /// Run the static OAT verifier (verify::OatVerifier) over the linked
+  /// image and fail the build on any violation. Whole-text decode plus
+  /// branch-target checking; cheap relative to compilation.
+  bool VerifyOutput = false;
 };
 
 /// Statistics of one build.

@@ -188,10 +188,12 @@ Error rewriteMethod(CompiledMethod &M, std::vector<MethodOcc> Occs) {
     T = remap(T);
   for (auto &D : M.Side.EmbeddedData)
     D.Offset = remap(D.Offset);
+  // NewOffOfWord has NumWords+1 entries, so remap() handles End offsets up
+  // to and including codeSizeBytes() — and applies PoolShift uniformly
+  // (an end-of-code End that sits past an inserted pool NOP must shift
+  // with the pool, or the range would under-cover the last instruction).
   for (auto &S : M.Side.SlowPathRanges) {
-    uint32_t End = S.End == M.codeSizeBytes()
-                       ? NewOffOfWord[NumWords]
-                       : remap(S.End);
+    uint32_t End = remap(S.End);
     S.Begin = remap(S.Begin);
     S.End = End;
   }
@@ -263,6 +265,7 @@ Error runGroupImpl(std::vector<CompiledMethod> &Methods,
                        if (Ben > 0)
                          Cands.push_back({R.Node, R.Length, R.Count, 0, Ben});
                      });
+  Stats.CandidatesEvaluated += Cands.size();
   for (Cand &C : Cands)
     C.First = Tree.positionsOf(C.Node).front();
   // The tie-break is content-based ((first occurrence, length) names the
@@ -417,6 +420,7 @@ Expected<OutlineResult> core::runLtbo(std::vector<CompiledMethod> &Methods,
     Result.Stats.HotFilteredMethods += S.HotFilteredMethods;
     Result.Stats.SequencesOutlined += S.SequencesOutlined;
     Result.Stats.OccurrencesReplaced += S.OccurrencesReplaced;
+    Result.Stats.CandidatesEvaluated += S.CandidatesEvaluated;
     Result.Stats.InsnsRemoved += S.InsnsRemoved;
     Result.Stats.SymbolCount += S.SymbolCount;
     Result.Stats.TreeNodes += S.TreeNodes;

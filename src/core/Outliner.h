@@ -75,6 +75,11 @@ struct OutlineStats {
   std::size_t HotFilteredMethods = 0;
   std::size_t SequencesOutlined = 0;
   std::size_t OccurrencesReplaced = 0;
+  /// Profitable candidates ranked by the selection loop. Sensitive to
+  /// detector-side duplicate suppression (clamped-candidate dedup), so it
+  /// is the regression metric for that fix: the selected outcome must be
+  /// identical while this count stays minimal.
+  std::size_t CandidatesEvaluated = 0;
   uint64_t InsnsRemoved = 0;       ///< Net instruction-count saving.
   uint64_t SymbolCount = 0;        ///< Total sequence length fed to trees.
   uint64_t TreeNodes = 0;          ///< Sum of node counts over all trees.

@@ -10,6 +10,8 @@
 #include "aarch64/Encoder.h"
 #include "support/MathExtras.h"
 
+#include <unordered_map>
+
 using namespace calibro;
 using namespace calibro::oat;
 using namespace calibro::codegen;
@@ -84,13 +86,19 @@ Expected<OatFile> oat::link(const LinkInput &In) {
                           static_cast<uint32_t>(In.Stubs[S].Code.size() * 4)});
   }
 
-  std::vector<uint32_t> OutOff(In.Outlined.size());
-  for (std::size_t F = 0; F < In.Outlined.size(); ++F) {
-    const OutlinedFunc &Fn = In.Outlined[F];
+  // Relocations name outlined functions by id, not position; resolve them
+  // through a hash map so binding is O(1) per site instead of a linear scan
+  // over every outlined function. Building the map up front also catches
+  // duplicate ids, which the old scan silently resolved to the first copy.
+  std::unordered_map<uint32_t, uint32_t> OutOffById;
+  OutOffById.reserve(In.Outlined.size());
+  for (const OutlinedFunc &Fn : In.Outlined) {
     uint32_t Off = place(O.Text, Fn.Code, 4);
-    OutOff[F] = Off;
     O.Outlined.push_back(
         {Fn.Id, Off, static_cast<uint32_t>(Fn.Code.size() * 4)});
+    if (!OutOffById.emplace(Fn.Id, Off).second)
+      return makeError("duplicate outlined-function id " +
+                       std::to_string(Fn.Id));
     for (const auto &R : Fn.Relocs)
       Pending.push_back({Off + R.Offset, R.Kind, R.TargetId,
                          "outlined fn " + std::to_string(Fn.Id)});
@@ -106,16 +114,10 @@ Expected<OatFile> oat::link(const LinkInput &In) {
       Target = StubOff[P.TargetId];
       break;
     case RelocKind::OutlinedFunc: {
-      // Outlined ids are positional: find the entry with this id.
-      uint32_t Found = ~uint32_t(0);
-      for (std::size_t F = 0; F < In.Outlined.size(); ++F)
-        if (In.Outlined[F].Id == P.TargetId) {
-          Found = OutOff[F];
-          break;
-        }
-      if (Found == ~uint32_t(0))
+      auto It = OutOffById.find(P.TargetId);
+      if (It == OutOffById.end())
         return makeError(P.Where + ": dangling outlined-function relocation");
-      Target = Found;
+      Target = It->second;
       break;
     }
     default:

@@ -92,8 +92,11 @@ SuffixArray::SuffixArray(std::vector<Symbol> Text) : Txt(std::move(Text)) {
     while (Stack.back().LcpVal > Cur) {
       Open Top = Stack.back();
       Stack.pop_back();
-      // Interval [Top.Lo, I-1] with repeat length Top.LcpVal.
-      Intervals.push_back({Top.Lo, I - 1, Top.LcpVal});
+      // Interval [Top.Lo, I-1] with repeat length Top.LcpVal. Its parent
+      // is either the enclosing interval still on the stack or the one
+      // about to be opened with LCP value Cur, whichever is deeper.
+      uint32_t ParentLen = std::max(Cur, Stack.back().LcpVal);
+      Intervals.push_back({Top.Lo, I - 1, Top.LcpVal, ParentLen});
       Lo = Top.Lo;
     }
     if (Cur > Stack.back().LcpVal)
@@ -109,6 +112,11 @@ void SuffixArray::forEachRepeat(
     const Interval &IV = Intervals[K];
     uint32_t Count = IV.Hi - IV.Lo + 1;
     if (Count < MinCount || IV.Len < MinLen)
+      continue;
+    // Clamped-candidate dedup (mirrors SuffixTree::forEachRepeat): the
+    // parent interval reports the same length-MaxLen prefix over a
+    // superset of rows, so this interval would be a duplicate.
+    if (IV.ParentLen >= MaxLen)
       continue;
     RepeatInfo R;
     R.Node = static_cast<int32_t>(K);

@@ -51,7 +51,9 @@ public:
 
   /// Visits every LCP interval whose repeat length is >= \p MinLen
   /// (clamped to \p MaxLen) with >= \p MinCount occurrences. The Node
-  /// handle indexes the internal interval table.
+  /// handle indexes the internal interval table. Clamped candidates are
+  /// deduplicated exactly like SuffixTree::forEachRepeat: an interval whose
+  /// parent interval's LCP value is already >= MaxLen is skipped.
   void forEachRepeat(uint32_t MinLen, uint32_t MaxLen, uint32_t MinCount,
                      const std::function<void(const RepeatInfo &)> &Fn) const;
 
@@ -60,9 +62,10 @@ public:
 
 private:
   struct Interval {
-    uint32_t Lo;  ///< First suffix-array row (inclusive).
-    uint32_t Hi;  ///< Last suffix-array row (inclusive).
-    uint32_t Len; ///< Repeat length (the interval's LCP value).
+    uint32_t Lo;        ///< First suffix-array row (inclusive).
+    uint32_t Hi;        ///< Last suffix-array row (inclusive).
+    uint32_t Len;       ///< Repeat length (the interval's LCP value).
+    uint32_t ParentLen; ///< LCP value of the enclosing (parent) interval.
   };
 
   std::vector<Symbol> Txt;

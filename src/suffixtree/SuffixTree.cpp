@@ -133,6 +133,7 @@ void SuffixTree::finalize() {
   }
 
   Depth.assign(N, 0);
+  ParentDepth.assign(N, 0);
   LeafCount.assign(N, 0);
   LeafLo.assign(N, 0);
   LeafHi.assign(N, 0);
@@ -177,6 +178,7 @@ void SuffixTree::finalize() {
       int32_t C = Children[CI];
       int32_t End = Nodes[C].End == -1 ? TextLen : Nodes[C].End;
       Depth[C] = Depth[Nd] + (End - Nodes[C].Start);
+      ParentDepth[C] = Depth[Nd];
       Stack.push_back({C, false});
     }
   }
@@ -197,6 +199,12 @@ void SuffixTree::forEachRepeat(
       continue;
     uint32_t Len = static_cast<uint32_t>(Depth[Nd]);
     if (Len < MinLen)
+      continue;
+    // Clamped-candidate dedup: when the parent's depth already reaches
+    // MaxLen, this node's clamped report would repeat the parent's exact
+    // length-MaxLen prefix over a subset of its positions. The unique
+    // survivor on each root path is the shallowest node at depth >= MaxLen.
+    if (static_cast<uint32_t>(ParentDepth[Nd]) >= MaxLen)
       continue;
     RepeatInfo R;
     R.Node = Nd;

@@ -75,7 +75,10 @@ public:
   /// Visits every internal node whose path depth is >= \p MinLen and whose
   /// descendant-leaf count is >= \p MinCount. Lengths longer than \p MaxLen
   /// are reported clamped to MaxLen (the occurrence positions stay valid for
-  /// the length-MaxLen prefix). Visit order is deterministic.
+  /// the length-MaxLen prefix). Clamped candidates are deduplicated: a node
+  /// whose parent depth is already >= MaxLen is skipped, because the parent
+  /// reports the identical length-MaxLen prefix with a superset of the
+  /// occurrence positions. Visit order is deterministic.
   void forEachRepeat(uint32_t MinLen, uint32_t MaxLen, uint32_t MinCount,
                      const std::function<void(const RepeatInfo &)> &Fn) const;
 
@@ -130,6 +133,7 @@ private:
 
   // Derived, filled by finalize().
   std::vector<int32_t> Depth;        ///< Path depth per node.
+  std::vector<int32_t> ParentDepth;  ///< Path depth of each node's parent.
   std::vector<int32_t> LeafCount;    ///< Descendant leaves per node.
   std::vector<int32_t> LeafLo;       ///< First index into LeafSuffixes.
   std::vector<int32_t> LeafHi;       ///< One past the last index.

@@ -1,0 +1,219 @@
+//===- verify/Differential.cpp - Differential build/run harness ------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Differential.h"
+
+#include "sim/Simulator.h"
+#include "support/Random.h"
+#include "verify/OatVerifier.h"
+
+#include <string>
+
+using namespace calibro;
+using namespace calibro::verify;
+
+namespace {
+
+/// The observable result of one invocation. Cycle counts are deliberately
+/// excluded: outlining legitimately changes them (Table 7), while outcome,
+/// return value and the architectural trace hash may not change at all.
+struct Observation {
+  sim::Outcome What = sim::Outcome::Ok;
+  int64_t ReturnValue = 0;
+  uint64_t TraceHash = 0;
+
+  bool operator==(const Observation &) const = default;
+};
+
+/// Verifies \p Oat statically, then executes \p Script and collects one
+/// Observation per invocation.
+Expected<std::vector<Observation>>
+verifyAndRun(const oat::OatFile &Oat, const std::string &Stage,
+             const std::vector<workload::Invocation> &Script) {
+  if (auto E = verifyOatFile(Oat))
+    return makeError(Stage + ": " + E.message());
+  sim::Simulator Sim(Oat, {});
+  std::vector<Observation> Out;
+  Out.reserve(Script.size());
+  for (const auto &Inv : Script) {
+    auto R = Sim.call(Inv.MethodIdx, Inv.Args);
+    if (!R)
+      return makeError(Stage + ": simulator fault: " + R.message());
+    Out.push_back({R->What, R->ReturnValue, R->TraceHash});
+  }
+  return Out;
+}
+
+Error compareRuns(const std::vector<Observation> &Base,
+                  const std::vector<Observation> &Other,
+                  const std::string &Stage) {
+  if (Base.size() != Other.size())
+    return makeError(Stage + ": invocation count diverged");
+  for (std::size_t I = 0; I < Base.size(); ++I)
+    if (!(Base[I] == Other[I]))
+      return makeError(Stage + ": behaviour diverged from baseline at " +
+                       "invocation " + std::to_string(I));
+  return Error::success();
+}
+
+} // namespace
+
+Expected<DifferentialReport>
+verify::runDifferential(const workload::AppSpec &Spec,
+                        const DifferentialOptions &Opts) {
+  dex::App App = workload::makeApp(Spec);
+  auto Script = workload::makeScript(Spec, Opts.ScriptLength, Opts.ScriptSeed);
+
+  DifferentialReport Report;
+  Report.InvocationsPerStage = Script.size();
+
+  // Baseline.
+  core::CalibroOptions Base;
+  auto BaseBuild = core::buildApp(App, Base);
+  if (!BaseBuild)
+    return makeError("baseline build: " + BaseBuild.message());
+  auto BaseRun = verifyAndRun(BaseBuild->Oat, "baseline", Script);
+  if (!BaseRun)
+    return BaseRun.takeError();
+  Report.BaselineBytes = BaseBuild->Oat.textBytes();
+
+  auto checkStage = [&](const core::CalibroOptions &StageOpts,
+                        const std::string &Stage,
+                        uint64_t &BytesOut) -> Expected<oat::OatFile> {
+    auto Build = core::buildApp(App, StageOpts);
+    if (!Build)
+      return makeError(Stage + " build: " + Build.message());
+    auto Run = verifyAndRun(Build->Oat, Stage, Script);
+    if (!Run)
+      return Run.takeError();
+    if (auto E = compareRuns(*BaseRun, *Run, Stage))
+      return E;
+    BytesOut = Build->Oat.textBytes();
+    ++Report.StagesCompared;
+    return std::move(Build->Oat);
+  };
+
+  // CTO.
+  core::CalibroOptions Cto;
+  Cto.EnableCto = true;
+  auto CtoOat = checkStage(Cto, "cto", Report.CtoBytes);
+  if (!CtoOat)
+    return CtoOat.takeError();
+
+  // CTO + LTBO (single global detector).
+  core::CalibroOptions Ltbo = Cto;
+  Ltbo.EnableLtbo = true;
+  Ltbo.LtboDetector = Opts.Detector;
+  auto LtboOat = checkStage(Ltbo, "cto+ltbo", Report.LtboBytes);
+  if (!LtboOat)
+    return LtboOat.takeError();
+
+  const oat::OatFile *ProfileImage = &*LtboOat;
+
+  // + PlOpti.
+  core::CalibroOptions Pl = Ltbo;
+  oat::OatFile PlOat;
+  if (Opts.WithPlOpti) {
+    Pl.LtboPartitions = Opts.Partitions;
+    Pl.LtboThreads = Opts.Threads;
+    auto R = checkStage(Pl, "cto+ltbo+plopti", Report.PlOptiBytes);
+    if (!R)
+      return R.takeError();
+    PlOat = std::move(*R);
+    ProfileImage = &PlOat;
+  }
+
+  // + HfOpti: profile the previous stage's image over the same script.
+  if (Opts.WithHfOpti) {
+    sim::SimOptions ProfOpts;
+    ProfOpts.CollectProfile = true;
+    sim::Simulator ProfSim(*ProfileImage, ProfOpts);
+    for (const auto &Inv : Script) {
+      auto R = ProfSim.call(Inv.MethodIdx, Inv.Args);
+      if (!R)
+        return makeError("hfopti profiling run: " + R.message());
+    }
+    profile::Profile Prof = ProfSim.profileData();
+    core::CalibroOptions Hf = Opts.WithPlOpti ? Pl : Ltbo;
+    Hf.Profile = &Prof;
+    auto R = checkStage(Hf, "cto+ltbo+hfopti", Report.HfOptiBytes);
+    if (!R)
+      return R.takeError();
+  }
+
+  if (Opts.RequireMonotoneSize) {
+    // Table 4's shape: CTO shrinks baseline, LTBO shrinks CTO, and the two
+    // production optimizations give back some reduction without ever
+    // exceeding the baseline.
+    if (Report.CtoBytes >= Report.BaselineBytes)
+      return makeError("size: cto did not shrink baseline");
+    if (Report.LtboBytes >= Report.CtoBytes)
+      return makeError("size: ltbo did not shrink cto");
+    if (Opts.WithPlOpti && (Report.PlOptiBytes < Report.LtboBytes ||
+                            Report.PlOptiBytes >= Report.BaselineBytes))
+      return makeError("size: plopti outside [ltbo, baseline)");
+    if (Opts.WithHfOpti && Report.HfOptiBytes >= Report.BaselineBytes)
+      return makeError("size: hfopti did not shrink baseline");
+  }
+  return Report;
+}
+
+workload::AppSpec verify::randomAppSpec(uint64_t Seed) {
+  Rng R(Seed);
+  workload::AppSpec S;
+  S.Name = "fuzz" + std::to_string(Seed);
+  S.Seed = Seed ^ 0x9e3779b97f4a7c15ULL;
+  S.NumDexFiles = static_cast<uint32_t>(R.nextInRange(1, 4));
+  S.NumEntries = static_cast<uint32_t>(R.nextInRange(2, 8));
+  S.NumWorkers = static_cast<uint32_t>(R.nextInRange(8, 48));
+  S.NumUtilities = static_cast<uint32_t>(R.nextInRange(4, 24));
+  S.SwitchFraction = R.nextDouble() * 0.12;
+  S.NativeFraction = R.nextDouble() * 0.10;
+  S.ThrowFraction = R.nextDouble() * 0.25;
+  S.NumIdioms = static_cast<uint32_t>(R.nextInRange(8, 96));
+  S.IdiomZipfS = 0.5 + R.nextDouble();
+  S.CalleeZipfS = 0.8 + R.nextDouble() * 0.6;
+  return S;
+}
+
+Expected<DifferentialReport> verify::runRandomDifferential(uint64_t Seed) {
+  workload::AppSpec Spec = randomAppSpec(Seed);
+  Rng R(Seed * 0x2545f4914f6cdd1dULL + 1);
+
+  dex::App App = workload::makeApp(Spec);
+  auto Script = workload::makeScript(Spec, 6, Seed + 13);
+
+  DifferentialReport Report;
+  Report.InvocationsPerStage = Script.size();
+
+  core::CalibroOptions Base;
+  auto BaseBuild = core::buildApp(App, Base);
+  if (!BaseBuild)
+    return makeError("fuzz baseline build: " + BaseBuild.message());
+  auto BaseRun = verifyAndRun(BaseBuild->Oat, "fuzz baseline", Script);
+  if (!BaseRun)
+    return BaseRun.takeError();
+  Report.BaselineBytes = BaseBuild->Oat.textBytes();
+
+  core::CalibroOptions Full;
+  Full.EnableCto = true;
+  Full.EnableLtbo = true;
+  Full.LtboDetector = R.nextBool(0.5) ? core::DetectorKind::SuffixTree
+                                      : core::DetectorKind::SuffixArray;
+  Full.LtboPartitions = static_cast<uint32_t>(R.nextInRange(1, 6));
+  Full.LtboThreads = static_cast<uint32_t>(R.nextInRange(1, 3));
+  auto FullBuild = core::buildApp(App, Full);
+  if (!FullBuild)
+    return makeError("fuzz cto+ltbo build: " + FullBuild.message());
+  auto FullRun = verifyAndRun(FullBuild->Oat, "fuzz cto+ltbo", Script);
+  if (!FullRun)
+    return FullRun.takeError();
+  if (auto E = compareRuns(*BaseRun, *FullRun, "fuzz cto+ltbo"))
+    return E;
+  Report.LtboBytes = FullBuild->Oat.textBytes();
+  Report.StagesCompared = 1;
+  return Report;
+}

@@ -1,0 +1,81 @@
+//===- verify/Differential.h - Differential build/run harness ---*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic half of the verification layer: build one app under the
+/// paper's configuration ladder (Baseline, CTO, CTO+LTBO, +PlOpti,
+/// +HfOpti), statically verify every linked image with OatVerifier, execute
+/// the same driver script on each image in the simulator, and require
+/// identical observable behaviour — outcome, return value and the
+/// architectural trace hash (runtime-call events + heap stores) of every
+/// invocation. A build that outlines, patches or remaps anything
+/// incorrectly either fails the static verifier or diverges behaviourally
+/// here.
+///
+/// Beyond the six workload presets, randomAppSpec() derives arbitrary app
+/// shapes from a seed (method counts, idiom pools, switch/native/throw
+/// densities, Zipf skews) so the harness can fuzz the whole pipeline over
+/// hundreds of independently shaped apps (runRandomDifferential).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_VERIFY_DIFFERENTIAL_H
+#define CALIBRO_VERIFY_DIFFERENTIAL_H
+
+#include "core/Calibro.h"
+#include "support/Error.h"
+#include "workload/Workload.h"
+
+namespace calibro {
+namespace verify {
+
+/// Configuration of one differential run.
+struct DifferentialOptions {
+  std::size_t ScriptLength = 10; ///< Invocations per image.
+  uint64_t ScriptSeed = 77;
+  /// Compare the partitioned-parallel (PlOpti) stage.
+  bool WithPlOpti = true;
+  /// Compare the profile-guided (HfOpti) stage; profiles the previous
+  /// stage's image first.
+  bool WithHfOpti = true;
+  /// Require the paper's strict Table 4 size ordering (baseline > CTO >
+  /// CTO+LTBO, with PlOpti/HfOpti between LTBO and baseline). Meaningful
+  /// for app-sized workloads; tiny fuzz apps can outline so little that
+  /// 16-byte method alignment absorbs the saving, so the random harness
+  /// disables this and only requires behavioural equivalence.
+  bool RequireMonotoneSize = true;
+  uint32_t Partitions = 8;      ///< PlOpti partition count.
+  uint32_t Threads = 2;         ///< PlOpti worker threads.
+  core::DetectorKind Detector = core::DetectorKind::SuffixTree;
+};
+
+/// Sizes and coverage of one differential run.
+struct DifferentialReport {
+  uint64_t BaselineBytes = 0;
+  uint64_t CtoBytes = 0;
+  uint64_t LtboBytes = 0;
+  uint64_t PlOptiBytes = 0; ///< 0 when the stage was skipped.
+  uint64_t HfOptiBytes = 0; ///< 0 when the stage was skipped.
+  std::size_t StagesCompared = 0;   ///< Outlined stages proven equivalent.
+  std::size_t InvocationsPerStage = 0;
+};
+
+/// Builds \p Spec under the full configuration ladder and proves every
+/// stage statically well-formed and behaviourally identical to baseline.
+Expected<DifferentialReport> runDifferential(const workload::AppSpec &Spec,
+                                             const DifferentialOptions &Opts);
+
+/// Derives a randomized app shape from \p Seed (deterministically).
+workload::AppSpec randomAppSpec(uint64_t Seed);
+
+/// One fuzz iteration: a random app, Baseline vs CTO+LTBO with a
+/// seed-chosen detector backend and partition count, equivalence-only.
+Expected<DifferentialReport> runRandomDifferential(uint64_t Seed);
+
+} // namespace verify
+} // namespace calibro
+
+#endif // CALIBRO_VERIFY_DIFFERENTIAL_H

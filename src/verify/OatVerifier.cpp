@@ -1,0 +1,213 @@
+//===- verify/OatVerifier.cpp - Static OAT image verifier ------------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/OatVerifier.h"
+
+#include "aarch64/Decoder.h"
+#include "aarch64/PcRel.h"
+
+#include <string>
+
+using namespace calibro;
+using namespace calibro::verify;
+
+namespace {
+
+/// True when \p I reads or writes x30 — explicitly through a register field
+/// or implicitly as a call. Mirrors the outliner's separator predicate: an
+/// outlined body entered by `bl` must leave the produced return address
+/// untouched until its final `br x30`.
+bool touchesLr(const a64::Insn &I) {
+  if (I.Op == a64::Opcode::Bl || I.Op == a64::Opcode::Blr)
+    return true;
+  return I.Rd == a64::LR || I.Rn == a64::LR || I.Rm == a64::LR ||
+         I.Ra == a64::LR;
+}
+
+bool isDirectBranch(a64::Opcode Op) {
+  switch (Op) {
+  case a64::Opcode::B:
+  case a64::Opcode::Bcond:
+  case a64::Opcode::Cbz:
+  case a64::Opcode::Cbnz:
+  case a64::Opcode::Tbz:
+  case a64::Opcode::Tbnz:
+    return true;
+  default:
+    return false;
+  }
+}
+
+Error failAt(const std::string &Where, uint32_t Off, const char *Msg) {
+  return makeError("OatVerifier: " + Where + " at .text+" +
+                   std::to_string(Off) + ": " + Msg);
+}
+
+} // namespace
+
+Error verify::verifyOatFile(const oat::OatFile &Oat) {
+  OatVerifier V(Oat);
+  return V.run();
+}
+
+Error OatVerifier::run() {
+  // Structural metadata invariants first (§3.5): range bounds, recorded
+  // PC-relative targets, terminator offsets, StackMap placement.
+  if (auto E = oat::validateOat(O))
+    return E;
+  if (auto E = buildCoverage())
+    return E;
+  if (auto E = checkTextAndBranches())
+    return E;
+  return checkOutlinedBodies();
+}
+
+Error OatVerifier::buildCoverage() {
+  std::size_t NumWords = O.Text.size();
+  IsData.assign(NumWords, false);
+  RangeId.assign(NumWords, -1);
+  IsEntry.assign(NumWords, false);
+  RangeLo.clear();
+  RangeHi.clear();
+
+  auto cover = [&](uint32_t Off, uint32_t Size,
+                   const std::string &Where) -> Error {
+    // validateOat already proved bounds, alignment and disjointness.
+    int32_t Id = static_cast<int32_t>(RangeLo.size());
+    RangeLo.push_back(Off);
+    RangeHi.push_back(Off + Size);
+    if (Size != 0)
+      IsEntry[Off / 4] = true;
+    for (uint32_t W = Off / 4; W < (Off + Size) / 4; ++W) {
+      if (RangeId[W] != -1)
+        return failAt(Where, W * 4, "overlapping code ranges");
+      RangeId[W] = Id;
+    }
+    return Error::success();
+  };
+
+  for (const auto &M : O.Methods) {
+    if (auto E = cover(M.CodeOffset, M.CodeSize, "method " + M.Name))
+      return E;
+    for (const auto &D : M.Side.EmbeddedData)
+      for (uint32_t W = (M.CodeOffset + D.Offset) / 4;
+           W < (M.CodeOffset + D.Offset + D.Size) / 4; ++W)
+        IsData[W] = true;
+  }
+  for (const auto &S : O.CtoStubs)
+    if (auto E = cover(S.CodeOffset, S.CodeSize, "cto stub"))
+      return E;
+  std::vector<bool> SeenId;
+  for (const auto &F : O.Outlined) {
+    if (auto E = cover(F.CodeOffset, F.CodeSize,
+                       "outlined fn " + std::to_string(F.Id)))
+      return E;
+    if (F.Id >= SeenId.size())
+      SeenId.resize(F.Id + 1, false);
+    if (SeenId[F.Id])
+      return makeError("OatVerifier: duplicate outlined-function id " +
+                       std::to_string(F.Id));
+    SeenId[F.Id] = true;
+  }
+
+  // Every uncovered word must be inter-range alignment padding (NOP).
+  for (std::size_t W = 0; W < NumWords; ++W) {
+    if (RangeId[W] != -1)
+      continue;
+    auto I = a64::decode(O.Text[W]);
+    if (!I || I->Op != a64::Opcode::Nop)
+      return failAt("padding", static_cast<uint32_t>(W * 4),
+                    "uncovered word is not a NOP");
+    ++Stats.PaddingWords;
+  }
+  return Error::success();
+}
+
+Error OatVerifier::checkTextAndBranches() {
+  uint64_t TextSize = O.textBytes();
+  for (std::size_t W = 0; W < O.Text.size(); ++W) {
+    if (IsData[W]) {
+      ++Stats.DataWords;
+      continue;
+    }
+    uint32_t Off = static_cast<uint32_t>(W * 4);
+    auto I = a64::decode(O.Text[W]);
+    if (!I)
+      return failAt("decode", Off, "undecodable non-data word");
+    ++Stats.WordsDecoded;
+
+    if (!a64::isPcRelative(I->Op))
+      continue;
+    uint64_t Pc = O.BaseAddress + Off;
+    auto Target = a64::pcRelTarget(*I, Pc);
+    if (!Target)
+      return failAt("pc-rel", Off, "pc-relative target not computable");
+    if (I->Op == a64::Opcode::Adrp)
+      continue; // Materializes a page address; no in-text target to check.
+    int64_t TOff64 =
+        static_cast<int64_t>(*Target) - static_cast<int64_t>(O.BaseAddress);
+    if (TOff64 < 0 || TOff64 >= static_cast<int64_t>(TextSize))
+      return failAt("pc-rel", Off, "target outside .text");
+    uint32_t TOff = static_cast<uint32_t>(TOff64);
+
+    if (isDirectBranch(I->Op)) {
+      // Method-local control flow: same containing range, never into an
+      // embedded-data island, always on an instruction boundary.
+      if (TOff % 4 != 0)
+        return failAt("branch", Off, "target not on an insn boundary");
+      if (IsData[TOff / 4])
+        return failAt("branch", Off, "target inside embedded data");
+      if (RangeId[TOff / 4] != RangeId[W])
+        return failAt("branch", Off, "direct branch escapes its range");
+      ++Stats.BranchesChecked;
+    } else if (I->Op == a64::Opcode::Bl) {
+      if (TOff % 4 != 0)
+        return failAt("call", Off, "target not on an insn boundary");
+      if (IsData[TOff / 4])
+        return failAt("call", Off, "target inside embedded data");
+      // A linked bl either stays inside its own range or enters another
+      // method/stub/outlined function at its first instruction.
+      if (RangeId[TOff / 4] != RangeId[W] && !IsEntry[TOff / 4])
+        return failAt("call", Off, "bl lands mid-body of another range");
+      ++Stats.CallsChecked;
+    } else if (I->Op == a64::Opcode::LdrLit) {
+      // Literal loads read a pool slot of the same method.
+      if (RangeId[TOff / 4] != RangeId[W])
+        return failAt("ldr-literal", Off, "pool slot outside the method");
+      if (!IsData[TOff / 4])
+        return failAt("ldr-literal", Off, "pool slot is not embedded data");
+      if (I->Is64 && TOff % 8 != 0)
+        return failAt("ldr-literal", Off, "misaligned 64-bit pool slot");
+    }
+    // Adr: in-bounds is all that can be asserted generically.
+  }
+  return Error::success();
+}
+
+Error OatVerifier::checkOutlinedBodies() {
+  for (const auto &F : O.Outlined) {
+    std::string Where = "outlined fn " + std::to_string(F.Id);
+    if (F.CodeSize < 8)
+      return failAt(Where, F.CodeOffset, "too small for body + br x30");
+    uint32_t LastW = (F.CodeOffset + F.CodeSize) / 4 - 1;
+    auto Last = a64::decode(O.Text[LastW]);
+    if (!Last || Last->Op != a64::Opcode::Br || Last->Rn != a64::LR)
+      return failAt(Where, LastW * 4, "does not end in br x30");
+    for (uint32_t W = F.CodeOffset / 4; W < LastW; ++W) {
+      auto I = a64::decode(O.Text[W]);
+      if (!I)
+        return failAt(Where, W * 4, "undecodable word in outlined body");
+      if (a64::isTerminator(I->Op))
+        return failAt(Where, W * 4, "terminator inside outlined body");
+      if (a64::isPcRelative(I->Op))
+        return failAt(Where, W * 4, "pc-relative insn in outlined body");
+      if (touchesLr(*I))
+        return failAt(Where, W * 4, "outlined body touches x30");
+    }
+    ++Stats.OutlinedChecked;
+  }
+  return Error::success();
+}

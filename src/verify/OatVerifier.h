@@ -1,0 +1,93 @@
+//===- verify/OatVerifier.h - Static OAT image verifier ---------*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An independent static checker over a linked oat::OatFile. Outlining is a
+/// binary rewrite, so a latent bug in occurrence replacement, PC-relative
+/// re-patching, literal-pool re-alignment or metadata remapping (paper
+/// §3.3.4/§3.5) produces an image that still links and often still runs —
+/// until the one input that executes the damaged path. The verifier decodes
+/// the whole .text image and re-derives the invariants from the bits alone,
+/// cross-checking them against the recorded metadata:
+///
+///  * every word outside an embedded-data range decodes as an instruction;
+///  * every direct branch (b, b.cond, cbz/cbnz, tbz/tbnz) stays inside its
+///    containing method and never lands in embedded data;
+///  * every `bl` lands either inside its own range or exactly at the entry
+///    of a method, CTO stub, or outlined function — never mid-body, never
+///    in data, never in padding;
+///  * every PC-relative instruction's target is inside .text, and 64-bit
+///    literal loads hit 8-byte-aligned pool slots;
+///  * every outlined function ends in `br x30` and contains no call,
+///    terminator, PC-relative or LR-touching instruction before it;
+///  * outlined-function ids are unique;
+///  * methods, stubs and outlined functions cover .text without overlap,
+///    and every uncovered word is alignment padding (NOP);
+///  * everything oat::validateOat already asserts (range bounds/alignment,
+///    recorded PcRel targets, terminator offsets, StackMap placement).
+///
+/// The checks are pure reads — the verifier never mutates the image — so it
+/// can run after every build (CalibroOptions::VerifyOutput), from the CLI
+/// tools (--verify), and inside tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_VERIFY_OATVERIFIER_H
+#define CALIBRO_VERIFY_OATVERIFIER_H
+
+#include "oat/OatFile.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace calibro {
+namespace verify {
+
+/// What one verifier run looked at, for tests and tool output.
+struct VerifyStats {
+  std::size_t WordsDecoded = 0;    ///< Instruction words decoded.
+  std::size_t DataWords = 0;       ///< Embedded-data words skipped.
+  std::size_t PaddingWords = 0;    ///< Inter-range alignment NOPs.
+  std::size_t BranchesChecked = 0; ///< Direct branches with verified targets.
+  std::size_t CallsChecked = 0;    ///< bl sites with verified targets.
+  std::size_t OutlinedChecked = 0; ///< Outlined function bodies verified.
+};
+
+/// Static checker for one linked image. Construct, run(), inspect stats().
+class OatVerifier {
+public:
+  explicit OatVerifier(const oat::OatFile &Oat) : O(Oat) {}
+
+  /// Runs every check; the first violation aborts with a located Error.
+  Error run();
+
+  /// Populated by run().
+  const VerifyStats &stats() const { return Stats; }
+
+private:
+  Error buildCoverage();
+  Error checkTextAndBranches();
+  Error checkOutlinedBodies();
+
+  const oat::OatFile &O;
+  VerifyStats Stats;
+
+  // Per text word, filled by buildCoverage().
+  std::vector<bool> IsData;     ///< Inside some method's embedded data.
+  std::vector<int32_t> RangeId; ///< Covering range handle; -1 = padding.
+  std::vector<uint32_t> RangeLo; ///< Per range: first byte offset.
+  std::vector<uint32_t> RangeHi; ///< Per range: one past the last byte.
+  std::vector<bool> IsEntry;     ///< Per word: a range starts here.
+};
+
+/// Convenience wrapper: construct, run, discard stats.
+Error verifyOatFile(const oat::OatFile &Oat);
+
+} // namespace verify
+} // namespace calibro
+
+#endif // CALIBRO_VERIFY_OATVERIFIER_H

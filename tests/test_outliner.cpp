@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "aarch64/Decoder.h"
+#include "aarch64/Encoder.h"
 #include "codegen/CodeGenerator.h"
 #include "core/BenefitModel.h"
 #include "core/Outliner.h"
@@ -12,6 +13,7 @@
 #include "hir/HGraph.h"
 #include "oat/Linker.h"
 #include "sim/Simulator.h"
+#include "verify/OatVerifier.h"
 
 #include <gtest/gtest.h>
 
@@ -381,6 +383,181 @@ TEST(Outliner, RejectsBadOptions) {
   auto R2 = runLtbo(None, Bad2);
   EXPECT_FALSE(bool(R2));
   consumeError(R2.takeError());
+}
+
+/// Hand-assembled method with a known byte layout:
+///
+///   word  0      stp x29, x30, [sp, #-16]!   (prologue; LR separator)
+///   words 1..6   six distinct LR-free adds   (the outlinable run)
+///   word  7      ldr x0, pool                (PC-relative; separator)
+///   word  8      ldp x29, x30, [sp], #16     (epilogue; LR separator)
+///   word  9      ret                         (terminator)
+///   words 10..11 the 8-byte literal pool at byte 40 (8-aligned)
+///
+/// Two instances share only the run, so outlining removes exactly those six
+/// words — an odd multiple of 4 bytes, which un-aligns the pool and forces
+/// rewriteMethod's re-alignment NOP (PoolShift) path.
+CompiledMethod poolMethod(uint32_t Idx, int64_t Literal) {
+  CompiledMethod M;
+  M.MethodIdx = Idx;
+  M.Name = "pool" + std::to_string(Idx);
+  a64::Insn Stp{.Op = a64::Opcode::Stp};
+  Stp.Rd = a64::FP;
+  Stp.Ra = a64::LR;
+  Stp.Rn = a64::SP;
+  Stp.Mode = a64::IndexMode::PreIndex;
+  Stp.Imm = -16;
+  M.Code.push_back(a64::encode(Stp));
+  for (int K = 1; K <= 6; ++K) {
+    a64::Insn A{.Op = a64::Opcode::AddImm};
+    A.Rd = A.Rn = 1;
+    A.Imm = K;
+    M.Code.push_back(a64::encode(A));
+  }
+  a64::Insn L{.Op = a64::Opcode::LdrLit};
+  L.Rd = 0;
+  L.Imm = 12; // Byte 28 + 12 = the pool at byte 40.
+  M.Code.push_back(a64::encode(L));
+  a64::Insn Ldp{.Op = a64::Opcode::Ldp};
+  Ldp.Rd = a64::FP;
+  Ldp.Ra = a64::LR;
+  Ldp.Rn = a64::SP;
+  Ldp.Mode = a64::IndexMode::PostIndex;
+  Ldp.Imm = 16;
+  M.Code.push_back(a64::encode(Ldp));
+  a64::Insn Ret{.Op = a64::Opcode::Ret};
+  Ret.Rn = a64::LR;
+  M.Code.push_back(a64::encode(Ret));
+  uint64_t U = static_cast<uint64_t>(Literal);
+  M.Code.push_back(static_cast<uint32_t>(U));
+  M.Code.push_back(static_cast<uint32_t>(U >> 32));
+  M.Side.EmbeddedData = {{40, 8}};
+  M.Side.PcRelRecords = {{28, 40}};
+  M.Side.TerminatorOffsets = {36};
+  return M;
+}
+
+TEST(Outliner, PoolShiftRealignsLiteralPool) {
+  const int64_t Lit = 0x0123456789abcdefLL;
+  std::vector<CompiledMethod> Ms = {poolMethod(0, Lit), poolMethod(1, Lit)};
+  auto R = runLtbo(Ms, {});
+  ASSERT_TRUE(bool(R)) << R.message();
+  ASSERT_EQ(R->Stats.SequencesOutlined, 1u);
+  EXPECT_EQ(R->Stats.OccurrencesReplaced, 2u);
+
+  for (const auto &M : Ms) {
+    // stp, bl, ldr-lit, ldp, ret, re-alignment NOP, 8-byte pool.
+    ASSERT_EQ(M.Code.size(), 8u);
+    ASSERT_EQ(M.Side.EmbeddedData.size(), 1u);
+    EXPECT_EQ(M.Side.EmbeddedData[0].Offset, 24u);
+    EXPECT_EQ(M.Side.EmbeddedData[0].Size, 8u);
+    ASSERT_EQ(M.Side.PcRelRecords.size(), 1u);
+    EXPECT_EQ(M.Side.PcRelRecords[0].InsnOffset, 8u);
+    EXPECT_EQ(M.Side.PcRelRecords[0].TargetOffset, 24u);
+    ASSERT_EQ(M.Side.TerminatorOffsets.size(), 1u);
+    EXPECT_EQ(M.Side.TerminatorOffsets[0], 16u);
+    auto Nop = a64::decode(M.Code[5]);
+    ASSERT_TRUE(Nop.has_value());
+    EXPECT_EQ(Nop->Op, a64::Opcode::Nop) << "re-alignment NOP missing";
+    auto L = a64::decode(M.Code[2]);
+    ASSERT_TRUE(L.has_value());
+    ASSERT_EQ(L->Op, a64::Opcode::LdrLit);
+    EXPECT_EQ(L->Imm, 16) << "literal load not retargeted through the shift";
+  }
+
+  // The rewritten image must survive the full static verifier (including
+  // the 8-alignment check on the 64-bit pool slot) and still return the
+  // literal when executed.
+  oat::LinkInput In;
+  In.AppName = "poolshift";
+  In.Methods = Ms;
+  In.Outlined = R->Funcs;
+  auto O = oat::link(In);
+  ASSERT_TRUE(bool(O)) << O.message();
+  ASSERT_FALSE(bool(verify::verifyOatFile(*O)));
+  sim::Simulator Sim(*O, {});
+  for (uint32_t M = 0; M < 2; ++M) {
+    auto RR = Sim.call(M, {});
+    ASSERT_TRUE(bool(RR)) << RR.message();
+    EXPECT_EQ(RR->What, sim::Outcome::Ok);
+    EXPECT_EQ(RR->ReturnValue, Lit);
+  }
+}
+
+TEST(Outliner, SlowPathEndOfCodeRemapTracksPoolShift) {
+  // A slow-path range ending exactly at codeSizeBytes() must still end at
+  // codeSizeBytes() after the rewrite shrinks the method AND inserts the
+  // pool re-alignment NOP. (The old end-of-code special case skipped the
+  // PoolShift and left the range 4 bytes short.)
+  const int64_t Lit = 0x7766554433221100LL;
+  std::vector<CompiledMethod> Ms = {poolMethod(0, Lit), poolMethod(1, Lit)};
+  for (auto &M : Ms)
+    M.Side.SlowPathRanges = {{4, M.codeSizeBytes()}};
+  auto R = runLtbo(Ms, {});
+  ASSERT_TRUE(bool(R)) << R.message();
+  ASSERT_GT(R->Stats.SequencesOutlined, 0u);
+  for (const auto &M : Ms) {
+    ASSERT_EQ(M.Side.SlowPathRanges.size(), 1u);
+    EXPECT_EQ(M.Side.SlowPathRanges[0].Begin, 4u);
+    EXPECT_EQ(M.Side.SlowPathRanges[0].End, M.codeSizeBytes());
+  }
+  oat::LinkInput In;
+  In.AppName = "slowpath-end";
+  In.Methods = Ms;
+  In.Outlined = R->Funcs;
+  auto O = oat::link(In);
+  ASSERT_TRUE(bool(O)) << O.message();
+  EXPECT_FALSE(bool(verify::verifyOatFile(*O)));
+}
+
+/// A method that is one long run of the same word: the worst case for
+/// clamped-candidate duplication in the detectors.
+CompiledMethod flatRunMethod(uint32_t Idx, std::size_t N) {
+  CompiledMethod M;
+  M.MethodIdx = Idx;
+  M.Name = "flat" + std::to_string(Idx);
+  a64::Insn A{.Op = a64::Opcode::AddImm};
+  A.Rd = A.Rn = 1;
+  A.Imm = 1;
+  for (std::size_t K = 0; K < N; ++K)
+    M.Code.push_back(a64::encode(A));
+  a64::Insn Ret{.Op = a64::Opcode::Ret};
+  Ret.Rn = a64::LR;
+  M.Code.push_back(a64::encode(Ret));
+  M.Side.TerminatorOffsets = {static_cast<uint32_t>(N * 4)};
+  return M;
+}
+
+TEST(Outliner, ClampedCandidatesAreDeduplicated) {
+  // Two 40-word runs of one repeated instruction. Every suffix-tree node
+  // deeper than MaxSeqLen describes the same clamped 8-word content, so
+  // without dedup the selection loop would rank 39 candidates; with it,
+  // exactly one per distinct content survives: lengths 2..8, i.e. 7.
+  OutlinerOptions Opts;
+  Opts.MaxSeqLen = 8;
+  std::vector<CompiledMethod> ViaTree = {flatRunMethod(0, 40),
+                                         flatRunMethod(1, 40)};
+  auto ViaArray = ViaTree;
+  auto RT = runLtbo(ViaTree, Opts);
+  Opts.Detector = DetectorKind::SuffixArray;
+  auto RA = runLtbo(ViaArray, Opts);
+  ASSERT_TRUE(bool(RT) && bool(RA));
+
+  EXPECT_GT(RT->Stats.SequencesOutlined, 0u);
+  EXPECT_EQ(RT->Stats.CandidatesEvaluated,
+            static_cast<std::size_t>(Opts.MaxSeqLen - Opts.MinSeqLen + 1));
+  EXPECT_EQ(RA->Stats.CandidatesEvaluated, RT->Stats.CandidatesEvaluated);
+
+  // Dedup must not change what gets selected: both backends still produce
+  // bit-identical methods, functions and savings.
+  EXPECT_EQ(RT->Stats.InsnsRemoved, RA->Stats.InsnsRemoved);
+  EXPECT_EQ(RT->Stats.OccurrencesReplaced, RA->Stats.OccurrencesReplaced);
+  ASSERT_EQ(ViaTree.size(), ViaArray.size());
+  for (std::size_t M = 0; M < ViaTree.size(); ++M)
+    EXPECT_EQ(ViaTree[M].Code, ViaArray[M].Code) << "method " << M;
+  ASSERT_EQ(RT->Funcs.size(), RA->Funcs.size());
+  for (std::size_t F = 0; F < RT->Funcs.size(); ++F)
+    EXPECT_EQ(RT->Funcs[F].Code, RA->Funcs[F].Code);
 }
 
 TEST(RedundancyAnalysis, FindsPlantedRedundancy) {

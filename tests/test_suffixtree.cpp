@@ -227,6 +227,96 @@ TEST_P(BackendEquivalence, TreeAndArrayAgree) {
 INSTANTIATE_TEST_SUITE_P(Seeds, BackendEquivalence,
                          ::testing::Values(3, 17, 2718, 31415));
 
+/// Clamped-candidate dedup property, checked against the naive finder:
+///  - no content (the length-R.Length prefix at the reported positions) is
+///    reported twice — deep nodes collapse onto the shallowest node of
+///    depth >= MaxLen on their root path;
+///  - every clamped report carries the FULL occurrence set of its
+///    length-MaxLen content (the deeper duplicates it replaced only held
+///    subsets);
+///  - every distinct length-MaxLen repeat is still reported (dedup loses
+///    no candidate).
+template <typename DetectorT>
+void checkClampedDedup(const std::vector<Symbol> &T, uint32_t MaxLen) {
+  std::vector<Symbol> Copy = T;
+  DetectorT D(std::move(Copy));
+  auto Naive = naiveRepeats(T, MaxLen, MaxLen);
+  std::map<std::vector<Symbol>, std::vector<uint32_t>> Reported;
+  D.forEachRepeat(1, MaxLen, 2,
+                  [&](const typename DetectorT::RepeatInfo &R) {
+                    ASSERT_LE(R.Length, MaxLen);
+                    auto Pos = D.positionsOf(R.Node);
+                    std::vector<Symbol> Key(T.begin() + Pos[0],
+                                            T.begin() + Pos[0] + R.Length);
+                    auto [It, Inserted] = Reported.emplace(Key, Pos);
+                    EXPECT_TRUE(Inserted)
+                        << "content reported twice (len " << R.Length << ")";
+                    if (R.Length == MaxLen) {
+                      auto NIt = Naive.find(Key);
+                      ASSERT_NE(NIt, Naive.end()) << "reported a non-repeat";
+                      EXPECT_EQ(NIt->second, Pos)
+                          << "clamped report lost occurrences";
+                    }
+                  });
+  for (const auto &[Key, Pos] : Naive) {
+    auto It = Reported.find(Key);
+    ASSERT_NE(It, Reported.end()) << "length-MaxLen repeat not reported";
+    EXPECT_EQ(It->second, Pos);
+  }
+}
+
+std::vector<Symbol> periodicText(std::size_t Period, std::size_t Len) {
+  std::vector<Symbol> T;
+  for (std::size_t I = 0; I < Len; ++I)
+    T.push_back('a' + static_cast<Symbol>(I % Period));
+  return T;
+}
+
+TEST(ClampedDedup, PeriodicTextTree) {
+  // "ababab...": the worst case — one deep chain of nodes, all clamping to
+  // the same two length-5 contents ("ababa"/"babab").
+  checkClampedDedup<SuffixTree>(periodicText(2, 80), 5);
+  checkClampedDedup<SuffixTree>(periodicText(3, 90), 7);
+}
+
+TEST(ClampedDedup, PeriodicTextArray) {
+  checkClampedDedup<SuffixArray>(periodicText(2, 80), 5);
+  checkClampedDedup<SuffixArray>(periodicText(3, 90), 7);
+}
+
+TEST(ClampedDedup, RandomTextsBothBackendsAgree) {
+  Rng R(0xc0ffee);
+  for (int Round = 0; Round < 20; ++Round) {
+    std::size_t N = 60 + R.nextBelow(120);
+    unsigned Alphabet = 2 + static_cast<unsigned>(R.nextBelow(3));
+    uint32_t MaxLen = 3 + static_cast<uint32_t>(R.nextBelow(6));
+    std::vector<Symbol> T;
+    for (std::size_t I = 0; I < N; ++I)
+      T.push_back('a' + R.nextBelow(Alphabet));
+    checkClampedDedup<SuffixTree>(T, MaxLen);
+    checkClampedDedup<SuffixArray>(T, MaxLen);
+
+    // Under clamping the two backends must still report identical
+    // (content -> positions) maps.
+    std::vector<Symbol> C1 = T, C2 = T;
+    SuffixTree Tree(std::move(C1));
+    SuffixArray Array(std::move(C2));
+    std::map<std::vector<Symbol>, std::vector<uint32_t>> FromTree, FromArray;
+    Tree.forEachRepeat(1, MaxLen, 2, [&](const SuffixTree::RepeatInfo &Rep) {
+      auto Pos = Tree.positionsOf(Rep.Node);
+      FromTree[{T.begin() + Pos[0], T.begin() + Pos[0] + Rep.Length}] = Pos;
+    });
+    Array.forEachRepeat(1, MaxLen, 2,
+                        [&](const SuffixArray::RepeatInfo &Rep) {
+                          auto Pos = Array.positionsOf(Rep.Node);
+                          FromArray[{T.begin() + Pos[0],
+                                     T.begin() + Pos[0] + Rep.Length}] = Pos;
+                        });
+    EXPECT_EQ(FromTree, FromArray)
+        << "backends diverged under clamping (N=" << N << ")";
+  }
+}
+
 TEST(SuffixArray, BananaIntervals) {
   SuffixArray A(fromString("banana"));
   std::map<std::vector<Symbol>, uint32_t> Found;

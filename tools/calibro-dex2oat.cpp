@@ -43,6 +43,8 @@ void usage() {
       "  --hf               hot-function filtering: profile a scripted run\n"
       "                     of the unfiltered build first (paper 3.4.2)\n"
       "  --min-len/--max-len <n>  candidate length bounds\n"
+      "  --verify           statically verify the linked image before\n"
+      "                     writing it (whole-text decode + branch targets)\n"
       "  -o <file>          output path (required)\n");
   std::exit(2);
 }
@@ -85,6 +87,8 @@ int main(int argc, char **argv) {
       Opts.MaxSeqLen = std::atoi(next(I, argc, argv));
     else if (A == "--hf")
       Hf = true;
+    else if (A == "--verify")
+      Opts.VerifyOutput = true;
     else if (A == "-o")
       Out = next(I, argc, argv);
     else

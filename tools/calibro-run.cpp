@@ -17,6 +17,7 @@
 
 #include "oat/Serialize.h"
 #include "sim/Simulator.h"
+#include "verify/OatVerifier.h"
 
 #include <cstdio>
 #include <cstring>
@@ -30,11 +31,14 @@ int main(int argc, char **argv) {
   uint32_t MethodIdx = 0;
   std::vector<int64_t> Args;
   bool Trace = false;
+  bool Verify = false;
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--method") && I + 1 < argc)
       MethodIdx = static_cast<uint32_t>(std::atoi(argv[++I]));
     else if (!std::strcmp(argv[I], "--trace"))
       Trace = true;
+    else if (!std::strcmp(argv[I], "--verify"))
+      Verify = true;
     else if (!std::strcmp(argv[I], "--args")) {
       while (I + 1 < argc && argv[I + 1][0] != '-')
         Args.push_back(std::atoll(argv[++I]));
@@ -43,7 +47,7 @@ int main(int argc, char **argv) {
   }
   if (!Path) {
     std::fprintf(stderr, "usage: calibro-run <file.oat> [--method N] "
-                         "[--args a b ...] [--trace]\n");
+                         "[--args a b ...] [--trace] [--verify]\n");
     return 2;
   }
 
@@ -51,6 +55,19 @@ int main(int argc, char **argv) {
   if (!O) {
     std::fprintf(stderr, "%s: %s\n", Path, O.message().c_str());
     return 1;
+  }
+  if (Verify) {
+    verify::OatVerifier V(*O);
+    if (auto E = V.run()) {
+      std::fprintf(stderr, "verify failed: %s\n", E.message().c_str());
+      return 1;
+    }
+    const auto &VS = V.stats();
+    std::fprintf(stderr,
+                 "verify ok: %zu insns, %zu data words, %zu branches, "
+                 "%zu calls, %zu outlined fns\n",
+                 VS.WordsDecoded, VS.DataWords, VS.BranchesChecked,
+                 VS.CallsChecked, VS.OutlinedChecked);
   }
 
   sim::SimOptions Opts;
