@@ -11,14 +11,21 @@
 ///
 /// Paper reference: CTO+LTBO slows the build by 489.5% on average (single
 /// thread, one global tree), PlOpti by 70.8% (8 trees). Also includes the
-/// K-sweep ablation (the trade-off knob §4.4 mentions).
+/// K-sweep ablation (the trade-off knob §4.4 mentions) with the per-phase
+/// breakdown of the parallel link pipeline, the link-stage speedup of the
+/// parallel/radix implementation over the serial suffix-tree configuration,
+/// and the suffix-array construction comparison (comparison-sorted prefix
+/// doubling vs. radix-sorted doubling). Everything is also emitted as
+/// machine-readable JSON (BENCH_build_time.json in the working directory).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "suffixtree/SuffixArray.h"
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <numeric>
 
 using namespace calibro;
 using namespace calibro::bench;
@@ -28,7 +35,8 @@ namespace {
 /// Median-of-5 wall-clock build time (short builds on a small shared box
 /// are noisy; the median rejects scheduler hiccups).
 double timedBuild(const dex::App &App, const core::CalibroOptions &Opts,
-                  uint64_t *TextBytes = nullptr) {
+                  uint64_t *TextBytes = nullptr,
+                  core::BuildStats *StatsOut = nullptr) {
   constexpr int Reps = 5;
   double Times[Reps];
   for (int K = 0; K < Reps; ++K) {
@@ -37,9 +45,58 @@ double timedBuild(const dex::App &App, const core::CalibroOptions &Opts,
     Times[K] = T.seconds();
     if (TextBytes)
       *TextBytes = B.Oat.textBytes();
+    if (StatsOut)
+      *StatsOut = B.Stats;
   }
   std::sort(Times, Times + Reps);
   return Times[Reps / 2];
+}
+
+/// Median-of-5 LTBO link-stage wall-clock (the outlining stage alone, as
+/// reported by the build driver).
+double timedLtboStage(const dex::App &App, const core::CalibroOptions &Opts) {
+  constexpr int Reps = 5;
+  double Times[Reps];
+  for (int K = 0; K < Reps; ++K)
+    Times[K] = build(App, Opts).Stats.LtboSeconds;
+  std::sort(Times, Times + Reps);
+  return Times[Reps / 2];
+}
+
+/// The seed implementation's suffix-array construction: prefix doubling
+/// with a comparison sort over (rank, rank+K) pairs per round — O(n log^2 n)
+/// with 64-bit keys. Kept here (only here) as the bench baseline the radix
+/// construction is measured against.
+std::vector<uint32_t> legacySortDoublingSa(std::vector<uint64_t> T) {
+  T.push_back(~uint64_t(0)); // The seed's reserved sentinel symbol.
+  const uint32_t N = static_cast<uint32_t>(T.size());
+  std::vector<uint32_t> Sa(N), Rank(N), NewRank(N);
+  std::iota(Sa.begin(), Sa.end(), 0);
+  std::sort(Sa.begin(), Sa.end(),
+            [&](uint32_t A, uint32_t B) { return T[A] < T[B]; });
+  Rank[Sa[0]] = 0;
+  for (uint32_t I = 1; I < N; ++I)
+    Rank[Sa[I]] = Rank[Sa[I - 1]] + (T[Sa[I]] != T[Sa[I - 1]]);
+  for (uint32_t K = 1; K < N; K *= 2) {
+    auto Key = [&](uint32_t S) {
+      uint64_t Second = S + K < N ? Rank[S + K] + 1 : 0;
+      return (static_cast<uint64_t>(Rank[S]) << 32) | Second;
+    };
+    std::sort(Sa.begin(), Sa.end(),
+              [&](uint32_t A, uint32_t B) { return Key(A) < Key(B); });
+    NewRank[Sa[0]] = 0;
+    for (uint32_t I = 1; I < N; ++I)
+      NewRank[Sa[I]] = NewRank[Sa[I - 1]] + (Key(Sa[I]) != Key(Sa[I - 1]));
+    Rank.swap(NewRank);
+    if (Rank[Sa[N - 1]] == N - 1)
+      break;
+  }
+  return Sa;
+}
+
+double medianOf(std::vector<double> V) {
+  std::sort(V.begin(), V.end());
+  return V[V.size() / 2];
 }
 
 } // namespace
@@ -52,6 +109,7 @@ int main(int argc, char **argv) {
               Scale);
 
   std::vector<std::string> Names, BaseRow, FullRow, ParRow, FullPct, ParPct;
+  std::vector<double> BaseT, FullT, ParT;
   double FullSum = 0, ParSum = 0;
 
   auto Specs = workload::paperApps(Scale);
@@ -61,6 +119,9 @@ int main(int argc, char **argv) {
     double TBase = timedBuild(App, baselineOpts());
     double TFull = timedBuild(App, ctoLtboOpts());
     double TPar = timedBuild(App, plOpts());
+    BaseT.push_back(TBase);
+    FullT.push_back(TFull);
+    ParT.push_back(TPar);
     BaseRow.push_back(fmtSec(TBase));
     FullRow.push_back(fmtSec(TFull));
     ParRow.push_back(fmtSec(TPar));
@@ -89,21 +150,35 @@ int main(int argc, char **argv) {
   std::printf("\nshape check: PlOpti growth << global-tree growth : %s\n",
               ParSum < FullSum ? "PASS" : "FAIL");
 
-  // Ablation: the K trade-off (build time vs. size reduction), Wechat.
+  // Ablation: the K trade-off (build time vs. size reduction), Wechat —
+  // now with the per-phase breakdown of the parallel link pipeline.
   std::printf("\nablation: partition count K on %s\n",
               Specs[5].Name.c_str());
   dex::App App = workload::makeApp(Specs[5]);
   uint64_t BaseBytes = build(App, baselineOpts()).Oat.textBytes();
-  std::printf("%6s %12s %12s\n", "K", "build", "size saved");
+  std::printf("%6s %10s %10s %10s %10s %10s %12s\n", "K", "build", "preproc",
+              "detect", "select", "rewrite", "size saved");
+  struct KRow {
+    uint32_t K;
+    double Build, Preprocess, Detect, Select, Rewrite, SavedPct;
+  };
+  std::vector<KRow> KRows;
   for (uint32_t K : {1u, 2u, 4u, 8u, 16u, 32u}) {
     core::CalibroOptions O = ctoLtboOpts();
     O.LtboPartitions = K;
     O.LtboThreads = K > 1 ? 2 : 1;
     uint64_t Bytes = 0;
-    double T = timedBuild(App, O, &Bytes);
-    std::printf("%6u %12s %12s\n", K, fmtSec(T).c_str(),
-                fmtPct(100.0 * (1.0 - double(Bytes) / double(BaseBytes)))
-                    .c_str());
+    core::BuildStats Stats;
+    double T = timedBuild(App, O, &Bytes, &Stats);
+    double Saved = 100.0 * (1.0 - double(Bytes) / double(BaseBytes));
+    const auto &L = Stats.Ltbo;
+    std::printf("%6u %10s %10s %10s %10s %10s %12s\n", K, fmtSec(T).c_str(),
+                fmtSec(L.PreprocessSeconds).c_str(),
+                fmtSec(L.BuildTreeSeconds).c_str(),
+                fmtSec(L.SelectSeconds).c_str(),
+                fmtSec(L.RewriteSeconds).c_str(), fmtPct(Saved).c_str());
+    KRows.push_back({K, T, L.PreprocessSeconds, L.BuildTreeSeconds,
+                     L.SelectSeconds, L.RewriteSeconds, Saved});
   }
 
   // Ablation: detection backend (suffix tree vs. suffix array). Both make
@@ -122,5 +197,110 @@ int main(int argc, char **argv) {
                 fmtPct(100.0 * (1.0 - double(Bytes) / double(BaseBytes)))
                     .c_str());
   }
+
+  // Link-stage speedup: LTBO wall-clock at K = 1 for detector x thread
+  // count. The serial suffix tree is the seed configuration; the radix
+  // suffix array plus the parallel pipeline is the optimized one.
+  std::printf("\nlink stage: LTBO wall-clock on %s (K = 1)\n",
+              Specs[5].Name.c_str());
+  struct LinkRow {
+    const char *Detector;
+    uint32_t Threads;
+    double Seconds;
+  };
+  std::vector<LinkRow> LinkRows;
+  for (auto [Label, Kind] :
+       {std::pair<const char *, core::DetectorKind>{
+            "tree", core::DetectorKind::SuffixTree},
+        {"array", core::DetectorKind::SuffixArray}}) {
+    for (uint32_t Threads : {1u, 8u}) {
+      core::CalibroOptions O = ctoLtboOpts();
+      O.LtboDetector = Kind;
+      O.LtboThreads = Threads;
+      double T = timedLtboStage(App, O);
+      std::printf("  %-6s %u thread%s %12s\n", Label, Threads,
+                  Threads == 1 ? " " : "s", fmtSec(T).c_str());
+      LinkRows.push_back({Label, Threads, T});
+    }
+  }
+  double SerialSeed = LinkRows[0].Seconds;  // tree, 1 thread
+  double Optimized = LinkRows[3].Seconds;   // array, 8 threads
+  double LinkSpeedup = Optimized > 0 ? SerialSeed / Optimized : 0;
+  std::printf("  speedup (tree serial -> array 8t): %.2fx : %s\n",
+              LinkSpeedup, LinkSpeedup >= 2.0 ? "PASS" : "FAIL");
+
+  // Suffix-array construction alone: the seed's comparison-sorted prefix
+  // doubling vs. the radix-sorted doubling, on the app's linked .text as
+  // the symbol sequence.
+  std::vector<uint64_t> SaText;
+  {
+    auto Full = build(App, ctoOpts());
+    SaText.assign(Full.Oat.Text.begin(), Full.Oat.Text.end());
+  }
+  std::vector<double> LegacyTimes, RadixTimes;
+  for (int Rep = 0; Rep < 5; ++Rep) {
+    Timer TL;
+    auto Sa = legacySortDoublingSa(SaText);
+    LegacyTimes.push_back(TL.seconds());
+    if (Sa.empty())
+      std::printf("unreachable\n");
+    Timer TR;
+    st::SuffixArray A(SaText);
+    RadixTimes.push_back(TR.seconds());
+    if (A.textSize() != SaText.size())
+      std::printf("unreachable\n");
+  }
+  double LegacySec = medianOf(LegacyTimes);
+  double RadixSec = medianOf(RadixTimes);
+  std::printf("\nSA construction on %zu symbols:\n"
+              "  sort-doubling (seed)  %12s\n"
+              "  radix-doubling (+LCP) %12s\n"
+              "  speedup: %.2fx : %s\n",
+              SaText.size(), fmtSec(LegacySec).c_str(),
+              fmtSec(RadixSec).c_str(), LegacySec / RadixSec,
+              RadixSec < LegacySec ? "PASS" : "FAIL");
+
+  // Machine-readable record of everything above.
+  FILE *J = std::fopen("BENCH_build_time.json", "w");
+  if (!J) {
+    std::fprintf(stderr, "cannot write BENCH_build_time.json\n");
+    return 1;
+  }
+  std::fprintf(J, "{\n  \"scale\": %.3f,\n  \"apps\": [", Scale);
+  for (std::size_t I = 0; I < Specs.size(); ++I)
+    std::fprintf(J,
+                 "%s\n    {\"name\": \"%s\", \"baseline_s\": %.4f, "
+                 "\"cto_ltbo_s\": %.4f, \"plopti_s\": %.4f}",
+                 I ? "," : "", Specs[I].Name.c_str(), BaseT[I], FullT[I],
+                 ParT[I]);
+  std::fprintf(J,
+               "\n  ],\n  \"avg_growth_pct\": {\"cto_ltbo\": %.2f, "
+               "\"plopti\": %.2f},\n  \"k_sweep\": [",
+               FullSum / N, ParSum / N);
+  for (std::size_t I = 0; I < KRows.size(); ++I)
+    std::fprintf(J,
+                 "%s\n    {\"k\": %u, \"build_s\": %.4f, "
+                 "\"preprocess_s\": %.4f, \"detect_s\": %.4f, "
+                 "\"select_s\": %.4f, \"rewrite_s\": %.4f, "
+                 "\"saved_pct\": %.2f}",
+                 I ? "," : "", KRows[I].K, KRows[I].Build, KRows[I].Preprocess,
+                 KRows[I].Detect, KRows[I].Select, KRows[I].Rewrite,
+                 KRows[I].SavedPct);
+  std::fprintf(J, "\n  ],\n  \"link_stage\": [");
+  for (std::size_t I = 0; I < LinkRows.size(); ++I)
+    std::fprintf(J,
+                 "%s\n    {\"detector\": \"%s\", \"threads\": %u, "
+                 "\"ltbo_s\": %.4f}",
+                 I ? "," : "", LinkRows[I].Detector, LinkRows[I].Threads,
+                 LinkRows[I].Seconds);
+  std::fprintf(J,
+               "\n  ],\n  \"link_stage_speedup\": %.3f,\n"
+               "  \"sa_construction\": {\"symbols\": %zu, "
+               "\"sort_doubling_s\": %.4f, \"radix_doubling_s\": %.4f, "
+               "\"speedup\": %.3f}\n}\n",
+               LinkSpeedup, SaText.size(), LegacySec, RadixSec,
+               LegacySec / RadixSec);
+  std::fclose(J);
+  std::printf("\nwrote BENCH_build_time.json\n");
   return 0;
 }

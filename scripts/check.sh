@@ -18,4 +18,11 @@ cmake --build "$SAN_BUILD" -j --target test_verify test_outliner test_suffixtree
 ctest --test-dir "$SAN_BUILD" --output-on-failure \
       -R '^(test_verify|test_outliner|test_suffixtree)$'
 
+echo "== sanitizers: TSan build of the parallel link-stage suite =="
+TSAN_BUILD="${BUILD}-tsan"
+cmake -B "$TSAN_BUILD" -S . -DCALIBRO_SANITIZE=thread
+cmake --build "$TSAN_BUILD" -j --target test_parallel test_support
+ctest --test-dir "$TSAN_BUILD" --output-on-failure \
+      -R '^(test_parallel|test_support)$'
+
 echo "check.sh: all green"

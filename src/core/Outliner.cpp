@@ -18,7 +18,7 @@
 
 #include <algorithm>
 #include <cassert>
-#include <mutex>
+#include <memory>
 
 using namespace calibro;
 using namespace calibro::core;
@@ -206,34 +206,44 @@ Error rewriteMethod(CompiledMethod &M, std::vector<MethodOcc> Occs) {
   return Error::success();
 }
 
-/// All work for one partition: sequence construction, detection (suffix
-/// tree or suffix array, per options), candidate selection, and the
-/// rewriting of this group's methods.
+/// Phase A output for one candidate method: everything computeSeparators /
+/// computeBranchTargets derive, computed once up front (in parallel) so the
+/// per-group sequence assembly below is a cheap copy loop.
+struct MethodPrep {
+  std::vector<bool> Sep;
+  std::vector<bool> Targets;
+  std::string Err; ///< Non-empty when the method is undecodable.
+};
+
+/// Rewrite work for one method, produced by selection (Phase B) and
+/// executed by the rewrite fan-out (Phase C).
+struct RewriteWork {
+  std::size_t Row = 0; ///< Index into Methods.
+  std::vector<MethodOcc> Occs;
+};
+
+/// Phase B for one partition: sequence assembly from the precomputed
+/// separators, detection (suffix tree or suffix array, per options), and
+/// candidate selection. Produces this group's outlined functions and the
+/// per-method rewrite work; it mutates nothing, so groups run concurrently.
 template <typename DetectorT>
-Error runGroupImpl(std::vector<CompiledMethod> &Methods,
-                   const std::vector<std::size_t> &Rows, uint32_t GroupIdx,
-                   const OutlinerOptions &Opts,
-                   std::vector<OutlinedFunc> &FuncsOut,
-                   OutlineStats &Stats) {
+void runGroupImpl(const std::vector<CompiledMethod> &Methods,
+                  const std::vector<std::size_t> &Rows,
+                  const std::vector<const MethodPrep *> &Preps,
+                  uint32_t GroupIdx, const OutlinerOptions &Opts,
+                  std::vector<OutlinedFunc> &FuncsOut,
+                  std::vector<RewriteWork> &WorkOut, OutlineStats &Stats) {
   Timer BuildTimer;
 
   // Step 2 (paper §3.3.2): map this group's binary code to one symbol
   // sequence with unique separators.
   std::vector<st::Symbol> Seq;
   std::vector<PosInfo> Pos;
-  std::vector<std::vector<bool>> Targets(Rows.size());
   uint64_t SepCounter = 0;
 
   for (std::size_t GI = 0; GI < Rows.size(); ++GI) {
     const CompiledMethod &M = Methods[Rows[GI]];
-    bool Hot = Opts.HotMethods && Opts.HotMethods->count(M.MethodIdx);
-    if (Hot)
-      ++Stats.HotFilteredMethods;
-    std::string Err;
-    std::vector<bool> Sep = computeSeparators(M, Hot, Err);
-    if (!Err.empty())
-      return makeError(Err);
-    Targets[GI] = computeBranchTargets(M);
+    const std::vector<bool> &Sep = Preps[GI]->Sep;
     for (std::size_t W = 0; W < M.Code.size(); ++W) {
       Seq.push_back(Sep[W] ? st::SeparatorBase + SepCounter++
                            : st::Symbol(M.Code[W]));
@@ -298,7 +308,7 @@ Error runGroupImpl(std::vector<CompiledMethod> &Methods,
       if (Ok) {
         const PosInfo &PI = Pos[P];
         assert(PI.MethodRow >= 0 && "occurrence starts at a separator");
-        const auto &TargetAt = Targets[PI.MethodRow];
+        const auto &TargetAt = Preps[PI.MethodRow]->Targets;
         for (uint32_t K = 1; K < C.Len && Ok; ++K)
           Ok = !TargetAt[PI.Word + K];
       }
@@ -341,16 +351,12 @@ Error runGroupImpl(std::vector<CompiledMethod> &Methods,
   }
   Stats.SelectSeconds += SelectTimer.seconds();
 
-  // Steps 3+4: rewrite this group's methods and patch PC-relative code.
-  Timer RewriteTimer;
-  for (std::size_t GI = 0; GI < Rows.size(); ++GI) {
-    if (OccsByMethod[GI].empty())
-      continue;
-    if (auto E = rewriteMethod(Methods[Rows[GI]], std::move(OccsByMethod[GI])))
-      return E;
-  }
-  Stats.RewriteSeconds += RewriteTimer.seconds();
-  return Error::success();
+  // Hand the rewrites to Phase C instead of executing them here: every
+  // method's rewrite is independent, so the fan-out parallelizes across ALL
+  // groups' methods at once (and runs even when Partitions == 1).
+  for (std::size_t GI = 0; GI < Rows.size(); ++GI)
+    if (!OccsByMethod[GI].empty())
+      WorkOut.push_back({Rows[GI], std::move(OccsByMethod[GI])});
 }
 
 } // namespace
@@ -379,45 +385,88 @@ Expected<OutlineResult> core::runLtbo(std::vector<CompiledMethod> &Methods,
   }
   Result.Stats.CandidateMethods = Candidates.size();
 
+  // One pool serves every phase; group tasks never call back into it, so
+  // there is no nested-wait deadlock. Threads == 1 stays pool-free and runs
+  // every phase inline on the calling thread.
+  std::unique_ptr<ThreadPool> Pool;
+  if (Opts.Threads > 1)
+    Pool = std::make_unique<ThreadPool>(Opts.Threads);
+
+  // Phase A: per-method preprocessing — separators + branch targets, the
+  // decode-heavy analysis — in parallel over ALL candidates, before any
+  // sequence is assembled. Each candidate writes only its own slot, and
+  // error reporting scans slots in candidate order afterwards, so the
+  // surfaced error is the lowest candidate index's for any scheduling.
+  Timer PreprocessTimer;
+  std::vector<MethodPrep> Preps(Candidates.size());
+  auto PrepOne = [&](std::size_t I) {
+    const CompiledMethod &M = Methods[Candidates[I]];
+    bool Hot = Opts.HotMethods && Opts.HotMethods->count(M.MethodIdx);
+    MethodPrep &P = Preps[I];
+    P.Sep = computeSeparators(M, Hot, P.Err);
+    P.Targets = computeBranchTargets(M);
+  };
+  if (Pool) {
+    Pool->parallelFor(Candidates.size(), PrepOne);
+  } else {
+    for (std::size_t I = 0; I < Candidates.size(); ++I)
+      PrepOne(I);
+  }
+  for (std::size_t I = 0; I < Candidates.size(); ++I) {
+    if (!Preps[I].Err.empty())
+      return makeError(Preps[I].Err);
+    if (Opts.HotMethods &&
+        Opts.HotMethods->count(Methods[Candidates[I]].MethodIdx))
+      ++Result.Stats.HotFilteredMethods;
+  }
+  Result.Stats.PreprocessSeconds = PreprocessTimer.seconds();
+  Result.Stats.PreprocessThreads = Pool ? Pool->numThreads() : 1;
+
   // PlOpti (paper §3.4.1): simple even partition of the candidate methods.
+  // Groups hold candidate indices so Phase B can reach the Phase A output.
   uint32_t K = Opts.Partitions;
   std::vector<std::vector<std::size_t>> Groups(K);
   for (std::size_t I = 0; I < Candidates.size(); ++I)
-    Groups[I % K].push_back(Candidates[I]);
+    Groups[I % K].push_back(I);
 
+  // Phase B: detection + selection per group, concurrently across groups.
+  // Each task touches only its own output slots and reads shared state, so
+  // results are identical for any thread count.
   std::vector<OutlineStats> GroupStats(K);
   std::vector<std::vector<OutlinedFunc>> GroupFuncs(K);
-  std::vector<std::string> GroupErrors(K);
+  std::vector<std::vector<RewriteWork>> GroupWork(K);
 
   auto RunOne = [&](std::size_t G) {
     if (Groups[G].empty())
       return;
-    Error E = Opts.Detector == DetectorKind::SuffixTree
-                  ? runGroupImpl<st::SuffixTree>(
-                        Methods, Groups[G], static_cast<uint32_t>(G), Opts,
-                        GroupFuncs[G], GroupStats[G])
-                  : runGroupImpl<st::SuffixArray>(
-                        Methods, Groups[G], static_cast<uint32_t>(G), Opts,
-                        GroupFuncs[G], GroupStats[G]);
-    if (E)
-      GroupErrors[G] = E.message();
+    std::vector<std::size_t> Rows;
+    std::vector<const MethodPrep *> GroupPreps;
+    Rows.reserve(Groups[G].size());
+    GroupPreps.reserve(Groups[G].size());
+    for (std::size_t I : Groups[G]) {
+      Rows.push_back(Candidates[I]);
+      GroupPreps.push_back(&Preps[I]);
+    }
+    if (Opts.Detector == DetectorKind::SuffixTree)
+      runGroupImpl<st::SuffixTree>(Methods, Rows, GroupPreps,
+                                   static_cast<uint32_t>(G), Opts,
+                                   GroupFuncs[G], GroupWork[G], GroupStats[G]);
+    else
+      runGroupImpl<st::SuffixArray>(Methods, Rows, GroupPreps,
+                                    static_cast<uint32_t>(G), Opts,
+                                    GroupFuncs[G], GroupWork[G], GroupStats[G]);
   };
 
-  if (Opts.Threads > 1 && K > 1) {
-    ThreadPool Pool(std::min<std::size_t>(Opts.Threads, K));
-    for (std::size_t G = 0; G < K; ++G)
-      Pool.enqueue([&, G] { RunOne(G); });
-    Pool.wait();
+  if (Pool && K > 1) {
+    Pool->parallelFor(K, RunOne);
+    Result.Stats.DetectThreads = std::min<std::size_t>(Pool->numThreads(), K);
   } else {
     for (std::size_t G = 0; G < K; ++G)
       RunOne(G);
   }
 
   for (std::size_t G = 0; G < K; ++G) {
-    if (!GroupErrors[G].empty())
-      return makeError(GroupErrors[G]);
     auto &S = GroupStats[G];
-    Result.Stats.HotFilteredMethods += S.HotFilteredMethods;
     Result.Stats.SequencesOutlined += S.SequencesOutlined;
     Result.Stats.OccurrencesReplaced += S.OccurrencesReplaced;
     Result.Stats.CandidatesEvaluated += S.CandidatesEvaluated;
@@ -426,7 +475,6 @@ Expected<OutlineResult> core::runLtbo(std::vector<CompiledMethod> &Methods,
     Result.Stats.TreeNodes += S.TreeNodes;
     Result.Stats.BuildTreeSeconds += S.BuildTreeSeconds;
     Result.Stats.SelectSeconds += S.SelectSeconds;
-    Result.Stats.RewriteSeconds += S.RewriteSeconds;
     for (auto &F : GroupFuncs[G])
       Result.Funcs.push_back(std::move(F));
   }
@@ -434,5 +482,36 @@ Expected<OutlineResult> core::runLtbo(std::vector<CompiledMethod> &Methods,
             [](const OutlinedFunc &A, const OutlinedFunc &B) {
               return A.Id < B.Id;
             });
+
+  // Phase C: rewrite fan-out across every selected method — even when
+  // Partitions == 1. Work items are sorted by method row; each task rewrites
+  // a distinct method and records any failure in its own slot, and the scan
+  // below surfaces the LOWEST method index's error for any scheduling.
+  Timer RewriteTimer;
+  std::vector<RewriteWork> Work;
+  for (auto &GW : GroupWork)
+    for (auto &W : GW)
+      Work.push_back(std::move(W));
+  std::sort(Work.begin(), Work.end(),
+            [](const RewriteWork &A, const RewriteWork &B) {
+              return A.Row < B.Row;
+            });
+  std::vector<std::string> RewriteErrors(Work.size());
+  auto RewriteOne = [&](std::size_t I) {
+    if (auto E = rewriteMethod(Methods[Work[I].Row], std::move(Work[I].Occs)))
+      RewriteErrors[I] = E.message();
+  };
+  if (Pool) {
+    Pool->parallelFor(Work.size(), RewriteOne);
+  } else {
+    for (std::size_t I = 0; I < Work.size(); ++I)
+      RewriteOne(I);
+  }
+  for (const std::string &E : RewriteErrors)
+    if (!E.empty())
+      return makeError(E);
+  Result.Stats.RewriteSeconds = RewriteTimer.seconds();
+  Result.Stats.RewriteThreads = Pool ? Pool->numThreads() : 1;
+
   return Result;
 }

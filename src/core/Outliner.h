@@ -36,6 +36,21 @@
 /// thread pool; hot-function filtering (§3.4.2) restricts outlining in hot
 /// methods to their recorded slow-path ranges.
 ///
+/// Independent of the partition knob, the stage itself runs as a parallel
+/// three-phase pipeline whenever Threads > 1 (even with Partitions == 1):
+///
+///   Phase A (parallel over methods): separator + branch-target
+///     preprocessing — the decode-heavy per-method analysis.
+///   Phase B (parallel over groups): sequence assembly, repeat detection,
+///     and greedy candidate selection per group.
+///   Phase C (parallel over methods): rewriteMethod fan-out — each selected
+///     method's rewrite is independent of every other method's.
+///
+/// Determinism contract: the OutlineResult (functions, rewritten methods,
+/// and all scheduling-invariant stats) is byte-identical for every Threads
+/// value, and errors surface deterministically (the lowest method index
+/// wins), for any scheduling.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CALIBRO_CORE_OUTLINER_H
@@ -60,7 +75,10 @@ struct OutlinerOptions {
   uint32_t MinSeqLen = 2;  ///< Minimum candidate length (instructions).
   uint32_t MaxSeqLen = 64; ///< Maximum candidate length (instructions).
   uint32_t Partitions = 1; ///< K suffix trees (PlOpti when > 1).
-  uint32_t Threads = 1;    ///< Worker threads for the parallel build.
+  /// Worker threads for the whole link stage: preprocessing, per-group
+  /// detection/selection, and the rewrite fan-out all run on one pool of
+  /// this size (not just the K-partition build). 1 = fully serial.
+  uint32_t Threads = 1;
   DetectorKind Detector = DetectorKind::SuffixTree;
   /// Hot methods (HfOpti): outlining inside them is restricted to their
   /// slow-path ranges. Null disables filtering.
@@ -83,9 +101,16 @@ struct OutlineStats {
   uint64_t InsnsRemoved = 0;       ///< Net instruction-count saving.
   uint64_t SymbolCount = 0;        ///< Total sequence length fed to trees.
   uint64_t TreeNodes = 0;          ///< Sum of node counts over all trees.
+  double PreprocessSeconds = 0; ///< Phase A: separators + branch targets.
   double BuildTreeSeconds = 0;
   double SelectSeconds = 0;
   double RewriteSeconds = 0;
+  /// Worker counts actually used per phase (1 when that phase ran inline on
+  /// the calling thread). Scheduling metadata, NOT part of the deterministic
+  /// result — determinism tests must ignore these.
+  std::size_t PreprocessThreads = 1;
+  std::size_t DetectThreads = 1;
+  std::size_t RewriteThreads = 1;
 };
 
 /// Result of one LTBO.2 run.

@@ -15,49 +15,127 @@ using namespace calibro::st;
 
 namespace {
 
-constexpr Symbol Sentinel = ~uint64_t(0);
+/// Maps the sparse 64-bit symbols of \p Txt to dense uint32 ranks via an
+/// LSD radix sort (4 x 16-bit passes, passes whose key bits are all zero
+/// are skipped — instruction words use only the low 32 bits). Position
+/// Txt.size() is the virtual sentinel: rank 0, strictly smaller than every
+/// real symbol's rank (those start at 1). No reserved symbol value exists,
+/// so ANY uint64 sequence is legal input — the old "input may not contain
+/// ~0" precondition is gone by construction.
+///
+/// Returns the dense per-position ranks (size Txt.size() + 1) and sets
+/// \p AlphabetOut to one past the largest rank.
+std::vector<uint32_t> compactRanks(const std::vector<Symbol> &Txt,
+                                   uint32_t &AlphabetOut) {
+  const uint32_t n = static_cast<uint32_t>(Txt.size());
+  std::vector<uint32_t> Idx(n), Tmp(n);
+  std::iota(Idx.begin(), Idx.end(), 0);
+  std::vector<uint32_t> Cnt(1u << 16);
+  for (int Pass = 0; Pass < 4; ++Pass) {
+    const int Shift = Pass * 16;
+    bool AnyBits = Pass == 0;
+    for (uint32_t I = 0; I < n && !AnyBits; ++I)
+      AnyBits = ((Txt[I] >> Shift) & 0xffff) != 0;
+    if (!AnyBits)
+      continue;
+    std::fill(Cnt.begin(), Cnt.end(), 0);
+    for (uint32_t I = 0; I < n; ++I)
+      ++Cnt[(Txt[I] >> Shift) & 0xffff];
+    uint32_t Sum = 0;
+    for (uint32_t &C : Cnt) {
+      uint32_t T = C;
+      C = Sum;
+      Sum += T;
+    }
+    for (uint32_t I = 0; I < n; ++I)
+      Tmp[Cnt[(Txt[Idx[I]] >> Shift) & 0xffff]++] = Idx[I];
+    Idx.swap(Tmp);
+  }
+  std::vector<uint32_t> Rank(n + 1);
+  uint32_t R = 0;
+  for (uint32_t I = 0; I < n; ++I) {
+    if (I > 0 && Txt[Idx[I]] != Txt[Idx[I - 1]])
+      ++R;
+    Rank[Idx[I]] = R + 1;
+  }
+  Rank[n] = 0; // The virtual sentinel suffix.
+  AlphabetOut = n == 0 ? 1 : R + 2;
+  return Rank;
+}
 
 } // namespace
 
 SuffixArray::SuffixArray(std::vector<Symbol> Text) : Txt(std::move(Text)) {
-  assert(std::find(Txt.begin(), Txt.end(), Sentinel) == Txt.end() &&
-         "input sequence may not contain the reserved sentinel symbol");
-  Txt.push_back(Sentinel);
-  uint32_t N = static_cast<uint32_t>(Txt.size());
+  const uint32_t n = static_cast<uint32_t>(Txt.size());
+  const uint32_t N = n + 1; // Plus the virtual sentinel position n.
 
-  // Prefix-doubling construction. Initial ranks come from sorting the
-  // symbols themselves (the alphabet is sparse 64-bit).
+  // Prefix doubling over dense ranks with counting (radix) sorts: O(n) per
+  // round, O(log n) rounds, O(n log n) total — and uint32 working arrays
+  // instead of 64-bit sort keys.
+  uint32_t Alphabet = 0;
+  std::vector<uint32_t> Rank = compactRanks(Txt, Alphabet);
+
   Sa.resize(N);
-  std::iota(Sa.begin(), Sa.end(), 0);
-  std::vector<uint32_t> Rank(N), Tmp(N);
   {
-    std::sort(Sa.begin(), Sa.end(),
-              [&](uint32_t A, uint32_t B) { return Txt[A] < Txt[B]; });
-    uint32_t R = 0;
-    Rank[Sa[0]] = 0;
-    for (uint32_t I = 1; I < N; ++I) {
-      if (Txt[Sa[I]] != Txt[Sa[I - 1]])
-        ++R;
-      Rank[Sa[I]] = R;
+    std::vector<uint32_t> Cnt(Alphabet, 0);
+    for (uint32_t R : Rank)
+      ++Cnt[R];
+    uint32_t Sum = 0;
+    for (uint32_t &C : Cnt) {
+      uint32_t T = C;
+      C = Sum;
+      Sum += T;
+    }
+    for (uint32_t I = 0; I < N; ++I)
+      Sa[Cnt[Rank[I]]++] = I;
+  }
+  {
+    std::vector<uint32_t> Tmp(N), NewRank(N), Cnt;
+    for (uint32_t K = 1; K < N; K *= 2) {
+      // Order by the second key (Rank[I + K], out-of-range smallest):
+      // positions I >= N - K have no second key and come first; the rest
+      // follow in the current suffix-array order, shifted by K. This keeps
+      // the sort stable in the second key, so the subsequent counting sort
+      // by the first key yields the (first, second) lexicographic order.
+      uint32_t P = 0;
+      for (uint32_t I = N - K; I < N; ++I)
+        Tmp[P++] = I;
+      for (uint32_t I = 0; I < N; ++I)
+        if (Sa[I] >= K)
+          Tmp[P++] = Sa[I] - K;
+      // Stable counting sort by the first key.
+      Cnt.assign(Alphabet, 0);
+      for (uint32_t I = 0; I < N; ++I)
+        ++Cnt[Rank[I]];
+      uint32_t Sum = 0;
+      for (uint32_t &C : Cnt) {
+        uint32_t T = C;
+        C = Sum;
+        Sum += T;
+      }
+      for (uint32_t I = 0; I < N; ++I)
+        Sa[Cnt[Rank[Tmp[I]]]++] = Tmp[I];
+      // Re-rank: adjacent rows with equal (first, second) keys share a rank.
+      auto Second = [&](uint32_t S) {
+        return S + K < N ? Rank[S + K] + 1 : 0;
+      };
+      NewRank[Sa[0]] = 0;
+      uint32_t R = 0;
+      for (uint32_t I = 1; I < N; ++I) {
+        uint32_t A = Sa[I - 1], B = Sa[I];
+        R += !(Rank[A] == Rank[B] && Second(A) == Second(B));
+        NewRank[B] = R;
+      }
+      Rank.swap(NewRank);
+      Alphabet = R + 2;
+      if (R == N - 1)
+        break;
     }
   }
-  for (uint32_t K = 1; K < N; K *= 2) {
-    auto Key = [&](uint32_t S) {
-      uint64_t Hi = Rank[S];
-      uint64_t Lo = S + K < N ? Rank[S + K] + 1 : 0;
-      return (Hi << 32) | Lo;
-    };
-    std::sort(Sa.begin(), Sa.end(),
-              [&](uint32_t A, uint32_t B) { return Key(A) < Key(B); });
-    Tmp[Sa[0]] = 0;
-    for (uint32_t I = 1; I < N; ++I)
-      Tmp[Sa[I]] = Tmp[Sa[I - 1]] + (Key(Sa[I - 1]) != Key(Sa[I]) ? 1 : 0);
-    Rank = Tmp;
-    if (Rank[Sa[N - 1]] == N - 1)
-      break;
-  }
 
-  // Kasai's LCP: Lcp[I] = lcp(SA[I-1], SA[I]); Lcp[0] = 0.
+  // Kasai's LCP: Lcp[I] = lcp(SA[I-1], SA[I]); Lcp[0] = 0. Comparing raw
+  // symbols is exact: both positions are < n (the sentinel suffix never has
+  // a positive LCP with any neighbour — its rank is unique).
   Lcp.assign(N, 0);
   {
     std::vector<uint32_t> Inv(N);
@@ -70,7 +148,7 @@ SuffixArray::SuffixArray(std::vector<Symbol> Text) : Txt(std::move(Text)) {
         continue;
       }
       uint32_t Prev = Sa[Inv[S] - 1];
-      while (S + H < N && Prev + H < N && Txt[S + H] == Txt[Prev + H])
+      while (S + H < n && Prev + H < n && Txt[S + H] == Txt[Prev + H])
         ++H;
       Lcp[Inv[S]] = H;
       if (H)

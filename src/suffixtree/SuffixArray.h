@@ -5,14 +5,22 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// An independent redundancy-detection backend: a suffix array (prefix-
-/// doubling construction, O(n log^2 n)) with Kasai's LCP array, enumerating
-/// repeated sequences as LCP intervals. LCP intervals correspond one-to-one
-/// to the internal nodes of the suffix tree, so this backend must report
-/// exactly the same repeats with exactly the same occurrence sets as
-/// st::SuffixTree — which is how the test suite cross-validates the Ukkonen
-/// implementation (and vice versa). It is also the memory-lean alternative
-/// the build-time experiments can compare against.
+/// An independent redundancy-detection backend: a suffix array with Kasai's
+/// LCP array, enumerating repeated sequences as LCP intervals. Construction
+/// is O(n log n): the sparse 64-bit alphabet is first compacted to dense
+/// uint32 ranks (LSD radix sort of the symbols), then prefix doubling runs
+/// with a counting (radix) sort per round instead of a comparison sort over
+/// 64-bit keys. The sentinel is a *virtual* position with a by-construction
+/// unique smallest rank — no symbol value is reserved, so any uint64
+/// sequence is legal input (the old release-build hazard of a text
+/// containing the reserved ~0 sentinel no longer exists).
+///
+/// LCP intervals correspond one-to-one to the internal nodes of the suffix
+/// tree, so this backend must report exactly the same repeats with exactly
+/// the same occurrence sets as st::SuffixTree — which is how the test suite
+/// cross-validates the Ukkonen implementation (and vice versa). It is also
+/// the memory-lean and construction-fast alternative the build-time
+/// experiments compare against.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,15 +40,17 @@ namespace st {
 /// enumeration interface as SuffixTree.
 class SuffixArray {
 public:
-  /// Builds the array. O(n log^2 n).
+  /// Builds the array. O(n log n): alphabet rank-compaction followed by
+  /// radix-sorted prefix doubling. Accepts any symbol values — the sentinel
+  /// is virtual, nothing is reserved.
   explicit SuffixArray(std::vector<Symbol> Text);
 
-  /// Length of the original sequence (without the internal sentinel).
-  std::size_t textSize() const { return Txt.size() - 1; }
+  /// Length of the original sequence.
+  std::size_t textSize() const { return Txt.size(); }
 
-  /// The stored sequence, without the internal sentinel.
+  /// The stored sequence.
   std::span<const Symbol> text() const {
-    return std::span<const Symbol>(Txt.data(), Txt.size() - 1);
+    return std::span<const Symbol>(Txt.data(), Txt.size());
   }
 
   using RepeatInfo = SuffixTree::RepeatInfo;

@@ -6,7 +6,7 @@
 
 #include "support/ThreadPool.h"
 
-#include <atomic>
+#include <exception>
 
 using namespace calibro;
 
@@ -45,22 +45,48 @@ void ThreadPool::wait() {
 }
 
 void ThreadPool::parallelFor(std::size_t N,
-                             const std::function<void(std::size_t)> &Fn) {
-  // Chunk the index space so tiny iterations do not drown in queue traffic.
+                             const std::function<void(std::size_t)> &Fn,
+                             std::size_t Grain) {
+  if (N == 0)
+    return;
+  // Chunk the index space so tiny iterations do not drown in queue traffic:
+  // one queued task per chunk, not one std::function allocation per index.
+  // A few chunks per worker keep the tail balanced when iteration costs are
+  // uneven; Grain puts a floor under the chunk size for cheap iterations.
   std::size_t NumChunks = numThreads() * 4;
   if (NumChunks > N)
     NumChunks = N;
-  if (NumChunks == 0)
-    return;
   std::size_t ChunkSize = (N + NumChunks - 1) / NumChunks;
+  if (Grain != 0 && ChunkSize < Grain)
+    ChunkSize = Grain;
+
+  // Exception propagation: record the exception thrown by the lowest index.
+  // Every chunk runs to its own first failure, so the minimum failing index
+  // — and therefore the propagated exception — is scheduling-independent.
+  std::mutex ExcMutex;
+  std::exception_ptr Exc;
+  std::size_t ExcIndex = ~std::size_t(0);
+
   for (std::size_t Begin = 0; Begin < N; Begin += ChunkSize) {
     std::size_t End = Begin + ChunkSize < N ? Begin + ChunkSize : N;
-    enqueue([&Fn, Begin, End] {
-      for (std::size_t I = Begin; I < End; ++I)
-        Fn(I);
+    enqueue([&Fn, &ExcMutex, &Exc, &ExcIndex, Begin, End] {
+      for (std::size_t I = Begin; I < End; ++I) {
+        try {
+          Fn(I);
+        } catch (...) {
+          std::lock_guard<std::mutex> Lock(ExcMutex);
+          if (I < ExcIndex) {
+            ExcIndex = I;
+            Exc = std::current_exception();
+          }
+          break; // Abandon the rest of this chunk.
+        }
+      }
     });
   }
   wait();
+  if (Exc)
+    std::rethrow_exception(Exc);
 }
 
 void ThreadPool::workerLoop() {

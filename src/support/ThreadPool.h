@@ -5,10 +5,18 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A small fixed-size thread pool used by the paralleled-suffix-tree
-/// optimization (paper §3.4.1). Tasks are plain std::function<void()>; wait()
-/// blocks until every enqueued task has finished, which is the only
-/// synchronization the partition-per-tree design needs.
+/// A small fixed-size thread pool used by the parallel link stage: the
+/// paralleled-suffix-tree optimization (paper §3.4.1), the per-method
+/// preprocessing and rewrite fan-out around it, per-method compilation, and
+/// the differential-verification ladder. Tasks are plain
+/// std::function<void()>; wait() blocks until every enqueued task has
+/// finished.
+///
+/// parallelFor() is the structured entry point: it splits the index space
+/// into contiguous chunks (one queued task per chunk, never one allocation
+/// per index), runs them across the pool, and propagates the exception of
+/// the lowest failing index deterministically — the same error surfaces for
+/// every thread count and scheduling.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -44,7 +52,15 @@ public:
   std::size_t numThreads() const { return Workers.size(); }
 
   /// Runs \p Fn(I) for every I in [0, N) across the pool and waits.
-  void parallelFor(std::size_t N, const std::function<void(std::size_t)> &Fn);
+  ///
+  /// The index space is split into contiguous chunks of at least \p Grain
+  /// iterations (Grain == 0 picks one automatically from N and the worker
+  /// count), one queued task per chunk. If any iteration throws, the chunk
+  /// abandons its remaining iterations, the other chunks still run, and the
+  /// exception of the LOWEST failing index is rethrown here — so the caller
+  /// observes the same error for any thread count or scheduling.
+  void parallelFor(std::size_t N, const std::function<void(std::size_t)> &Fn,
+                   std::size_t Grain = 0);
 
 private:
   void workerLoop();

@@ -8,8 +8,10 @@
 
 #include "sim/Simulator.h"
 #include "support/Random.h"
+#include "support/ThreadPool.h"
 #include "verify/OatVerifier.h"
 
+#include <algorithm>
 #include <string>
 
 using namespace calibro;
@@ -70,67 +72,87 @@ verify::runDifferential(const workload::AppSpec &Spec,
   DifferentialReport Report;
   Report.InvocationsPerStage = Script.size();
 
-  // Baseline.
-  core::CalibroOptions Base;
-  auto BaseBuild = core::buildApp(App, Base);
-  if (!BaseBuild)
-    return makeError("baseline build: " + BaseBuild.message());
-  auto BaseRun = verifyAndRun(BaseBuild->Oat, "baseline", Script);
-  if (!BaseRun)
-    return BaseRun.takeError();
-  Report.BaselineBytes = BaseBuild->Oat.textBytes();
-
-  auto checkStage = [&](const core::CalibroOptions &StageOpts,
-                        const std::string &Stage,
-                        uint64_t &BytesOut) -> Expected<oat::OatFile> {
-    auto Build = core::buildApp(App, StageOpts);
-    if (!Build)
-      return makeError(Stage + " build: " + Build.message());
-    auto Run = verifyAndRun(Build->Oat, Stage, Script);
-    if (!Run)
-      return Run.takeError();
-    if (auto E = compareRuns(*BaseRun, *Run, Stage))
-      return E;
-    BytesOut = Build->Oat.textBytes();
-    ++Report.StagesCompared;
-    return std::move(Build->Oat);
-  };
-
-  // CTO.
+  // The ladder's first four stages are independent builds of the same app,
+  // so they build + statically verify + execute concurrently. Stage 0 is
+  // always baseline; comparisons against it happen after the barrier, in
+  // fixed stage order — so the report, the StagesCompared count and the
+  // surfaced error are identical for any LadderThreads value.
   core::CalibroOptions Cto;
   Cto.EnableCto = true;
-  auto CtoOat = checkStage(Cto, "cto", Report.CtoBytes);
-  if (!CtoOat)
-    return CtoOat.takeError();
-
-  // CTO + LTBO (single global detector).
   core::CalibroOptions Ltbo = Cto;
   Ltbo.EnableLtbo = true;
   Ltbo.LtboDetector = Opts.Detector;
-  auto LtboOat = checkStage(Ltbo, "cto+ltbo", Report.LtboBytes);
-  if (!LtboOat)
-    return LtboOat.takeError();
-
-  const oat::OatFile *ProfileImage = &*LtboOat;
-
-  // + PlOpti.
   core::CalibroOptions Pl = Ltbo;
-  oat::OatFile PlOat;
-  if (Opts.WithPlOpti) {
-    Pl.LtboPartitions = Opts.Partitions;
-    Pl.LtboThreads = Opts.Threads;
-    auto R = checkStage(Pl, "cto+ltbo+plopti", Report.PlOptiBytes);
-    if (!R)
-      return R.takeError();
-    PlOat = std::move(*R);
-    ProfileImage = &PlOat;
+  Pl.LtboPartitions = Opts.Partitions;
+  Pl.LtboThreads = Opts.Threads;
+
+  struct Stage {
+    std::string Name;
+    core::CalibroOptions Build;
+    // Outputs, each written only by this stage's task.
+    std::string Err;
+    uint64_t Bytes = 0;
+    oat::OatFile Oat;
+    std::vector<Observation> Obs;
+  };
+  std::vector<Stage> Stages;
+  auto addStage = [&](const char *Name, const core::CalibroOptions &Build) {
+    Stage S;
+    S.Name = Name;
+    S.Build = Build;
+    Stages.push_back(std::move(S));
+  };
+  addStage("baseline", core::CalibroOptions{});
+  addStage("cto", Cto);
+  addStage("cto+ltbo", Ltbo);
+  if (Opts.WithPlOpti)
+    addStage("cto+ltbo+plopti", Pl);
+
+  auto RunStage = [&](std::size_t I) {
+    Stage &S = Stages[I];
+    auto Build = core::buildApp(App, S.Build);
+    if (!Build) {
+      S.Err = S.Name + " build: " + Build.message();
+      return;
+    }
+    auto Run = verifyAndRun(Build->Oat, S.Name, Script);
+    if (!Run) {
+      S.Err = Run.message();
+      return;
+    }
+    S.Bytes = Build->Oat.textBytes();
+    S.Oat = std::move(Build->Oat);
+    S.Obs = std::move(*Run);
+  };
+  if (Opts.LadderThreads > 1) {
+    ThreadPool Pool(std::min<std::size_t>(Opts.LadderThreads, Stages.size()));
+    Pool.parallelFor(Stages.size(), RunStage);
+  } else {
+    for (std::size_t I = 0; I < Stages.size(); ++I)
+      RunStage(I);
   }
 
-  // + HfOpti: profile the previous stage's image over the same script.
+  for (const Stage &S : Stages)
+    if (!S.Err.empty())
+      return makeError(S.Err);
+  for (std::size_t I = 1; I < Stages.size(); ++I) {
+    if (auto E = compareRuns(Stages[0].Obs, Stages[I].Obs, Stages[I].Name))
+      return E;
+    ++Report.StagesCompared;
+  }
+  Report.BaselineBytes = Stages[0].Bytes;
+  Report.CtoBytes = Stages[1].Bytes;
+  Report.LtboBytes = Stages[2].Bytes;
+  if (Opts.WithPlOpti)
+    Report.PlOptiBytes = Stages[3].Bytes;
+
+  // + HfOpti: profiles the previous stage's image, so it cannot join the
+  // concurrent batch above — it runs after, sequentially.
   if (Opts.WithHfOpti) {
+    const oat::OatFile &ProfileImage = Stages.back().Oat;
     sim::SimOptions ProfOpts;
     ProfOpts.CollectProfile = true;
-    sim::Simulator ProfSim(*ProfileImage, ProfOpts);
+    sim::Simulator ProfSim(ProfileImage, ProfOpts);
     for (const auto &Inv : Script) {
       auto R = ProfSim.call(Inv.MethodIdx, Inv.Args);
       if (!R)
@@ -139,9 +161,16 @@ verify::runDifferential(const workload::AppSpec &Spec,
     profile::Profile Prof = ProfSim.profileData();
     core::CalibroOptions Hf = Opts.WithPlOpti ? Pl : Ltbo;
     Hf.Profile = &Prof;
-    auto R = checkStage(Hf, "cto+ltbo+hfopti", Report.HfOptiBytes);
-    if (!R)
-      return R.takeError();
+    auto Build = core::buildApp(App, Hf);
+    if (!Build)
+      return makeError("cto+ltbo+hfopti build: " + Build.message());
+    auto Run = verifyAndRun(Build->Oat, "cto+ltbo+hfopti", Script);
+    if (!Run)
+      return Run.takeError();
+    if (auto E = compareRuns(Stages[0].Obs, *Run, "cto+ltbo+hfopti"))
+      return E;
+    Report.HfOptiBytes = Build->Oat.textBytes();
+    ++Report.StagesCompared;
   }
 
   if (Opts.RequireMonotoneSize) {
@@ -216,4 +245,33 @@ Expected<DifferentialReport> verify::runRandomDifferential(uint64_t Seed) {
   Report.LtboBytes = FullBuild->Oat.textBytes();
   Report.StagesCompared = 1;
   return Report;
+}
+
+Expected<std::vector<DifferentialReport>>
+verify::runRandomDifferentialBatch(uint64_t FirstSeed, std::size_t Count,
+                                   uint32_t Threads) {
+  // Each seed is a fully independent build-and-run, so the batch fans out
+  // across the pool. Every iteration writes only its own slots; the error
+  // scan below runs in seed order, so the lowest failing seed's error is
+  // surfaced for any thread count or scheduling.
+  std::vector<DifferentialReport> Reports(Count);
+  std::vector<std::string> Errors(Count);
+  auto RunOne = [&](std::size_t I) {
+    auto R = runRandomDifferential(FirstSeed + I);
+    if (!R)
+      Errors[I] = "seed " + std::to_string(FirstSeed + I) + ": " + R.message();
+    else
+      Reports[I] = *R;
+  };
+  if (Threads > 1 && Count > 1) {
+    ThreadPool Pool(std::min<std::size_t>(Threads, Count));
+    Pool.parallelFor(Count, RunOne);
+  } else {
+    for (std::size_t I = 0; I < Count; ++I)
+      RunOne(I);
+  }
+  for (const std::string &E : Errors)
+    if (!E.empty())
+      return makeError(E);
+  return Reports;
 }

@@ -49,6 +49,12 @@ struct DifferentialOptions {
   bool RequireMonotoneSize = true;
   uint32_t Partitions = 8;      ///< PlOpti partition count.
   uint32_t Threads = 2;         ///< PlOpti worker threads.
+  /// Worker threads for the ladder itself: the Baseline/CTO/LTBO/PlOpti
+  /// stages build, statically verify and execute concurrently (each stage
+  /// is an independent build of the same app). Comparison against baseline
+  /// happens afterwards in fixed stage order, so results and error
+  /// reporting are identical for any value. 1 = serial ladder.
+  uint32_t LadderThreads = 2;
   core::DetectorKind Detector = core::DetectorKind::SuffixTree;
 };
 
@@ -74,6 +80,14 @@ workload::AppSpec randomAppSpec(uint64_t Seed);
 /// One fuzz iteration: a random app, Baseline vs CTO+LTBO with a
 /// seed-chosen detector backend and partition count, equivalence-only.
 Expected<DifferentialReport> runRandomDifferential(uint64_t Seed);
+
+/// Runs runRandomDifferential for every seed in [FirstSeed, FirstSeed +
+/// Count) across \p Threads worker threads (1 = serial). Reports come back
+/// in seed order; on failure the LOWEST failing seed's error is returned,
+/// prefixed with "seed N: ", for any thread count or scheduling.
+Expected<std::vector<DifferentialReport>>
+runRandomDifferentialBatch(uint64_t FirstSeed, std::size_t Count,
+                           uint32_t Threads);
 
 } // namespace verify
 } // namespace calibro

@@ -1,0 +1,258 @@
+//===- tests/test_parallel.cpp - Parallel link-stage determinism -----------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The determinism contract of the parallel link stage: the OutlineResult
+/// — outlined functions, rewritten method bodies, relocations, side info
+/// and every scheduling-invariant statistic — must be byte-identical for
+/// every Threads value and for both detection backends, and worker errors
+/// must surface as the same Error regardless of scheduling. Also covers the
+/// parallel differential ladder and the batched fuzz entry point.
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CodeGenerator.h"
+#include "core/Outliner.h"
+#include "hir/HGraph.h"
+#include "hir/Passes.h"
+#include "verify/Differential.h"
+#include "workload/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace calibro;
+using namespace calibro::codegen;
+using namespace calibro::core;
+
+namespace {
+
+/// Compiles every method of a random app the way buildApp does (CTO on,
+/// default HIR pipeline), serially — the input the outliner determinism
+/// tests replay under different thread counts.
+std::vector<CompiledMethod> compileApp(const workload::AppSpec &Spec) {
+  dex::App App = workload::makeApp(Spec);
+  CtoStubCache Cache;
+  CodeGenerator Gen({.EnableCto = true}, Cache);
+  auto Pipeline = hir::defaultPipeline();
+  std::vector<CompiledMethod> Out;
+  App.forEachMethod([&](const dex::Method &M) {
+    if (M.IsNative) {
+      Out.push_back(Gen.compileNative(M));
+      return;
+    }
+    auto G = hir::buildHGraph(M);
+    ASSERT_TRUE(bool(G)) << G.message();
+    hir::runPipeline(*G, Pipeline);
+    Out.push_back(Gen.compile(*G));
+  });
+  return Out;
+}
+
+bool sideEqual(const MethodSideInfo &A, const MethodSideInfo &B) {
+  return A.TerminatorOffsets == B.TerminatorOffsets &&
+         A.PcRelRecords == B.PcRelRecords &&
+         A.EmbeddedData == B.EmbeddedData &&
+         A.SlowPathRanges == B.SlowPathRanges &&
+         A.HasIndirectJump == B.HasIndirectJump && A.IsNative == B.IsNative;
+}
+
+bool methodEqual(const CompiledMethod &A, const CompiledMethod &B) {
+  return A.MethodIdx == B.MethodIdx && A.Name == B.Name && A.Code == B.Code &&
+         A.Relocs == B.Relocs && sideEqual(A.Side, B.Side) &&
+         A.Map.Entries == B.Map.Entries;
+}
+
+bool funcEqual(const OutlinedFunc &A, const OutlinedFunc &B) {
+  return A.Id == B.Id && A.Code == B.Code && A.Relocs == B.Relocs &&
+         A.SeqLength == B.SeqLength && A.Occurrences == B.Occurrences;
+}
+
+/// The scheduling-invariant part of OutlineStats (timings and thread
+/// counts are explicitly excluded — they are scheduling metadata).
+void expectInvariantStatsEqual(const OutlineStats &A, const OutlineStats &B,
+                               const std::string &What) {
+  EXPECT_EQ(A.CandidateMethods, B.CandidateMethods) << What;
+  EXPECT_EQ(A.ExcludedIndirectJump, B.ExcludedIndirectJump) << What;
+  EXPECT_EQ(A.ExcludedNative, B.ExcludedNative) << What;
+  EXPECT_EQ(A.HotFilteredMethods, B.HotFilteredMethods) << What;
+  EXPECT_EQ(A.SequencesOutlined, B.SequencesOutlined) << What;
+  EXPECT_EQ(A.OccurrencesReplaced, B.OccurrencesReplaced) << What;
+  EXPECT_EQ(A.CandidatesEvaluated, B.CandidatesEvaluated) << What;
+  EXPECT_EQ(A.InsnsRemoved, B.InsnsRemoved) << What;
+  EXPECT_EQ(A.SymbolCount, B.SymbolCount) << What;
+}
+
+void expectSameOutcome(const std::vector<CompiledMethod> &MethodsA,
+                       const OutlineResult &A,
+                       const std::vector<CompiledMethod> &MethodsB,
+                       const OutlineResult &B, const std::string &What) {
+  ASSERT_EQ(A.Funcs.size(), B.Funcs.size()) << What;
+  for (std::size_t I = 0; I < A.Funcs.size(); ++I)
+    EXPECT_TRUE(funcEqual(A.Funcs[I], B.Funcs[I])) << What << " func " << I;
+  ASSERT_EQ(MethodsA.size(), MethodsB.size()) << What;
+  for (std::size_t I = 0; I < MethodsA.size(); ++I)
+    EXPECT_TRUE(methodEqual(MethodsA[I], MethodsB[I]))
+        << What << " method " << I << " (" << MethodsA[I].Name << ")";
+  expectInvariantStatsEqual(A.Stats, B.Stats, What);
+}
+
+//===----------------------------------------------------------------------===//
+// Byte-identical OutlineResult for every thread count
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelOutliner, ByteIdenticalAcrossThreadCounts) {
+  for (uint64_t Seed : {3u, 71u}) {
+    auto Spec = verify::randomAppSpec(Seed);
+    auto Reference = compileApp(Spec);
+    for (uint32_t Partitions : {1u, 4u}) {
+      OutlinerOptions Base;
+      Base.Partitions = Partitions;
+      Base.Threads = 1;
+      auto RefMethods = Reference;
+      auto RefResult = runLtbo(RefMethods, Base);
+      ASSERT_TRUE(bool(RefResult)) << RefResult.message();
+      ASSERT_GT(RefResult->Stats.SequencesOutlined, 0u)
+          << "seed " << Seed << " outlines nothing; the test proves nothing";
+      for (uint32_t Threads : {2u, 8u}) {
+        OutlinerOptions Opts = Base;
+        Opts.Threads = Threads;
+        auto Methods = Reference;
+        auto Result = runLtbo(Methods, Opts);
+        ASSERT_TRUE(bool(Result)) << Result.message();
+        expectSameOutcome(RefMethods, *RefResult, Methods, *Result,
+                          "seed " + std::to_string(Seed) + " K=" +
+                              std::to_string(Partitions) + " threads=" +
+                              std::to_string(Threads));
+        // The scheduling metadata must reflect the requested parallelism.
+        EXPECT_EQ(Result->Stats.PreprocessThreads, Threads);
+        EXPECT_EQ(Result->Stats.RewriteThreads, Threads);
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Byte-identical OutlineResult across detection backends
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelOutliner, ByteIdenticalAcrossDetectorBackends) {
+  for (uint64_t Seed : {5u, 29u}) {
+    auto Spec = verify::randomAppSpec(Seed);
+    auto Reference = compileApp(Spec);
+    for (uint32_t Partitions : {1u, 3u}) {
+      OutlinerOptions TreeOpts;
+      TreeOpts.Partitions = Partitions;
+      TreeOpts.Threads = 8;
+      TreeOpts.Detector = DetectorKind::SuffixTree;
+      OutlinerOptions ArrayOpts = TreeOpts;
+      ArrayOpts.Detector = DetectorKind::SuffixArray;
+
+      auto TreeMethods = Reference;
+      auto TreeResult = runLtbo(TreeMethods, TreeOpts);
+      ASSERT_TRUE(bool(TreeResult)) << TreeResult.message();
+      auto ArrayMethods = Reference;
+      auto ArrayResult = runLtbo(ArrayMethods, ArrayOpts);
+      ASSERT_TRUE(bool(ArrayResult)) << ArrayResult.message();
+      expectSameOutcome(TreeMethods, *TreeResult, ArrayMethods, *ArrayResult,
+                        "seed " + std::to_string(Seed) + " K=" +
+                            std::to_string(Partitions));
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Deterministic error reporting from parallel workers
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelOutliner, WorkerErrorsSurfaceDeterministically) {
+  // Corrupt several methods so multiple Phase A workers fail concurrently:
+  // the surfaced Error must be the LOWEST method index's, identically for
+  // every thread count.
+  auto Spec = verify::randomAppSpec(9);
+  auto Reference = compileApp(Spec);
+  ASSERT_GT(Reference.size(), 8u);
+
+  // An undecodable non-data word: not in the supported encoding subset.
+  const uint32_t Garbage = 0xffffffffu;
+  std::vector<std::size_t> Corrupted;
+  for (std::size_t Row = 0; Row < Reference.size() && Corrupted.size() < 3;
+       ++Row) {
+    CompiledMethod &M = Reference[Row];
+    if (M.Side.IsNative || M.Side.HasIndirectJump || M.Code.empty())
+      continue; // Not a candidate — its corruption would go unnoticed.
+    bool InData = false;
+    for (const auto &D : M.Side.EmbeddedData)
+      InData |= D.Offset == 0;
+    if (InData)
+      continue;
+    M.Code[0] = Garbage;
+    Corrupted.push_back(Row);
+  }
+  ASSERT_EQ(Corrupted.size(), 3u);
+  const std::string &FirstName = Reference[Corrupted.front()].Name;
+
+  std::string FirstMessage;
+  for (uint32_t Threads : {1u, 2u, 8u}) {
+    OutlinerOptions Opts;
+    Opts.Partitions = 4;
+    Opts.Threads = Threads;
+    auto Methods = Reference;
+    auto R = runLtbo(Methods, Opts);
+    ASSERT_FALSE(bool(R)) << "threads=" << Threads;
+    std::string Message = R.message();
+    EXPECT_NE(Message.find(FirstName), std::string::npos)
+        << "threads=" << Threads << ": " << Message;
+    if (FirstMessage.empty())
+      FirstMessage = Message;
+    else
+      EXPECT_EQ(Message, FirstMessage) << "threads=" << Threads;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel differential ladder and batched fuzzing
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelDifferential, LadderReportIndependentOfLadderThreads) {
+  workload::AppSpec Spec;
+  Spec.Name = "ptest";
+  Spec.Seed = 31;
+  Spec.NumWorkers = 50;
+  Spec.NumUtilities = 25;
+
+  verify::DifferentialOptions Serial;
+  Serial.LadderThreads = 1;
+  auto A = verify::runDifferential(Spec, Serial);
+  ASSERT_TRUE(bool(A)) << A.message();
+
+  verify::DifferentialOptions Parallel;
+  Parallel.LadderThreads = 4;
+  auto B = verify::runDifferential(Spec, Parallel);
+  ASSERT_TRUE(bool(B)) << B.message();
+
+  EXPECT_EQ(A->BaselineBytes, B->BaselineBytes);
+  EXPECT_EQ(A->CtoBytes, B->CtoBytes);
+  EXPECT_EQ(A->LtboBytes, B->LtboBytes);
+  EXPECT_EQ(A->PlOptiBytes, B->PlOptiBytes);
+  EXPECT_EQ(A->HfOptiBytes, B->HfOptiBytes);
+  EXPECT_EQ(A->StagesCompared, B->StagesCompared);
+}
+
+TEST(ParallelDifferential, BatchMatchesSerialRuns) {
+  auto Batch = verify::runRandomDifferentialBatch(1, 6, 4);
+  ASSERT_TRUE(bool(Batch)) << Batch.message();
+  ASSERT_EQ(Batch->size(), 6u);
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    auto Single = verify::runRandomDifferential(Seed);
+    ASSERT_TRUE(bool(Single)) << Single.message();
+    const auto &R = (*Batch)[Seed - 1];
+    EXPECT_EQ(R.BaselineBytes, Single->BaselineBytes) << "seed " << Seed;
+    EXPECT_EQ(R.LtboBytes, Single->LtboBytes) << "seed " << Seed;
+    EXPECT_EQ(R.StagesCompared, Single->StagesCompared) << "seed " << Seed;
+  }
+}
+
+} // namespace

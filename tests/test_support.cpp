@@ -14,6 +14,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 using namespace calibro;
 
@@ -99,6 +101,54 @@ TEST(ThreadPool, ParallelForCoversEveryIndex) {
   Pool.parallelFor(1000, [&](std::size_t I) { ++Hits[I]; });
   for (const auto &H : Hits)
     EXPECT_EQ(H.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRespectsGrain) {
+  // With Grain = 256 over 1000 indices the pool may enqueue at most
+  // ceil(1000/256) = 4 chunk tasks; count distinct executing chunks by
+  // watching for index discontinuities per thread. The observable contract
+  // is simpler: every index still runs exactly once.
+  ThreadPool Pool(4);
+  std::vector<std::atomic<int>> Hits(1000);
+  Pool.parallelFor(1000, [&](std::size_t I) { ++Hits[I]; }, 256);
+  for (const auto &H : Hits)
+    EXPECT_EQ(H.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesLowestIndexException) {
+  // Several indices throw; the rethrown exception must be the lowest
+  // failing index's, for every thread count — the determinism contract the
+  // outliner's error reporting is built on.
+  for (std::size_t Threads : {1u, 2u, 8u}) {
+    ThreadPool Pool(Threads);
+    std::atomic<int> Ran{0};
+    bool Caught = false;
+    try {
+      Pool.parallelFor(500, [&](std::size_t I) {
+        ++Ran;
+        if (I == 137 || I == 138 || I == 400)
+          throw std::runtime_error("fail at " + std::to_string(I));
+      });
+    } catch (const std::runtime_error &E) {
+      Caught = true;
+      EXPECT_STREQ(E.what(), "fail at 137") << "threads=" << Threads;
+    }
+    EXPECT_TRUE(Caught) << "threads=" << Threads;
+    EXPECT_GT(Ran.load(), 0);
+  }
+}
+
+TEST(ThreadPool, ParallelForEmptyAndSingleIndex) {
+  ThreadPool Pool(3);
+  int Calls = 0;
+  Pool.parallelFor(0, [&](std::size_t) { ++Calls; });
+  EXPECT_EQ(Calls, 0);
+  std::atomic<int> One{0};
+  Pool.parallelFor(1, [&](std::size_t I) {
+    EXPECT_EQ(I, 0u);
+    ++One;
+  });
+  EXPECT_EQ(One.load(), 1);
 }
 
 TEST(ThreadPool, WaitDrainsQueue) {

@@ -221,14 +221,16 @@ TEST(Differential, HundredRandomizedApps) {
   // The acceptance bar: >= 100 independently shaped random apps, each
   // proven behaviourally identical between Baseline and CTO+LTBO (with a
   // seed-chosen detector backend and partition count), and every image
-  // statically verified.
+  // statically verified. The batch entry point fans the seeds out across a
+  // thread pool; reports still come back in seed order.
+  auto Batch = verify::runRandomDifferentialBatch(1, 100, 4);
+  ASSERT_TRUE(bool(Batch)) << Batch.message();
+  ASSERT_EQ(Batch->size(), 100u);
   std::size_t AppsWithOutlining = 0;
-  for (uint64_t Seed = 1; Seed <= 100; ++Seed) {
-    auto R = verify::runRandomDifferential(Seed);
-    ASSERT_TRUE(bool(R)) << "seed " << Seed << ": " << R.message();
-    EXPECT_EQ(R->StagesCompared, 1u);
-    EXPECT_GT(R->InvocationsPerStage, 0u);
-    if (R->LtboBytes < R->BaselineBytes)
+  for (const auto &R : *Batch) {
+    EXPECT_EQ(R.StagesCompared, 1u);
+    EXPECT_GT(R.InvocationsPerStage, 0u);
+    if (R.LtboBytes < R.BaselineBytes)
       ++AppsWithOutlining;
   }
   // Most random shapes must actually exercise outlining, or the fuzzing
