@@ -1,28 +1,44 @@
 #!/usr/bin/env bash
-# Tier-1 verification cycle plus a sanitizer pass over the verification
-# suite. Usage: scripts/check.sh [build-dir]
+# Tier-1 verification cycle plus sanitizer passes over the verification
+# suite. Usage: scripts/check.sh [mode] [build-dir]
+#   mode: all (default) | tier1 | asan | tsan
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD="${1:-build}"
+MODE="${1:-all}"
+BUILD="${2:-build}"
 
-echo "== tier-1: configure + build + full test suite =="
-cmake -B "$BUILD" -S .
-cmake --build "$BUILD" -j
-ctest --test-dir "$BUILD" --output-on-failure -j
+case "$MODE" in
+  all|tier1|asan|tsan) ;;
+  *) echo "usage: scripts/check.sh [all|tier1|asan|tsan] [build-dir]" >&2
+     exit 2 ;;
+esac
 
-echo "== sanitizers: ASan+UBSan build of the verification suite =="
-SAN_BUILD="${BUILD}-asan"
-cmake -B "$SAN_BUILD" -S . -DCALIBRO_SANITIZE=address,undefined
-cmake --build "$SAN_BUILD" -j --target test_verify test_outliner test_suffixtree
-ctest --test-dir "$SAN_BUILD" --output-on-failure \
-      -R '^(test_verify|test_outliner|test_suffixtree)$'
+if [[ "$MODE" == all || "$MODE" == tier1 ]]; then
+  echo "== tier-1: configure + build + full test suite =="
+  cmake -B "$BUILD" -S .
+  cmake --build "$BUILD" -j
+  ctest --test-dir "$BUILD" --output-on-failure -j
+fi
 
-echo "== sanitizers: TSan build of the parallel link-stage suite =="
-TSAN_BUILD="${BUILD}-tsan"
-cmake -B "$TSAN_BUILD" -S . -DCALIBRO_SANITIZE=thread
-cmake --build "$TSAN_BUILD" -j --target test_parallel test_support
-ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-      -R '^(test_parallel|test_support)$'
+if [[ "$MODE" == all || "$MODE" == asan ]]; then
+  echo "== sanitizers: ASan+UBSan build of the verification suite =="
+  SAN_BUILD="${BUILD}-asan"
+  cmake -B "$SAN_BUILD" -S . -DCALIBRO_SANITIZE=address,undefined
+  cmake --build "$SAN_BUILD" -j \
+        --target test_verify test_outliner test_suffixtree \
+                 test_serialize test_faultinject
+  ctest --test-dir "$SAN_BUILD" --output-on-failure \
+        -R '^(test_verify|test_outliner|test_suffixtree|test_serialize|test_faultinject)$'
+fi
 
-echo "check.sh: all green"
+if [[ "$MODE" == all || "$MODE" == tsan ]]; then
+  echo "== sanitizers: TSan build of the parallel link-stage suite =="
+  TSAN_BUILD="${BUILD}-tsan"
+  cmake -B "$TSAN_BUILD" -S . -DCALIBRO_SANITIZE=thread
+  cmake --build "$TSAN_BUILD" -j --target test_parallel test_support test_faultinject
+  ctest --test-dir "$TSAN_BUILD" --output-on-failure \
+        -R '^(test_parallel|test_support|test_faultinject)$'
+fi
+
+echo "check.sh ($MODE): all green"

@@ -16,13 +16,13 @@
 using namespace calibro;
 using namespace calibro::core;
 
-Expected<BuildResult> core::buildApp(const dex::App &App,
-                                     const CalibroOptions &Opts) {
-  Timer Total;
+Expected<CompiledApp> core::compileApp(const dex::App &App,
+                                       const CalibroOptions &Opts) {
   if (auto E = dex::verifyApp(App))
     return E;
 
-  BuildResult Result;
+  CompiledApp Result;
+  Result.AppName = App.Name;
   BuildStats &Stats = Result.Stats;
 
   // Compilation: per-method, independent of every other method, and run
@@ -78,6 +78,17 @@ Expected<BuildResult> core::buildApp(const dex::App &App,
       if (R.Kind == codegen::RelocKind::CtoStub)
         ++Stats.CtoCallSites;
 
+  Result.Methods = std::move(Methods);
+  Result.Stubs = StubCache.takeStubs();
+  return Result;
+}
+
+Expected<BuildResult> core::linkApp(CompiledApp App,
+                                    const CalibroOptions &Opts) {
+  BuildResult Result;
+  BuildStats &Stats = Result.Stats;
+  Stats = std::move(App.Stats);
+
   // LTBO.2: whole-program outlining before linking.
   std::vector<codegen::OutlinedFunc> Outlined;
   if (Opts.EnableLtbo) {
@@ -89,11 +100,12 @@ Expected<BuildResult> core::buildApp(const dex::App &App,
     OOpts.Partitions = Opts.LtboPartitions;
     OOpts.Threads = Opts.LtboThreads;
     OOpts.Detector = Opts.LtboDetector;
+    OOpts.Strict = Opts.StrictSideInfo;
     if (Opts.Profile) {
       Hot = profile::selectHotMethods(*Opts.Profile, Opts.HotCoverage);
       OOpts.HotMethods = &Hot;
     }
-    auto R = runLtbo(Methods, OOpts);
+    auto R = runLtbo(App.Methods, OOpts);
     if (!R)
       return R.takeError();
     Outlined = std::move(R->Funcs);
@@ -104,10 +116,10 @@ Expected<BuildResult> core::buildApp(const dex::App &App,
   // Linking: bind every symbolic call, lay out the .text image.
   Timer LinkTimer;
   oat::LinkInput In;
-  In.AppName = App.Name;
+  In.AppName = App.AppName;
   In.BaseAddress = Opts.BaseAddress;
-  In.Methods = std::move(Methods);
-  In.Stubs = StubCache.takeStubs();
+  In.Methods = std::move(App.Methods);
+  In.Stubs = std::move(App.Stubs);
   In.Outlined = std::move(Outlined);
   Stats.CtoStubCount = In.Stubs.size();
   auto O = oat::link(In);
@@ -120,6 +132,18 @@ Expected<BuildResult> core::buildApp(const dex::App &App,
     if (auto E = verify::verifyOatFile(Result.Oat))
       return E;
   Stats.TextBytes = Result.Oat.textBytes();
-  Stats.TotalSeconds = Total.seconds();
+  return Result;
+}
+
+Expected<BuildResult> core::buildApp(const dex::App &App,
+                                     const CalibroOptions &Opts) {
+  Timer Total;
+  auto Compiled = compileApp(App, Opts);
+  if (!Compiled)
+    return Compiled.takeError();
+  auto Result = linkApp(std::move(*Compiled), Opts);
+  if (!Result)
+    return Result;
+  Result->Stats.TotalSeconds = Total.seconds();
   return Result;
 }

@@ -62,6 +62,10 @@ struct CalibroOptions {
   /// image and fail the build on any violation. Whole-text decode plus
   /// branch-target checking; cheap relative to compilation.
   bool VerifyOutput = false;
+  /// Fail the build on the first method with invalid LTBO side info
+  /// instead of degrading per method (`calibro-dex2oat --strict`). See
+  /// OutlinerOptions::Strict.
+  bool StrictSideInfo = false;
 };
 
 /// Statistics of one build.
@@ -84,6 +88,26 @@ struct BuildResult {
   oat::OatFile Oat;
   BuildStats Stats;
 };
+
+/// The output of the compilation half of the pipeline (dex -> HGraph ->
+/// opts -> CTO & LTBO.1 -> binary code), before LTBO.2 and linking. This
+/// is the boundary at which side info crosses from the compiler to the
+/// linker — and therefore the surface the fault-injection harness mutates.
+struct CompiledApp {
+  std::string AppName;
+  std::vector<codegen::CompiledMethod> Methods;
+  std::vector<codegen::CtoStub> Stubs;
+  /// Compile-stage statistics; LTBO/link fields are still zero.
+  BuildStats Stats;
+};
+
+/// Runs the compilation half of the pipeline over \p App.
+Expected<CompiledApp> compileApp(const dex::App &App,
+                                 const CalibroOptions &Opts);
+
+/// Runs LTBO.2 and the link step over an already-compiled app, consuming
+/// it. buildApp == compileApp + linkApp.
+Expected<BuildResult> linkApp(CompiledApp App, const CalibroOptions &Opts);
 
 /// Compiles and links \p App under \p Opts.
 Expected<BuildResult> buildApp(const dex::App &App,

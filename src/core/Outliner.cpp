@@ -53,8 +53,12 @@ struct PosInfo {
 /// Marks separator words for one method: embedded data, terminators,
 /// PC-relative instructions, LR-sensitive instructions, and — under hot
 /// function filtering — everything outside the slow-path ranges.
-std::vector<bool> computeSeparators(const CompiledMethod &M, bool HotFiltered,
-                                    std::string &ErrorOut) {
+///
+/// Runs only on methods that passed validateSideInfo, so every non-data
+/// word decodes; an undecodable word is still handled defensively (it
+/// becomes a separator and can never be outlined).
+std::vector<bool> computeSeparators(const CompiledMethod &M,
+                                    bool HotFiltered) {
   std::size_t NumWords = M.Code.size();
   std::vector<bool> Sep(NumWords, false);
   std::vector<bool> IsData(NumWords, false);
@@ -73,11 +77,7 @@ std::vector<bool> computeSeparators(const CompiledMethod &M, bool HotFiltered,
     if (IsData[W])
       continue;
     auto I = a64::decode(M.Code[W]);
-    if (!I) {
-      ErrorOut = "method '" + M.Name + "': undecodable non-data word";
-      return Sep;
-    }
-    if (touchesLr(*I))
+    if (!I || touchesLr(*I))
       Sep[W] = true;
   }
 
@@ -212,7 +212,10 @@ Error rewriteMethod(CompiledMethod &M, std::vector<MethodOcc> Occs) {
 struct MethodPrep {
   std::vector<bool> Sep;
   std::vector<bool> Targets;
-  std::string Err; ///< Non-empty when the method is undecodable.
+  /// Side-info validation outcome. A faulted method is skipped by the
+  /// prep (Sep/Targets stay empty) and excluded from outlining — or, in
+  /// strict mode, aborts the run.
+  codegen::SideInfoDiag Diag;
 };
 
 /// Rewrite work for one method, produced by selection (Phase B) and
@@ -392,18 +395,22 @@ Expected<OutlineResult> core::runLtbo(std::vector<CompiledMethod> &Methods,
   if (Opts.Threads > 1)
     Pool = std::make_unique<ThreadPool>(Opts.Threads);
 
-  // Phase A: per-method preprocessing — separators + branch targets, the
-  // decode-heavy analysis — in parallel over ALL candidates, before any
-  // sequence is assembled. Each candidate writes only its own slot, and
-  // error reporting scans slots in candidate order afterwards, so the
-  // surfaced error is the lowest candidate index's for any scheduling.
+  // Phase A: per-method preprocessing — side-info validation first, then
+  // separators + branch targets, the decode-heavy analysis — in parallel
+  // over ALL candidates, before any sequence is assembled. Each candidate
+  // writes only its own slot, and the degradation/error scan below walks
+  // slots in candidate order afterwards, so rejections (and the strict-mode
+  // error: the lowest candidate index's) are identical for any scheduling.
   Timer PreprocessTimer;
   std::vector<MethodPrep> Preps(Candidates.size());
   auto PrepOne = [&](std::size_t I) {
     const CompiledMethod &M = Methods[Candidates[I]];
     bool Hot = Opts.HotMethods && Opts.HotMethods->count(M.MethodIdx);
     MethodPrep &P = Preps[I];
-    P.Sep = computeSeparators(M, Hot, P.Err);
+    P.Diag = codegen::validateSideInfo(M);
+    if (P.Diag)
+      return; // Invalid: never fed to detection, links verbatim.
+    P.Sep = computeSeparators(M, Hot);
     P.Targets = computeBranchTargets(M);
   };
   if (Pool) {
@@ -412,22 +419,40 @@ Expected<OutlineResult> core::runLtbo(std::vector<CompiledMethod> &Methods,
     for (std::size_t I = 0; I < Candidates.size(); ++I)
       PrepOne(I);
   }
+  // Graceful degradation (or strict fail-fast) over the validation
+  // outcomes. Accepted keeps the surviving candidate indices in input
+  // order; on a fully clean run it equals 0..Candidates.size()-1 and the
+  // partition below is byte-identical to the no-validation pipeline.
+  std::vector<std::size_t> Accepted;
+  Accepted.reserve(Candidates.size());
   for (std::size_t I = 0; I < Candidates.size(); ++I) {
-    if (!Preps[I].Err.empty())
-      return makeError(Preps[I].Err);
-    if (Opts.HotMethods &&
-        Opts.HotMethods->count(Methods[Candidates[I]].MethodIdx))
+    const CompiledMethod &M = Methods[Candidates[I]];
+    if (Preps[I].Diag) {
+      const codegen::SideInfoDiag &D = Preps[I].Diag;
+      if (Opts.Strict)
+        return makeError(ErrCat::SideInfo,
+                         "ltbo: method '" + M.Name + "': invalid side info: " +
+                             codegen::sideInfoFaultName(D.Fault) + " " +
+                             D.Detail);
+      ++Result.Stats.MethodsRejected;
+      ++Result.Stats.RejectedByFault[static_cast<std::size_t>(D.Fault)];
+      Result.Rejected.push_back({M.MethodIdx, M.Name, D.Fault, D.Detail});
+      continue;
+    }
+    if (Opts.HotMethods && Opts.HotMethods->count(M.MethodIdx))
       ++Result.Stats.HotFilteredMethods;
+    Accepted.push_back(I);
   }
   Result.Stats.PreprocessSeconds = PreprocessTimer.seconds();
   Result.Stats.PreprocessThreads = Pool ? Pool->numThreads() : 1;
 
-  // PlOpti (paper §3.4.1): simple even partition of the candidate methods.
-  // Groups hold candidate indices so Phase B can reach the Phase A output.
+  // PlOpti (paper §3.4.1): simple even partition of the accepted candidate
+  // methods. Groups hold candidate indices so Phase B can reach the Phase A
+  // output.
   uint32_t K = Opts.Partitions;
   std::vector<std::vector<std::size_t>> Groups(K);
-  for (std::size_t I = 0; I < Candidates.size(); ++I)
-    Groups[I % K].push_back(I);
+  for (std::size_t A = 0; A < Accepted.size(); ++A)
+    Groups[A % K].push_back(Accepted[A]);
 
   // Phase B: detection + selection per group, concurrently across groups.
   // Each task touches only its own output slots and reads shared state, so

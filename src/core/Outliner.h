@@ -57,8 +57,10 @@
 #define CALIBRO_CORE_OUTLINER_H
 
 #include "codegen/CompiledMethod.h"
+#include "codegen/SideInfoValidator.h"
 #include "support/Error.h"
 
+#include <array>
 #include <unordered_set>
 
 namespace calibro {
@@ -83,6 +85,11 @@ struct OutlinerOptions {
   /// Hot methods (HfOpti): outlining inside them is restricted to their
   /// slow-path ranges. Null disables filtering.
   const std::unordered_set<uint32_t> *HotMethods = nullptr;
+  /// Fail-fast mode: a method with invalid side info aborts the whole run
+  /// with a typed error instead of being excluded from outlining. The
+  /// default is per-method graceful degradation — an invalid method still
+  /// links verbatim, it just never participates in outlining.
+  bool Strict = false;
 };
 
 /// What LTBO.2 did, for the build-time and ablation experiments.
@@ -111,12 +118,29 @@ struct OutlineStats {
   std::size_t PreprocessThreads = 1;
   std::size_t DetectThreads = 1;
   std::size_t RewriteThreads = 1;
+  /// Candidate methods whose side info failed validation and were excluded
+  /// from outlining (graceful degradation). Deterministic for any Threads.
+  std::size_t MethodsRejected = 0;
+  /// MethodsRejected bucketed by the first fault found per method, indexed
+  /// by codegen::SideInfoFault.
+  std::array<std::size_t, codegen::NumSideInfoFaults> RejectedByFault{};
+};
+
+/// One method excluded from outlining by side-info validation.
+struct RejectedMethod {
+  uint32_t MethodIdx = 0;
+  std::string Name;
+  codegen::SideInfoFault Fault = codegen::SideInfoFault::None;
+  std::string Detail;
 };
 
 /// Result of one LTBO.2 run.
 struct OutlineResult {
   std::vector<codegen::OutlinedFunc> Funcs;
   OutlineStats Stats;
+  /// Rejected methods in ascending MethodIdx order (same order the methods
+  /// appear in the input). Empty on a fully clean run.
+  std::vector<RejectedMethod> Rejected;
 };
 
 /// Runs the whole-program outliner over \p Methods, rewriting them in

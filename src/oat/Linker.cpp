@@ -11,6 +11,7 @@
 #include "support/MathExtras.h"
 
 #include <unordered_map>
+#include <unordered_set>
 
 using namespace calibro;
 using namespace calibro::oat;
@@ -37,11 +38,11 @@ Error bindCall(std::vector<uint32_t> &Text, uint32_t SiteOff,
                uint32_t TargetOff, const std::string &Where) {
   auto I = a64::decode(Text[SiteOff / 4]);
   if (!I || I->Op != a64::Opcode::Bl)
-    return makeError(Where + ": relocation does not sit on a bl");
+    return makeError(ErrCat::Link, Where + ": relocation does not sit on a bl");
   I->Imm = static_cast<int64_t>(TargetOff) - static_cast<int64_t>(SiteOff);
   auto Word = a64::encodeChecked(*I);
   if (!Word)
-    return makeError(Where + ": bl displacement out of range");
+    return makeError(ErrCat::Link, Where + ": bl displacement out of range");
   Text[SiteOff / 4] = *Word;
   return Error::success();
 }
@@ -63,7 +64,21 @@ Expected<OatFile> oat::link(const LinkInput &In) {
   };
   std::vector<PendingReloc> Pending;
 
+  std::unordered_set<uint32_t> SeenMethodIdx;
+  SeenMethodIdx.reserve(In.Methods.size());
   for (const auto &M : In.Methods) {
+    if (!SeenMethodIdx.insert(M.MethodIdx).second)
+      return makeError(ErrCat::Link, "duplicate method index " +
+                                         std::to_string(M.MethodIdx) +
+                                         " (method " + M.Name + ")");
+    // Untrusted relocation offsets would otherwise index Text out of
+    // bounds inside bindCall.
+    for (const auto &R : M.Relocs)
+      if (R.Offset % 4 != 0 || uint64_t(R.Offset) + 4 > M.codeSizeBytes())
+        return makeError(ErrCat::Link, "method " + M.Name +
+                                           ": relocation offset " +
+                                           std::to_string(R.Offset) +
+                                           " outside the method");
     uint32_t Off = place(O.Text, M.Code, 16);
     OatMethodEntry E;
     E.MethodIdx = M.MethodIdx;
@@ -96,8 +111,14 @@ Expected<OatFile> oat::link(const LinkInput &In) {
     uint32_t Off = place(O.Text, Fn.Code, 4);
     O.Outlined.push_back(
         {Fn.Id, Off, static_cast<uint32_t>(Fn.Code.size() * 4)});
+    for (const auto &R : Fn.Relocs)
+      if (R.Offset % 4 != 0 || uint64_t(R.Offset) + 4 > Fn.Code.size() * 4)
+        return makeError(ErrCat::Link, "outlined fn " + std::to_string(Fn.Id) +
+                                           ": relocation offset " +
+                                           std::to_string(R.Offset) +
+                                           " outside the function");
     if (!OutOffById.emplace(Fn.Id, Off).second)
-      return makeError("duplicate outlined-function id " +
+      return makeError(ErrCat::Link, "duplicate outlined-function id " +
                        std::to_string(Fn.Id));
     for (const auto &R : Fn.Relocs)
       Pending.push_back({Off + R.Offset, R.Kind, R.TargetId,
@@ -110,18 +131,18 @@ Expected<OatFile> oat::link(const LinkInput &In) {
     switch (P.Kind) {
     case RelocKind::CtoStub:
       if (P.TargetId >= StubOff.size())
-        return makeError(P.Where + ": dangling CTO stub relocation");
+        return makeError(ErrCat::Link, P.Where + ": dangling CTO stub relocation");
       Target = StubOff[P.TargetId];
       break;
     case RelocKind::OutlinedFunc: {
       auto It = OutOffById.find(P.TargetId);
       if (It == OutOffById.end())
-        return makeError(P.Where + ": dangling outlined-function relocation");
+        return makeError(ErrCat::Link, P.Where + ": dangling outlined-function relocation");
       Target = It->second;
       break;
     }
     default:
-      return makeError(P.Where + ": unknown relocation kind");
+      return makeError(ErrCat::Link, P.Where + ": unknown relocation kind");
     }
     if (auto E = bindCall(O.Text, P.SiteOff, Target, P.Where))
       return E;

@@ -6,6 +6,7 @@
 
 #include "oat/Serialize.h"
 
+#include "codegen/SideInfoValidator.h"
 #include "support/BinaryStream.h"
 
 #include <cstdio>
@@ -134,10 +135,10 @@ Error parseHeaderSection(std::span<const uint8_t> Bytes, OatFile &O) {
   ByteReader R(Bytes);
   READ_OR_RETURN(Magic, R.u32());
   if (Magic != 0x3154414f)
-    return makeError("oat header: bad magic");
+    return makeError(ErrCat::BadFormat, "oat header: bad magic");
   READ_OR_RETURN(Version, R.u32());
   if (Version != OatFormatVersion)
-    return makeError("oat header: unsupported version");
+    return makeError(ErrCat::BadFormat, "oat header: unsupported version");
   READ_OR_RETURN(Base, R.u64());
   READ_OR_RETURN(Name, R.str());
   O.BaseAddress = Base;
@@ -209,6 +210,13 @@ Error parseMethodsSection(std::span<const uint8_t> Bytes, OatFile &O) {
       return E;
     if (auto E = parseSideInfo(R, M.Side))
       return E;
+    // Reject malformed side info at the parse boundary, before anything
+    // downstream indexes with these offsets (inverted ranges and offsets
+    // past the code size used to sail through here).
+    if (auto D = validateSideInfoShape(M.Side, M.CodeSize))
+      return makeError(ErrCat::SideInfo,
+                       "oat methods: method '" + M.Name +
+                           "': " + sideInfoFaultName(D.Fault) + " " + D.Detail);
     O.Methods.push_back(std::move(M));
   }
   return Error::success();
@@ -223,7 +231,7 @@ Error parseStubsSection(std::span<const uint8_t> Bytes, OatFile &O) {
     READ_OR_RETURN(Off, R.uleb());
     READ_OR_RETURN(Size, R.uleb());
     if (Kind > static_cast<uint8_t>(CtoStubKind::StackCheck))
-      return makeError("oat stubs: bad stub kind");
+      return makeError(ErrCat::BadFormat, "oat stubs: bad stub kind");
     O.CtoStubs.push_back({static_cast<CtoStubKind>(Kind),
                           static_cast<uint32_t>(Imm),
                           static_cast<uint32_t>(Off) * 4,
@@ -374,13 +382,13 @@ Expected<OatFile> oat::deserializeOat(std::span<const uint8_t> Bytes) {
     return E;
   if (Ident[0] != 0x7f || Ident[1] != 'E' || Ident[2] != 'L' ||
       Ident[3] != 'F')
-    return makeError("not an ELF file");
+    return makeError(ErrCat::BadFormat, "not an ELF file");
   if (Ident[4] != 2 || Ident[5] != 1)
-    return makeError("not a little-endian ELF64");
+    return makeError(ErrCat::BadFormat, "not a little-endian ELF64");
   READ_OR_RETURN(Type, R.u16());
   READ_OR_RETURN(Machine, R.u16());
   if (Machine != EmAarch64)
-    return makeError("not an AArch64 image");
+    return makeError(ErrCat::BadFormat, "not an AArch64 image");
   (void)Type;
   READ_OR_RETURN(EVersion, R.u32());
   (void)EVersion;
@@ -399,11 +407,17 @@ Expected<OatFile> oat::deserializeOat(std::span<const uint8_t> Bytes) {
   (void)Phnum;
   READ_OR_RETURN(Shentsize, R.u16());
   if (Shentsize != SectionHeaderSize)
-    return makeError("unexpected section header size");
+    return makeError(ErrCat::BadFormat, "unexpected section header size");
   READ_OR_RETURN(Shnum, R.u16());
   READ_OR_RETURN(Shstrndx, R.u16());
   if (Shnum == 0 || Shstrndx >= Shnum)
-    return makeError("bad section header table shape");
+    return makeError(ErrCat::BadFormat, "bad section header table shape");
+  // The whole declared table must fit, including the trailing fields the
+  // walk below never touches — a file cut inside its last header is
+  // malformed even if every byte we would read is still present.
+  if (Shoff > Bytes.size() ||
+      uint64_t(Shnum) * SectionHeaderSize > Bytes.size() - Shoff)
+    return makeError(ErrCat::BadFormat, "section header table out of bounds");
 
   struct RawSection {
     uint32_t NameOff;
@@ -423,8 +437,8 @@ Expected<OatFile> oat::deserializeOat(std::span<const uint8_t> Bytes) {
     (void)Addr;
     READ_OR_RETURN(Off, R.u64());
     READ_OR_RETURN(Size, R.u64());
-    if (Off + Size > Bytes.size())
-      return makeError("section payload out of bounds");
+    if (Off > Bytes.size() || Size > Bytes.size() - Off)
+      return makeError(ErrCat::BadFormat, "section payload out of bounds");
     Raw.push_back({NameOff, Off, Size});
   }
 
@@ -447,7 +461,7 @@ Expected<OatFile> oat::deserializeOat(std::span<const uint8_t> Bytes) {
     std::string Name = nameOf(S);
     if (Name == ".text") {
       if (S.Size % 4 != 0)
-        return makeError(".text size not word-aligned");
+        return makeError(ErrCat::BadFormat, ".text size not word-aligned");
       O.Text.resize(static_cast<std::size_t>(S.Size) / 4);
       std::memcpy(O.Text.data(), Bytes.data() + S.Off,
                   static_cast<std::size_t>(S.Size));
@@ -469,7 +483,7 @@ Expected<OatFile> oat::deserializeOat(std::span<const uint8_t> Bytes) {
     }
   }
   if (!SawText || !SawHeader || !SawMethods)
-    return makeError("missing required OAT sections");
+    return makeError(ErrCat::BadFormat, "missing required OAT sections");
   if (auto E = validateOat(O))
     return E;
   return O;

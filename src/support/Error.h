@@ -17,11 +17,40 @@
 #define CALIBRO_SUPPORT_ERROR_H
 
 #include <cassert>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
 
 namespace calibro {
+
+/// Coarse classification of a failure, so callers (tools, the fault-injection
+/// harness) can tell a malformed input apart from an internal pipeline fault
+/// without parsing the message text.
+enum class ErrCat : uint8_t {
+  Generic,   ///< Unclassified failure.
+  BadFormat, ///< Malformed serialized input (ELF / OAT container).
+  SideInfo,  ///< Invalid per-method side information.
+  Link,      ///< Link-stage failure (relocations, layout, duplicate ids).
+  Runtime,   ///< Simulator / execution failure.
+};
+
+/// Returns a stable lower-case name for \p C ("bad-format", ...).
+inline const char *errCatName(ErrCat C) {
+  switch (C) {
+  case ErrCat::Generic:
+    return "error";
+  case ErrCat::BadFormat:
+    return "bad-format";
+  case ErrCat::SideInfo:
+    return "side-info";
+  case ErrCat::Link:
+    return "link";
+  case ErrCat::Runtime:
+    return "runtime";
+  }
+  return "error";
+}
 
 /// A recoverable error: success, or a failure described by a message.
 ///
@@ -33,17 +62,18 @@ public:
   /// Creates a success value.
   static Error success() { return Error(); }
 
-  /// Creates a failure value carrying \p Msg.
-  static Error failure(std::string Msg) {
+  /// Creates a failure value carrying \p Msg, classified as \p Cat.
+  static Error failure(std::string Msg, ErrCat Cat = ErrCat::Generic) {
     Error E;
     E.Failed = true;
     E.Msg = std::move(Msg);
+    E.Cat = Cat;
     E.Checked = false;
     return E;
   }
 
   Error(Error &&Other) noexcept
-      : Failed(Other.Failed), Checked(Other.Checked),
+      : Failed(Other.Failed), Checked(Other.Checked), Cat(Other.Cat),
         Msg(std::move(Other.Msg)) {
     Other.Checked = true;
   }
@@ -52,6 +82,7 @@ public:
     assert(Checked && "overwriting an unchecked Error");
     Failed = Other.Failed;
     Checked = Other.Checked;
+    Cat = Other.Cat;
     Msg = std::move(Other.Msg);
     Other.Checked = true;
     return *this;
@@ -71,17 +102,26 @@ public:
   /// Returns the failure message (empty for success).
   const std::string &message() const { return Msg; }
 
+  /// Returns the failure category (Generic for success).
+  ErrCat category() const { return Cat; }
+
 private:
   Error() = default;
 
   bool Failed = false;
   bool Checked = true;
+  ErrCat Cat = ErrCat::Generic;
   std::string Msg;
 };
 
 /// Creates a failure Error from a message.
 inline Error makeError(std::string Msg) {
   return Error::failure(std::move(Msg));
+}
+
+/// Creates a classified failure Error.
+inline Error makeError(ErrCat Cat, std::string Msg) {
+  return Error::failure(std::move(Msg), Cat);
 }
 
 /// Explicitly discards an error that is known to be benign.
@@ -130,6 +170,9 @@ public:
 
   /// Returns the failure message (empty when a value is present).
   const std::string &message() const { return Err.message(); }
+
+  /// Returns the failure category (Generic when a value is present).
+  ErrCat category() const { return Err.category(); }
 
 private:
   void consumeErrorFlag() { (void)bool(Err); }

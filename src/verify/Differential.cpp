@@ -17,24 +17,9 @@
 using namespace calibro;
 using namespace calibro::verify;
 
-namespace {
-
-/// The observable result of one invocation. Cycle counts are deliberately
-/// excluded: outlining legitimately changes them (Table 7), while outcome,
-/// return value and the architectural trace hash may not change at all.
-struct Observation {
-  sim::Outcome What = sim::Outcome::Ok;
-  int64_t ReturnValue = 0;
-  uint64_t TraceHash = 0;
-
-  bool operator==(const Observation &) const = default;
-};
-
-/// Verifies \p Oat statically, then executes \p Script and collects one
-/// Observation per invocation.
 Expected<std::vector<Observation>>
-verifyAndRun(const oat::OatFile &Oat, const std::string &Stage,
-             const std::vector<workload::Invocation> &Script) {
+verify::verifyAndObserve(const oat::OatFile &Oat, const std::string &Stage,
+                         const std::vector<workload::Invocation> &Script) {
   if (auto E = verifyOatFile(Oat))
     return makeError(Stage + ": " + E.message());
   sim::Simulator Sim(Oat, {});
@@ -43,11 +28,14 @@ verifyAndRun(const oat::OatFile &Oat, const std::string &Stage,
   for (const auto &Inv : Script) {
     auto R = Sim.call(Inv.MethodIdx, Inv.Args);
     if (!R)
-      return makeError(Stage + ": simulator fault: " + R.message());
+      return makeError(ErrCat::Runtime,
+                       Stage + ": simulator fault: " + R.message());
     Out.push_back({R->What, R->ReturnValue, R->TraceHash});
   }
   return Out;
 }
+
+namespace {
 
 Error compareRuns(const std::vector<Observation> &Base,
                   const std::vector<Observation> &Other,
@@ -115,7 +103,7 @@ verify::runDifferential(const workload::AppSpec &Spec,
       S.Err = S.Name + " build: " + Build.message();
       return;
     }
-    auto Run = verifyAndRun(Build->Oat, S.Name, Script);
+    auto Run = verifyAndObserve(Build->Oat, S.Name, Script);
     if (!Run) {
       S.Err = Run.message();
       return;
@@ -164,7 +152,7 @@ verify::runDifferential(const workload::AppSpec &Spec,
     auto Build = core::buildApp(App, Hf);
     if (!Build)
       return makeError("cto+ltbo+hfopti build: " + Build.message());
-    auto Run = verifyAndRun(Build->Oat, "cto+ltbo+hfopti", Script);
+    auto Run = verifyAndObserve(Build->Oat, "cto+ltbo+hfopti", Script);
     if (!Run)
       return Run.takeError();
     if (auto E = compareRuns(Stages[0].Obs, *Run, "cto+ltbo+hfopti"))
@@ -222,7 +210,7 @@ Expected<DifferentialReport> verify::runRandomDifferential(uint64_t Seed) {
   auto BaseBuild = core::buildApp(App, Base);
   if (!BaseBuild)
     return makeError("fuzz baseline build: " + BaseBuild.message());
-  auto BaseRun = verifyAndRun(BaseBuild->Oat, "fuzz baseline", Script);
+  auto BaseRun = verifyAndObserve(BaseBuild->Oat, "fuzz baseline", Script);
   if (!BaseRun)
     return BaseRun.takeError();
   Report.BaselineBytes = BaseBuild->Oat.textBytes();
@@ -237,7 +225,7 @@ Expected<DifferentialReport> verify::runRandomDifferential(uint64_t Seed) {
   auto FullBuild = core::buildApp(App, Full);
   if (!FullBuild)
     return makeError("fuzz cto+ltbo build: " + FullBuild.message());
-  auto FullRun = verifyAndRun(FullBuild->Oat, "fuzz cto+ltbo", Script);
+  auto FullRun = verifyAndObserve(FullBuild->Oat, "fuzz cto+ltbo", Script);
   if (!FullRun)
     return FullRun.takeError();
   if (auto E = compareRuns(*BaseRun, *FullRun, "fuzz cto+ltbo"))

@@ -26,11 +26,31 @@
 #define CALIBRO_VERIFY_DIFFERENTIAL_H
 
 #include "core/Calibro.h"
+#include "sim/Simulator.h"
 #include "support/Error.h"
 #include "workload/Workload.h"
 
 namespace calibro {
 namespace verify {
+
+/// The observable result of one invocation. Cycle counts are deliberately
+/// excluded: outlining legitimately changes them (Table 7), while outcome,
+/// return value and the architectural trace hash may not change at all.
+struct Observation {
+  sim::Outcome What = sim::Outcome::Ok;
+  int64_t ReturnValue = 0;
+  uint64_t TraceHash = 0;
+
+  bool operator==(const Observation &) const = default;
+};
+
+/// Verifies \p Oat statically (verify::verifyOatFile), then executes
+/// \p Script in the simulator and collects one Observation per invocation.
+/// \p Stage prefixes error messages. Shared by the differential ladder and
+/// the fault-injection harness.
+Expected<std::vector<Observation>>
+verifyAndObserve(const oat::OatFile &Oat, const std::string &Stage,
+                 const std::vector<workload::Invocation> &Script);
 
 /// Configuration of one differential run.
 struct DifferentialOptions {

@@ -1,0 +1,363 @@
+//===- verify/FaultInjector.cpp - Seeded side-info fault injection ---------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/FaultInjector.h"
+
+#include "core/Outliner.h"
+#include "oat/Linker.h"
+#include "oat/Serialize.h"
+#include "sim/Simulator.h"
+#include "support/Random.h"
+#include "verify/OatVerifier.h"
+
+#include <span>
+#include <utility>
+
+using namespace calibro;
+using namespace calibro::verify;
+using namespace calibro::codegen;
+
+const char *verify::mutationKindName(MutationKind K) {
+  switch (K) {
+  case MutationKind::BitFlipSideInfo:
+    return "bit-flip-side-info";
+  case MutationKind::DropSideInfoEntry:
+    return "drop-side-info-entry";
+  case MutationKind::SwapRangeEndpoints:
+    return "swap-range-endpoints";
+  case MutationKind::StaleBranchTarget:
+    return "stale-branch-target";
+  case MutationKind::TruncateSection:
+    return "truncate-section";
+  case MutationKind::DuplicateOutlinedId:
+    return "duplicate-outlined-id";
+  }
+  return "unknown";
+}
+
+const char *verify::faultOutcomeName(FaultOutcome O) {
+  switch (O) {
+  case FaultOutcome::Rejected:
+    return "rejected";
+  case FaultOutcome::Degraded:
+    return "degraded";
+  case FaultOutcome::Harmless:
+    return "harmless";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Build options for the back half of the pipeline (LTBO + link).
+core::CalibroOptions linkOptions(const FaultInjectorOptions &Opts,
+                                 uint32_t ThreadsOverride) {
+  core::CalibroOptions L;
+  L.EnableCto = true;
+  L.EnableLtbo = true;
+  L.LtboPartitions = Opts.LtboPartitions;
+  L.LtboThreads = ThreadsOverride ? ThreadsOverride : Opts.LtboThreads;
+  L.StrictSideInfo = Opts.Strict;
+  return L;
+}
+
+const char *stageOfCategory(ErrCat C) {
+  switch (C) {
+  case ErrCat::BadFormat:
+    return "parse";
+  case ErrCat::SideInfo:
+    return "ltbo";
+  case ErrCat::Link:
+    return "link";
+  default:
+    return "build";
+  }
+}
+
+/// Flips one seeded bit of one side-info scalar (or flag) of \p M.
+void flipOneBit(MethodSideInfo &S, Rng &R) {
+  std::size_t NumSlots = S.TerminatorOffsets.size() +
+                         2 * S.PcRelRecords.size() + 2 * S.EmbeddedData.size() +
+                         2 * S.SlowPathRanges.size() + 1;
+  std::size_t Slot = static_cast<std::size_t>(R.nextBelow(NumSlots));
+  auto FlipU32 = [&R](uint32_t &V) { V ^= 1u << R.nextBelow(32); };
+
+  if (Slot < S.TerminatorOffsets.size())
+    return FlipU32(S.TerminatorOffsets[Slot]);
+  Slot -= S.TerminatorOffsets.size();
+  if (Slot < 2 * S.PcRelRecords.size()) {
+    PcRelRecord &P = S.PcRelRecords[Slot / 2];
+    return FlipU32(Slot % 2 ? P.TargetOffset : P.InsnOffset);
+  }
+  Slot -= 2 * S.PcRelRecords.size();
+  if (Slot < 2 * S.EmbeddedData.size()) {
+    EmbeddedDataRange &D = S.EmbeddedData[Slot / 2];
+    return FlipU32(Slot % 2 ? D.Size : D.Offset);
+  }
+  Slot -= 2 * S.EmbeddedData.size();
+  if (Slot < 2 * S.SlowPathRanges.size()) {
+    ByteRange &B = S.SlowPathRanges[Slot / 2];
+    return FlipU32(Slot % 2 ? B.End : B.Begin);
+  }
+  // Flags byte: flip HasIndirectJump or IsNative.
+  if (R.nextBelow(2) == 0)
+    S.HasIndirectJump = !S.HasIndirectJump;
+  else
+    S.IsNative = !S.IsNative;
+}
+
+/// Removes one seeded record from \p S. Returns false when there is none.
+bool dropOneEntry(MethodSideInfo &S, Rng &R) {
+  std::size_t Num = S.TerminatorOffsets.size() + S.PcRelRecords.size() +
+                    S.EmbeddedData.size() + S.SlowPathRanges.size();
+  if (Num == 0)
+    return false;
+  std::size_t Pick = static_cast<std::size_t>(R.nextBelow(Num));
+  if (Pick < S.TerminatorOffsets.size()) {
+    S.TerminatorOffsets.erase(S.TerminatorOffsets.begin() + Pick);
+    return true;
+  }
+  Pick -= S.TerminatorOffsets.size();
+  if (Pick < S.PcRelRecords.size()) {
+    S.PcRelRecords.erase(S.PcRelRecords.begin() + Pick);
+    return true;
+  }
+  Pick -= S.PcRelRecords.size();
+  if (Pick < S.EmbeddedData.size()) {
+    S.EmbeddedData.erase(S.EmbeddedData.begin() + Pick);
+    return true;
+  }
+  Pick -= S.EmbeddedData.size();
+  S.SlowPathRanges.erase(S.SlowPathRanges.begin() + Pick);
+  return true;
+}
+
+/// Swaps the endpoints of one seeded range of \p S. Returns false when the
+/// method has no range to mutate.
+bool swapOneRange(MethodSideInfo &S, Rng &R) {
+  std::size_t Num = S.EmbeddedData.size() + S.SlowPathRanges.size();
+  if (Num == 0)
+    return false;
+  std::size_t Pick = static_cast<std::size_t>(R.nextBelow(Num));
+  if (Pick < S.EmbeddedData.size()) {
+    EmbeddedDataRange &D = S.EmbeddedData[Pick];
+    std::swap(D.Offset, D.Size);
+  } else {
+    ByteRange &B = S.SlowPathRanges[Pick - S.EmbeddedData.size()];
+    std::swap(B.Begin, B.End);
+  }
+  return true;
+}
+
+/// Shifts one seeded PC-rel record's target. Returns false when the method
+/// has no PC-rel record.
+bool staleOneTarget(MethodSideInfo &S, Rng &R) {
+  if (S.PcRelRecords.empty())
+    return false;
+  PcRelRecord &P =
+      S.PcRelRecords[static_cast<std::size_t>(R.nextBelow(S.PcRelRecords.size()))];
+  uint32_t Delta = static_cast<uint32_t>(R.nextInRange(1, 16)) * 4;
+  P.TargetOffset =
+      R.nextBelow(2) ? P.TargetOffset + Delta : P.TargetOffset - Delta;
+  return true;
+}
+
+} // namespace
+
+Expected<FaultInjector> FaultInjector::create(const workload::AppSpec &Spec,
+                                              const FaultInjectorOptions &Opts) {
+  FaultInjector Inj;
+  Inj.Opts = Opts;
+
+  dex::App App = workload::makeApp(Spec);
+  Inj.Script = workload::makeScript(Spec, Opts.ScriptLength, Opts.ScriptSeed);
+
+  auto Compiled = core::compileApp(App, linkOptions(Opts, 0));
+  if (!Compiled)
+    return Compiled.takeError();
+  Inj.Compiled = std::move(*Compiled);
+
+  for (std::size_t Row = 0; Row < Inj.Compiled.Methods.size(); ++Row) {
+    const MethodSideInfo &S = Inj.Compiled.Methods[Row].Side;
+    if (!S.IsNative && !S.HasIndirectJump)
+      Inj.CandidateRows.push_back(Row);
+  }
+  if (Inj.CandidateRows.empty())
+    return makeError("fault injector: workload has no candidate methods");
+
+  // Clean reference run: the unmutated pipeline must be verifier-clean,
+  // fault-free and degradation-free, or every comparison below is void.
+  auto Clean = core::linkApp(Inj.Compiled, linkOptions(Opts, 0));
+  if (!Clean)
+    return makeError("fault injector: clean build failed: " + Clean.message());
+  if (Clean->Stats.Ltbo.MethodsRejected != 0)
+    return makeError("fault injector: clean build rejected methods");
+  auto Obs = verifyAndObserve(Clean->Oat, "clean baseline", Inj.Script);
+  if (!Obs)
+    return Obs.takeError();
+  Inj.BaselineObs = std::move(*Obs);
+  Inj.CleanImageBytes = oat::serializeOat(Clean->Oat);
+
+  // Clean LTBO artifacts, kept pre-link so DuplicateOutlinedId can feed the
+  // linker a tampered outlined-function list directly.
+  Inj.CleanRewritten = Inj.Compiled.Methods;
+  core::OutlinerOptions OOpts;
+  OOpts.Partitions = Opts.LtboPartitions;
+  OOpts.Threads = Opts.LtboThreads;
+  auto Ltbo = core::runLtbo(Inj.CleanRewritten, OOpts);
+  if (!Ltbo)
+    return Ltbo.takeError();
+  Inj.CleanFuncs = std::move(Ltbo->Funcs);
+
+  return Inj;
+}
+
+Expected<FaultReport>
+FaultInjector::classifyLinkRun(std::vector<CompiledMethod> Methods,
+                               MutationKind Kind, uint32_t ThreadsOverride) {
+  core::CompiledApp A;
+  A.AppName = Compiled.AppName;
+  A.Methods = std::move(Methods);
+  A.Stubs = Compiled.Stubs;
+
+  FaultReport Rep;
+  Rep.Kind = Kind;
+
+  auto Build = core::linkApp(std::move(A), linkOptions(Opts, ThreadsOverride));
+  if (!Build) {
+    Rep.Outcome = FaultOutcome::Rejected;
+    Rep.RejectStage = stageOfCategory(Build.category());
+    Rep.RejectMessage = Build.message();
+    return Rep;
+  }
+  Rep.MethodsRejected = Build->Stats.Ltbo.MethodsRejected;
+
+  // An image that fails the static verifier would never ship: a clean,
+  // typed rejection, even though the link step accepted the input.
+  if (auto E = verifyOatFile(Build->Oat)) {
+    Rep.Outcome = FaultOutcome::Rejected;
+    Rep.RejectStage = "verify";
+    Rep.RejectMessage = E.message();
+    return Rep;
+  }
+
+  // The image shipped, so it must behave exactly like the clean baseline.
+  // A simulator fault or any divergence here is a trichotomy violation —
+  // the harness's own error, not a FaultReport.
+  sim::Simulator Sim(Build->Oat, {});
+  std::vector<Observation> Obs;
+  Obs.reserve(Script.size());
+  for (const auto &Inv : Script) {
+    auto R = Sim.call(Inv.MethodIdx, Inv.Args);
+    if (!R)
+      return makeError(ErrCat::Runtime,
+                       std::string("fault injector: simulator fault on an "
+                                   "accepted image (") +
+                           mutationKindName(Kind) + "): " + R.message());
+    Obs.push_back({R->What, R->ReturnValue, R->TraceHash});
+  }
+  if (Obs != BaselineObs)
+    return makeError(std::string("fault injector: accepted image silently "
+                                 "diverges from baseline (") +
+                     mutationKindName(Kind) + ")");
+
+  Rep.Outcome = Rep.MethodsRejected ? FaultOutcome::Degraded
+                                    : FaultOutcome::Harmless;
+  return Rep;
+}
+
+Expected<FaultReport> FaultInjector::run(uint64_t Seed, MutationKind Kind,
+                                         uint32_t ThreadsOverride) {
+  Rng R(Seed * 0x9e3779b97f4a7c15ULL +
+        static_cast<uint64_t>(Kind) * 0x2545f4914f6cdd1dULL + 1);
+
+  switch (Kind) {
+  case MutationKind::TruncateSection: {
+    // The serialized container ends with the section header table, so any
+    // proper prefix must fail to parse — acceptance would mean the parser
+    // read past its input.
+    std::size_t Cut = static_cast<std::size_t>(
+        R.nextInRange(1, CleanImageBytes.size() - 1));
+    auto Parsed = oat::deserializeOat(
+        std::span<const uint8_t>(CleanImageBytes.data(), Cut));
+    if (Parsed)
+      return makeError("fault injector: truncated image (" +
+                       std::to_string(Cut) + " of " +
+                       std::to_string(CleanImageBytes.size()) +
+                       " bytes) unexpectedly parsed");
+    FaultReport Rep;
+    Rep.Kind = Kind;
+    Rep.Outcome = FaultOutcome::Rejected;
+    Rep.RejectStage = "parse";
+    Rep.RejectMessage = Parsed.message();
+    return Rep;
+  }
+
+  case MutationKind::DuplicateOutlinedId: {
+    FaultReport Rep;
+    Rep.Kind = Kind;
+    if (CleanFuncs.empty()) {
+      Rep.Outcome = FaultOutcome::Harmless; // Nothing to duplicate.
+      return Rep;
+    }
+    oat::LinkInput In;
+    In.AppName = Compiled.AppName;
+    In.BaseAddress = core::CalibroOptions{}.BaseAddress;
+    In.Methods = CleanRewritten;
+    In.Stubs = Compiled.Stubs;
+    In.Outlined = CleanFuncs;
+    In.Outlined.push_back(
+        CleanFuncs[static_cast<std::size_t>(R.nextBelow(CleanFuncs.size()))]);
+    auto Linked = oat::link(In);
+    if (Linked)
+      return makeError("fault injector: duplicate outlined-function id "
+                       "accepted by the linker");
+    Rep.Outcome = FaultOutcome::Rejected;
+    Rep.RejectStage = "link";
+    Rep.RejectMessage = Linked.message();
+    return Rep;
+  }
+
+  case MutationKind::BitFlipSideInfo:
+  case MutationKind::DropSideInfoEntry:
+  case MutationKind::SwapRangeEndpoints:
+  case MutationKind::StaleBranchTarget: {
+    std::vector<CompiledMethod> Methods = Compiled.Methods;
+    // Probe candidate methods starting from a seeded row until the
+    // mutation applies (some methods have no record of the needed kind).
+    std::size_t Start =
+        static_cast<std::size_t>(R.nextBelow(CandidateRows.size()));
+    bool Applied = false;
+    for (std::size_t K = 0; K < CandidateRows.size() && !Applied; ++K) {
+      MethodSideInfo &S =
+          Methods[CandidateRows[(Start + K) % CandidateRows.size()]].Side;
+      switch (Kind) {
+      case MutationKind::BitFlipSideInfo:
+        flipOneBit(S, R);
+        Applied = true;
+        break;
+      case MutationKind::DropSideInfoEntry:
+        Applied = dropOneEntry(S, R);
+        break;
+      case MutationKind::SwapRangeEndpoints:
+        Applied = swapOneRange(S, R);
+        break;
+      default:
+        Applied = staleOneTarget(S, R);
+        break;
+      }
+    }
+    if (!Applied) {
+      FaultReport Rep;
+      Rep.Kind = Kind;
+      Rep.Outcome = FaultOutcome::Harmless; // No record of this kind exists.
+      return Rep;
+    }
+    return classifyLinkRun(std::move(Methods), Kind, ThreadsOverride);
+  }
+  }
+  return makeError("fault injector: unknown mutation kind");
+}

@@ -1,0 +1,138 @@
+//===- verify/FaultInjector.h - Seeded side-info fault injection -*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fault injection for the compile→link boundary. The injector compiles an
+/// app once, records the clean image's verifier verdict and simulator
+/// observations, and then — per seed — applies one enumerable mutation to
+/// the compiled artifacts (side info bit flips, dropped records, swapped
+/// range endpoints, stale branch targets, truncated serialized sections,
+/// duplicated outlined ids) and re-runs the back half of the pipeline.
+///
+/// Every mutated run must land in the trichotomy:
+///   * Rejected  — a typed Error at parse, LTBO-strict, link or verify time;
+///   * Degraded  — per-method graceful degradation: some methods excluded
+///                 from outlining, the image verifier-clean, and simulator
+///                 observations identical to the unmutated baseline;
+///   * Harmless  — the mutation had no effect on the pipeline's decisions.
+/// Anything else — a crash, a simulator fault on an accepted image, or
+/// output that silently diverges from baseline — makes run() itself return
+/// an Error: that is the bug the harness exists to catch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_VERIFY_FAULTINJECTOR_H
+#define CALIBRO_VERIFY_FAULTINJECTOR_H
+
+#include "core/Calibro.h"
+#include "support/Error.h"
+#include "verify/Differential.h"
+#include "workload/Workload.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace calibro {
+namespace verify {
+
+/// The enumerable mutation kinds the injector can apply.
+enum class MutationKind : uint8_t {
+  BitFlipSideInfo,   ///< Flip one bit of one side-info scalar or flag.
+  DropSideInfoEntry, ///< Remove one terminator/pc-rel/data/slow-path record.
+  SwapRangeEndpoints,///< Swap Begin/End (slow path) or Offset/Size (data).
+  StaleBranchTarget, ///< Shift one recorded PC-rel target off its insn.
+  TruncateSection,   ///< Cut the serialized image short at a seeded point.
+  DuplicateOutlinedId, ///< Feed the linker two outlined funcs with one id.
+};
+
+/// Number of MutationKind values.
+inline constexpr std::size_t NumMutationKinds = 6;
+
+/// Returns a stable kebab-case name for \p K.
+const char *mutationKindName(MutationKind K);
+
+/// How one mutated run ended (the allowed trichotomy).
+enum class FaultOutcome : uint8_t {
+  Rejected, ///< Typed error; no image shipped.
+  Degraded, ///< MethodsRejected > 0, image clean, behaviour == baseline.
+  Harmless, ///< No rejection and behaviour == baseline.
+};
+
+/// Returns a stable name for \p O.
+const char *faultOutcomeName(FaultOutcome O);
+
+/// What happened on one mutated run.
+struct FaultReport {
+  MutationKind Kind = MutationKind::BitFlipSideInfo;
+  FaultOutcome Outcome = FaultOutcome::Harmless;
+  /// OutlineStats::MethodsRejected of the mutated run. Zero when the run
+  /// was rejected before LTBO completed; it can be non-zero on a
+  /// "verify"-stage rejection, where LTBO degraded around the corrupt
+  /// method but its lying metadata still made the image unshippable.
+  std::size_t MethodsRejected = 0;
+  /// Pipeline stage that rejected ("parse", "ltbo", "link", "verify");
+  /// empty unless Outcome == Rejected.
+  std::string RejectStage;
+  /// The typed error's message; empty unless Outcome == Rejected.
+  std::string RejectMessage;
+};
+
+/// Injector configuration.
+struct FaultInjectorOptions {
+  std::size_t ScriptLength = 6; ///< Invocations observed per image.
+  uint64_t ScriptSeed = 13;
+  uint32_t LtboPartitions = 1;
+  uint32_t LtboThreads = 1; ///< Worker threads for the mutated LTBO runs.
+  bool Strict = false;      ///< Run LTBO in fail-fast (--strict) mode.
+};
+
+/// Compile-once, mutate-many fault-injection harness.
+class FaultInjector {
+public:
+  /// Compiles \p Spec (CTO enabled), builds and runs the clean baseline,
+  /// and fails if the clean pipeline is not verifier-clean and fault-free.
+  static Expected<FaultInjector> create(const workload::AppSpec &Spec,
+                                        const FaultInjectorOptions &Opts);
+
+  /// Applies the \p Seed-selected mutation of \p Kind and runs the back
+  /// half of the pipeline. Returns the classified outcome, or an Error if
+  /// the run escaped the trichotomy (silent divergence, simulator fault on
+  /// an accepted image, unexpected acceptance of garbage).
+  /// \p ThreadsOverride, when non-zero, replaces Opts.LtboThreads for this
+  /// run (for scheduling-determinism tests).
+  Expected<FaultReport> run(uint64_t Seed, MutationKind Kind,
+                            uint32_t ThreadsOverride = 0);
+
+  /// The clean baseline's observations (one per script invocation).
+  const std::vector<Observation> &baseline() const { return BaselineObs; }
+
+  /// Methods eligible for metadata mutations (non-native, no indirect
+  /// jump — the outlining candidates).
+  std::size_t numCandidateMethods() const { return CandidateRows.size(); }
+
+private:
+  FaultInjector() = default;
+
+  /// Links (LTBO + link) \p Methods and classifies the result.
+  Expected<FaultReport> classifyLinkRun(std::vector<codegen::CompiledMethod> Methods,
+                                        MutationKind Kind,
+                                        uint32_t ThreadsOverride);
+
+  FaultInjectorOptions Opts;
+  core::CompiledApp Compiled;          ///< Pristine compile-stage output.
+  std::vector<std::size_t> CandidateRows; ///< Mutable-method indices.
+  std::vector<workload::Invocation> Script;
+  std::vector<Observation> BaselineObs;
+  std::vector<uint8_t> CleanImageBytes; ///< Serialized clean OAT image.
+  std::vector<codegen::OutlinedFunc> CleanFuncs; ///< Clean LTBO output.
+  std::vector<codegen::CompiledMethod> CleanRewritten; ///< Post-LTBO methods.
+};
+
+} // namespace verify
+} // namespace calibro
+
+#endif // CALIBRO_VERIFY_FAULTINJECTOR_H

@@ -359,6 +359,137 @@ TEST(PcRel, TargetAndRetarget) {
   EXPECT_TRUE(bool(retarget(A, 0, 4)));
 }
 
+TEST(PcRel, RetargetAtExactRangeLimits) {
+  // Each PC-relative form at its maximal reach: the last representable
+  // displacement must retarget cleanly, one granule further must be a
+  // typed rejection (never a silent wrap).
+  const uint64_t Pc = uint64_t(1) << 36; // Far from zero: room both ways.
+  struct Limit {
+    Opcode Op;
+    int64_t MaxImm, MinImm;
+    int64_t Granule;
+  };
+  const Limit Limits[] = {
+      // B/BL: 26-bit word-scaled, +/-128MiB.
+      {Opcode::B, (int64_t(1) << 27) - 4, -(int64_t(1) << 27), 4},
+      {Opcode::Bl, (int64_t(1) << 27) - 4, -(int64_t(1) << 27), 4},
+      // Bcond/CBZ/CBNZ/LdrLit: 19-bit word-scaled, +/-1MiB.
+      {Opcode::Bcond, (int64_t(1) << 20) - 4, -(int64_t(1) << 20), 4},
+      {Opcode::Cbz, (int64_t(1) << 20) - 4, -(int64_t(1) << 20), 4},
+      {Opcode::Cbnz, (int64_t(1) << 20) - 4, -(int64_t(1) << 20), 4},
+      {Opcode::LdrLit, (int64_t(1) << 20) - 4, -(int64_t(1) << 20), 4},
+      // TBZ/TBNZ: 14-bit word-scaled, +/-32KiB.
+      {Opcode::Tbz, (int64_t(1) << 15) - 4, -(int64_t(1) << 15), 4},
+      {Opcode::Tbnz, (int64_t(1) << 15) - 4, -(int64_t(1) << 15), 4},
+      // ADR: 21-bit byte-granular, +/-1MiB.
+      {Opcode::Adr, (int64_t(1) << 20) - 1, -(int64_t(1) << 20), 1},
+  };
+  for (const Limit &L : Limits) {
+    for (int64_t Imm : {L.MaxImm, L.MinImm}) {
+      Insn I = makeInsn(L.Op);
+      if (L.Op == Opcode::Tbz || L.Op == Opcode::Tbnz)
+        I.Is64 = false; // Testing bit 0: the 32-bit form is the valid one.
+      I.Imm = 0;
+      auto Ok = retarget(I, Pc, Pc + static_cast<uint64_t>(Imm));
+      EXPECT_FALSE(bool(Ok)) << toString(I) << " imm " << Imm << ": "
+                             << Ok.message();
+      EXPECT_EQ(I.Imm, Imm);
+      EXPECT_EQ(*pcRelTarget(I, Pc), Pc + static_cast<uint64_t>(Imm));
+      // The edge encodings must survive an encode/decode round trip.
+      auto D = decode(encode(I));
+      ASSERT_TRUE(D.has_value()) << toString(I);
+      EXPECT_EQ(D->Imm, Imm) << toString(I);
+    }
+    for (int64_t Imm : {L.MaxImm + L.Granule, L.MinImm - L.Granule}) {
+      Insn I = makeInsn(L.Op);
+      if (L.Op == Opcode::Tbz || L.Op == Opcode::Tbnz)
+        I.Is64 = false; // Testing bit 0: the 32-bit form is the valid one.
+      I.Imm = 0;
+      auto Bad = retarget(I, Pc, Pc + static_cast<uint64_t>(Imm));
+      EXPECT_TRUE(bool(Bad)) << toString(I) << " accepted imm " << Imm;
+      consumeError(std::move(Bad));
+      EXPECT_EQ(I.Imm, 0) << "failed retarget must leave the insn intact";
+    }
+  }
+}
+
+TEST(PcRel, RetargetRejectsMisalignedDisplacement) {
+  // Word-scaled forms cannot express a displacement that is not a
+  // multiple of four, however small.
+  const uint64_t Pc = 0x10000;
+  for (Opcode Op : {Opcode::B, Opcode::Cbz, Opcode::Tbz, Opcode::LdrLit}) {
+    Insn I = makeInsn(Op);
+    if (Op == Opcode::Tbz)
+      I.Is64 = false;
+    I.Imm = 0;
+    auto Bad = retarget(I, Pc, Pc + 6);
+    EXPECT_TRUE(bool(Bad)) << toString(I);
+    consumeError(std::move(Bad));
+  }
+  // ADR is byte-granular: the same displacement is fine.
+  Insn A = makeInsn(Opcode::Adr);
+  A.Imm = 0;
+  EXPECT_FALSE(bool(retarget(A, Pc, Pc + 6)));
+  EXPECT_EQ(A.Imm, 6);
+}
+
+TEST(PcRel, AdrpAtPageRangeLimits) {
+  // ADRP works on 4KiB pages with a 21-bit page-scaled immediate:
+  // +/-4GiB of page delta. The page math must hold even when the PC sits
+  // mid-page.
+  const uint64_t Pc = (uint64_t(1) << 36) + 0x234; // Mid-page PC.
+  const int64_t MaxPages = (int64_t(1) << 32) - 0x1000;
+  const int64_t MinPages = -(int64_t(1) << 32);
+  for (int64_t Delta : {MaxPages, MinPages}) {
+    Insn P = makeInsn(Opcode::Adrp);
+    P.Imm = 0;
+    uint64_t Target = (Pc & ~uint64_t(0xfff)) + static_cast<uint64_t>(Delta) +
+                      0xabc; // Low bits are ignored by ADRP.
+    auto Ok = retarget(P, Pc, Target);
+    EXPECT_FALSE(bool(Ok)) << "page delta " << Delta << ": " << Ok.message();
+    EXPECT_EQ(P.Imm, Delta);
+    EXPECT_EQ(*pcRelTarget(P, Pc), Target & ~uint64_t(0xfff));
+    auto D = decode(encode(P));
+    ASSERT_TRUE(D.has_value());
+    EXPECT_EQ(D->Imm, Delta);
+  }
+  for (int64_t Delta : {MaxPages + 0x1000, MinPages - 0x1000}) {
+    Insn P = makeInsn(Opcode::Adrp);
+    P.Imm = 0;
+    uint64_t Target = (Pc & ~uint64_t(0xfff)) + static_cast<uint64_t>(Delta);
+    auto Bad = retarget(P, Pc, Target);
+    EXPECT_TRUE(bool(Bad)) << "page delta " << Delta << " accepted";
+    consumeError(std::move(Bad));
+  }
+}
+
+TEST(PcRel, LdrLitAtAlignmentEdge) {
+  // A 64-bit literal load pointing at a 4-but-not-8-aligned address is
+  // encodable (the field is word-scaled), so the encoder must accept it —
+  // the deep side-info validator, not the encoder, is what polices the
+  // 8-alignment of 64-bit pool slots.
+  const uint64_t Pc = 0x20000;
+  Insn L = makeInsn(Opcode::LdrLit);
+  L.Is64 = true;
+  L.Imm = 0;
+  ASSERT_FALSE(bool(retarget(L, Pc, Pc + 0x14))); // 4-aligned, not 8.
+  EXPECT_EQ(L.Imm, 0x14);
+  auto D = decode(encode(L));
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(D->Imm, 0x14);
+
+  // And the word-level path used by the outliner behaves identically at
+  // the extreme of the literal range.
+  Insn Base = makeInsn(Opcode::LdrLit);
+  Base.Is64 = true;
+  Base.Imm = 4;
+  auto Max = retargetWord(encode(Base), Pc, Pc + ((uint64_t(1) << 20) - 4));
+  ASSERT_TRUE(bool(Max)) << Max.message();
+  auto Over = retargetWord(encode(Base), Pc, Pc + (uint64_t(1) << 20));
+  EXPECT_FALSE(bool(Over));
+  consumeError(Over.takeError());
+}
+
 TEST(PcRel, RetargetWordPaperExample) {
   // Paper Table 2: cbz w0 at 0x138320 targeting 0x13832c gets re-pointed
   // to 0x138328 after outlining.

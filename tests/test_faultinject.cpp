@@ -1,0 +1,225 @@
+//===- tests/test_faultinject.cpp - Fault-injection harness tests -----------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives verify::FaultInjector across every mutation kind and a wide seed
+/// sweep, asserting the fault-tolerance contract: every seeded corruption
+/// of the compile→link boundary ends in a clean parse-time rejection, a
+/// per-method degradation whose image is verifier-clean and behaviourally
+/// identical to the unmutated baseline, or no effect at all. A crash, a
+/// simulator fault on an accepted image, or silent divergence makes
+/// FaultInjector::run itself return an Error — which these tests treat as
+/// failure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "verify/FaultInjector.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+#include <optional>
+
+using namespace calibro;
+using namespace calibro::verify;
+
+namespace {
+
+constexpr std::array<MutationKind, NumMutationKinds> AllKinds = {
+    MutationKind::BitFlipSideInfo,    MutationKind::DropSideInfoEntry,
+    MutationKind::SwapRangeEndpoints, MutationKind::StaleBranchTarget,
+    MutationKind::TruncateSection,    MutationKind::DuplicateOutlinedId,
+};
+
+/// One injector, compiled once, shared by the whole suite: the compile
+/// stage dominates the cost and every run() call starts from the same
+/// pristine artifacts anyway.
+class FaultInjectTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    workload::AppSpec Spec;
+    Spec.Name = "faultapp";
+    Spec.Seed = 1117;
+    Spec.NumWorkers = 40;
+    Spec.NumUtilities = 20;
+
+    FaultInjectorOptions Opts;
+    Opts.ScriptLength = 6;
+    Opts.LtboPartitions = 2;
+    Opts.LtboThreads = 2;
+
+    auto Inj = FaultInjector::create(Spec, Opts);
+    ASSERT_TRUE(bool(Inj)) << Inj.message();
+    Injector.emplace(std::move(*Inj));
+  }
+
+  static void TearDownTestSuite() { Injector.reset(); }
+
+  static std::optional<FaultInjector> Injector;
+};
+
+std::optional<FaultInjector> FaultInjectTest::Injector;
+
+} // namespace
+
+TEST_F(FaultInjectTest, BaselineIsUsable) {
+  ASSERT_TRUE(Injector.has_value());
+  EXPECT_FALSE(Injector->baseline().empty());
+  EXPECT_GT(Injector->numCandidateMethods(), 0u);
+  for (const auto &O : Injector->baseline())
+    EXPECT_EQ(O.What, sim::Outcome::Ok);
+}
+
+TEST_F(FaultInjectTest, TrichotomyHoldsAcrossSeedSweep) {
+  // ISSUE acceptance: >= 200 seeded mutations spanning every kind, each
+  // landing in the trichotomy. 6 kinds x 40 seeds = 240 runs.
+  constexpr uint64_t NumSeeds = 40;
+  std::map<MutationKind, std::array<std::size_t, 3>> Tally;
+  std::size_t Total = 0;
+
+  for (MutationKind Kind : AllKinds) {
+    for (uint64_t Seed = 0; Seed < NumSeeds; ++Seed) {
+      auto Rep = Injector->run(Seed, Kind);
+      ASSERT_TRUE(bool(Rep))
+          << mutationKindName(Kind) << " seed " << Seed << ": "
+          << Rep.message();
+      ++Total;
+      ++Tally[Kind][static_cast<std::size_t>(Rep->Outcome)];
+
+      // Internal consistency of the report itself.
+      EXPECT_EQ(Rep->Kind, Kind);
+      switch (Rep->Outcome) {
+      case FaultOutcome::Rejected:
+        // Only a "verify"-stage rejection can carry degradations: LTBO
+        // excluded the corrupt method, but its lying metadata still made
+        // the linked image unshippable.
+        if (Rep->RejectStage != "verify") {
+          EXPECT_EQ(Rep->MethodsRejected, 0u);
+        }
+        EXPECT_FALSE(Rep->RejectStage.empty());
+        EXPECT_FALSE(Rep->RejectMessage.empty());
+        break;
+      case FaultOutcome::Degraded:
+        EXPECT_GT(Rep->MethodsRejected, 0u);
+        EXPECT_TRUE(Rep->RejectStage.empty());
+        break;
+      case FaultOutcome::Harmless:
+        EXPECT_EQ(Rep->MethodsRejected, 0u);
+        EXPECT_TRUE(Rep->RejectStage.empty());
+        break;
+      }
+
+      // Per-kind guarantees that do not depend on the seed.
+      if (Kind == MutationKind::TruncateSection) {
+        EXPECT_EQ(Rep->Outcome, FaultOutcome::Rejected) << "seed " << Seed;
+        EXPECT_EQ(Rep->RejectStage, "parse") << "seed " << Seed;
+      }
+      if (Kind == MutationKind::DuplicateOutlinedId &&
+          Rep->Outcome == FaultOutcome::Rejected) {
+        EXPECT_EQ(Rep->RejectStage, "link") << "seed " << Seed;
+      }
+    }
+  }
+  EXPECT_GE(Total, 200u);
+
+  auto Count = [&Tally](MutationKind K, FaultOutcome O) {
+    return Tally[K][static_cast<std::size_t>(O)];
+  };
+  // The clean build outlines something, so duplicate ids must actually
+  // reach (and be refused by) the linker.
+  EXPECT_EQ(Count(MutationKind::DuplicateOutlinedId, FaultOutcome::Rejected),
+            NumSeeds);
+  // Dropped records survive the container checks (validateOat only checks
+  // what IS recorded) but the deep validator's completeness pass catches
+  // them: genuine graceful degradation, not rejection.
+  EXPECT_GT(Count(MutationKind::DropSideInfoEntry, FaultOutcome::Degraded),
+            0u);
+  // And across the whole sweep all three outcomes must be exercised.
+  std::size_t Rejected = 0, Degraded = 0, Harmless = 0;
+  for (MutationKind Kind : AllKinds) {
+    Rejected += Count(Kind, FaultOutcome::Rejected);
+    Degraded += Count(Kind, FaultOutcome::Degraded);
+    Harmless += Count(Kind, FaultOutcome::Harmless);
+  }
+  EXPECT_GT(Rejected, 0u);
+  EXPECT_GT(Degraded, 0u);
+  EXPECT_EQ(Rejected + Degraded + Harmless, Total);
+}
+
+TEST_F(FaultInjectTest, ClassificationIndependentOfThreadCount) {
+  // ISSUE acceptance: the degradation decision is part of the output
+  // contract — outcome, rejection count and rejection message must be
+  // identical for Threads in {1, 4, 8}.
+  constexpr std::array<MutationKind, 4> MetadataKinds = {
+      MutationKind::BitFlipSideInfo,
+      MutationKind::DropSideInfoEntry,
+      MutationKind::SwapRangeEndpoints,
+      MutationKind::StaleBranchTarget,
+  };
+  for (MutationKind Kind : MetadataKinds) {
+    for (uint64_t Seed = 0; Seed < 8; ++Seed) {
+      std::optional<FaultReport> First;
+      for (uint32_t Threads : {1u, 4u, 8u}) {
+        auto Rep = Injector->run(Seed, Kind, Threads);
+        ASSERT_TRUE(bool(Rep))
+            << mutationKindName(Kind) << " seed " << Seed << " threads "
+            << Threads << ": " << Rep.message();
+        if (!First) {
+          First = *Rep;
+          continue;
+        }
+        EXPECT_EQ(static_cast<int>(Rep->Outcome),
+                  static_cast<int>(First->Outcome))
+            << mutationKindName(Kind) << " seed " << Seed << " threads "
+            << Threads;
+        EXPECT_EQ(Rep->MethodsRejected, First->MethodsRejected)
+            << mutationKindName(Kind) << " seed " << Seed << " threads "
+            << Threads;
+        EXPECT_EQ(Rep->RejectStage, First->RejectStage);
+        EXPECT_EQ(Rep->RejectMessage, First->RejectMessage);
+      }
+    }
+  }
+}
+
+TEST(FaultInjectStrict, StrictModeRejectsInsteadOfDegrading) {
+  workload::AppSpec Spec;
+  Spec.Name = "strictapp";
+  Spec.Seed = 2203;
+  Spec.NumWorkers = 20;
+  Spec.NumUtilities = 10;
+
+  FaultInjectorOptions Opts;
+  Opts.ScriptLength = 4;
+  Opts.Strict = true;
+
+  auto Inj = FaultInjector::create(Spec, Opts);
+  ASSERT_TRUE(bool(Inj)) << Inj.message();
+
+  std::size_t LtboRejections = 0;
+  for (MutationKind Kind : AllKinds) {
+    for (uint64_t Seed = 0; Seed < 10; ++Seed) {
+      auto Rep = Inj->run(Seed, Kind);
+      ASSERT_TRUE(bool(Rep))
+          << mutationKindName(Kind) << " seed " << Seed << ": "
+          << Rep.message();
+      // Strict mode turns every would-be degradation into a fail-fast
+      // typed error, so Degraded must never appear.
+      EXPECT_NE(static_cast<int>(Rep->Outcome),
+                static_cast<int>(FaultOutcome::Degraded))
+          << mutationKindName(Kind) << " seed " << Seed;
+      if (Rep->Outcome == FaultOutcome::Rejected) {
+        // Strict LTBO fails fast, so nothing can both degrade and reject.
+        EXPECT_EQ(Rep->MethodsRejected, 0u);
+        if (Rep->RejectStage == "ltbo")
+          ++LtboRejections;
+      }
+    }
+  }
+  // The sweep must actually exercise the fail-fast path.
+  EXPECT_GT(LtboRejections, 0u);
+}

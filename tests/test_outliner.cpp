@@ -279,69 +279,74 @@ TEST(Outliner, SuffixArrayBackendMatchesSuffixTree) {
 }
 
 TEST(Outliner, FailureInjectionCorruptSideInfo) {
-  // Shift every recorded PcRel target by one instruction before outlining.
-  // The patcher trusts the compile-time info (by design, §3.2), so the
-  // corruption propagates self-consistently — structural validation cannot
-  // see it. Two safety nets must still exist: an un-rewritten method keeps
-  // the now-lying record (validateOat catches that, see test_oat), and a
-  // rewritten image diverges behaviourally (the differential harness
-  // catches that). This test exercises the second net.
+  // Drop the recorded terminators and PC-relative instructions from every
+  // method. Pre-validation the outliner would trust the lying records and
+  // move branches into shared copies without re-patching them; now the
+  // deep side-info validator notices the unrecorded instructions and the
+  // methods degrade: excluded from outlining, linked verbatim, and the
+  // resulting image still runs exactly like an unoutlined build.
   std::vector<dex::Method> Ms;
   for (uint32_t I = 0; I < 6; ++I) {
     dex::Method M = chainMethod(I, "f" + std::to_string(I));
-    // Branch over the whole outlinable chain to the return: after
-    // outlining shrinks the chain, an unpatched branch overshoots.
+    // Branch over the whole outlinable chain to the return: if outlining
+    // ever shrank the chain anyway, the unpatched branch would overshoot.
     dex::Insn If = op(dex::Op::IfLtz, 0);
     // After the insertion below, the Return lands at index Code.size().
     If.Target = static_cast<uint32_t>(M.Code.size());
     M.Code.insert(M.Code.begin(), If);
-    // Different frame sizes per method: a stale branch that escapes into a
-    // neighbouring method cannot land in a byte-compatible epilogue.
     M.NumRegs = static_cast<uint16_t>(10 + 2 * I);
     Ms.push_back(M);
   }
 
-  auto Clean = compileMethods(Ms);
-  auto Corrupt = Clean;
-  // Drop the recorded terminators and PC-relative instructions entirely:
-  // the outliner now treats branches as ordinary instructions (it may move
-  // them into shared copies) and never re-patches them.
+  auto Reference = compileMethods(Ms);
+  auto Corrupt = Reference;
   for (auto &M : Corrupt) {
     M.Side.PcRelRecords.clear();
     M.Side.TerminatorOffsets.clear();
   }
 
-  auto RClean = runLtbo(Clean, {});
+  // Strict mode: fail fast, naming the first (lowest-index) bad method.
+  {
+    auto Copy = Corrupt;
+    OutlinerOptions Strict;
+    Strict.Strict = true;
+    auto R = runLtbo(Copy, Strict);
+    ASSERT_FALSE(bool(R));
+    std::string Message = R.message();
+    EXPECT_NE(Message.find("f0"), std::string::npos) << Message;
+    EXPECT_EQ(R.category(), ErrCat::SideInfo);
+  }
+
+  // Default mode: every corrupt method is rejected and left untouched.
   auto RCorrupt = runLtbo(Corrupt, {});
-  ASSERT_TRUE(bool(RClean) && bool(RCorrupt));
+  ASSERT_TRUE(bool(RCorrupt)) << RCorrupt.message();
+  EXPECT_EQ(RCorrupt->Stats.MethodsRejected, 6u);
+  EXPECT_EQ(RCorrupt->Rejected.size(), 6u);
+  EXPECT_EQ(RCorrupt->Stats.SequencesOutlined, 0u);
+  EXPECT_TRUE(RCorrupt->Funcs.empty());
+  std::size_t ByFault = 0;
+  for (std::size_t F = 0; F < codegen::NumSideInfoFaults; ++F)
+    ByFault += RCorrupt->Stats.RejectedByFault[F];
+  EXPECT_EQ(ByFault, 6u);
+  for (const auto &RM : RCorrupt->Rejected)
+    EXPECT_TRUE(RM.Fault == codegen::SideInfoFault::TerminatorUnrecorded ||
+                RM.Fault == codegen::SideInfoFault::PcRelUnrecorded)
+        << codegen::sideInfoFaultName(RM.Fault);
+  for (std::size_t M = 0; M < Corrupt.size(); ++M)
+    EXPECT_EQ(Corrupt[M].Code, Reference[M].Code)
+        << "rejected method " << M << " was rewritten";
 
-  auto LinkUp = [](std::vector<CompiledMethod> Methods,
-                   std::vector<OutlinedFunc> Funcs) {
-    oat::LinkInput In;
-    In.AppName = "inject";
-    In.Methods = std::move(Methods);
-    In.Outlined = std::move(Funcs);
-    auto O = oat::link(In);
-    EXPECT_TRUE(bool(O));
-    return std::move(*O);
-  };
-  auto OClean = LinkUp(std::move(Clean), std::move(RClean->Funcs));
-  auto OCorrupt = LinkUp(std::move(Corrupt), std::move(RCorrupt->Funcs));
-
-  // The corrupted run must have made different (more aggressive) outlining
-  // decisions: without separators it can swallow branches whole.
-  EXPECT_NE(OClean.Text, OCorrupt.Text);
-  // The clean image is fully consistent; the corrupted one has lost its
-  // terminator metadata, so its recorded invariants no longer describe the
-  // code. (Behavioural divergence is input-dependent: on small symmetric
-  // inputs the stale branches can land in byte-compatible code — the
-  // integration suite's differential harness is the net that catches real
-  // instances at app scale.)
-  EXPECT_FALSE(bool(oat::validateOat(OClean)));
-  sim::Simulator SimA(OClean, {});
+  // The degraded image links verbatim and behaves like an unoutlined one.
+  oat::LinkInput In;
+  In.AppName = "inject";
+  In.Methods = std::move(Corrupt);
+  In.Outlined = std::move(RCorrupt->Funcs);
+  auto O = oat::link(In);
+  ASSERT_TRUE(bool(O)) << O.message();
+  sim::Simulator Sim(*O, {});
   for (uint32_t M = 0; M < 6; ++M) {
     int64_t Args[2] = {-7, 5};
-    auto RA = SimA.call(M, Args);
+    auto RA = Sim.call(M, Args);
     ASSERT_TRUE(bool(RA)) << RA.message();
     EXPECT_EQ(RA->What, sim::Outcome::Ok);
   }

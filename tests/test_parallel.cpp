@@ -168,9 +168,11 @@ TEST(ParallelOutliner, ByteIdenticalAcrossDetectorBackends) {
 //===----------------------------------------------------------------------===//
 
 TEST(ParallelOutliner, WorkerErrorsSurfaceDeterministically) {
-  // Corrupt several methods so multiple Phase A workers fail concurrently:
-  // the surfaced Error must be the LOWEST method index's, identically for
-  // every thread count.
+  // Corrupt several methods so multiple Phase A workers hit invalid side
+  // info concurrently. In strict mode the surfaced Error must be the
+  // LOWEST candidate index's, identically for every thread count; in the
+  // default degrading mode the rejection set must be identical for every
+  // thread count.
   auto Spec = verify::randomAppSpec(9);
   auto Reference = compileApp(Spec);
   ASSERT_GT(Reference.size(), 8u);
@@ -199,6 +201,7 @@ TEST(ParallelOutliner, WorkerErrorsSurfaceDeterministically) {
     OutlinerOptions Opts;
     Opts.Partitions = 4;
     Opts.Threads = Threads;
+    Opts.Strict = true;
     auto Methods = Reference;
     auto R = runLtbo(Methods, Opts);
     ASSERT_FALSE(bool(R)) << "threads=" << Threads;
@@ -209,6 +212,27 @@ TEST(ParallelOutliner, WorkerErrorsSurfaceDeterministically) {
       FirstMessage = Message;
     else
       EXPECT_EQ(Message, FirstMessage) << "threads=" << Threads;
+  }
+
+  // Default (non-strict) mode: same corruption degrades per method, with a
+  // rejection set that is independent of the thread count.
+  std::vector<uint32_t> FirstRejected;
+  for (uint32_t Threads : {1u, 2u, 8u}) {
+    OutlinerOptions Opts;
+    Opts.Partitions = 4;
+    Opts.Threads = Threads;
+    auto Methods = Reference;
+    auto R = runLtbo(Methods, Opts);
+    ASSERT_TRUE(bool(R)) << "threads=" << Threads << ": " << R.message();
+    EXPECT_EQ(R->Stats.MethodsRejected, Corrupted.size())
+        << "threads=" << Threads;
+    std::vector<uint32_t> Rejected;
+    for (const auto &RM : R->Rejected)
+      Rejected.push_back(RM.MethodIdx);
+    if (FirstRejected.empty())
+      FirstRejected = Rejected;
+    else
+      EXPECT_EQ(Rejected, FirstRejected) << "threads=" << Threads;
   }
 }
 

@@ -8,11 +8,13 @@
 #include "oat/Serialize.h"
 #include "sim/Simulator.h"
 #include "support/BinaryStream.h"
+#include "verify/Differential.h"
 #include "workload/Workload.h"
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 
 using namespace calibro;
 
@@ -174,6 +176,208 @@ TEST(Serialize, RejectsCorruption) {
     auto R = oat::deserializeOat(Bad);
     EXPECT_FALSE(bool(R));
     consumeError(R.takeError());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Malformed-input corpus: every corruption is an Error, never a crash
+//===----------------------------------------------------------------------===//
+
+/// Minimal section-header walk over a serialized image, mirroring the
+/// parser's layout assumptions so tests can corrupt one section at a time.
+struct ElfSections {
+  struct Entry {
+    std::string Name;
+    std::size_t HeaderAt; ///< File offset of this Elf64_Shdr.
+    uint64_t Off, Size;
+  };
+  std::vector<Entry> Entries;
+
+  static ElfSections scan(const std::vector<uint8_t> &Bytes) {
+    auto U16 = [&](std::size_t At) {
+      uint16_t V;
+      std::memcpy(&V, Bytes.data() + At, 2);
+      return V;
+    };
+    auto U64 = [&](std::size_t At) {
+      uint64_t V;
+      std::memcpy(&V, Bytes.data() + At, 8);
+      return V;
+    };
+    uint64_t Shoff = U64(40);
+    uint16_t Shnum = U16(60), Shstrndx = U16(62);
+    EXPECT_LT(Shstrndx, Shnum);
+
+    ElfSections S;
+    std::vector<uint32_t> NameOffs;
+    for (uint16_t I = 0; I < Shnum; ++I) {
+      std::size_t H = static_cast<std::size_t>(Shoff) + std::size_t(I) * 64;
+      uint32_t NameOff;
+      std::memcpy(&NameOff, Bytes.data() + H, 4);
+      NameOffs.push_back(NameOff);
+      S.Entries.push_back({"", H, U64(H + 24), U64(H + 32)});
+    }
+    const Entry &Tab = S.Entries[Shstrndx];
+    for (uint16_t I = 0; I < Shnum; ++I) {
+      for (std::size_t P = Tab.Off + NameOffs[I];
+           P < Tab.Off + Tab.Size && Bytes[P]; ++P)
+        S.Entries[I].Name.push_back(static_cast<char>(Bytes[P]));
+    }
+    return S;
+  }
+
+  const Entry *find(const std::string &Name) const {
+    for (const auto &E : Entries)
+      if (E.Name == Name)
+        return &E;
+    return nullptr;
+  }
+};
+
+void expectParseError(const std::vector<uint8_t> &Bytes,
+                      const std::string &What) {
+  auto R = oat::deserializeOat(Bytes);
+  EXPECT_FALSE(bool(R)) << What << ": corrupt image unexpectedly parsed";
+  if (!R)
+    consumeError(R.takeError());
+}
+
+TEST(SerializeMalformed, PerSectionCorruptionIsRejected) {
+  auto Bytes = oat::serializeOat(buildSample());
+  auto Sections = ElfSections::scan(Bytes);
+
+  const char *OatSections[] = {".text", ".oat.header", ".oat.methods",
+                               ".oat.stubs", ".oat.outlined"};
+  for (const char *Name : OatSections) {
+    const auto *S = Sections.find(Name);
+    ASSERT_NE(S, nullptr) << Name;
+    ASSERT_GT(S->Size, 2u) << Name;
+
+    auto PatchU64 = [&](std::size_t At, uint64_t V) {
+      auto Bad = Bytes;
+      std::memcpy(Bad.data() + At, &V, 8);
+      return Bad;
+    };
+    // sh_size grown past EOF: the section claims bytes the file lacks.
+    expectParseError(PatchU64(S->HeaderAt + 32, Bytes.size()),
+                     std::string(Name) + " grown sh_size");
+    expectParseError(PatchU64(S->HeaderAt + 32, ~uint64_t(0)),
+                     std::string(Name) + " huge sh_size (overflow bait)");
+    // sh_offset pushed past EOF.
+    expectParseError(PatchU64(S->HeaderAt + 24, Bytes.size() - 1),
+                     std::string(Name) + " sh_offset past EOF");
+    // sh_size shrunk: the payload is cut mid-record (or, for .text,
+    // un-word-aligned), so the section is truncated from the parser's
+    // point of view.
+    expectParseError(PatchU64(S->HeaderAt + 32, S->Size - 1),
+                     std::string(Name) + " shrunk by one");
+    expectParseError(PatchU64(S->HeaderAt + 32, S->Size / 2 | 1),
+                     std::string(Name) + " shrunk to odd half");
+  }
+}
+
+TEST(SerializeMalformed, WholeFileTruncationSweep) {
+  auto Bytes = oat::serializeOat(buildSample());
+  ASSERT_GT(Bytes.size(), 64u);
+  // The section header table lives at the end of the image, so every
+  // proper prefix is missing required structure and must parse-reject.
+  std::vector<std::size_t> Cuts = {1,  2,  63, 64, 65, Bytes.size() / 2,
+                                   Bytes.size() - 2, Bytes.size() - 1};
+  for (std::size_t Cut = 3; Cut < Bytes.size(); Cut += 97)
+    Cuts.push_back(Cut);
+  for (std::size_t Cut : Cuts) {
+    auto Bad = Bytes;
+    Bad.resize(Cut);
+    expectParseError(Bad, "truncated to " + std::to_string(Cut) + " bytes");
+  }
+}
+
+TEST(SerializeMalformed, BadStubKindIsRejected) {
+  auto Bytes = oat::serializeOat(buildSample());
+  auto Sections = ElfSections::scan(Bytes);
+  const auto *S = Sections.find(".oat.stubs");
+  ASSERT_NE(S, nullptr);
+
+  // Payload = uleb count, then records each starting with a u8 kind.
+  std::size_t P = static_cast<std::size_t>(S->Off);
+  while (Bytes[P] & 0x80)
+    ++P; // Skip the count's continuation bytes.
+  ++P;   // ... and its final byte; P now sits on the first record's kind.
+  ASSERT_LT(P, S->Off + S->Size) << "sample app has no CTO stubs";
+
+  for (uint8_t BadKind : {uint8_t(3), uint8_t(9), uint8_t(0xff)}) {
+    auto Bad = Bytes;
+    Bad[P] = BadKind;
+    auto R = oat::deserializeOat(Bad);
+    ASSERT_FALSE(bool(R)) << "stub kind " << int(BadKind) << " accepted";
+    EXPECT_NE(R.message().find("bad stub kind"), std::string::npos)
+        << R.message();
+    EXPECT_EQ(R.category(), ErrCat::BadFormat);
+    consumeError(R.takeError());
+  }
+}
+
+TEST(SerializeMalformed, ParseRejectsInvalidSideInfo) {
+  // Lock-in for the parse-boundary fix: inverted ranges and offsets past
+  // the code size used to deserialize fine and blow up downstream; they
+  // must now be typed side-info errors at parse time.
+  struct Case {
+    const char *ExpectFault;
+    void (*Mutate)(oat::OatMethodEntry &);
+  };
+  const Case Cases[] = {
+      {"slow-path-inverted",
+       [](oat::OatMethodEntry &M) {
+         M.Side.SlowPathRanges.push_back({8, 4});
+       }},
+      {"embedded-data-out-of-bounds",
+       [](oat::OatMethodEntry &M) {
+         M.Side.EmbeddedData.push_back({M.CodeSize, 8});
+       }},
+      {"pc-rel-out-of-bounds",
+       [](oat::OatMethodEntry &M) {
+         M.Side.PcRelRecords.push_back({0, M.CodeSize + 4});
+       }},
+      {"terminator-out-of-bounds",
+       [](oat::OatMethodEntry &M) {
+         M.Side.TerminatorOffsets.push_back(M.CodeSize);
+       }},
+  };
+  for (const Case &C : Cases) {
+    oat::OatFile O = buildSample();
+    ASSERT_FALSE(O.Methods.empty());
+    C.Mutate(O.Methods[0]);
+    auto R = oat::deserializeOat(oat::serializeOat(O));
+    ASSERT_FALSE(bool(R)) << C.ExpectFault << " accepted at parse time";
+    EXPECT_NE(R.message().find(C.ExpectFault), std::string::npos)
+        << R.message();
+    EXPECT_EQ(R.category(), ErrCat::SideInfo) << C.ExpectFault;
+    consumeError(R.takeError());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Round-trip property over random apps
+//===----------------------------------------------------------------------===//
+
+TEST(SerializeProperty, RandomAppsRoundTripByteIdentical) {
+  // serialize -> parse -> serialize must be the identity on bytes for any
+  // buildable app: the format is canonical, so a divergence means either
+  // the writer or the parser dropped information.
+  for (uint64_t Seed = 0; Seed < 50; ++Seed) {
+    workload::AppSpec Spec = verify::randomAppSpec(Seed);
+    dex::App App = workload::makeApp(Spec);
+    core::CalibroOptions Opts;
+    Opts.EnableCto = true;
+    Opts.EnableLtbo = true;
+    Opts.LtboPartitions = 1 + static_cast<uint32_t>(Seed % 4);
+    auto B = core::buildApp(App, Opts);
+    ASSERT_TRUE(bool(B)) << "seed " << Seed << ": " << B.message();
+
+    auto Bytes = oat::serializeOat(B->Oat);
+    auto Back = oat::deserializeOat(Bytes);
+    ASSERT_TRUE(bool(Back)) << "seed " << Seed << ": " << Back.message();
+    EXPECT_EQ(oat::serializeOat(*Back), Bytes) << "seed " << Seed;
   }
 }
 

@@ -45,6 +45,8 @@ void usage() {
       "  --min-len/--max-len <n>  candidate length bounds\n"
       "  --verify           statically verify the linked image before\n"
       "                     writing it (whole-text decode + branch targets)\n"
+      "  --strict           fail the build on the first method with invalid\n"
+      "                     LTBO side info instead of degrading per method\n"
       "  -o <file>          output path (required)\n");
   std::exit(2);
 }
@@ -89,6 +91,8 @@ int main(int argc, char **argv) {
       Hf = true;
     else if (A == "--verify")
       Opts.VerifyOutput = true;
+    else if (A == "--strict")
+      Opts.StrictSideInfo = true;
     else if (A == "-o")
       Out = next(I, argc, argv);
     else
@@ -141,7 +145,8 @@ int main(int argc, char **argv) {
 
   auto B = core::buildApp(App, Opts);
   if (!B) {
-    std::fprintf(stderr, "build failed: %s\n", B.message().c_str());
+    std::fprintf(stderr, "build failed [%s]: %s\n",
+                 errCatName(B.category()), B.message().c_str());
     return 1;
   }
   if (auto E = oat::writeOatFile(B->Oat, Out)) {
@@ -160,5 +165,17 @@ int main(int argc, char **argv) {
                B->Oat.Outlined.size(), St.CompileSeconds, St.LtboSeconds,
                St.Ltbo.SequencesOutlined, St.Ltbo.OccurrencesReplaced,
                St.LinkSeconds);
+  if (St.Ltbo.MethodsRejected) {
+    std::fprintf(stderr,
+                 "  degraded: %zu methods excluded from outlining "
+                 "(invalid side info; linked verbatim):\n",
+                 St.Ltbo.MethodsRejected);
+    for (std::size_t F = 0; F < codegen::NumSideInfoFaults; ++F)
+      if (St.Ltbo.RejectedByFault[F])
+        std::fprintf(stderr, "    %s: %zu\n",
+                     codegen::sideInfoFaultName(
+                         static_cast<codegen::SideInfoFault>(F)),
+                     St.Ltbo.RejectedByFault[F]);
+  }
   return 0;
 }

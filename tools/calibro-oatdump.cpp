@@ -10,9 +10,11 @@
 ///   calibro-oatdump file.oat                # header summary
 ///   calibro-oatdump --disasm file.oat       # full disassembly
 ///   calibro-oatdump --method W17 file.oat   # methods matching a fragment
+///   calibro-oatdump --check file.oat        # audit per-method side info
 ///
 //===----------------------------------------------------------------------===//
 
+#include "codegen/SideInfoValidator.h"
 #include "oat/Dump.h"
 #include "oat/Serialize.h"
 
@@ -22,13 +24,57 @@
 
 using namespace calibro;
 
+namespace {
+
+/// Re-runs the deep side-info validator over every outlining-eligible
+/// method of a linked image and reports each fault. Returns the number of
+/// methods that failed the audit.
+int checkSideInfo(const oat::OatFile &O) {
+  int Bad = 0;
+  std::size_t Audited = 0, Skipped = 0;
+  for (const auto &M : O.Methods) {
+    if (M.Side.IsNative || M.Side.HasIndirectJump) {
+      ++Skipped;
+      continue;
+    }
+    ++Audited;
+    codegen::CompiledMethod C;
+    C.MethodIdx = M.MethodIdx;
+    C.Name = M.Name;
+    C.Side = M.Side;
+    C.Map = M.Map;
+    std::size_t First = M.CodeOffset / 4;
+    std::size_t Words = M.CodeSize / 4;
+    if (M.CodeOffset % 4 || First + Words > O.Text.size()) {
+      std::printf("method %s: code range outside .text\n", M.Name.c_str());
+      ++Bad;
+      continue;
+    }
+    C.Code.assign(O.Text.begin() + First, O.Text.begin() + First + Words);
+    if (auto D = codegen::validateSideInfo(C)) {
+      std::printf("method %s: %s %s\n", M.Name.c_str(),
+                  codegen::sideInfoFaultName(D.Fault), D.Detail.c_str());
+      ++Bad;
+    }
+  }
+  std::printf("side-info audit: %zu methods audited, %zu skipped "
+              "(native/indirect), %d faulty\n",
+              Audited, Skipped, Bad);
+  return Bad;
+}
+
+} // namespace
+
 int main(int argc, char **argv) {
   bool Disasm = false;
+  bool Check = false;
   const char *Filter = nullptr;
   const char *Path = nullptr;
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--disasm"))
       Disasm = true;
+    else if (!std::strcmp(argv[I], "--check"))
+      Check = true;
     else if (!std::strcmp(argv[I], "--method") && I + 1 < argc)
       Filter = argv[++I];
     else
@@ -36,16 +82,20 @@ int main(int argc, char **argv) {
   }
   if (!Path) {
     std::fprintf(stderr,
-                 "usage: calibro-oatdump [--disasm] [--method <fragment>] "
-                 "<file.oat>\n");
+                 "usage: calibro-oatdump [--disasm] [--check] "
+                 "[--method <fragment>] <file.oat>\n");
     return 2;
   }
 
   auto O = oat::readOatFile(Path);
   if (!O) {
-    std::fprintf(stderr, "%s: %s\n", Path, O.message().c_str());
+    std::fprintf(stderr, "%s: [%s] %s\n", Path, errCatName(O.category()),
+                 O.message().c_str());
     return 1;
   }
+
+  if (Check)
+    return checkSideInfo(*O) ? 1 : 0;
 
   if (Filter) {
     std::fputs(oat::dumpOat(*O, false).c_str(), stdout);

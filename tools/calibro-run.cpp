@@ -53,7 +53,8 @@ int main(int argc, char **argv) {
 
   auto O = oat::readOatFile(Path);
   if (!O) {
-    std::fprintf(stderr, "%s: %s\n", Path, O.message().c_str());
+    std::fprintf(stderr, "%s: [%s] %s\n", Path, errCatName(O.category()),
+                 O.message().c_str());
     return 1;
   }
   if (Verify) {
