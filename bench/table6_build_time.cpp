@@ -21,10 +21,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "oat/Serialize.h"
 #include "suffixtree/SuffixArray.h"
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <numeric>
 
 using namespace calibro;
@@ -97,6 +99,31 @@ std::vector<uint32_t> legacySortDoublingSa(std::vector<uint64_t> T) {
 double medianOf(std::vector<double> V) {
   std::sort(V.begin(), V.end());
   return V[V.size() / 2];
+}
+
+/// Simulated incremental edit: bump the first ConstInt immediate of the
+/// first ceil(Fraction * N) non-native methods. Each bump changes that
+/// method's dex content (a cache miss) and its compiled code (a changed
+/// content digest), exactly like a small source edit would.
+dex::App churnApp(const dex::App &Base, double Fraction) {
+  dex::App A = Base;
+  std::size_t Want = static_cast<std::size_t>(
+      static_cast<double>(Base.numMethods()) * Fraction + 0.999);
+  std::size_t Done = 0;
+  for (auto &F : A.Files)
+    for (auto &M : F.Methods) {
+      if (Done >= Want)
+        return A;
+      if (M.IsNative)
+        continue;
+      for (auto &I : M.Code)
+        if (I.Opcode == dex::Op::ConstInt) {
+          I.Imm += 1;
+          ++Done;
+          break;
+        }
+    }
+  return A;
 }
 
 } // namespace
@@ -260,6 +287,83 @@ int main(int argc, char **argv) {
               fmtSec(RadixSec).c_str(), LegacySec / RadixSec,
               RadixSec < LegacySec ? "PASS" : "FAIL");
 
+  // Incremental builds (ISSUE 5): cold vs warm under simulated churn. Each
+  // warm measurement resets the store, populates it with one cold build of
+  // the pre-edit app, then times the cache-enabled build of the edited app.
+  namespace fs = std::filesystem;
+  const fs::path CacheDir = fs::temp_directory_path() / "calibro-table6-cache";
+  core::CalibroOptions CacheOpts = plOpts();
+  CacheOpts.CacheDir = CacheDir.string();
+
+  std::vector<double> ColdTimes;
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    fs::remove_all(CacheDir);
+    Timer T;
+    auto B = build(App, CacheOpts);
+    ColdTimes.push_back(T.seconds());
+    if (B.Stats.CacheHits)
+      std::printf("unreachable: cold build hit the cache\n");
+  }
+  double ColdS = medianOf(ColdTimes);
+  double NoCacheS = ParT[5]; // Same app + config, cache disabled.
+  double ColdOverheadPct = 100.0 * (ColdS / NoCacheS - 1.0);
+
+  std::printf("\nincremental: cold vs warm on %s (PlOpti config, "
+              "cache enabled)\n"
+              "  cold %s (no-cache %s, overhead %s)\n"
+              "%10s %10s %10s %10s %10s %12s\n",
+              Specs[5].Name.c_str(), fmtSec(ColdS).c_str(),
+              fmtSec(NoCacheS).c_str(), fmtPct(ColdOverheadPct).c_str(),
+              "churn", "warm", "hit rate", "reused", "speedup", "identical");
+  struct WarmRow {
+    double ChurnPct, WarmS, HitRate, Speedup;
+    std::size_t GroupsReused, GroupsDetected;
+    bool Identical;
+  };
+  std::vector<WarmRow> WarmRows;
+  for (double Churn : {0.0, 0.01, 0.10, 0.50}) {
+    dex::App Edited = churnApp(App, Churn);
+    const std::vector<uint8_t> RefBytes =
+        oat::serializeOat(build(Edited, plOpts()).Oat);
+    std::vector<double> Times;
+    core::BuildStats WS;
+    bool Identical = true;
+    for (int Rep = 0; Rep < 3; ++Rep) {
+      fs::remove_all(CacheDir);
+      build(App, CacheOpts); // Populate with the pre-edit input.
+      Timer T;
+      auto W = build(Edited, CacheOpts);
+      Times.push_back(T.seconds());
+      WS = W.Stats;
+      Identical &= oat::serializeOat(W.Oat) == RefBytes;
+    }
+    double WarmS = medianOf(Times);
+    double HitRate = static_cast<double>(WS.CacheHits) /
+                     static_cast<double>(WS.CacheHits + WS.CacheMisses);
+    WarmRow Row{100.0 * Churn,
+                WarmS,
+                HitRate,
+                WarmS > 0 ? ColdS / WarmS : 0,
+                WS.Ltbo.GroupsReused,
+                WS.Ltbo.GroupsDetected,
+                Identical};
+    WarmRows.push_back(Row);
+    std::printf("%9.0f%% %10s %9.1f%% %7zu/%-2zu %9.2fx %12s\n", Row.ChurnPct,
+                fmtSec(WarmS).c_str(), 100.0 * HitRate, Row.GroupsReused,
+                Row.GroupsReused + Row.GroupsDetected, Row.Speedup,
+                Identical ? "yes" : "NO");
+  }
+  fs::remove_all(CacheDir);
+  // Acceptance: <= 10% churn must rebuild >= 3x faster than cold, and every
+  // warm image must be byte-identical to the cache-free build.
+  bool WarmFast = WarmRows[1].Speedup >= 3.0 && WarmRows[2].Speedup >= 3.0;
+  bool AllIdentical = true;
+  for (const auto &R : WarmRows)
+    AllIdentical &= R.Identical;
+  std::printf("  warm speedup >= 3x at <= 10%% churn : %s\n"
+              "  warm output byte-identical         : %s\n",
+              WarmFast ? "PASS" : "FAIL", AllIdentical ? "PASS" : "FAIL");
+
   // Machine-readable record of everything above.
   FILE *J = std::fopen("BENCH_build_time.json", "w");
   if (!J) {
@@ -297,9 +401,25 @@ int main(int argc, char **argv) {
                "\n  ],\n  \"link_stage_speedup\": %.3f,\n"
                "  \"sa_construction\": {\"symbols\": %zu, "
                "\"sort_doubling_s\": %.4f, \"radix_doubling_s\": %.4f, "
-               "\"speedup\": %.3f}\n}\n",
+               "\"speedup\": %.3f},\n",
                LinkSpeedup, SaText.size(), LegacySec, RadixSec,
                LegacySec / RadixSec);
+  std::fprintf(J,
+               "  \"cold_vs_warm\": {\n    \"app\": \"%s\", "
+               "\"cold_s\": %.4f, \"no_cache_s\": %.4f, "
+               "\"cold_overhead_pct\": %.2f,\n    \"rows\": [",
+               Specs[5].Name.c_str(), ColdS, NoCacheS, ColdOverheadPct);
+  for (std::size_t I = 0; I < WarmRows.size(); ++I) {
+    const auto &R = WarmRows[I];
+    std::fprintf(J,
+                 "%s\n      {\"churn_pct\": %.1f, \"warm_s\": %.4f, "
+                 "\"hit_rate\": %.4f, \"groups_reused\": %zu, "
+                 "\"groups_detected\": %zu, \"speedup\": %.3f, "
+                 "\"identical\": %s}",
+                 I ? "," : "", R.ChurnPct, R.WarmS, R.HitRate, R.GroupsReused,
+                 R.GroupsDetected, R.Speedup, R.Identical ? "true" : "false");
+  }
+  std::fprintf(J, "\n    ]\n  }\n}\n");
   std::fclose(J);
   std::printf("\nwrote BENCH_build_time.json\n");
   return 0;

@@ -27,18 +27,19 @@ if [[ "$MODE" == all || "$MODE" == asan ]]; then
   cmake -B "$SAN_BUILD" -S . -DCALIBRO_SANITIZE=address,undefined
   cmake --build "$SAN_BUILD" -j \
         --target test_verify test_outliner test_suffixtree \
-                 test_serialize test_faultinject
+                 test_serialize test_faultinject test_cache
   ctest --test-dir "$SAN_BUILD" --output-on-failure \
-        -R '^(test_verify|test_outliner|test_suffixtree|test_serialize|test_faultinject)$'
+        -R '^(test_verify|test_outliner|test_suffixtree|test_serialize|test_faultinject|test_cache)$'
 fi
 
 if [[ "$MODE" == all || "$MODE" == tsan ]]; then
   echo "== sanitizers: TSan build of the parallel link-stage suite =="
   TSAN_BUILD="${BUILD}-tsan"
   cmake -B "$TSAN_BUILD" -S . -DCALIBRO_SANITIZE=thread
-  cmake --build "$TSAN_BUILD" -j --target test_parallel test_support test_faultinject
+  cmake --build "$TSAN_BUILD" -j --target test_parallel test_support \
+                                          test_faultinject test_cache
   ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-        -R '^(test_parallel|test_support|test_faultinject)$'
+        -R '^(test_parallel|test_support|test_faultinject|test_cache)$'
 fi
 
 echo "check.sh ($MODE): all green"

@@ -78,6 +78,8 @@ struct MethodSideInfo {
   std::vector<ByteRange> SlowPathRanges;     ///< Outlinable even when hot.
   bool HasIndirectJump = false; ///< br present: excluded from outlining.
   bool IsNative = false;        ///< JNI trampoline: excluded from outlining.
+
+  bool operator==(const MethodSideInfo &) const = default;
 };
 
 /// One StackMap entry: the state mapping at a safepoint (paper §3.5). The
@@ -92,6 +94,8 @@ struct StackMapEntry {
 /// Per-method StackMap, sorted by native PC.
 struct StackMap {
   std::vector<StackMapEntry> Entries;
+
+  bool operator==(const StackMap &) const = default;
 };
 
 /// One compiled method: the unit the linker consumes (paper Fig. 5's
@@ -107,6 +111,8 @@ struct CompiledMethod {
   uint32_t codeSizeBytes() const {
     return static_cast<uint32_t>(Code.size() * 4);
   }
+
+  bool operator==(const CompiledMethod &) const = default;
 };
 
 /// A function created by the link-time outliner (paper §3.3.3): one

@@ -25,6 +25,18 @@ Expected<CompiledApp> core::compileApp(const dex::App &App,
   Result.AppName = App.Name;
   BuildStats &Stats = Result.Stats;
 
+  // Incremental builds: a configured cache directory lets unchanged dex
+  // methods skip HIR construction and codegen entirely. Failing to OPEN
+  // the store is a configuration error and fails the build; everything
+  // after that degrades (a bad entry is just a miss).
+  std::unique_ptr<cache::BuildCache> Cache;
+  if (!Opts.CacheDir.empty()) {
+    auto C = cache::BuildCache::open(Opts.CacheDir);
+    if (!C)
+      return C.takeError();
+    Cache = std::move(*C);
+  }
+
   // Compilation: per-method, independent of every other method, and run
   // concurrently like dex2oat does (Fig. 5). Results land in order-stable
   // slots, so the build is deterministic for any thread count.
@@ -40,22 +52,46 @@ Expected<CompiledApp> core::compileApp(const dex::App &App,
   std::vector<codegen::CompiledMethod> Methods(Order.size());
   std::vector<std::size_t> Simplified(Order.size(), 0);
   std::vector<std::string> Errors(Order.size());
+  std::vector<cache::Digest> Digests(Cache ? Order.size() : 0);
+  std::vector<uint8_t> CacheHit(Order.size(), 0);
   auto Pipeline = hir::defaultPipeline();
 
   auto CompileOne = [&](std::size_t I) {
     const dex::Method &M = *Order[I];
+    cache::Digest SourceKey;
+    if (Cache) {
+      SourceKey = cache::methodSourceKey(M, Opts.EnableCto);
+      if (auto CM = Cache->loadMethod(SourceKey)) {
+        // The blob already passed checksum + SideInfoValidator; the
+        // identity cross-check below catches digest collisions between
+        // distinct methods before a wrong body is linked.
+        if (CM->Method.MethodIdx == M.Idx && CM->Method.Name == M.Name &&
+            CM->Method.Side.IsNative == M.IsNative) {
+          Methods[I] = std::move(CM->Method);
+          Simplified[I] = CM->HirInsnsSimplified;
+          Digests[I] = cache::methodContentDigest(Methods[I]);
+          CacheHit[I] = 1;
+          return;
+        }
+      }
+    }
     if (M.IsNative) {
       Methods[I] = Gen.compileNative(M);
-      return;
+    } else {
+      auto G = hir::buildHGraph(M);
+      if (!G) {
+        Errors[I] = G.message();
+        return;
+      }
+      for (const auto &PS : hir::runPipeline(*G, Pipeline))
+        Simplified[I] += PS.Simplified;
+      Methods[I] = Gen.compile(*G);
     }
-    auto G = hir::buildHGraph(M);
-    if (!G) {
-      Errors[I] = G.message();
-      return;
+    if (Cache) {
+      Digests[I] = cache::methodContentDigest(Methods[I]);
+      Cache->storeMethod(SourceKey, Methods[I],
+                         static_cast<uint32_t>(Simplified[I]));
     }
-    for (const auto &PS : hir::runPipeline(*G, Pipeline))
-      Simplified[I] += PS.Simplified;
-    Methods[I] = Gen.compile(*G);
   };
 
   if (Opts.CompileThreads == 1) {
@@ -71,6 +107,10 @@ Expected<CompiledApp> core::compileApp(const dex::App &App,
       return makeError(Errors[I]);
     Stats.HirInsnsSimplified += Simplified[I];
     Stats.NumNativeMethods += Methods[I].Side.IsNative;
+    if (Cache) {
+      Stats.CacheHits += CacheHit[I];
+      Stats.CacheMisses += !CacheHit[I];
+    }
   }
   Stats.CompileSeconds = CompileTimer.seconds();
   for (const auto &M : Methods)
@@ -80,6 +120,7 @@ Expected<CompiledApp> core::compileApp(const dex::App &App,
 
   Result.Methods = std::move(Methods);
   Result.Stubs = StubCache.takeStubs();
+  Result.MethodDigests = std::move(Digests);
   return Result;
 }
 
@@ -101,6 +142,14 @@ Expected<BuildResult> core::linkApp(CompiledApp App,
     OOpts.Threads = Opts.LtboThreads;
     OOpts.Detector = Opts.LtboDetector;
     OOpts.Strict = Opts.StrictSideInfo;
+    std::unique_ptr<cache::BuildCache> Cache;
+    if (!Opts.CacheDir.empty()) {
+      auto C = cache::BuildCache::open(Opts.CacheDir);
+      if (!C)
+        return C.takeError();
+      Cache = std::move(*C);
+      OOpts.Cache = Cache.get();
+    }
     if (Opts.Profile) {
       Hot = profile::selectHotMethods(*Opts.Profile, Opts.HotCoverage);
       OOpts.HotMethods = &Hot;
@@ -110,6 +159,7 @@ Expected<BuildResult> core::linkApp(CompiledApp App,
       return R.takeError();
     Outlined = std::move(R->Funcs);
     Stats.Ltbo = R->Stats;
+    Stats.GroupsReused = R->Stats.GroupsReused;
     Stats.LtboSeconds = LtboTimer.seconds();
   }
 

@@ -27,6 +27,7 @@
 #ifndef CALIBRO_CORE_CALIBRO_H
 #define CALIBRO_CORE_CALIBRO_H
 
+#include "cache/BuildCache.h"
 #include "core/Outliner.h"
 #include "dex/Dex.h"
 #include "oat/OatFile.h"
@@ -66,6 +67,11 @@ struct CalibroOptions {
   /// instead of degrading per method (`calibro-dex2oat --strict`). See
   /// OutlinerOptions::Strict.
   bool StrictSideInfo = false;
+  /// Directory of the incremental build cache (`calibro-dex2oat
+  /// --cache-dir`). Empty disables caching. Warm builds reuse
+  /// compiled-method blobs and LTBO group selections for unchanged inputs;
+  /// output is byte-identical to a cold build at the same inputs.
+  std::string CacheDir;
 };
 
 /// Statistics of one build.
@@ -81,6 +87,12 @@ struct BuildStats {
   double LinkSeconds = 0;
   double TotalSeconds = 0;
   uint64_t TextBytes = 0;
+  /// Incremental-build counters (all zero when CacheDir is unset). Hits
+  /// and misses count compiled-method blob probes; GroupsReused counts
+  /// LTBO partition groups whose detection was replayed from the cache.
+  std::size_t CacheHits = 0;
+  std::size_t CacheMisses = 0;
+  std::size_t GroupsReused = 0;
 };
 
 /// One finished build.
@@ -97,6 +109,12 @@ struct CompiledApp {
   std::string AppName;
   std::vector<codegen::CompiledMethod> Methods;
   std::vector<codegen::CtoStub> Stubs;
+  /// Content digest of each compiled method (parallel to Methods),
+  /// populated when a cache directory is configured. Purely observational:
+  /// the outliner recomputes digests from the methods it actually links,
+  /// so mutations between compile and link can never replay stale cache
+  /// entries.
+  std::vector<cache::Digest> MethodDigests;
   /// Compile-stage statistics; LTBO/link fields are still zero.
   BuildStats Stats;
 };

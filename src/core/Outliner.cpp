@@ -212,6 +212,12 @@ Error rewriteMethod(CompiledMethod &M, std::vector<MethodOcc> Occs) {
 struct MethodPrep {
   std::vector<bool> Sep;
   std::vector<bool> Targets;
+  /// Content digest (code + side info), computed only when detection-result
+  /// reuse is on. Recomputed HERE, from the method actually being linked:
+  /// a digest carried over from an earlier pipeline stage could go stale if
+  /// anything mutated the methods in between, and a stale digest could
+  /// replay a wrong cached selection.
+  cache::Digest Content;
   /// Side-info validation outcome. A faulted method is skipped by the
   /// prep (Sep/Targets stay empty) and excluded from outlining — or, in
   /// strict mode, aborts the run.
@@ -235,13 +241,21 @@ void runGroupImpl(const std::vector<CompiledMethod> &Methods,
                   const std::vector<const MethodPrep *> &Preps,
                   uint32_t GroupIdx, const OutlinerOptions &Opts,
                   std::vector<OutlinedFunc> &FuncsOut,
-                  std::vector<RewriteWork> &WorkOut, OutlineStats &Stats) {
+                  std::vector<RewriteWork> &WorkOut, OutlineStats &Stats,
+                  cache::GroupSelections *StoreOut) {
   Timer BuildTimer;
 
   // Step 2 (paper §3.3.2): map this group's binary code to one symbol
-  // sequence with unique separators.
+  // sequence with unique separators. Sized up front: every word emits one
+  // position plus one inter-method separator per method.
+  std::size_t TotalWords = 0;
+  for (std::size_t Row : Rows)
+    TotalWords += Methods[Row].Code.size() + 1;
+
   std::vector<st::Symbol> Seq;
   std::vector<PosInfo> Pos;
+  Seq.reserve(TotalWords);
+  Pos.reserve(TotalWords);
   uint64_t SepCounter = 0;
 
   for (std::size_t GI = 0; GI < Rows.size(); ++GI) {
@@ -255,7 +269,8 @@ void runGroupImpl(const std::vector<CompiledMethod> &Methods,
     Seq.push_back(st::SeparatorBase + SepCounter++);
     Pos.push_back({-1, 0});
   }
-  Stats.SymbolCount += Seq.size();
+  const std::size_t TextSize = Seq.size();
+  Stats.SymbolCount += TextSize;
 
   DetectorT Tree(std::move(Seq));
   Stats.TreeNodes += Tree.numNodes();
@@ -279,8 +294,22 @@ void runGroupImpl(const std::vector<CompiledMethod> &Methods,
                          Cands.push_back({R.Node, R.Length, R.Count, 0, Ben});
                      });
   Stats.CandidatesEvaluated += Cands.size();
-  for (Cand &C : Cands)
-    C.First = Tree.positionsOf(C.Node).front();
+  std::vector<uint32_t> PosBuf;
+  for (Cand &C : Cands) {
+    Tree.positionsOf(C.Node, PosBuf);
+    C.First = PosBuf.front();
+  }
+
+  // The detect-phase working set peaks here: the full suffix structure
+  // plus this group's sequence/provenance arrays. Record it, then drop the
+  // structure's scratch — selection below reads occurrence positions and
+  // method words only, never the stored text.
+  Stats.DetectPeakBytes =
+      std::max(Stats.DetectPeakBytes,
+               Tree.workingSetBytes() + Pos.capacity() * sizeof(PosInfo) +
+                   Cands.capacity() * sizeof(Cand));
+  Tree.releaseWorkingSet();
+
   // The tie-break is content-based ((first occurrence, length) names the
   // sequence uniquely), so every detection backend selects identically.
   std::sort(Cands.begin(), Cands.end(), [](const Cand &A, const Cand &B) {
@@ -291,8 +320,7 @@ void runGroupImpl(const std::vector<CompiledMethod> &Methods,
     return A.First < B.First;
   });
 
-  std::vector<bool> Claimed(Tree.textSize(), false);
-  auto Text = Tree.text();
+  std::vector<bool> Claimed(TextSize, false);
   std::vector<std::vector<MethodOcc>> OccsByMethod(Rows.size());
   uint32_t LocalFuncs = 0;
   std::vector<uint32_t> Selected;
@@ -300,7 +328,8 @@ void runGroupImpl(const std::vector<CompiledMethod> &Methods,
   for (const Cand &C : Cands) {
     Selected.clear();
     uint32_t LastEnd = 0;
-    for (uint32_t P : Tree.positionsOf(C.Node)) {
+    Tree.positionsOf(C.Node, PosBuf);
+    for (uint32_t P : PosBuf) {
       if (!Selected.empty() && P < LastEnd)
         continue; // Overlaps the previous selection of this candidate.
       bool Ok = true;
@@ -330,16 +359,31 @@ void runGroupImpl(const std::vector<CompiledMethod> &Methods,
     Fn.Id = FuncId;
     Fn.SeqLength = C.Len;
     Fn.Occurrences = static_cast<uint32_t>(Selected.size());
+    // The preserved copy comes from the first occurrence's method words
+    // (the detector's stored text is already released). Each word emitted
+    // exactly one sequence position, so the occurrence maps to contiguous
+    // words of one method.
     uint32_t P0 = Selected.front();
+    const PosInfo &PI0 = Pos[P0];
+    const CompiledMethod &SrcM = Methods[Rows[PI0.MethodRow]];
     for (uint32_t K = 0; K < C.Len; ++K) {
-      assert(Text[P0 + K] < st::SeparatorBase &&
+      assert(!Preps[PI0.MethodRow]->Sep[PI0.Word + K] &&
              "separator inside a repeated sequence");
-      Fn.Code.push_back(static_cast<uint32_t>(Text[P0 + K]));
+      Fn.Code.push_back(SrcM.Code[PI0.Word + K]);
     }
     a64::Insn RetBr{.Op = a64::Opcode::Br};
     RetBr.Rn = a64::LR;
     Fn.Code.push_back(a64::encode(RetBr));
     FuncsOut.push_back(std::move(Fn));
+
+    const int64_t SelBen = benefit(C.Len, Selected.size());
+    if (StoreOut) {
+      cache::CachedSelection CS;
+      CS.SeqLen = C.Len;
+      CS.Benefit = static_cast<uint64_t>(SelBen);
+      CS.Positions = Selected;
+      StoreOut->Funcs.push_back(std::move(CS));
+    }
 
     for (uint32_t P : Selected) {
       const PosInfo &PI = Pos[P];
@@ -349,8 +393,7 @@ void runGroupImpl(const std::vector<CompiledMethod> &Methods,
     }
     ++Stats.SequencesOutlined;
     Stats.OccurrencesReplaced += Selected.size();
-    Stats.InsnsRemoved +=
-        static_cast<uint64_t>(benefit(C.Len, Selected.size()));
+    Stats.InsnsRemoved += static_cast<uint64_t>(SelBen);
   }
   Stats.SelectSeconds += SelectTimer.seconds();
 
@@ -360,6 +403,126 @@ void runGroupImpl(const std::vector<CompiledMethod> &Methods,
   for (std::size_t GI = 0; GI < Rows.size(); ++GI)
     if (!OccsByMethod[GI].empty())
       WorkOut.push_back({Rows[GI], std::move(OccsByMethod[GI])});
+}
+
+/// Replays one group's cached canonical selection instead of running
+/// detection (Phase B on a warm build). The cache is never an authority:
+/// every invariant the cold selection path establishes is re-validated
+/// against the LIVE methods — lengths inside [MinSeqLen, MaxSeqLen],
+/// positions strictly ascending and inside one method, no separators or
+/// claimed words in any occurrence, no interior branch targets, identical
+/// words across all occurrences of a function, and the recorded benefit
+/// matching the model. ANY violation rejects the replay with all outputs
+/// untouched and the caller falls back to detection, so a stale or corrupt
+/// entry can cost time but can never change output. On success the
+/// emission order (and hence OutlinedFunc id assignment) is exactly the
+/// cold path's, which is what keeps warm builds byte-identical.
+bool replayGroup(const std::vector<CompiledMethod> &Methods,
+                 const std::vector<std::size_t> &Rows,
+                 const std::vector<const MethodPrep *> &Preps,
+                 uint32_t GroupIdx, const OutlinerOptions &Opts,
+                 const cache::GroupSelections &Cached,
+                 std::vector<OutlinedFunc> &FuncsOut,
+                 std::vector<RewriteWork> &WorkOut, OutlineStats &Stats) {
+  if (Cached.Funcs.size() >= (1u << 20))
+    return false;
+
+  // Re-assemble the position provenance only (no symbols, no suffix
+  // structure): separator-ness and word content are read through Pos.
+  std::size_t TotalWords = 0;
+  for (std::size_t Row : Rows)
+    TotalWords += Methods[Row].Code.size() + 1;
+  std::vector<PosInfo> Pos;
+  Pos.reserve(TotalWords);
+  for (std::size_t GI = 0; GI < Rows.size(); ++GI) {
+    const CompiledMethod &M = Methods[Rows[GI]];
+    for (std::size_t W = 0; W < M.Code.size(); ++W)
+      Pos.push_back({static_cast<int32_t>(GI), static_cast<uint32_t>(W)});
+    Pos.push_back({-1, 0});
+  }
+  const std::size_t TextSize = Pos.size();
+
+  std::vector<bool> Claimed(TextSize, false);
+  std::vector<OutlinedFunc> Funcs;
+  std::vector<std::vector<MethodOcc>> OccsByMethod(Rows.size());
+  std::size_t SequencesOutlined = 0, OccurrencesReplaced = 0;
+  uint64_t InsnsRemoved = 0;
+  uint32_t LocalFuncs = 0;
+
+  for (const cache::CachedSelection &S : Cached.Funcs) {
+    if (S.SeqLen < Opts.MinSeqLen || S.SeqLen > Opts.MaxSeqLen)
+      return false;
+    if (S.Positions.empty() || !isProfitable(S.SeqLen, S.Positions.size()))
+      return false;
+    if (S.Benefit !=
+        static_cast<uint64_t>(benefit(S.SeqLen, S.Positions.size())))
+      return false;
+
+    const uint32_t P0 = S.Positions.front();
+    if (P0 >= TextSize || Pos[P0].MethodRow < 0)
+      return false;
+    const PosInfo &PI0 = Pos[P0];
+    uint32_t LastEnd = 0;
+    for (std::size_t J = 0; J < S.Positions.size(); ++J) {
+      const uint32_t P = S.Positions[J];
+      if (J > 0 && P < LastEnd)
+        return false; // Overlap inside the selection.
+      if (P >= TextSize || TextSize - P < S.SeqLen)
+        return false;
+      const PosInfo &PI = Pos[P];
+      if (PI.MethodRow < 0)
+        return false;
+      const MethodPrep &Prep = *Preps[PI.MethodRow];
+      const CompiledMethod &M = Methods[Rows[PI.MethodRow]];
+      const CompiledMethod &M0 = Methods[Rows[PI0.MethodRow]];
+      for (uint32_t K = 0; K < S.SeqLen; ++K) {
+        const PosInfo &QI = Pos[P + K];
+        if (QI.MethodRow != PI.MethodRow)
+          return false; // Crosses a method boundary.
+        if (Prep.Sep[PI.Word + K] || Claimed[P + K])
+          return false;
+        if (K > 0 && Prep.Targets[PI.Word + K])
+          return false; // Interior branch target.
+        if (M.Code[PI.Word + K] != M0.Code[PI0.Word + K])
+          return false; // Occurrences no longer share content.
+      }
+      LastEnd = P + S.SeqLen;
+    }
+
+    const uint32_t FuncId = (GroupIdx << 20) | LocalFuncs++;
+    OutlinedFunc Fn;
+    Fn.Id = FuncId;
+    Fn.SeqLength = S.SeqLen;
+    Fn.Occurrences = static_cast<uint32_t>(S.Positions.size());
+    const CompiledMethod &M0 = Methods[Rows[PI0.MethodRow]];
+    for (uint32_t K = 0; K < S.SeqLen; ++K)
+      Fn.Code.push_back(M0.Code[PI0.Word + K]);
+    a64::Insn RetBr{.Op = a64::Opcode::Br};
+    RetBr.Rn = a64::LR;
+    Fn.Code.push_back(a64::encode(RetBr));
+    Funcs.push_back(std::move(Fn));
+
+    for (uint32_t P : S.Positions) {
+      const PosInfo &PI = Pos[P];
+      OccsByMethod[PI.MethodRow].push_back({PI.Word, S.SeqLen, FuncId});
+      for (uint32_t Q = P; Q < P + S.SeqLen; ++Q)
+        Claimed[Q] = true;
+    }
+    ++SequencesOutlined;
+    OccurrencesReplaced += S.Positions.size();
+    InsnsRemoved += S.Benefit;
+  }
+
+  // All-or-nothing commit: nothing above touched the output parameters.
+  Stats.SymbolCount += TextSize;
+  Stats.SequencesOutlined += SequencesOutlined;
+  Stats.OccurrencesReplaced += OccurrencesReplaced;
+  Stats.InsnsRemoved += InsnsRemoved;
+  FuncsOut = std::move(Funcs);
+  for (std::size_t GI = 0; GI < Rows.size(); ++GI)
+    if (!OccsByMethod[GI].empty())
+      WorkOut.push_back({Rows[GI], std::move(OccsByMethod[GI])});
+  return true;
 }
 
 } // namespace
@@ -412,6 +575,8 @@ Expected<OutlineResult> core::runLtbo(std::vector<CompiledMethod> &Methods,
       return; // Invalid: never fed to detection, links verbatim.
     P.Sep = computeSeparators(M, Hot);
     P.Targets = computeBranchTargets(M);
+    if (Opts.Cache)
+      P.Content = cache::methodContentDigest(M);
   };
   if (Pool) {
     Pool->parallelFor(Candidates.size(), PrepOne);
@@ -454,6 +619,38 @@ Expected<OutlineResult> core::runLtbo(std::vector<CompiledMethod> &Methods,
   for (std::size_t A = 0; A < Accepted.size(); ++A)
     Groups[A % K].push_back(Accepted[A]);
 
+  // Incremental reuse: key each group by the content digests of its member
+  // set (plus the options that shape detection; the hot-bit changes a
+  // member's separators, so it is part of the member's identity). All
+  // stored selections are prefetched BEFORE Phase B, which makes hit/miss
+  // a pure function of pre-existing cache state: two identically-keyed
+  // groups in one run both replay or neither does, regardless of how Phase
+  // B tasks interleave with this run's own stores. The detector kind is
+  // deliberately absent from the key — both backends are required (and
+  // tested) to select identically.
+  std::vector<cache::Digest> GroupKeys(Opts.Cache ? K : 0);
+  std::vector<std::unique_ptr<cache::GroupSelections>> GroupCached(
+      Opts.Cache ? K : 0);
+  if (Opts.Cache) {
+    for (uint32_t G = 0; G < K; ++G) {
+      if (Groups[G].empty())
+        continue;
+      cache::Hasher H;
+      H.u32(cache::CacheFormatVersion);
+      H.u32(Opts.MinSeqLen);
+      H.u32(Opts.MaxSeqLen);
+      for (std::size_t I : Groups[G]) {
+        const CompiledMethod &M = Methods[Candidates[I]];
+        H.digest(Preps[I].Content);
+        H.u8(Opts.HotMethods && Opts.HotMethods->count(M.MethodIdx) ? 1 : 0);
+      }
+      GroupKeys[G] = H.finish();
+      if (auto Sel = Opts.Cache->loadGroup(GroupKeys[G]))
+        GroupCached[G] =
+            std::make_unique<cache::GroupSelections>(std::move(*Sel));
+    }
+  }
+
   // Phase B: detection + selection per group, concurrently across groups.
   // Each task touches only its own output slots and reads shared state, so
   // results are identical for any thread count.
@@ -472,14 +669,30 @@ Expected<OutlineResult> core::runLtbo(std::vector<CompiledMethod> &Methods,
       Rows.push_back(Candidates[I]);
       GroupPreps.push_back(&Preps[I]);
     }
+    if (Opts.Cache && GroupCached[G] &&
+        replayGroup(Methods, Rows, GroupPreps, static_cast<uint32_t>(G), Opts,
+                    *GroupCached[G], GroupFuncs[G], GroupWork[G],
+                    GroupStats[G])) {
+      ++GroupStats[G].GroupsReused;
+      return;
+    }
+    ++GroupStats[G].GroupsDetected;
+    cache::GroupSelections Store;
+    cache::GroupSelections *StorePtr = Opts.Cache ? &Store : nullptr;
     if (Opts.Detector == DetectorKind::SuffixTree)
       runGroupImpl<st::SuffixTree>(Methods, Rows, GroupPreps,
                                    static_cast<uint32_t>(G), Opts,
-                                   GroupFuncs[G], GroupWork[G], GroupStats[G]);
+                                   GroupFuncs[G], GroupWork[G], GroupStats[G],
+                                   StorePtr);
     else
       runGroupImpl<st::SuffixArray>(Methods, Rows, GroupPreps,
                                     static_cast<uint32_t>(G), Opts,
-                                    GroupFuncs[G], GroupWork[G], GroupStats[G]);
+                                    GroupFuncs[G], GroupWork[G], GroupStats[G],
+                                    StorePtr);
+    // Store even an empty selection: "this group outlines nothing" is as
+    // reusable as any other result.
+    if (Opts.Cache)
+      Opts.Cache->storeGroup(GroupKeys[G], Store);
   };
 
   if (Pool && K > 1) {
@@ -500,6 +713,10 @@ Expected<OutlineResult> core::runLtbo(std::vector<CompiledMethod> &Methods,
     Result.Stats.TreeNodes += S.TreeNodes;
     Result.Stats.BuildTreeSeconds += S.BuildTreeSeconds;
     Result.Stats.SelectSeconds += S.SelectSeconds;
+    Result.Stats.GroupsReused += S.GroupsReused;
+    Result.Stats.GroupsDetected += S.GroupsDetected;
+    Result.Stats.DetectPeakBytes =
+        std::max(Result.Stats.DetectPeakBytes, S.DetectPeakBytes);
     for (auto &F : GroupFuncs[G])
       Result.Funcs.push_back(std::move(F));
   }

@@ -56,6 +56,7 @@
 #ifndef CALIBRO_CORE_OUTLINER_H
 #define CALIBRO_CORE_OUTLINER_H
 
+#include "cache/BuildCache.h"
 #include "codegen/CompiledMethod.h"
 #include "codegen/SideInfoValidator.h"
 #include "support/Error.h"
@@ -90,6 +91,15 @@ struct OutlinerOptions {
   /// default is per-method graceful degradation — an invalid method still
   /// links verbatim, it just never participates in outlining.
   bool Strict = false;
+  /// Incremental detection-result reuse. When set, each partition group is
+  /// keyed by the content digests of its member methods (recomputed here
+  /// from the methods actually being linked — never trusted from an earlier
+  /// stage); a group whose key has a stored selection replays it instead of
+  /// building a suffix structure. Selection order, OutlinedFunc id
+  /// assignment, and rewriting are unchanged, so the result is
+  /// byte-identical to a cold run — a replay that fails any validation
+  /// check silently falls back to detection. Null disables reuse.
+  cache::BuildCache *Cache = nullptr;
 };
 
 /// What LTBO.2 did, for the build-time and ablation experiments.
@@ -118,6 +128,17 @@ struct OutlineStats {
   std::size_t PreprocessThreads = 1;
   std::size_t DetectThreads = 1;
   std::size_t RewriteThreads = 1;
+  /// Non-empty partition groups whose selection was replayed from the
+  /// cache (no suffix structure built). Decided purely by pre-existing
+  /// cache state — all group blobs are prefetched before Phase B — so the
+  /// split is deterministic for any Threads.
+  std::size_t GroupsReused = 0;
+  /// Non-empty partition groups that ran detection (cold or fallback).
+  std::size_t GroupsDetected = 0;
+  /// Largest single-group detect-phase working set in bytes: suffix
+  /// structure plus the assembled sequence/provenance arrays, sampled at
+  /// its peak (before scratch release). Deterministic for any Threads.
+  std::size_t DetectPeakBytes = 0;
   /// Candidate methods whose side info failed validation and were excluded
   /// from outlining (graceful degradation). Deterministic for any Threads.
   std::size_t MethodsRejected = 0;

@@ -52,6 +52,11 @@ void putHeaderSection(ByteWriter &W, const OatFile &O) {
   W.str(O.AppName);
 }
 
+} // namespace
+
+namespace calibro {
+namespace oat {
+
 /// StackMaps are stored delta-compressed over the sorted native PCs, the
 /// way ART packs its CodeInfo tables.
 void putStackMap(ByteWriter &W, const StackMap &Map) {
@@ -89,6 +94,11 @@ void putSideInfo(ByteWriter &W, const MethodSideInfo &S) {
   W.u8(static_cast<uint8_t>((S.HasIndirectJump ? 1 : 0) |
                             (S.IsNative ? 2 : 0)));
 }
+
+} // namespace oat
+} // namespace calibro
+
+namespace {
 
 void putMethodsSection(ByteWriter &W, const OatFile &O) {
   W.uleb(O.Methods.size());
@@ -146,6 +156,11 @@ Error parseHeaderSection(std::span<const uint8_t> Bytes, OatFile &O) {
   return Error::success();
 }
 
+} // namespace
+
+namespace calibro {
+namespace oat {
+
 Error parseStackMap(ByteReader &R, StackMap &Map) {
   READ_OR_RETURN(Count, R.uleb());
   uint32_t Pc = 0;
@@ -192,6 +207,11 @@ Error parseSideInfo(ByteReader &R, MethodSideInfo &S) {
   S.IsNative = Flags & 2;
   return Error::success();
 }
+
+} // namespace oat
+} // namespace calibro
+
+namespace {
 
 Error parseMethodsSection(std::span<const uint8_t> Bytes, OatFile &O) {
   ByteReader R(Bytes);

@@ -28,6 +28,7 @@
 #define CALIBRO_OAT_SERIALIZE_H
 
 #include "oat/OatFile.h"
+#include "support/BinaryStream.h"
 
 #include <cstdint>
 #include <span>
@@ -38,6 +39,15 @@ namespace oat {
 
 /// Current format version, stored in .oat.header.
 inline constexpr uint32_t OatFormatVersion = 1;
+
+/// Shared payload encodings for per-method metadata (varint
+/// delta-compressed, the way ART packs its CodeInfo tables). Exported so
+/// the incremental build cache stores compiled-method blobs in the exact
+/// on-disk encoding the OAT writer uses — one codec, one set of bugs.
+void putStackMap(ByteWriter &W, const codegen::StackMap &Map);
+void putSideInfo(ByteWriter &W, const codegen::MethodSideInfo &S);
+Error parseStackMap(ByteReader &R, codegen::StackMap &Map);
+Error parseSideInfo(ByteReader &R, codegen::MethodSideInfo &S);
 
 /// Serializes \p O into an ELF64 image.
 std::vector<uint8_t> serializeOat(const OatFile &O);

@@ -65,7 +65,8 @@ std::vector<uint32_t> compactRanks(const std::vector<Symbol> &Txt,
 
 } // namespace
 
-SuffixArray::SuffixArray(std::vector<Symbol> Text) : Txt(std::move(Text)) {
+SuffixArray::SuffixArray(std::vector<Symbol> Text)
+    : Txt(std::move(Text)), TextLen(Txt.size()) {
   const uint32_t n = static_cast<uint32_t>(Txt.size());
   const uint32_t N = n + 1; // Plus the virtual sentinel position n.
 
@@ -74,6 +75,10 @@ SuffixArray::SuffixArray(std::vector<Symbol> Text) : Txt(std::move(Text)) {
   // instead of 64-bit sort keys.
   uint32_t Alphabet = 0;
   std::vector<uint32_t> Rank = compactRanks(Txt, Alphabet);
+  // Equal initial ranks <=> equal symbols, so Kasai below can compare these
+  // dense uint32 ranks instead of the raw 64-bit symbols — half the working
+  // set on the LCP scan. Copied before prefix doubling coarsens Rank.
+  std::vector<uint32_t> Rank0(Rank.begin(), Rank.begin() + n);
 
   Sa.resize(N);
   {
@@ -133,10 +138,13 @@ SuffixArray::SuffixArray(std::vector<Symbol> Text) : Txt(std::move(Text)) {
     }
   }
 
-  // Kasai's LCP: Lcp[I] = lcp(SA[I-1], SA[I]); Lcp[0] = 0. Comparing raw
-  // symbols is exact: both positions are < n (the sentinel suffix never has
-  // a positive LCP with any neighbour — its rank is unique).
-  Lcp.assign(N, 0);
+  // Kasai's LCP: Lcp[I] = lcp(SA[I-1], SA[I]); Lcp[0] = 0. Comparing
+  // initial dense ranks is exact: equal ranks iff equal symbols, and both
+  // positions are < n (the sentinel suffix never has a positive LCP with
+  // any neighbour — its rank is unique). The array is construction scratch
+  // only: intervals are enumerated right below and it is freed with the
+  // constructor frame.
+  std::vector<uint32_t> Lcp(N, 0);
   {
     std::vector<uint32_t> Inv(N);
     for (uint32_t I = 0; I < N; ++I)
@@ -148,7 +156,7 @@ SuffixArray::SuffixArray(std::vector<Symbol> Text) : Txt(std::move(Text)) {
         continue;
       }
       uint32_t Prev = Sa[Inv[S] - 1];
-      while (S + H < n && Prev + H < n && Txt[S + H] == Txt[Prev + H])
+      while (S + H < n && Prev + H < n && Rank0[S + H] == Rank0[Prev + H])
         ++H;
       Lcp[Inv[S]] = H;
       if (H)
@@ -205,8 +213,23 @@ void SuffixArray::forEachRepeat(
 }
 
 std::vector<uint32_t> SuffixArray::positionsOf(int32_t Interval) const {
-  const auto &IV = Intervals[static_cast<std::size_t>(Interval)];
-  std::vector<uint32_t> Positions(Sa.begin() + IV.Lo, Sa.begin() + IV.Hi + 1);
-  std::sort(Positions.begin(), Positions.end());
+  std::vector<uint32_t> Positions;
+  positionsOf(Interval, Positions);
   return Positions;
+}
+
+void SuffixArray::positionsOf(int32_t Interval,
+                              std::vector<uint32_t> &Out) const {
+  const auto &IV = Intervals[static_cast<std::size_t>(Interval)];
+  Out.assign(Sa.begin() + IV.Lo, Sa.begin() + IV.Hi + 1);
+  std::sort(Out.begin(), Out.end());
+}
+
+std::size_t SuffixArray::workingSetBytes() const {
+  return Txt.capacity() * sizeof(Symbol) + Sa.capacity() * sizeof(uint32_t) +
+         Intervals.capacity() * sizeof(Interval);
+}
+
+void SuffixArray::releaseWorkingSet() {
+  std::vector<Symbol>().swap(Txt);
 }

@@ -45,10 +45,11 @@ public:
   /// is virtual, nothing is reserved.
   explicit SuffixArray(std::vector<Symbol> Text);
 
-  /// Length of the original sequence.
-  std::size_t textSize() const { return Txt.size(); }
+  /// Length of the original sequence. Valid even after
+  /// releaseWorkingSet().
+  std::size_t textSize() const { return TextLen; }
 
-  /// The stored sequence.
+  /// The stored sequence. Invalid after releaseWorkingSet().
   std::span<const Symbol> text() const {
     return std::span<const Symbol>(Txt.data(), Txt.size());
   }
@@ -70,6 +71,21 @@ public:
   /// Start positions of the repeat named by \p Interval, ascending.
   std::vector<uint32_t> positionsOf(int32_t Interval) const;
 
+  /// Buffer-reusing variant: fills \p Out (cleared first) with the same
+  /// ascending positions. Hot-path friendly — no allocation once \p Out has
+  /// grown to the largest occurrence count.
+  void positionsOf(int32_t Interval, std::vector<uint32_t> &Out) const;
+
+  /// Bytes held by the detection-relevant arrays right now (text, suffix
+  /// array, interval table; the LCP array is construction-local and already
+  /// gone). Shrinks after releaseWorkingSet().
+  std::size_t workingSetBytes() const;
+
+  /// Frees the stored text. forEachRepeat/positionsOf/numNodes/textSize
+  /// stay valid (they read only Sa and Intervals); text() does not. Call
+  /// once repeat enumeration no longer needs the raw symbols.
+  void releaseWorkingSet();
+
 private:
   struct Interval {
     uint32_t Lo;        ///< First suffix-array row (inclusive).
@@ -79,8 +95,8 @@ private:
   };
 
   std::vector<Symbol> Txt;
+  std::size_t TextLen = 0;
   std::vector<uint32_t> Sa;
-  std::vector<uint32_t> Lcp;
   std::vector<Interval> Intervals;
 };
 

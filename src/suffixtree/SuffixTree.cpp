@@ -19,7 +19,8 @@ constexpr Symbol Sentinel = ~uint64_t(0);
 
 } // namespace
 
-SuffixTree::SuffixTree(std::vector<Symbol> Text) : Txt(std::move(Text)) {
+SuffixTree::SuffixTree(std::vector<Symbol> Text)
+    : Txt(std::move(Text)), TextLen(Txt.size()) {
   assert(std::find(Txt.begin(), Txt.end(), Sentinel) == Txt.end() &&
          "input sequence may not contain the reserved sentinel symbol");
   Txt.push_back(Sentinel);
@@ -215,8 +216,32 @@ void SuffixTree::forEachRepeat(
 }
 
 std::vector<uint32_t> SuffixTree::positionsOf(int32_t Node) const {
-  std::vector<uint32_t> Positions(LeafSuffixes.begin() + LeafLo[Node],
-                                  LeafSuffixes.begin() + LeafHi[Node]);
-  std::sort(Positions.begin(), Positions.end());
+  std::vector<uint32_t> Positions;
+  positionsOf(Node, Positions);
   return Positions;
+}
+
+void SuffixTree::positionsOf(int32_t Node, std::vector<uint32_t> &Out) const {
+  Out.assign(LeafSuffixes.begin() + LeafLo[Node],
+             LeafSuffixes.begin() + LeafHi[Node]);
+  std::sort(Out.begin(), Out.end());
+}
+
+std::size_t SuffixTree::workingSetBytes() const {
+  // The unordered_map accounting is an estimate: one heap node per entry
+  // (pair + next pointer) plus the bucket array.
+  std::size_t TransBytes =
+      Trans.size() * (sizeof(std::pair<TransKey, int32_t>) + sizeof(void *)) +
+      Trans.bucket_count() * sizeof(void *);
+  return Txt.capacity() * sizeof(Symbol) + Nodes.capacity() * sizeof(Node) +
+         TransBytes +
+         (Depth.capacity() + ParentDepth.capacity() + LeafCount.capacity() +
+          LeafLo.capacity() + LeafHi.capacity() + DfsOrder.capacity()) *
+             sizeof(int32_t) +
+         LeafSuffixes.capacity() * sizeof(uint32_t);
+}
+
+void SuffixTree::releaseWorkingSet() {
+  std::vector<Symbol>().swap(Txt);
+  std::unordered_map<TransKey, int32_t, TransKeyHash>().swap(Trans);
 }

@@ -54,9 +54,11 @@ public:
   explicit SuffixTree(std::vector<Symbol> Text);
 
   /// Length of the original sequence (without the internal sentinel).
-  std::size_t textSize() const { return Txt.size() - 1; }
+  /// Valid even after releaseWorkingSet().
+  std::size_t textSize() const { return TextLen; }
 
-  /// The stored sequence, without the internal sentinel.
+  /// The stored sequence, without the internal sentinel. Invalid after
+  /// releaseWorkingSet().
   std::span<const Symbol> text() const {
     return std::span<const Symbol>(Txt.data(), Txt.size() - 1);
   }
@@ -85,6 +87,20 @@ public:
   /// Returns the start positions (suffix indices) of the repeated sequence
   /// represented by \p Node, in increasing order. O(count · log count).
   std::vector<uint32_t> positionsOf(int32_t Node) const;
+
+  /// Buffer-reusing variant: fills \p Out (cleared first) with the same
+  /// ascending positions, allocating nothing once \p Out has grown.
+  void positionsOf(int32_t Node, std::vector<uint32_t> &Out) const;
+
+  /// Bytes held right now by the text, node table, transition map, and the
+  /// finalize()-derived arrays. Shrinks after releaseWorkingSet().
+  std::size_t workingSetBytes() const;
+
+  /// Frees the stored text and the transition hash map — the two largest
+  /// construction structures, neither needed for repeat enumeration.
+  /// forEachRepeat/positionsOf/numNodes/textSize/depthOf stay valid; text()
+  /// does not.
+  void releaseWorkingSet();
 
   /// Path depth (repeated-sequence length before clamping) of \p Node.
   uint32_t depthOf(int32_t Node) const {
@@ -121,6 +137,7 @@ private:
   void finalize();
 
   std::vector<Symbol> Txt;
+  std::size_t TextLen = 0;
   std::vector<Node> Nodes;
   std::unordered_map<TransKey, int32_t, TransKeyHash> Trans;
 

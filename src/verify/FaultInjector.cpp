@@ -13,6 +13,10 @@
 #include "support/Random.h"
 #include "verify/OatVerifier.h"
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <span>
 #include <utility>
 
@@ -34,6 +38,10 @@ const char *verify::mutationKindName(MutationKind K) {
     return "truncate-section";
   case MutationKind::DuplicateOutlinedId:
     return "duplicate-outlined-id";
+  case MutationKind::CorruptCacheBlob:
+    return "corrupt-cache-blob";
+  case MutationKind::TruncateCacheBlob:
+    return "truncate-cache-blob";
   }
   return "unknown";
 }
@@ -152,6 +160,21 @@ bool swapOneRange(MethodSideInfo &S, Rng &R) {
   return true;
 }
 
+/// Overwrites \p Path with \p Bytes (plain truncating write; the cache's
+/// own atomic-rename discipline does not matter for the injector, which is
+/// single-threaded per run).
+Error writeBlobFile(const std::string &Path,
+                    const std::vector<uint8_t> &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return makeError("fault injector: cannot write " + Path);
+  Out.write(reinterpret_cast<const char *>(Bytes.data()),
+            static_cast<std::streamsize>(Bytes.size()));
+  if (!Out)
+    return makeError("fault injector: short write to " + Path);
+  return Error::success();
+}
+
 /// Shifts one seeded PC-rel record's target. Returns false when the method
 /// has no PC-rel record.
 bool staleOneTarget(MethodSideInfo &S, Rng &R) {
@@ -212,7 +235,86 @@ Expected<FaultInjector> FaultInjector::create(const workload::AppSpec &Spec,
     return Ltbo.takeError();
   Inj.CleanFuncs = std::move(Ltbo->Funcs);
 
+  // Cache-mutation kinds: populate the store with one cold cache-enabled
+  // build (which must already be byte-identical to the cache-free baseline)
+  // and snapshot every blob so each run starts from a pristine store.
+  if (!Opts.CacheDir.empty()) {
+    core::CalibroOptions B = linkOptions(Opts, 0);
+    B.CacheDir = Opts.CacheDir;
+    auto Cold = core::buildApp(App, B);
+    if (!Cold)
+      return makeError("fault injector: cold cache build failed: " +
+                       Cold.message());
+    if (oat::serializeOat(Cold->Oat) != Inj.CleanImageBytes)
+      return makeError("fault injector: cache-enabled cold build diverges "
+                       "from the cache-free baseline");
+    namespace fs = std::filesystem;
+    std::vector<std::string> Paths;
+    for (const char *Sub : {"m", "g"}) {
+      std::error_code Ec;
+      for (const auto &E :
+           fs::directory_iterator(fs::path(Opts.CacheDir) / Sub, Ec))
+        if (E.is_regular_file())
+          Paths.push_back(E.path().string());
+    }
+    std::sort(Paths.begin(), Paths.end());
+    for (const auto &P : Paths) {
+      std::ifstream In(P, std::ios::binary);
+      std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(In)),
+                                 std::istreambuf_iterator<char>());
+      Inj.PristineCache.emplace_back(P, std::move(Bytes));
+    }
+    if (Inj.PristineCache.empty())
+      return makeError("fault injector: cache store empty after cold build");
+  }
+
+  Inj.App = std::move(App);
   return Inj;
+}
+
+Expected<FaultReport> FaultInjector::runCacheMutation(MutationKind Kind,
+                                                      Rng &R,
+                                                      uint32_t ThreadsOverride) {
+  if (PristineCache.empty())
+    return makeError("fault injector: cache mutations need "
+                     "FaultInjectorOptions::CacheDir");
+
+  // Restore the pristine store, then damage exactly one seeded blob. The
+  // warm rebuild will overwrite the damaged entry (rejected load -> miss ->
+  // recompute -> store), so restoring up front keeps runs independent.
+  for (const auto &[Path, Bytes] : PristineCache)
+    if (auto E = writeBlobFile(Path, Bytes))
+      return E;
+  const auto &[Path, Bytes] =
+      PristineCache[static_cast<std::size_t>(R.nextBelow(PristineCache.size()))];
+  std::vector<uint8_t> Mut = Bytes;
+  if (Kind == MutationKind::CorruptCacheBlob)
+    Mut[static_cast<std::size_t>(R.nextBelow(Mut.size()))] ^=
+        uint8_t(1) << R.nextBelow(8);
+  else
+    Mut.resize(static_cast<std::size_t>(R.nextBelow(Mut.size())));
+  if (auto E = writeBlobFile(Path, Mut))
+    return E;
+
+  // A damaged entry must behave exactly like a miss: the warm build must
+  // succeed and its image must be byte-identical to the clean baseline.
+  core::CalibroOptions B = linkOptions(Opts, ThreadsOverride);
+  B.CacheDir = Opts.CacheDir;
+  auto Warm = core::buildApp(App, B);
+  if (!Warm)
+    return makeError(std::string("fault injector: damaged cache entry "
+                                 "failed the build instead of degrading to "
+                                 "a miss (") +
+                     mutationKindName(Kind) + "): " + Warm.message());
+  if (oat::serializeOat(Warm->Oat) != CleanImageBytes)
+    return makeError(std::string("fault injector: warm build over a damaged "
+                                 "cache diverges from baseline (") +
+                     mutationKindName(Kind) + ")");
+
+  FaultReport Rep;
+  Rep.Kind = Kind;
+  Rep.Outcome = FaultOutcome::Harmless;
+  return Rep;
 }
 
 Expected<FaultReport>
@@ -275,6 +377,10 @@ Expected<FaultReport> FaultInjector::run(uint64_t Seed, MutationKind Kind,
         static_cast<uint64_t>(Kind) * 0x2545f4914f6cdd1dULL + 1);
 
   switch (Kind) {
+  case MutationKind::CorruptCacheBlob:
+  case MutationKind::TruncateCacheBlob:
+    return runCacheMutation(Kind, R, ThreadsOverride);
+
   case MutationKind::TruncateSection: {
     // The serialized container ends with the section header table, so any
     // proper prefix must fail to parse — acceptance would mean the parser

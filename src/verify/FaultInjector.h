@@ -29,11 +29,13 @@
 
 #include "core/Calibro.h"
 #include "support/Error.h"
+#include "support/Random.h"
 #include "verify/Differential.h"
 #include "workload/Workload.h"
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace calibro {
@@ -47,10 +49,12 @@ enum class MutationKind : uint8_t {
   StaleBranchTarget, ///< Shift one recorded PC-rel target off its insn.
   TruncateSection,   ///< Cut the serialized image short at a seeded point.
   DuplicateOutlinedId, ///< Feed the linker two outlined funcs with one id.
+  CorruptCacheBlob,  ///< Flip one bit of one on-disk build-cache blob.
+  TruncateCacheBlob, ///< Cut one on-disk build-cache blob short.
 };
 
 /// Number of MutationKind values.
-inline constexpr std::size_t NumMutationKinds = 6;
+inline constexpr std::size_t NumMutationKinds = 8;
 
 /// Returns a stable kebab-case name for \p K.
 const char *mutationKindName(MutationKind K);
@@ -88,6 +92,14 @@ struct FaultInjectorOptions {
   uint32_t LtboPartitions = 1;
   uint32_t LtboThreads = 1; ///< Worker threads for the mutated LTBO runs.
   bool Strict = false;      ///< Run LTBO in fail-fast (--strict) mode.
+  /// Build-cache directory for the cache-mutation kinds. When set, create()
+  /// runs one cache-enabled cold build (asserting byte-identity with the
+  /// cache-free baseline) and snapshots every blob; each cache-mutation run
+  /// restores the pristine store, corrupts one seeded blob, and warm-rebuilds.
+  /// A damaged entry must degrade to a cache miss — the warm image must stay
+  /// byte-identical to baseline, so these kinds always end Harmless; a build
+  /// failure or divergence is a harness Error. Empty disables the kinds.
+  std::string CacheDir;
 };
 
 /// Compile-once, mutate-many fault-injection harness.
@@ -122,7 +134,12 @@ private:
                                         MutationKind Kind,
                                         uint32_t ThreadsOverride);
 
+  /// Rebuilds from the mutated cache store and checks byte-identity.
+  Expected<FaultReport> runCacheMutation(MutationKind Kind, Rng &R,
+                                         uint32_t ThreadsOverride);
+
   FaultInjectorOptions Opts;
+  dex::App App;                        ///< Source app, for warm rebuilds.
   core::CompiledApp Compiled;          ///< Pristine compile-stage output.
   std::vector<std::size_t> CandidateRows; ///< Mutable-method indices.
   std::vector<workload::Invocation> Script;
@@ -130,6 +147,9 @@ private:
   std::vector<uint8_t> CleanImageBytes; ///< Serialized clean OAT image.
   std::vector<codegen::OutlinedFunc> CleanFuncs; ///< Clean LTBO output.
   std::vector<codegen::CompiledMethod> CleanRewritten; ///< Post-LTBO methods.
+  /// Pristine cache store: (blob path, bytes) in sorted-path order, captured
+  /// after the cold cache-enabled build. Empty when CacheDir is unset.
+  std::vector<std::pair<std::string, std::vector<uint8_t>>> PristineCache;
 };
 
 } // namespace verify

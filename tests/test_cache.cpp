@@ -1,0 +1,369 @@
+//===- tests/test_cache.cpp - Incremental build cache tests -----------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The incremental-build contract (ISSUE 5): a warm rebuild from an
+/// unchanged input is byte-identical to a cold build while skipping
+/// codegen and LTBO detection for every unchanged method/group; a
+/// single-method edit invalidates exactly that method and its partition
+/// group; hit/miss/reuse counters are deterministic for any thread count;
+/// and every flavor of store damage (corrupt blob, truncated blob, stale
+/// format version) degrades to a cache miss — never a crash, never a
+/// build failure, never a divergent image.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cache/BuildCache.h"
+#include "cache/Digest.h"
+#include "core/Calibro.h"
+#include "oat/Serialize.h"
+#include "workload/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace calibro;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Self-cleaning cache directory under the system temp dir.
+struct TempCacheDir {
+  fs::path Path;
+  explicit TempCacheDir(const std::string &Tag)
+      : Path(fs::temp_directory_path() /
+             ("calibro-test-cache-" + Tag + "-" + std::to_string(::getpid()))) {
+    fs::remove_all(Path);
+  }
+  ~TempCacheDir() { fs::remove_all(Path); }
+  std::string str() const { return Path.string(); }
+};
+
+workload::AppSpec testSpec() {
+  workload::AppSpec Spec;
+  Spec.Name = "cacheapp";
+  Spec.Seed = 4421;
+  Spec.NumWorkers = 40;
+  Spec.NumUtilities = 20;
+  return Spec;
+}
+
+core::CalibroOptions cacheOpts(const std::string &Dir) {
+  core::CalibroOptions Opts;
+  Opts.EnableCto = true;
+  Opts.EnableLtbo = true;
+  Opts.LtboPartitions = 4;
+  Opts.LtboThreads = 2;
+  Opts.CompileThreads = 2;
+  Opts.CacheDir = Dir;
+  return Opts;
+}
+
+/// Bumps the first ConstInt immediate of the first outlining-candidate
+/// method (non-native, no switch — so it stays in its LTBO group), and
+/// returns that method's global index.
+std::optional<uint32_t> churnOneMethod(dex::App &App) {
+  for (auto &F : App.Files)
+    for (auto &M : F.Methods) {
+      if (M.IsNative)
+        continue;
+      bool HasSwitch = false;
+      for (const auto &I : M.Code)
+        HasSwitch |= I.Opcode == dex::Op::Switch;
+      if (HasSwitch)
+        continue;
+      for (auto &I : M.Code)
+        if (I.Opcode == dex::Op::ConstInt) {
+          I.Imm += 1;
+          return M.Idx;
+        }
+    }
+  return std::nullopt;
+}
+
+/// All regular files under \p Dir, sorted for determinism.
+std::vector<fs::path> listBlobs(const fs::path &Dir) {
+  std::vector<fs::path> Out;
+  for (const auto &E : fs::directory_iterator(Dir))
+    if (E.is_regular_file() && E.path().extension() == ".bin")
+      Out.push_back(E.path());
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+void flipByteInFile(const fs::path &P, std::size_t Offset) {
+  std::fstream F(P, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(bool(F)) << P;
+  F.seekg(static_cast<std::streamoff>(Offset));
+  char C = 0;
+  F.get(C);
+  F.seekp(static_cast<std::streamoff>(Offset));
+  F.put(static_cast<char>(C ^ 0x40));
+}
+
+} // namespace
+
+TEST(CacheDigest, SourceKeyIsDeterministicAndInputSensitive) {
+  dex::App App = workload::makeApp(testSpec());
+  const dex::Method *M = App.findMethod(0);
+  ASSERT_NE(M, nullptr);
+
+  EXPECT_EQ(cache::methodSourceKey(*M, true), cache::methodSourceKey(*M, true));
+  // The CTO flag changes what codegen produces, so it must key the entry.
+  EXPECT_FALSE(cache::methodSourceKey(*M, true) ==
+               cache::methodSourceKey(*M, false));
+
+  dex::Method Edited = *M;
+  bool Bumped = false;
+  for (auto &I : Edited.Code)
+    if (I.Opcode == dex::Op::ConstInt) {
+      I.Imm += 1;
+      Bumped = true;
+      break;
+    }
+  if (Bumped) {
+    EXPECT_FALSE(cache::methodSourceKey(Edited, true) ==
+                 cache::methodSourceKey(*M, true));
+  }
+}
+
+TEST(CacheStore, MethodBlobRoundtripAndAudit) {
+  TempCacheDir Dir("roundtrip");
+  dex::App App = workload::makeApp(testSpec());
+  auto Opts = cacheOpts(Dir.str());
+
+  auto Compiled = core::compileApp(App, Opts);
+  ASSERT_TRUE(bool(Compiled)) << Compiled.message();
+  EXPECT_EQ(Compiled->Stats.CacheMisses, App.numMethods());
+  EXPECT_EQ(Compiled->Stats.CacheHits, 0u);
+  EXPECT_EQ(Compiled->MethodDigests.size(), Compiled->Methods.size());
+
+  // A second handle on the same store must return entries that compare
+  // equal, field for field, to what the compiler just produced.
+  auto Cache = cache::BuildCache::open(Dir.str());
+  ASSERT_TRUE(bool(Cache)) << Cache.message();
+  std::size_t Row = 0;
+  App.forEachMethod([&](const dex::Method &M) {
+    auto E = (*Cache)->loadMethod(cache::methodSourceKey(M, Opts.EnableCto));
+    ASSERT_TRUE(E.has_value()) << M.Name;
+    EXPECT_TRUE(E->Method == Compiled->Methods[Row]) << M.Name;
+    ++Row;
+  });
+
+  cache::CacheAudit A = (*Cache)->audit();
+  EXPECT_EQ(A.MethodEntries, App.numMethods());
+  EXPECT_EQ(A.MethodCorrupt, 0u);
+  EXPECT_EQ(A.GroupCorrupt, 0u);
+  EXPECT_GT(A.TotalBytes, 0u);
+}
+
+TEST(CacheWarm, WarmRebuildIsByteIdenticalAndSkipsWork) {
+  TempCacheDir Dir("warm");
+  dex::App App = workload::makeApp(testSpec());
+  auto Opts = cacheOpts(Dir.str());
+
+  // Reference: the same configuration with no cache at all.
+  auto NoCacheOpts = Opts;
+  NoCacheOpts.CacheDir.clear();
+  auto Ref = core::buildApp(App, NoCacheOpts);
+  ASSERT_TRUE(bool(Ref)) << Ref.message();
+  const std::vector<uint8_t> RefBytes = oat::serializeOat(Ref->Oat);
+
+  // Cold: populates the store, and caching itself must not change the image.
+  auto ColdC = core::compileApp(App, Opts);
+  ASSERT_TRUE(bool(ColdC)) << ColdC.message();
+  const std::vector<cache::Digest> ColdDigests = ColdC->MethodDigests;
+  auto Cold = core::linkApp(std::move(*ColdC), Opts);
+  ASSERT_TRUE(bool(Cold)) << Cold.message();
+  EXPECT_EQ(oat::serializeOat(Cold->Oat), RefBytes);
+  EXPECT_EQ(Cold->Stats.Ltbo.GroupsReused, 0u);
+  const std::size_t NumGroups = Cold->Stats.Ltbo.GroupsDetected;
+  EXPECT_GT(NumGroups, 0u);
+  EXPECT_GT(Cold->Stats.Ltbo.SequencesOutlined, 0u);
+
+  // Warm: every method probe hits, every group replays, output identical.
+  auto WarmC = core::compileApp(App, Opts);
+  ASSERT_TRUE(bool(WarmC)) << WarmC.message();
+  EXPECT_EQ(WarmC->Stats.CacheHits, App.numMethods());
+  EXPECT_EQ(WarmC->Stats.CacheMisses, 0u);
+  EXPECT_EQ(WarmC->MethodDigests, ColdDigests);
+  auto Warm = core::linkApp(std::move(*WarmC), Opts);
+  ASSERT_TRUE(bool(Warm)) << Warm.message();
+  EXPECT_EQ(Warm->Stats.Ltbo.GroupsReused, NumGroups);
+  EXPECT_EQ(Warm->Stats.Ltbo.GroupsDetected, 0u);
+  EXPECT_EQ(Warm->Stats.GroupsReused, NumGroups);
+  EXPECT_EQ(oat::serializeOat(Warm->Oat), RefBytes);
+  // Replayed groups build no suffix structure.
+  EXPECT_EQ(Warm->Stats.Ltbo.TreeNodes, 0u);
+  EXPECT_EQ(Warm->Stats.Ltbo.CandidatesEvaluated, 0u);
+  // But the invariant outlining counters must match the cold run exactly.
+  EXPECT_EQ(Warm->Stats.Ltbo.SequencesOutlined,
+            Cold->Stats.Ltbo.SequencesOutlined);
+  EXPECT_EQ(Warm->Stats.Ltbo.OccurrencesReplaced,
+            Cold->Stats.Ltbo.OccurrencesReplaced);
+  EXPECT_EQ(Warm->Stats.Ltbo.InsnsRemoved, Cold->Stats.Ltbo.InsnsRemoved);
+  EXPECT_EQ(Warm->Stats.Ltbo.SymbolCount, Cold->Stats.Ltbo.SymbolCount);
+}
+
+TEST(CacheWarm, SingleMethodEditInvalidatesExactlyItsEntryAndGroup) {
+  TempCacheDir Dir("edit");
+  dex::App App = workload::makeApp(testSpec());
+  auto Opts = cacheOpts(Dir.str());
+
+  auto ColdC = core::compileApp(App, Opts);
+  ASSERT_TRUE(bool(ColdC)) << ColdC.message();
+  const std::vector<cache::Digest> ColdDigests = ColdC->MethodDigests;
+  auto Cold = core::linkApp(std::move(*ColdC), Opts);
+  ASSERT_TRUE(bool(Cold)) << Cold.message();
+  const std::size_t NumGroups = Cold->Stats.Ltbo.GroupsDetected;
+  ASSERT_GT(NumGroups, 1u);
+
+  dex::App Edited = App;
+  auto EditedIdx = churnOneMethod(Edited);
+  ASSERT_TRUE(EditedIdx.has_value());
+
+  // The edited app built with no cache is the byte-identity reference.
+  auto NoCacheOpts = Opts;
+  NoCacheOpts.CacheDir.clear();
+  auto Ref = core::buildApp(Edited, NoCacheOpts);
+  ASSERT_TRUE(bool(Ref)) << Ref.message();
+
+  auto WarmC = core::compileApp(Edited, Opts);
+  ASSERT_TRUE(bool(WarmC)) << WarmC.message();
+  EXPECT_EQ(WarmC->Stats.CacheMisses, 1u);
+  EXPECT_EQ(WarmC->Stats.CacheHits, App.numMethods() - 1);
+
+  // The recompiled method's content really changed; everything else is
+  // digest-identical to the cold build.
+  ASSERT_EQ(WarmC->MethodDigests.size(), ColdDigests.size());
+  std::size_t Changed = 0;
+  for (std::size_t I = 0; I < ColdDigests.size(); ++I) {
+    if (WarmC->Methods[I].MethodIdx == *EditedIdx) {
+      EXPECT_FALSE(WarmC->MethodDigests[I] == ColdDigests[I]);
+      ++Changed;
+    } else {
+      EXPECT_TRUE(WarmC->MethodDigests[I] == ColdDigests[I]);
+    }
+  }
+  EXPECT_EQ(Changed, 1u);
+
+  // Exactly the edited method's partition group re-runs detection.
+  auto Warm = core::linkApp(std::move(*WarmC), Opts);
+  ASSERT_TRUE(bool(Warm)) << Warm.message();
+  EXPECT_EQ(Warm->Stats.Ltbo.GroupsDetected, 1u);
+  EXPECT_EQ(Warm->Stats.Ltbo.GroupsReused, NumGroups - 1);
+  EXPECT_EQ(oat::serializeOat(Warm->Oat), oat::serializeOat(Ref->Oat));
+}
+
+TEST(CacheWarm, CountersAreDeterministicForAnyThreadCount) {
+  TempCacheDir Dir("threads");
+  dex::App App = workload::makeApp(testSpec());
+  auto Opts = cacheOpts(Dir.str());
+
+  auto Cold = core::buildApp(App, Opts);
+  ASSERT_TRUE(bool(Cold)) << Cold.message();
+  const std::vector<uint8_t> ColdBytes = oat::serializeOat(Cold->Oat);
+
+  std::optional<core::BuildStats> First;
+  for (uint32_t Threads : {1u, 4u, 8u}) {
+    auto T = Opts;
+    T.CompileThreads = Threads;
+    T.LtboThreads = Threads;
+    auto Warm = core::buildApp(App, T);
+    ASSERT_TRUE(bool(Warm)) << "threads " << Threads << ": " << Warm.message();
+    EXPECT_EQ(oat::serializeOat(Warm->Oat), ColdBytes) << Threads;
+    if (!First) {
+      First = Warm->Stats;
+      continue;
+    }
+    EXPECT_EQ(Warm->Stats.CacheHits, First->CacheHits) << Threads;
+    EXPECT_EQ(Warm->Stats.CacheMisses, First->CacheMisses) << Threads;
+    EXPECT_EQ(Warm->Stats.GroupsReused, First->GroupsReused) << Threads;
+    EXPECT_EQ(Warm->Stats.Ltbo.GroupsDetected, First->Ltbo.GroupsDetected)
+        << Threads;
+  }
+  ASSERT_TRUE(First.has_value());
+  EXPECT_EQ(First->CacheHits, App.numMethods());
+  EXPECT_EQ(First->CacheMisses, 0u);
+}
+
+TEST(CacheDamage, CorruptAndTruncatedBlobsDegradeToMisses) {
+  TempCacheDir Dir("damage");
+  dex::App App = workload::makeApp(testSpec());
+  auto Opts = cacheOpts(Dir.str());
+
+  auto Cold = core::buildApp(App, Opts);
+  ASSERT_TRUE(bool(Cold)) << Cold.message();
+  const std::vector<uint8_t> ColdBytes = oat::serializeOat(Cold->Oat);
+
+  auto MethodBlobs = listBlobs(Dir.Path / "m");
+  auto GroupBlobs = listBlobs(Dir.Path / "g");
+  ASSERT_EQ(MethodBlobs.size(), App.numMethods());
+  ASSERT_GT(GroupBlobs.size(), 0u);
+
+  // Flip one payload byte in one method blob, truncate another to a stub,
+  // and flip a byte in one group blob.
+  flipByteInFile(MethodBlobs[0], fs::file_size(MethodBlobs[0]) / 2);
+  fs::resize_file(MethodBlobs[1], fs::file_size(MethodBlobs[1]) / 2);
+  flipByteInFile(GroupBlobs[0], fs::file_size(GroupBlobs[0]) / 2);
+
+  // The audit sees exactly the damaged entries.
+  auto Cache = cache::BuildCache::open(Dir.str());
+  ASSERT_TRUE(bool(Cache)) << Cache.message();
+  cache::CacheAudit A = (*Cache)->audit();
+  EXPECT_EQ(A.MethodCorrupt, 2u);
+  EXPECT_EQ(A.GroupCorrupt, 1u);
+
+  // The warm build treats all three as misses and still reproduces the
+  // cold image bit for bit.
+  auto Warm = core::buildApp(App, Opts);
+  ASSERT_TRUE(bool(Warm)) << Warm.message();
+  EXPECT_EQ(Warm->Stats.CacheMisses, 2u);
+  EXPECT_EQ(Warm->Stats.CacheHits, App.numMethods() - 2);
+  EXPECT_GE(Warm->Stats.Ltbo.GroupsDetected, 1u);
+  EXPECT_EQ(oat::serializeOat(Warm->Oat), ColdBytes);
+
+  // The rebuild re-stored every damaged entry: the store is clean again.
+  cache::CacheAudit After = (*Cache)->audit();
+  EXPECT_EQ(After.MethodCorrupt, 0u);
+  EXPECT_EQ(After.GroupCorrupt, 0u);
+}
+
+TEST(CacheDamage, FormatVersionMismatchPurgesTheStore) {
+  TempCacheDir Dir("version");
+  dex::App App = workload::makeApp(testSpec());
+  auto Opts = cacheOpts(Dir.str());
+
+  auto Cold = core::buildApp(App, Opts);
+  ASSERT_TRUE(bool(Cold)) << Cold.message();
+  ASSERT_GT(listBlobs(Dir.Path / "m").size(), 0u);
+
+  {
+    std::ofstream V(Dir.Path / "VERSION", std::ios::trunc);
+    V << "calibro-cache 999\n";
+  }
+
+  // Reopening a stale-format store discards every entry and restamps.
+  auto Cache = cache::BuildCache::open(Dir.str());
+  ASSERT_TRUE(bool(Cache)) << Cache.message();
+  cache::CacheAudit A = (*Cache)->audit();
+  EXPECT_EQ(A.MethodEntries, 0u);
+  EXPECT_EQ(A.GroupEntries, 0u);
+
+  auto Rebuild = core::buildApp(App, Opts);
+  ASSERT_TRUE(bool(Rebuild)) << Rebuild.message();
+  EXPECT_EQ(Rebuild->Stats.CacheHits, 0u);
+  EXPECT_EQ(Rebuild->Stats.CacheMisses, App.numMethods());
+  EXPECT_EQ(oat::serializeOat(Rebuild->Oat), oat::serializeOat(Cold->Oat));
+}

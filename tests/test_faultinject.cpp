@@ -21,19 +21,27 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <filesystem>
 #include <map>
 #include <optional>
+
+#include <unistd.h>
 
 using namespace calibro;
 using namespace calibro::verify;
 
 namespace {
 
-constexpr std::array<MutationKind, NumMutationKinds> AllKinds = {
+/// The artifact-mutation kinds, runnable without a cache directory. The
+/// two cache kinds are swept separately (FaultInjectCache below) because
+/// they need an injector created with CacheDir set.
+constexpr std::array<MutationKind, 6> AllKinds = {
     MutationKind::BitFlipSideInfo,    MutationKind::DropSideInfoEntry,
     MutationKind::SwapRangeEndpoints, MutationKind::StaleBranchTarget,
     MutationKind::TruncateSection,    MutationKind::DuplicateOutlinedId,
 };
+static_assert(NumMutationKinds == AllKinds.size() + 2,
+              "new mutation kinds need sweep coverage here");
 
 /// One injector, compiled once, shared by the whole suite: the compile
 /// stage dominates the cost and every run() call starts from the same
@@ -184,6 +192,59 @@ TEST_F(FaultInjectTest, ClassificationIndependentOfThreadCount) {
       }
     }
   }
+}
+
+TEST(FaultInjectCache, CacheCorruptionSweepIsAlwaysHarmless) {
+  namespace fs = std::filesystem;
+  const fs::path CacheDir =
+      fs::temp_directory_path() /
+      ("calibro-faultinject-cache-" + std::to_string(::getpid()));
+  fs::remove_all(CacheDir);
+
+  workload::AppSpec Spec;
+  Spec.Name = "cachefault";
+  Spec.Seed = 3307;
+  Spec.NumWorkers = 30;
+  Spec.NumUtilities = 15;
+
+  FaultInjectorOptions Opts;
+  Opts.ScriptLength = 4;
+  Opts.LtboPartitions = 2;
+  Opts.LtboThreads = 2;
+  Opts.CacheDir = CacheDir.string();
+
+  auto Inj = FaultInjector::create(Spec, Opts);
+  ASSERT_TRUE(bool(Inj)) << Inj.message();
+
+  // A damaged store entry must be indistinguishable from a miss: the warm
+  // rebuild succeeds and is byte-identical to baseline, so the classified
+  // outcome is always Harmless — anything else comes back as an Error.
+  constexpr std::array<MutationKind, 2> CacheKinds = {
+      MutationKind::CorruptCacheBlob, MutationKind::TruncateCacheBlob};
+  for (MutationKind Kind : CacheKinds) {
+    for (uint64_t Seed = 0; Seed < 12; ++Seed) {
+      auto Rep = Inj->run(Seed, Kind);
+      ASSERT_TRUE(bool(Rep))
+          << mutationKindName(Kind) << " seed " << Seed << ": "
+          << Rep.message();
+      EXPECT_EQ(static_cast<int>(Rep->Outcome),
+                static_cast<int>(FaultOutcome::Harmless))
+          << mutationKindName(Kind) << " seed " << Seed;
+      EXPECT_EQ(Rep->MethodsRejected, 0u);
+      EXPECT_TRUE(Rep->RejectStage.empty());
+    }
+  }
+
+  // And the classification cannot depend on the warm build's thread count.
+  for (uint32_t Threads : {1u, 4u, 8u}) {
+    auto Rep = Inj->run(7, MutationKind::CorruptCacheBlob, Threads);
+    ASSERT_TRUE(bool(Rep)) << "threads " << Threads << ": " << Rep.message();
+    EXPECT_EQ(static_cast<int>(Rep->Outcome),
+              static_cast<int>(FaultOutcome::Harmless))
+        << Threads;
+  }
+
+  fs::remove_all(CacheDir);
 }
 
 TEST(FaultInjectStrict, StrictModeRejectsInsteadOfDegrading) {

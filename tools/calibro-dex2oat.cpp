@@ -47,6 +47,9 @@ void usage() {
       "                     writing it (whole-text decode + branch targets)\n"
       "  --strict           fail the build on the first method with invalid\n"
       "                     LTBO side info instead of degrading per method\n"
+      "  --cache-dir <dir>  persistent build cache: unchanged methods skip\n"
+      "                     codegen, unchanged LTBO groups skip detection\n"
+      "  --cache-stats      print cache hit/miss/group-reuse counters\n"
       "  -o <file>          output path (required)\n");
   std::exit(2);
 }
@@ -65,6 +68,7 @@ int main(int argc, char **argv) {
   double Scale = 0.5;
   uint64_t Seed = 0;
   bool Hf = false;
+  bool CacheStats = false;
   core::CalibroOptions Opts;
 
   for (int I = 1; I < argc; ++I) {
@@ -93,6 +97,10 @@ int main(int argc, char **argv) {
       Opts.VerifyOutput = true;
     else if (A == "--strict")
       Opts.StrictSideInfo = true;
+    else if (A == "--cache-dir")
+      Opts.CacheDir = next(I, argc, argv);
+    else if (A == "--cache-stats")
+      CacheStats = true;
     else if (A == "-o")
       Out = next(I, argc, argv);
     else
@@ -165,6 +173,12 @@ int main(int argc, char **argv) {
                B->Oat.Outlined.size(), St.CompileSeconds, St.LtboSeconds,
                St.Ltbo.SequencesOutlined, St.Ltbo.OccurrencesReplaced,
                St.LinkSeconds);
+  if (CacheStats && !Opts.CacheDir.empty())
+    std::fprintf(stderr,
+                 "  cache: %zu method hits, %zu misses, %zu/%zu LTBO groups "
+                 "replayed\n",
+                 St.CacheHits, St.CacheMisses, St.Ltbo.GroupsReused,
+                 St.Ltbo.GroupsReused + St.Ltbo.GroupsDetected);
   if (St.Ltbo.MethodsRejected) {
     std::fprintf(stderr,
                  "  degraded: %zu methods excluded from outlining "

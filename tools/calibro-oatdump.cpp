@@ -11,9 +11,11 @@
 ///   calibro-oatdump --disasm file.oat       # full disassembly
 ///   calibro-oatdump --method W17 file.oat   # methods matching a fragment
 ///   calibro-oatdump --check file.oat        # audit per-method side info
+///   calibro-oatdump --cache-audit <dir>     # audit a build-cache store
 ///
 //===----------------------------------------------------------------------===//
 
+#include "cache/BuildCache.h"
 #include "codegen/SideInfoValidator.h"
 #include "oat/Dump.h"
 #include "oat/Serialize.h"
@@ -63,6 +65,25 @@ int checkSideInfo(const oat::OatFile &O) {
   return Bad;
 }
 
+/// Opens a build-cache directory and walks every blob through the same
+/// checksum + decode + side-info validation a warm build would apply.
+/// Returns nonzero when any entry is corrupt.
+int cacheAudit(const char *Dir) {
+  auto C = cache::BuildCache::open(Dir);
+  if (!C) {
+    std::fprintf(stderr, "%s: %s\n", Dir, C.message().c_str());
+    return 1;
+  }
+  cache::CacheAudit A = (*C)->audit();
+  std::printf("cache audit of %s:\n"
+              "  method entries: %zu (%zu corrupt)\n"
+              "  group entries:  %zu (%zu corrupt)\n"
+              "  total bytes:    %zu\n",
+              Dir, A.MethodEntries, A.MethodCorrupt, A.GroupEntries,
+              A.GroupCorrupt, A.TotalBytes);
+  return (A.MethodCorrupt || A.GroupCorrupt) ? 1 : 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -70,6 +91,7 @@ int main(int argc, char **argv) {
   bool Check = false;
   const char *Filter = nullptr;
   const char *Path = nullptr;
+  const char *CacheDir = nullptr;
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--disasm"))
       Disasm = true;
@@ -77,13 +99,17 @@ int main(int argc, char **argv) {
       Check = true;
     else if (!std::strcmp(argv[I], "--method") && I + 1 < argc)
       Filter = argv[++I];
+    else if (!std::strcmp(argv[I], "--cache-audit") && I + 1 < argc)
+      CacheDir = argv[++I];
     else
       Path = argv[I];
   }
+  if (CacheDir)
+    return cacheAudit(CacheDir);
   if (!Path) {
     std::fprintf(stderr,
                  "usage: calibro-oatdump [--disasm] [--check] "
-                 "[--method <fragment>] <file.oat>\n");
+                 "[--method <fragment>] [--cache-audit <dir>] <file.oat>\n");
     return 2;
   }
 
