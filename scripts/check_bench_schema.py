@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Structural diff for bench JSON artifacts.
+
+Bench *values* are machine- and load-dependent, so CI cannot pin them. The
+*shape* — which fields each table emits, and of what kind — is part of the
+bench's contract with downstream tooling, and a refactor that silently
+drops or renames a field should fail the build. This script reduces a JSON
+document to its recursive shape and diffs two shapes:
+
+  - dict  -> {key: shape(value)} with keys sorted
+  - list  -> the union shape of all element shapes (so rows may vary in
+             count but not in structure)
+  - scalar -> its type name (bool before int: bool is an int in Python)
+
+Usage: check_bench_schema.py GOLDEN.json CANDIDATE.json
+Exits 0 when the shapes match, 1 with a per-path report when they differ.
+"""
+
+import json
+import sys
+
+
+def shape(node):
+    if isinstance(node, dict):
+        return {key: shape(value) for key, value in sorted(node.items())}
+    if isinstance(node, list):
+        merged = None
+        for element in node:
+            merged = merge(merged, shape(element))
+        return [merged if merged is not None else "empty"]
+    if isinstance(node, bool):
+        return "bool"
+    if isinstance(node, (int, float)):
+        return "number"
+    if node is None:
+        return "null"
+    return type(node).__name__
+
+
+def merge(a, b):
+    """Union of two shapes; mismatches collapse to a tagged pair so the
+    diff below reports them at the right path."""
+    if a is None:
+        return b
+    if a == b:
+        return a
+    if isinstance(a, dict) and isinstance(b, dict):
+        return {k: merge(a.get(k), b.get(k)) for k in sorted(set(a) | set(b))}
+    if isinstance(a, list) and isinstance(b, list):
+        return [merge(a[0], b[0])]
+    return ("mismatch", a, b)
+
+
+def diff(golden, candidate, path, out):
+    if isinstance(golden, dict) and isinstance(candidate, dict):
+        for key in sorted(set(golden) | set(candidate)):
+            here = f"{path}.{key}" if path else key
+            if key not in candidate:
+                out.append(f"missing field: {here}")
+            elif key not in golden:
+                out.append(f"new field: {here}")
+            else:
+                diff(golden[key], candidate[key], here, out)
+        return
+    if isinstance(golden, list) and isinstance(candidate, list):
+        diff(golden[0], candidate[0], path + "[]", out)
+        return
+    if golden != candidate:
+        out.append(f"type changed at {path}: {golden!r} -> {candidate!r}")
+
+
+def main(argv):
+    if len(argv) != 3:
+        print("usage: check_bench_schema.py GOLDEN.json CANDIDATE.json",
+              file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        golden = shape(json.load(f))
+    with open(argv[2]) as f:
+        candidate = shape(json.load(f))
+    problems = []
+    diff(golden, candidate, "", problems)
+    if problems:
+        print(f"bench schema drift ({argv[1]} vs {argv[2]}):")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"bench schema OK: {argv[2]} matches {argv[1]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -9,6 +9,7 @@
 #include "codegen/SideInfoValidator.h"
 #include "oat/Serialize.h"
 #include "support/BinaryStream.h"
+#include "support/MappedFile.h"
 
 #include <atomic>
 #include <cstdio>
@@ -35,7 +36,7 @@ std::string versionStamp() {
   return "calibro-cache " + std::to_string(CacheFormatVersion) + "\n";
 }
 
-Digest payloadChecksum(const std::vector<uint8_t> &Buf, std::size_t End) {
+Digest payloadChecksum(std::span<const uint8_t> Buf, std::size_t End) {
   Hasher H;
   // 8 bytes per word keeps checksumming cheap relative to file I/O.
   uint64_t Acc = 0;
@@ -95,8 +96,10 @@ bool writeFileAtomic(const std::string &Path,
 
 /// Seals a blob: verifies magic + version + trailing checksum and returns
 /// the payload span (between the 8-byte header and the checksum trailer).
+/// Span in, span out — the caller hands the mmap'd file image straight in
+/// and decodes straight out of it; no copy anywhere on the load path.
 std::optional<std::span<const uint8_t>>
-openBlob(const std::vector<uint8_t> &Bytes, uint32_t Magic) {
+openBlob(std::span<const uint8_t> Bytes, uint32_t Magic) {
   if (Bytes.size() < 8 + ChecksumBytes)
     return std::nullopt;
   ByteReader R(Bytes);
@@ -319,10 +322,12 @@ BuildCache::open(const std::string &Dir) {
 }
 
 std::optional<CachedMethod> BuildCache::loadMethod(const Digest &Key) const {
-  auto Bytes = readFileBytes(methodPath(Key));
-  if (!Bytes)
+  // Zero-copy load: checksum and decode straight out of the mapping. The
+  // decoded CachedMethod owns its data, so the mapping's scope ends here.
+  auto Map = support::MappedFile::open(methodPath(Key));
+  if (!Map)
     return std::nullopt;
-  auto Payload = openBlob(*Bytes, MethodBlobMagic);
+  auto Payload = openBlob(Map->bytes(), MethodBlobMagic);
   if (!Payload)
     return std::nullopt;
   return decodeMethodBlob(*Payload);
@@ -337,10 +342,10 @@ void BuildCache::storeMethod(const Digest &Key,
 }
 
 std::optional<GroupSelections> BuildCache::loadGroup(const Digest &Key) const {
-  auto Bytes = readFileBytes(groupPath(Key));
-  if (!Bytes)
+  auto Map = support::MappedFile::open(groupPath(Key));
+  if (!Map)
     return std::nullopt;
-  auto Payload = openBlob(*Bytes, GroupBlobMagic);
+  auto Payload = openBlob(Map->bytes(), GroupBlobMagic);
   if (!Payload)
     return std::nullopt;
   return decodeGroupBlob(*Payload);
@@ -359,10 +364,10 @@ CacheAudit BuildCache::audit() const {
       continue;
     ++A.MethodEntries;
     A.TotalBytes += Entry.file_size(Ec);
-    auto Bytes = readFileBytes(Entry.path().string());
+    auto Map = support::MappedFile::open(Entry.path().string());
     bool Ok = false;
-    if (Bytes)
-      if (auto Payload = openBlob(*Bytes, MethodBlobMagic))
+    if (Map)
+      if (auto Payload = openBlob(Map->bytes(), MethodBlobMagic))
         Ok = decodeMethodBlob(*Payload).has_value();
     if (!Ok)
       ++A.MethodCorrupt;
@@ -372,10 +377,10 @@ CacheAudit BuildCache::audit() const {
       continue;
     ++A.GroupEntries;
     A.TotalBytes += Entry.file_size(Ec);
-    auto Bytes = readFileBytes(Entry.path().string());
+    auto Map = support::MappedFile::open(Entry.path().string());
     bool Ok = false;
-    if (Bytes)
-      if (auto Payload = openBlob(*Bytes, GroupBlobMagic))
+    if (Map)
+      if (auto Payload = openBlob(Map->bytes(), GroupBlobMagic))
         Ok = decodeGroupBlob(*Payload).has_value();
     if (!Ok)
       ++A.GroupCorrupt;

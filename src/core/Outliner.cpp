@@ -12,6 +12,7 @@
 #include "core/BenefitModel.h"
 #include "suffixtree/SuffixArray.h"
 #include "suffixtree/SuffixTree.h"
+#include "support/Arena.h"
 #include "support/Compiler.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
@@ -19,6 +20,7 @@
 #include <algorithm>
 #include <cassert>
 #include <memory>
+#include <type_traits>
 
 using namespace calibro;
 using namespace calibro::core;
@@ -242,7 +244,8 @@ void runGroupImpl(const std::vector<CompiledMethod> &Methods,
                   uint32_t GroupIdx, const OutlinerOptions &Opts,
                   std::vector<OutlinedFunc> &FuncsOut,
                   std::vector<RewriteWork> &WorkOut, OutlineStats &Stats,
-                  cache::GroupSelections *StoreOut) {
+                  cache::GroupSelections *StoreOut,
+                  support::Arena *Scratch) {
   Timer BuildTimer;
 
   // Step 2 (paper §3.3.2): map this group's binary code to one symbol
@@ -272,7 +275,16 @@ void runGroupImpl(const std::vector<CompiledMethod> &Methods,
   const std::size_t TextSize = Seq.size();
   Stats.SymbolCount += TextSize;
 
-  DetectorT Tree(std::move(Seq));
+  // The suffix array takes a construction-scratch arena (dead once the
+  // constructor returns); the suffix tree allocates its own structures.
+  auto MakeDetector = [&] {
+    if constexpr (std::is_constructible_v<DetectorT, std::vector<st::Symbol>,
+                                          support::Arena *>)
+      return DetectorT(std::move(Seq), Scratch);
+    else
+      return DetectorT(std::move(Seq));
+  };
+  DetectorT Tree = MakeDetector();
   Stats.TreeNodes += Tree.numNodes();
   Stats.BuildTreeSeconds += BuildTimer.seconds();
 
@@ -294,22 +306,28 @@ void runGroupImpl(const std::vector<CompiledMethod> &Methods,
                          Cands.push_back({R.Node, R.Length, R.Count, 0, Ben});
                      });
   Stats.CandidatesEvaluated += Cands.size();
-  std::vector<uint32_t> PosBuf;
-  for (Cand &C : Cands) {
-    Tree.positionsOf(C.Node, PosBuf);
-    C.First = PosBuf.front();
-  }
+  // One O(count) scan per candidate — no occurrence copy, no sort. The
+  // old positionsOf()-per-candidate pass here was the k=32 select spike:
+  // copying and sorting every candidate's full occurrence list just to
+  // read its minimum made this loop superlinear in the candidate count.
+  for (Cand &C : Cands)
+    C.First = Tree.firstPositionOf(C.Node);
+  const double EnumerateSeconds = SelectTimer.seconds();
 
   // The detect-phase working set peaks here: the full suffix structure
   // plus this group's sequence/provenance arrays. Record it, then drop the
   // structure's scratch — selection below reads occurrence positions and
-  // method words only, never the stored text.
+  // method words only, never the stored text. Neither the sampling nor the
+  // release is selection work, so both stay outside the selection timers
+  // (releasing a multi-megabyte transition map is what made SelectSeconds
+  // spike intermittently at high K).
   Stats.DetectPeakBytes =
       std::max(Stats.DetectPeakBytes,
                Tree.workingSetBytes() + Pos.capacity() * sizeof(PosInfo) +
                    Cands.capacity() * sizeof(Cand));
   Tree.releaseWorkingSet();
 
+  Timer ClaimTimer;
   // The tie-break is content-based ((first occurrence, length) names the
   // sequence uniquely), so every detection backend selects identically.
   std::sort(Cands.begin(), Cands.end(), [](const Cand &A, const Cand &B) {
@@ -323,6 +341,7 @@ void runGroupImpl(const std::vector<CompiledMethod> &Methods,
   std::vector<bool> Claimed(TextSize, false);
   std::vector<std::vector<MethodOcc>> OccsByMethod(Rows.size());
   uint32_t LocalFuncs = 0;
+  std::vector<uint32_t> PosBuf;
   std::vector<uint32_t> Selected;
 
   for (const Cand &C : Cands) {
@@ -395,7 +414,7 @@ void runGroupImpl(const std::vector<CompiledMethod> &Methods,
     Stats.OccurrencesReplaced += Selected.size();
     Stats.InsnsRemoved += static_cast<uint64_t>(SelBen);
   }
-  Stats.SelectSeconds += SelectTimer.seconds();
+  Stats.SelectSeconds += EnumerateSeconds + ClaimTimer.seconds();
 
   // Hand the rewrites to Phase C instead of executing them here: every
   // method's rewrite is independent, so the fan-out parallelizes across ALL
@@ -552,10 +571,13 @@ Expected<OutlineResult> core::runLtbo(std::vector<CompiledMethod> &Methods,
   Result.Stats.CandidateMethods = Candidates.size();
 
   // One pool serves every phase; group tasks never call back into it, so
-  // there is no nested-wait deadlock. Threads == 1 stays pool-free and runs
-  // every phase inline on the calling thread.
+  // there is no nested-wait deadlock. An effective thread count of 1 —
+  // Threads == 1, or any request on a single-core machine — stays pool-free
+  // and runs every phase inline on the calling thread: oversubscribing a
+  // CPU-bound pipeline only buys scheduling overhead (the measured
+  // 8-threads-slower-than-1 regression), never throughput.
   std::unique_ptr<ThreadPool> Pool;
-  if (Opts.Threads > 1)
+  if (Opts.Threads > 1 && ThreadPool::effectiveThreads(Opts.Threads) > 1)
     Pool = std::make_unique<ThreadPool>(Opts.Threads);
 
   // Phase A: per-method preprocessing — side-info validation first, then
@@ -658,6 +680,13 @@ Expected<OutlineResult> core::runLtbo(std::vector<CompiledMethod> &Methods,
   std::vector<std::vector<OutlinedFunc>> GroupFuncs(K);
   std::vector<std::vector<RewriteWork>> GroupWork(K);
 
+  // Construction-scratch arenas for the suffix-array detector, shared
+  // across groups through a pool: a worker that finishes one group hands
+  // its (already-grown, coalesced) arena to the next, so steady-state
+  // detection allocates nothing. The arena only shapes WHERE scratch
+  // lives, never what is computed — output stays byte-identical.
+  support::ArenaPool DetectArenas;
+
   auto RunOne = [&](std::size_t G) {
     if (Groups[G].empty())
       return;
@@ -679,16 +708,19 @@ Expected<OutlineResult> core::runLtbo(std::vector<CompiledMethod> &Methods,
     ++GroupStats[G].GroupsDetected;
     cache::GroupSelections Store;
     cache::GroupSelections *StorePtr = Opts.Cache ? &Store : nullptr;
-    if (Opts.Detector == DetectorKind::SuffixTree)
+    if (Opts.Detector == DetectorKind::SuffixTree) {
       runGroupImpl<st::SuffixTree>(Methods, Rows, GroupPreps,
                                    static_cast<uint32_t>(G), Opts,
                                    GroupFuncs[G], GroupWork[G], GroupStats[G],
-                                   StorePtr);
-    else
+                                   StorePtr, nullptr);
+    } else {
+      support::ArenaPool::Handle Scratch = DetectArenas.acquire();
       runGroupImpl<st::SuffixArray>(Methods, Rows, GroupPreps,
                                     static_cast<uint32_t>(G), Opts,
                                     GroupFuncs[G], GroupWork[G], GroupStats[G],
-                                    StorePtr);
+                                    StorePtr, Scratch.get());
+      GroupStats[G].DetectScratchBytes = Scratch->bytesReserved();
+    }
     // Store even an empty selection: "this group outlines nothing" is as
     // reusable as any other result.
     if (Opts.Cache)
@@ -717,6 +749,8 @@ Expected<OutlineResult> core::runLtbo(std::vector<CompiledMethod> &Methods,
     Result.Stats.GroupsDetected += S.GroupsDetected;
     Result.Stats.DetectPeakBytes =
         std::max(Result.Stats.DetectPeakBytes, S.DetectPeakBytes);
+    Result.Stats.DetectScratchBytes =
+        std::max(Result.Stats.DetectScratchBytes, S.DetectScratchBytes);
     for (auto &F : GroupFuncs[G])
       Result.Funcs.push_back(std::move(F));
   }

@@ -139,6 +139,12 @@ struct OutlineStats {
   /// structure plus the assembled sequence/provenance arrays, sampled at
   /// its peak (before scratch release). Deterministic for any Threads.
   std::size_t DetectPeakBytes = 0;
+  /// Largest construction-scratch arena footprint (bytesReserved) seen in
+  /// Phase B. Arenas are pooled per worker and coalesced on reset, so this
+  /// tracks the high-water mark of ONE reusable block, not a per-group sum.
+  /// Scheduling metadata like the *Threads fields: the pool hand-out order
+  /// depends on worker interleaving, so determinism tests must ignore it.
+  std::size_t DetectScratchBytes = 0;
   /// Candidate methods whose side info failed validation and were excluded
   /// from outlining (graceful degradation). Deterministic for any Threads.
   std::size_t MethodsRejected = 0;

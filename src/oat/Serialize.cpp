@@ -7,6 +7,7 @@
 #include "oat/Serialize.h"
 
 #include "codegen/SideInfoValidator.h"
+#include "oat/MappedOat.h"
 #include "support/BinaryStream.h"
 
 #include <cstdio>
@@ -276,123 +277,142 @@ Error parseOutlinedSection(std::span<const uint8_t> Bytes, OatFile &O) {
 
 } // namespace
 
-std::vector<uint8_t> oat::serializeOat(const OatFile &O) {
-  std::vector<SectionSpec> Sections;
+namespace {
 
-  {
-    SectionSpec Text;
-    Text.Name = ".text";
-    Text.Flags = ShfAlloc | ShfExecinstr;
-    Text.Addr = O.BaseAddress;
-    Text.Align = 16;
-    Text.Payload.resize(O.Text.size() * 4);
-    std::memcpy(Text.Payload.data(), O.Text.data(), Text.Payload.size());
-    Sections.push_back(std::move(Text));
-  }
-  {
-    SectionSpec S;
-    S.Name = ".oat.header";
-    ByteWriter W;
-    putHeaderSection(W, O);
-    S.Payload = W.take();
-    Sections.push_back(std::move(S));
-  }
-  {
-    SectionSpec S;
-    S.Name = ".oat.methods";
-    ByteWriter W;
-    putMethodsSection(W, O);
-    S.Payload = W.take();
-    Sections.push_back(std::move(S));
-  }
-  {
-    SectionSpec S;
-    S.Name = ".oat.stubs";
-    ByteWriter W;
-    putStubsSection(W, O);
-    S.Payload = W.take();
-    Sections.push_back(std::move(S));
-  }
-  {
-    SectionSpec S;
-    S.Name = ".oat.outlined";
-    ByteWriter W;
-    putOutlinedSection(W, O);
-    S.Payload = W.take();
-    Sections.push_back(std::move(S));
-  }
+// Little-endian scalar stores for the sized-buffer writer below.
+void put16(uint8_t *P, uint16_t V) {
+  P[0] = static_cast<uint8_t>(V);
+  P[1] = static_cast<uint8_t>(V >> 8);
+}
+void put32(uint8_t *P, uint32_t V) {
+  put16(P, static_cast<uint16_t>(V));
+  put16(P + 2, static_cast<uint16_t>(V >> 16));
+}
+void put64(uint8_t *P, uint64_t V) {
+  put32(P, static_cast<uint32_t>(V));
+  put32(P + 4, static_cast<uint32_t>(V >> 32));
+}
 
-  // Build .shstrtab (leading NUL, then each name).
-  SectionSpec Strtab;
-  Strtab.Name = ".shstrtab";
-  Strtab.Type = ShtStrtab;
-  Strtab.Align = 1;
-  std::vector<uint32_t> NameOff;
-  {
-    std::vector<uint8_t> &Tab = Strtab.Payload;
-    Tab.push_back(0);
-    auto Intern = [&Tab](const std::string &N) {
-      uint32_t Off = static_cast<uint32_t>(Tab.size());
-      Tab.insert(Tab.end(), N.begin(), N.end());
-      Tab.push_back(0);
-      return Off;
-    };
-    for (const auto &S : Sections)
-      NameOff.push_back(Intern(S.Name));
-    NameOff.push_back(Intern(Strtab.Name));
-  }
-  Sections.push_back(std::move(Strtab));
+uint64_t alignTo(uint64_t V, uint64_t Align) {
+  return (V + Align - 1) & ~(Align - 1);
+}
 
-  // Lay out: ELF header, payloads, section header table (null + sections).
-  ByteWriter W;
+/// One section of the output image. .text points straight at the linker's
+/// word array (never copied into an intermediate payload vector); the
+/// small metadata sections point at ByteWriter buffers owned by the
+/// caller's frame.
+struct SectionView {
+  const char *Name;
+  uint32_t Type = ShtProgbits;
+  uint64_t Flags = 0;
+  uint64_t Addr = 0;
+  uint64_t Align = 4;
+  const uint8_t *Data = nullptr;
+  uint64_t Size = 0;
+};
+
+} // namespace
+
+void oat::serializeOat(const OatFile &O, std::vector<uint8_t> &Out) {
+  // Encode the variable-size metadata sections first (varint-compressed, so
+  // their sizes are data-dependent); .text stays where it is and is copied
+  // exactly once, straight into the final image.
+  ByteWriter HeaderW, MethodsW, StubsW, OutlinedW;
+  putHeaderSection(HeaderW, O);
+  putMethodsSection(MethodsW, O);
+  putStubsSection(StubsW, O);
+  putOutlinedSection(OutlinedW, O);
+
+  SectionView Sections[6];
+  Sections[0] = {".text", ShtProgbits, ShfAlloc | ShfExecinstr, O.BaseAddress,
+                 16, reinterpret_cast<const uint8_t *>(O.Text.data()),
+                 O.Text.size() * 4};
+  auto View = [](const char *Name, const ByteWriter &W) {
+    SectionView S;
+    S.Name = Name;
+    S.Data = W.data();
+    S.Size = W.size();
+    return S;
+  };
+  Sections[1] = View(".oat.header", HeaderW);
+  Sections[2] = View(".oat.methods", MethodsW);
+  Sections[3] = View(".oat.stubs", StubsW);
+  Sections[4] = View(".oat.outlined", OutlinedW);
+
+  // .shstrtab (leading NUL, then each name).
+  std::vector<uint8_t> Strtab;
+  uint32_t NameOff[6];
+  Strtab.push_back(0);
+  Sections[5] = {".shstrtab", ShtStrtab, 0, 0, 1, nullptr, 0};
+  for (std::size_t I = 0; I < 6; ++I) {
+    NameOff[I] = static_cast<uint32_t>(Strtab.size());
+    const char *N = Sections[I].Name;
+    Strtab.insert(Strtab.end(), N, N + std::char_traits<char>::length(N));
+    Strtab.push_back(0);
+  }
+  Sections[5].Data = Strtab.data();
+  Sections[5].Size = Strtab.size();
+
+  // Every section size is now known, so the whole layout — including
+  // e_shoff — is computable up front: ELF header, aligned payloads,
+  // 8-aligned section header table (SHT_NULL + one header per section).
+  // One exact-size resize, one pass of stores, no patching afterwards.
+  uint64_t PayloadOff[6];
+  uint64_t Off = ElfHeaderSize;
+  for (std::size_t I = 0; I < 6; ++I) {
+    Off = alignTo(Off, Sections[I].Align);
+    PayloadOff[I] = Off;
+    Off += Sections[I].Size;
+  }
+  const uint64_t Shoff = alignTo(Off, 8);
+  const uint64_t Total = Shoff + 7 * SectionHeaderSize;
+
+  Out.assign(Total, 0); // Zero fill doubles as alignment padding.
+  uint8_t *B = Out.data();
+
   const uint8_t Ident[16] = {0x7f, 'E', 'L', 'F',
                              2 /*ELFCLASS64*/, 1 /*LSB*/, 1 /*EV_CURRENT*/,
                              0, 0, 0, 0, 0, 0, 0, 0, 0};
-  W.bytes(Ident, 16);
-  W.u16(EtDyn);
-  W.u16(EmAarch64);
-  W.u32(1); // e_version
-  W.u64(O.BaseAddress); // e_entry: the image load address.
-  W.u64(0);             // e_phoff (no program headers in this container).
-  std::size_t ShoffPatch = W.size();
-  W.u64(0); // e_shoff, patched below.
-  W.u32(0); // e_flags
-  W.u16(ElfHeaderSize);
-  W.u16(0); // e_phentsize
-  W.u16(0); // e_phnum
-  W.u16(SectionHeaderSize);
-  W.u16(static_cast<uint16_t>(Sections.size() + 1)); // + SHT_NULL.
-  W.u16(static_cast<uint16_t>(Sections.size()));     // .shstrtab index.
+  std::memcpy(B, Ident, 16);
+  put16(B + 16, EtDyn);
+  put16(B + 18, EmAarch64);
+  put32(B + 20, 1);             // e_version
+  put64(B + 24, O.BaseAddress); // e_entry: the image load address.
+  put64(B + 32, 0);             // e_phoff (no program headers).
+  put64(B + 40, Shoff);         // e_shoff — exact, not patched.
+  put32(B + 48, 0);             // e_flags
+  put16(B + 52, ElfHeaderSize);
+  put16(B + 54, 0); // e_phentsize
+  put16(B + 56, 0); // e_phnum
+  put16(B + 58, SectionHeaderSize);
+  put16(B + 60, 7); // e_shnum: SHT_NULL + 6 sections.
+  put16(B + 62, 6); // e_shstrndx: .shstrtab (header index, after SHT_NULL).
 
-  std::vector<uint64_t> PayloadOff(Sections.size());
-  for (std::size_t I = 0; I < Sections.size(); ++I) {
-    W.align(Sections[I].Align);
-    PayloadOff[I] = W.size();
-    W.bytes(Sections[I].Payload.data(), Sections[I].Payload.size());
+  for (std::size_t I = 0; I < 6; ++I)
+    if (Sections[I].Size)
+      std::memcpy(B + PayloadOff[I], Sections[I].Data, Sections[I].Size);
+
+  // Section header table; the SHT_NULL row is already all zeroes.
+  uint8_t *H = B + Shoff + SectionHeaderSize;
+  for (std::size_t I = 0; I < 6; ++I, H += SectionHeaderSize) {
+    const SectionView &S = Sections[I];
+    put32(H + 0, NameOff[I]);
+    put32(H + 4, S.Type);
+    put64(H + 8, S.Flags);
+    put64(H + 16, S.Addr);
+    put64(H + 24, PayloadOff[I]);
+    put64(H + 32, S.Size);
+    put32(H + 40, 0); // sh_link
+    put32(H + 44, 0); // sh_info
+    put64(H + 48, S.Align);
+    put64(H + 56, 0); // sh_entsize
   }
+}
 
-  W.align(8);
-  uint64_t Shoff = W.size();
-  // SHT_NULL entry.
-  for (int K = 0; K < 8; ++K)
-    W.u64(0);
-  for (std::size_t I = 0; I < Sections.size(); ++I) {
-    const SectionSpec &S = Sections[I];
-    W.u32(NameOff[I]);
-    W.u32(S.Type);
-    W.u64(S.Flags);
-    W.u64(S.Addr);
-    W.u64(PayloadOff[I]);
-    W.u64(S.Payload.size());
-    W.u32(0); // sh_link
-    W.u32(0); // sh_info
-    W.u64(S.Align);
-    W.u64(0); // sh_entsize
-  }
-
-  auto Bytes = W.take();
-  std::memcpy(Bytes.data() + ShoffPatch, &Shoff, 8);
-  return Bytes;
+std::vector<uint8_t> oat::serializeOat(const OatFile &O) {
+  std::vector<uint8_t> Out;
+  serializeOat(O, Out);
+  return Out;
 }
 
 Expected<OatFile> oat::deserializeOat(std::span<const uint8_t> Bytes) {
@@ -510,7 +530,8 @@ Expected<OatFile> oat::deserializeOat(std::span<const uint8_t> Bytes) {
 }
 
 Error oat::writeOatFile(const OatFile &O, const std::string &Path) {
-  auto Bytes = serializeOat(O);
+  std::vector<uint8_t> Bytes;
+  serializeOat(O, Bytes);
   std::FILE *F = std::fopen(Path.c_str(), "wb");
   if (!F)
     return makeError("cannot open '" + Path + "' for writing");
@@ -522,16 +543,8 @@ Error oat::writeOatFile(const OatFile &O, const std::string &Path) {
 }
 
 Expected<OatFile> oat::readOatFile(const std::string &Path) {
-  std::FILE *F = std::fopen(Path.c_str(), "rb");
-  if (!F)
-    return makeError("cannot open '" + Path + "'");
-  std::fseek(F, 0, SEEK_END);
-  long Size = std::ftell(F);
-  std::fseek(F, 0, SEEK_SET);
-  std::vector<uint8_t> Bytes(static_cast<std::size_t>(Size < 0 ? 0 : Size));
-  std::size_t Read = std::fread(Bytes.data(), 1, Bytes.size(), F);
-  std::fclose(F);
-  if (Read != Bytes.size())
-    return makeError("short read from '" + Path + "'");
-  return deserializeOat(Bytes);
+  auto M = MappedOat::open(Path);
+  if (!M)
+    return M.takeError();
+  return M->parse();
 }

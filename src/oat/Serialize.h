@@ -49,7 +49,15 @@ void putSideInfo(ByteWriter &W, const codegen::MethodSideInfo &S);
 Error parseStackMap(ByteReader &R, codegen::StackMap &Map);
 Error parseSideInfo(ByteReader &R, codegen::MethodSideInfo &S);
 
-/// Serializes \p O into an ELF64 image.
+/// Serializes \p O into an ELF64 image, replacing \p Out's contents. The
+/// zero-copy write path: the whole layout (including e_shoff) is computed
+/// before a byte is stored, the buffer is sized exactly once, and .text is
+/// copied straight from the linker's word array into its final position —
+/// no intermediate section payload, no post-hoc patching. A caller that
+/// reuses \p Out across builds amortizes even that one allocation.
+void serializeOat(const OatFile &O, std::vector<uint8_t> &Out);
+
+/// Convenience wrapper returning a fresh buffer.
 std::vector<uint8_t> serializeOat(const OatFile &O);
 
 /// Parses an ELF64 OAT image. Fails with a message on any structural

@@ -23,20 +23,25 @@ namespace {
 /// so ANY uint64 sequence is legal input — the old "input may not contain
 /// ~0" precondition is gone by construction.
 ///
-/// Returns the dense per-position ranks (size Txt.size() + 1) and sets
-/// \p AlphabetOut to one past the largest rank.
-std::vector<uint32_t> compactRanks(const std::vector<Symbol> &Txt,
-                                   uint32_t &AlphabetOut) {
+/// Returns the dense per-position ranks (size Txt.size() + 1, allocated
+/// from \p A) and sets \p AlphabetOut to one past the largest rank.
+std::span<uint32_t> compactRanks(const std::vector<Symbol> &Txt,
+                                 uint32_t &AlphabetOut, support::Arena &A) {
   const uint32_t n = static_cast<uint32_t>(Txt.size());
-  std::vector<uint32_t> Idx(n), Tmp(n);
-  std::iota(Idx.begin(), Idx.end(), 0);
-  std::vector<uint32_t> Cnt(1u << 16);
+  std::span<uint32_t> Idx = A.allocSpan<uint32_t>(n);
+  std::span<uint32_t> Tmp = A.allocSpan<uint32_t>(n);
+  std::span<uint32_t> Cnt = A.allocSpan<uint32_t>(1u << 16);
+  // One OR over the text decides up front which passes carry any key bits
+  // (instruction words use only the low 32, so passes 2 and 3 usually
+  // drop out) — cheaper than probing per pass.
+  uint64_t OrAll = 0;
+  for (uint32_t I = 0; I < n; ++I)
+    OrAll |= Txt[I];
+  uint32_t *Src = Idx.data(), *Dst = Tmp.data();
+  bool Seeded = false;
   for (int Pass = 0; Pass < 4; ++Pass) {
     const int Shift = Pass * 16;
-    bool AnyBits = Pass == 0;
-    for (uint32_t I = 0; I < n && !AnyBits; ++I)
-      AnyBits = ((Txt[I] >> Shift) & 0xffff) != 0;
-    if (!AnyBits)
+    if (Pass > 0 && ((OrAll >> Shift) & 0xffff) == 0)
       continue;
     std::fill(Cnt.begin(), Cnt.end(), 0);
     for (uint32_t I = 0; I < n; ++I)
@@ -47,106 +52,225 @@ std::vector<uint32_t> compactRanks(const std::vector<Symbol> &Txt,
       C = Sum;
       Sum += T;
     }
-    for (uint32_t I = 0; I < n; ++I)
-      Tmp[Cnt[(Txt[Idx[I]] >> Shift) & 0xffff]++] = Idx[I];
-    Idx.swap(Tmp);
+    if (!Seeded) {
+      // First active pass seeds the order directly from the text; no iota
+      // pass, no indirection through a not-yet-meaningful index array.
+      for (uint32_t I = 0; I < n; ++I)
+        Dst[Cnt[(Txt[I] >> Shift) & 0xffff]++] = I;
+      Seeded = true;
+    } else {
+      for (uint32_t I = 0; I < n; ++I)
+        Dst[Cnt[(Txt[Src[I]] >> Shift) & 0xffff]++] = Src[I];
+    }
+    std::swap(Src, Dst);
   }
-  std::vector<uint32_t> Rank(n + 1);
+  std::span<uint32_t> Rank = A.allocSpan<uint32_t>(n + 1);
   uint32_t R = 0;
   for (uint32_t I = 0; I < n; ++I) {
-    if (I > 0 && Txt[Idx[I]] != Txt[Idx[I - 1]])
+    if (I > 0 && Txt[Src[I]] != Txt[Src[I - 1]])
       ++R;
-    Rank[Idx[I]] = R + 1;
+    Rank[Src[I]] = R + 1;
   }
   Rank[n] = 0; // The virtual sentinel suffix.
   AlphabetOut = n == 0 ? 1 : R + 2;
   return Rank;
 }
 
+/// Empty suffix-array slot during induced sorting. Positions are < N, so
+/// the all-ones pattern can never collide with a real entry.
+constexpr uint32_t SaEmpty = ~uint32_t(0);
+
+/// SA-IS (Nong, Zhang, Chan: "Two Efficient Algorithms for Linear Time
+/// Suffix Array Construction"): linear-time suffix-array construction by
+/// induced sorting.
+///
+/// Preconditions: N >= 1, all values of S are < K, and S[N - 1] is the
+/// unique smallest symbol (the compacted virtual sentinel guarantees
+/// exactly this). All workspace comes from \p A; nothing is freed here —
+/// the caller resets the arena after construction.
+void saIs(const uint32_t *S, uint32_t N, uint32_t K, uint32_t *Sa,
+          support::Arena &A) {
+  if (N == 1) {
+    Sa[0] = 0;
+    return;
+  }
+
+  // Classify L/S-types right to left and fuse the type bit into the symbol:
+  // SP[I] = S[I] * 2 + type, type 1 = S-type (suffix smaller than its right
+  // neighbour; the sentinel is S-type by definition). One random read of SP
+  // then yields both the symbol and the type during the induce scans — the
+  // separate type-array lookup was half their cache misses.
+  //
+  // Bucketing directly on SP (2K buckets) places every suffix exactly where
+  // symbol-bucketing would: within one symbol's bucket the L-suffixes form
+  // the head and the S-suffixes the tail of the final suffix order, so the
+  // (c, L) sub-bucket start is the c bucket start and the (c, S) sub-bucket
+  // end is the c bucket end.
+  std::span<uint32_t> SP = A.allocSpan<uint32_t>(N);
+  SP[N - 1] = S[N - 1] * 2 + 1;
+  for (uint32_t I = N - 1; I-- > 0;)
+    SP[I] = S[I] * 2 +
+            (S[I] < S[I + 1] || (S[I] == S[I + 1] && (SP[I + 1] & 1)));
+  auto IsLms = [&](uint32_t I) {
+    return I > 0 && (SP[I] & 1) && !(SP[I - 1] & 1);
+  };
+
+  // Packed-symbol histogram + a bucket cursor array, shared by every pass.
+  std::span<uint32_t> Cnt = A.allocSpan<uint32_t>(2 * K);
+  std::span<uint32_t> Bkt = A.allocSpan<uint32_t>(2 * K);
+  std::fill(Cnt.begin(), Cnt.end(), 0);
+  for (uint32_t I = 0; I < N; ++I)
+    ++Cnt[SP[I]];
+  auto BucketEnds = [&] {
+    uint32_t Sum = 0;
+    for (uint32_t C = 0; C < 2 * K; ++C) {
+      Sum += Cnt[C];
+      Bkt[C] = Sum;
+    }
+  };
+  auto BucketStarts = [&] {
+    uint32_t Sum = 0;
+    for (uint32_t C = 0; C < 2 * K; ++C) {
+      Bkt[C] = Sum;
+      Sum += Cnt[C];
+    }
+  };
+
+  // Induce L-suffixes left to right from bucket starts, then S-suffixes
+  // right to left from bucket ends. After this, every suffix occupies
+  // exactly one slot.
+  auto Induce = [&] {
+    BucketStarts();
+    for (uint32_t I = 0; I < N; ++I) {
+      uint32_t J = Sa[I];
+      if (J == SaEmpty || J == 0)
+        continue;
+      uint32_t P = SP[J - 1];
+      if (!(P & 1))
+        Sa[Bkt[P]++] = J - 1;
+    }
+    BucketEnds();
+    for (uint32_t I = N; I-- > 0;) {
+      uint32_t J = Sa[I];
+      if (J == SaEmpty || J == 0)
+        continue;
+      uint32_t P = SP[J - 1];
+      if (P & 1)
+        Sa[--Bkt[P]] = J - 1;
+    }
+  };
+
+  // Stage 1: drop the LMS suffixes at their bucket ends in arbitrary order
+  // and induce once — this sorts the LMS *substrings*.
+  std::fill(Sa, Sa + N, SaEmpty);
+  BucketEnds();
+  for (uint32_t I = 1; I < N; ++I)
+    if (IsLms(I))
+      Sa[--Bkt[SP[I]]] = I;
+  Induce();
+
+  // Compact the LMS positions out of Sa; their order is now the sorted
+  // order of their LMS substrings.
+  uint32_t NumLms = 0;
+  for (uint32_t I = 0; I < N; ++I)
+    if (IsLms(Sa[I]))
+      Sa[NumLms++] = Sa[I];
+
+  // Stage 2: name each LMS substring by rank; equal substrings share a
+  // name. An LMS substring runs from its LMS position up to AND including
+  // the next LMS position. Comparing packed symbols compares symbol and
+  // type at once.
+  std::span<uint32_t> SortedLms = A.allocSpan<uint32_t>(NumLms);
+  std::copy(Sa, Sa + NumLms, SortedLms.begin());
+  std::span<uint32_t> NameOf = A.allocSpan<uint32_t>(N);
+  auto LmsEqual = [&](uint32_t PA, uint32_t PB) {
+    if (PA == N - 1 || PB == N - 1)
+      return false; // The sentinel's substring is unique by construction.
+    for (uint32_t D = 0;; ++D) {
+      if (SP[PA + D] != SP[PB + D])
+        return false;
+      if (D > 0 && (IsLms(PA + D) || IsLms(PB + D)))
+        return IsLms(PA + D) && IsLms(PB + D);
+    }
+  };
+  uint32_t Names = 0;
+  for (uint32_t R = 0; R < NumLms; ++R) {
+    if (R > 0 && !LmsEqual(SortedLms[R - 1], SortedLms[R]))
+      ++Names;
+    NameOf[SortedLms[R]] = Names;
+  }
+  const uint32_t NumNames = NumLms ? Names + 1 : 0;
+
+  // The reduced string: LMS names in text order. Its last character is the
+  // sentinel's name 0 — unique smallest, so the recursion's precondition
+  // holds at every level.
+  std::span<uint32_t> LmsPos = A.allocSpan<uint32_t>(NumLms);
+  std::span<uint32_t> Reduced = A.allocSpan<uint32_t>(NumLms);
+  {
+    uint32_t W = 0;
+    for (uint32_t I = 1; I < N; ++I)
+      if (IsLms(I)) {
+        LmsPos[W] = I;
+        Reduced[W] = NameOf[I];
+        ++W;
+      }
+  }
+
+  // Sort the LMS *suffixes*: directly when every name is unique, otherwise
+  // by recursing on the reduced string (at most half the length).
+  std::span<uint32_t> SaLms = A.allocSpan<uint32_t>(NumLms);
+  if (NumNames == NumLms) {
+    for (uint32_t R = 0; R < NumLms; ++R)
+      SaLms[Reduced[R]] = R;
+  } else {
+    saIs(Reduced.data(), NumLms, NumNames, SaLms.data(), A);
+  }
+
+  
+  // Stage 3: seed the buckets with the LMS suffixes in their final sorted
+  // order (filled right to left so bucket ends stay stable) and induce once
+  // more — the result is the complete suffix array.
+  std::fill(Sa, Sa + N, SaEmpty);
+  BucketEnds();
+  for (uint32_t R = NumLms; R-- > 0;) {
+    uint32_t P = LmsPos[SaLms[R]];
+    Sa[--Bkt[SP[P]]] = P;
+  }
+  Induce();
+  
+}
+
 } // namespace
 
-SuffixArray::SuffixArray(std::vector<Symbol> Text)
+SuffixArray::SuffixArray(std::vector<Symbol> Text, support::Arena *Scratch)
     : Txt(std::move(Text)), TextLen(Txt.size()) {
   const uint32_t n = static_cast<uint32_t>(Txt.size());
   const uint32_t N = n + 1; // Plus the virtual sentinel position n.
 
-  // Prefix doubling over dense ranks with counting (radix) sorts: O(n) per
-  // round, O(log n) rounds, O(n log n) total — and uint32 working arrays
-  // instead of 64-bit sort keys.
+  support::Arena Local;
+  support::Arena &A = Scratch ? *Scratch : Local;
+
   uint32_t Alphabet = 0;
-  std::vector<uint32_t> Rank = compactRanks(Txt, Alphabet);
-  // Equal initial ranks <=> equal symbols, so Kasai below can compare these
-  // dense uint32 ranks instead of the raw 64-bit symbols — half the working
-  // set on the LCP scan. Copied before prefix doubling coarsens Rank.
-  std::vector<uint32_t> Rank0(Rank.begin(), Rank.begin() + n);
+  std::span<uint32_t> Rank = compactRanks(Txt, Alphabet, A);
 
+  // SA-IS over the dense ranks: O(n) total, no doubling rounds. The suffix
+  // array of a text with a unique smallest sentinel is unique, so this is
+  // bit-identical to what prefix doubling produced. saIs reads Rank but
+  // never writes it, and the arena only grows during construction, so the
+  // span stays valid for Kasai below.
   Sa.resize(N);
-  {
-    std::vector<uint32_t> Cnt(Alphabet, 0);
-    for (uint32_t R : Rank)
-      ++Cnt[R];
-    uint32_t Sum = 0;
-    for (uint32_t &C : Cnt) {
-      uint32_t T = C;
-      C = Sum;
-      Sum += T;
-    }
-    for (uint32_t I = 0; I < N; ++I)
-      Sa[Cnt[Rank[I]]++] = I;
-  }
-  {
-    std::vector<uint32_t> Tmp(N), NewRank(N), Cnt;
-    for (uint32_t K = 1; K < N; K *= 2) {
-      // Order by the second key (Rank[I + K], out-of-range smallest):
-      // positions I >= N - K have no second key and come first; the rest
-      // follow in the current suffix-array order, shifted by K. This keeps
-      // the sort stable in the second key, so the subsequent counting sort
-      // by the first key yields the (first, second) lexicographic order.
-      uint32_t P = 0;
-      for (uint32_t I = N - K; I < N; ++I)
-        Tmp[P++] = I;
-      for (uint32_t I = 0; I < N; ++I)
-        if (Sa[I] >= K)
-          Tmp[P++] = Sa[I] - K;
-      // Stable counting sort by the first key.
-      Cnt.assign(Alphabet, 0);
-      for (uint32_t I = 0; I < N; ++I)
-        ++Cnt[Rank[I]];
-      uint32_t Sum = 0;
-      for (uint32_t &C : Cnt) {
-        uint32_t T = C;
-        C = Sum;
-        Sum += T;
-      }
-      for (uint32_t I = 0; I < N; ++I)
-        Sa[Cnt[Rank[Tmp[I]]]++] = Tmp[I];
-      // Re-rank: adjacent rows with equal (first, second) keys share a rank.
-      auto Second = [&](uint32_t S) {
-        return S + K < N ? Rank[S + K] + 1 : 0;
-      };
-      NewRank[Sa[0]] = 0;
-      uint32_t R = 0;
-      for (uint32_t I = 1; I < N; ++I) {
-        uint32_t A = Sa[I - 1], B = Sa[I];
-        R += !(Rank[A] == Rank[B] && Second(A) == Second(B));
-        NewRank[B] = R;
-      }
-      Rank.swap(NewRank);
-      Alphabet = R + 2;
-      if (R == N - 1)
-        break;
-    }
-  }
+  saIs(Rank.data(), N, Alphabet, Sa.data(), A);
 
-  // Kasai's LCP: Lcp[I] = lcp(SA[I-1], SA[I]); Lcp[0] = 0. Comparing
+  // Kasai's LCP: Lcp[I] = lcp(SA[I-1], SA[I]); Lcp[0] = 0. Comparing the
   // initial dense ranks is exact: equal ranks iff equal symbols, and both
   // positions are < n (the sentinel suffix never has a positive LCP with
-  // any neighbour — its rank is unique). The array is construction scratch
-  // only: intervals are enumerated right below and it is freed with the
-  // constructor frame.
-  std::vector<uint32_t> Lcp(N, 0);
+  // any neighbour — its rank is unique), so half the working set of a raw
+  // 64-bit symbol scan. The array is construction scratch only: intervals
+  // are enumerated right below and die with the arena.
+  std::span<uint32_t> Lcp = A.allocSpan<uint32_t>(N);
+  std::fill(Lcp.begin(), Lcp.end(), 0);
   {
-    std::vector<uint32_t> Inv(N);
+    std::span<uint32_t> Inv = A.allocSpan<uint32_t>(N);
     for (uint32_t I = 0; I < N; ++I)
       Inv[Sa[I]] = I;
     uint32_t H = 0;
@@ -156,7 +280,7 @@ SuffixArray::SuffixArray(std::vector<Symbol> Text)
         continue;
       }
       uint32_t Prev = Sa[Inv[S] - 1];
-      while (S + H < n && Prev + H < n && Rank0[S + H] == Rank0[Prev + H])
+      while (S + H < n && Prev + H < n && Rank[S + H] == Rank[Prev + H])
         ++H;
       Lcp[Inv[S]] = H;
       if (H)
@@ -225,6 +349,14 @@ void SuffixArray::positionsOf(int32_t Interval,
   std::sort(Out.begin(), Out.end());
 }
 
+uint32_t SuffixArray::firstPositionOf(int32_t Interval) const {
+  const auto &IV = Intervals[static_cast<std::size_t>(Interval)];
+  uint32_t Min = Sa[IV.Lo];
+  for (uint32_t Row = IV.Lo + 1; Row <= IV.Hi; ++Row)
+    Min = std::min(Min, Sa[Row]);
+  return Min;
+}
+
 std::size_t SuffixArray::workingSetBytes() const {
   return Txt.capacity() * sizeof(Symbol) + Sa.capacity() * sizeof(uint32_t) +
          Intervals.capacity() * sizeof(Interval);
@@ -232,4 +364,77 @@ std::size_t SuffixArray::workingSetBytes() const {
 
 void SuffixArray::releaseWorkingSet() {
   std::vector<Symbol>().swap(Txt);
+}
+
+std::vector<uint32_t>
+st::prefixDoublingSuffixArray(const std::vector<Symbol> &Text) {
+  const uint32_t n = static_cast<uint32_t>(Text.size());
+  const uint32_t N = n + 1;
+
+  support::Arena A;
+  uint32_t Alphabet = 0;
+  std::span<uint32_t> Rank0 = compactRanks(Text, Alphabet, A);
+  std::vector<uint32_t> Rank(Rank0.begin(), Rank0.end());
+
+  // Prefix doubling over dense ranks with counting (radix) sorts: O(n) per
+  // round, O(log n) rounds, O(n log n) total. This was the production
+  // construction before SA-IS; it survives as the differential oracle.
+  std::vector<uint32_t> Sa(N);
+  {
+    std::vector<uint32_t> Cnt(Alphabet, 0);
+    for (uint32_t R : Rank)
+      ++Cnt[R];
+    uint32_t Sum = 0;
+    for (uint32_t &C : Cnt) {
+      uint32_t T = C;
+      C = Sum;
+      Sum += T;
+    }
+    for (uint32_t I = 0; I < N; ++I)
+      Sa[Cnt[Rank[I]]++] = I;
+  }
+  {
+    std::vector<uint32_t> Tmp(N), NewRank(N), Cnt;
+    for (uint32_t K = 1; K < N; K *= 2) {
+      // Order by the second key (Rank[I + K], out-of-range smallest):
+      // positions I >= N - K have no second key and come first; the rest
+      // follow in the current suffix-array order, shifted by K. This keeps
+      // the sort stable in the second key, so the subsequent counting sort
+      // by the first key yields the (first, second) lexicographic order.
+      uint32_t P = 0;
+      for (uint32_t I = N - K; I < N; ++I)
+        Tmp[P++] = I;
+      for (uint32_t I = 0; I < N; ++I)
+        if (Sa[I] >= K)
+          Tmp[P++] = Sa[I] - K;
+      // Stable counting sort by the first key.
+      Cnt.assign(Alphabet, 0);
+      for (uint32_t I = 0; I < N; ++I)
+        ++Cnt[Rank[I]];
+      uint32_t Sum = 0;
+      for (uint32_t &C : Cnt) {
+        uint32_t T = C;
+        C = Sum;
+        Sum += T;
+      }
+      for (uint32_t I = 0; I < N; ++I)
+        Sa[Cnt[Rank[Tmp[I]]]++] = Tmp[I];
+      // Re-rank: adjacent rows with equal (first, second) keys share a rank.
+      auto Second = [&](uint32_t S) {
+        return S + K < N ? Rank[S + K] + 1 : 0;
+      };
+      NewRank[Sa[0]] = 0;
+      uint32_t R = 0;
+      for (uint32_t I = 1; I < N; ++I) {
+        uint32_t A2 = Sa[I - 1], B = Sa[I];
+        R += !(Rank[A2] == Rank[B] && Second(A2) == Second(B));
+        NewRank[B] = R;
+      }
+      Rank.swap(NewRank);
+      Alphabet = R + 2;
+      if (R == N - 1)
+        break;
+    }
+  }
+  return Sa;
 }

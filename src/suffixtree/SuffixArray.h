@@ -7,13 +7,20 @@
 /// \file
 /// An independent redundancy-detection backend: a suffix array with Kasai's
 /// LCP array, enumerating repeated sequences as LCP intervals. Construction
-/// is O(n log n): the sparse 64-bit alphabet is first compacted to dense
-/// uint32 ranks (LSD radix sort of the symbols), then prefix doubling runs
-/// with a counting (radix) sort per round instead of a comparison sort over
-/// 64-bit keys. The sentinel is a *virtual* position with a by-construction
-/// unique smallest rank — no symbol value is reserved, so any uint64
-/// sequence is legal input (the old release-build hazard of a text
-/// containing the reserved ~0 sentinel no longer exists).
+/// is O(n): the sparse 64-bit alphabet is first compacted to dense uint32
+/// ranks (LSD radix sort of the symbols), then SA-IS (suffix array by
+/// induced sorting, Nong/Zhang/Chan) builds the array in linear time — no
+/// doubling rounds at all. The sentinel is a *virtual* position with a
+/// by-construction unique smallest rank — no symbol value is reserved, so
+/// any uint64 sequence is legal input (the old release-build hazard of a
+/// text containing the reserved ~0 sentinel no longer exists).
+///
+/// The suffix array of a text whose (virtual) sentinel is strictly smaller
+/// than every other symbol is unique, so the SA-IS result is bit-identical
+/// to what prefix doubling produced — detection output cannot shift with
+/// the construction algorithm. prefixDoublingSuffixArray() keeps the old
+/// O(n log n) construction alive as the differential oracle the tests and
+/// the build-time bench compare against.
 ///
 /// LCP intervals correspond one-to-one to the internal nodes of the suffix
 /// tree, so this backend must report exactly the same repeats with exactly
@@ -28,6 +35,7 @@
 #define CALIBRO_SUFFIXTREE_SUFFIXARRAY_H
 
 #include "suffixtree/SuffixTree.h"
+#include "support/Arena.h"
 
 #include <cstdint>
 #include <functional>
@@ -40,10 +48,17 @@ namespace st {
 /// enumeration interface as SuffixTree.
 class SuffixArray {
 public:
-  /// Builds the array. O(n log n): alphabet rank-compaction followed by
-  /// radix-sorted prefix doubling. Accepts any symbol values — the sentinel
-  /// is virtual, nothing is reserved.
-  explicit SuffixArray(std::vector<Symbol> Text);
+  /// Builds the array in O(n): alphabet rank-compaction followed by SA-IS
+  /// induced sorting, then Kasai's LCP and the LCP-interval sweep. Accepts
+  /// any symbol values — the sentinel is virtual, nothing is reserved.
+  ///
+  /// \p Scratch optionally supplies the construction workspace (rank
+  /// arrays, SA-IS type/bucket/recursion arrays, LCP scratch). Everything
+  /// allocated from it is dead once the constructor returns — the caller
+  /// may reset() the arena immediately afterwards. Null uses a private
+  /// arena that is freed with the constructor frame.
+  explicit SuffixArray(std::vector<Symbol> Text,
+                       support::Arena *Scratch = nullptr);
 
   /// Length of the original sequence. Valid even after
   /// releaseWorkingSet().
@@ -76,9 +91,22 @@ public:
   /// grown to the largest occurrence count.
   void positionsOf(int32_t Interval, std::vector<uint32_t> &Out) const;
 
+  /// Earliest start position of the repeat named by \p Interval. O(count)
+  /// with no copy and no sort — the selector's candidate ordering needs
+  /// only this one value per candidate.
+  uint32_t firstPositionOf(int32_t Interval) const;
+
+  /// The raw suffix array, including the virtual-sentinel row: textSize()+1
+  /// entries, the first of which is always textSize() (the sentinel suffix
+  /// sorts strictly smallest). Exposed for the construction differential
+  /// tests and benches.
+  std::span<const uint32_t> suffixArray() const {
+    return std::span<const uint32_t>(Sa.data(), Sa.size());
+  }
+
   /// Bytes held by the detection-relevant arrays right now (text, suffix
-  /// array, interval table; the LCP array is construction-local and already
-  /// gone). Shrinks after releaseWorkingSet().
+  /// array, interval table; all construction scratch lives in the arena and
+  /// is already dead). Shrinks after releaseWorkingSet().
   std::size_t workingSetBytes() const;
 
   /// Frees the stored text. forEachRepeat/positionsOf/numNodes/textSize
@@ -99,6 +127,15 @@ private:
   std::vector<uint32_t> Sa;
   std::vector<Interval> Intervals;
 };
+
+/// Reference O(n log n) construction: the radix-sorted prefix doubling that
+/// SA-IS replaced. Returns the full suffix array over \p Text plus the
+/// virtual sentinel (size Text.size() + 1, row 0 is the sentinel suffix) —
+/// directly comparable with SuffixArray::suffixArray(). Kept as the
+/// differential oracle for the SA-IS fuzz tests and as the baseline the
+/// build-time bench measures the linear construction against; not used on
+/// any production path.
+std::vector<uint32_t> prefixDoublingSuffixArray(const std::vector<Symbol> &Text);
 
 } // namespace st
 } // namespace calibro

@@ -227,6 +227,13 @@ void SuffixTree::positionsOf(int32_t Node, std::vector<uint32_t> &Out) const {
   std::sort(Out.begin(), Out.end());
 }
 
+uint32_t SuffixTree::firstPositionOf(int32_t Node) const {
+  uint32_t Min = LeafSuffixes[LeafLo[Node]];
+  for (int32_t I = LeafLo[Node] + 1; I < LeafHi[Node]; ++I)
+    Min = std::min(Min, LeafSuffixes[I]);
+  return Min;
+}
+
 std::size_t SuffixTree::workingSetBytes() const {
   // The unordered_map accounting is an estimate: one heap node per entry
   // (pair + next pointer) plus the bucket array.

@@ -92,6 +92,11 @@ public:
   /// ascending positions, allocating nothing once \p Out has grown.
   void positionsOf(int32_t Node, std::vector<uint32_t> &Out) const;
 
+  /// Earliest start position of the repeat at \p Node. O(count) with no
+  /// copy and no sort — the selector's candidate ordering needs only this
+  /// one value per candidate.
+  uint32_t firstPositionOf(int32_t Node) const;
+
   /// Bytes held right now by the text, node table, transition map, and the
   /// finalize()-derived arrays. Shrinks after releaseWorkingSet().
   std::size_t workingSetBytes() const;

@@ -1,0 +1,112 @@
+//===- support/Arena.cpp - Bump allocator for detect scratch --------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+
+#include <cassert>
+
+using namespace calibro;
+using namespace calibro::support;
+
+namespace {
+
+/// First block size; doubles per spill so a cold arena reaches any
+/// workload's footprint in O(log) heap calls.
+constexpr std::size_t MinBlockBytes = 1u << 16;
+
+std::size_t alignUp(std::size_t V, std::size_t Align) {
+  return (V + Align - 1) & ~(Align - 1);
+}
+
+} // namespace
+
+void Arena::addBlock(std::size_t MinBytes) {
+  std::size_t Size = Blocks.empty() ? MinBlockBytes : Blocks.back().Size * 2;
+  if (Size < MinBytes)
+    Size = alignUp(MinBytes, MinBlockBytes);
+  Block B;
+  B.Mem = std::make_unique<std::byte[]>(Size);
+  B.Size = Size;
+  Blocks.push_back(std::move(B));
+  Cur = Blocks.size() - 1;
+}
+
+void *Arena::allocate(std::size_t Bytes, std::size_t Align) {
+  assert(Align != 0 && (Align & (Align - 1)) == 0 && "non-power-of-two align");
+  if (Bytes == 0)
+    Bytes = 1; // Distinct non-null result, like operator new.
+  // Try the current block, then any later (larger) block left by a previous
+  // cycle, then grow.
+  while (Cur < Blocks.size()) {
+    Block &B = Blocks[Cur];
+    std::size_t Off = alignUp(B.Off, Align);
+    if (Off + Bytes <= B.Size) {
+      B.Off = Off + Bytes;
+      Used += Bytes;
+      HighWater = std::max(HighWater, Used);
+      return B.Mem.get() + Off;
+    }
+    ++Cur;
+  }
+  addBlock(Bytes + Align);
+  Block &B = Blocks[Cur];
+  std::size_t Off = alignUp(B.Off, Align);
+  B.Off = Off + Bytes;
+  Used += Bytes;
+  HighWater = std::max(HighWater, Used);
+  return B.Mem.get() + Off;
+}
+
+void Arena::reset() {
+  if (Blocks.size() > 1) {
+    // Coalesce: one block covering the high-water mark (plus alignment
+    // slack) replaces the chain, so the next same-shaped cycle never
+    // spills. This also keeps bytesReserved() flat across groups instead of
+    // accumulating every spill block forever.
+    std::size_t Want = alignUp(HighWater + HighWater / 8 + 64, MinBlockBytes);
+    Blocks.clear();
+    addBlock(Want);
+  }
+  for (Block &B : Blocks)
+    B.Off = 0;
+  Cur = 0;
+  Used = 0;
+}
+
+void Arena::releaseMemory() {
+  Blocks.clear();
+  Blocks.shrink_to_fit();
+  Cur = 0;
+  Used = 0;
+  HighWater = 0;
+}
+
+std::size_t Arena::bytesReserved() const {
+  std::size_t Total = 0;
+  for (const Block &B : Blocks)
+    Total += B.Size;
+  return Total;
+}
+
+ArenaPool::Handle ArenaPool::acquire() {
+  std::unique_ptr<Arena> A;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (!Free.empty()) {
+      A = std::move(Free.back());
+      Free.pop_back();
+    }
+  }
+  if (!A)
+    A = std::make_unique<Arena>();
+  A->reset();
+  return Handle(*this, std::move(A));
+}
+
+void ArenaPool::release(std::unique_ptr<Arena> A) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Free.push_back(std::move(A));
+}

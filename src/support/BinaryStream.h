@@ -32,6 +32,10 @@ public:
   std::vector<uint8_t> take() { return std::move(Buf); }
   std::size_t size() const { return Buf.size(); }
 
+  /// Read-only view of the bytes written so far (invalidated by further
+  /// writes and by take()).
+  const uint8_t *data() const { return Buf.data(); }
+
   void u8(uint8_t V) { Buf.push_back(V); }
 
   void u16(uint16_t V) { raw(&V, 2); }

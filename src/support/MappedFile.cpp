@@ -1,0 +1,93 @@
+//===- support/MappedFile.cpp - Read-only memory-mapped files -------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MappedFile.h"
+
+#include <cstdio>
+
+#if defined(_WIN32)
+// No mmap on Windows in this tree; the buffered-read fallback below is the
+// only path.
+#else
+#define CALIBRO_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+using namespace calibro;
+using namespace calibro::support;
+
+MappedFile &MappedFile::operator=(MappedFile &&O) noexcept {
+  if (this == &O)
+    return *this;
+#ifdef CALIBRO_HAVE_MMAP
+  if (Mapping)
+    ::munmap(Mapping, Len);
+#endif
+  Data = O.Data;
+  Len = O.Len;
+  Mapping = O.Mapping;
+  Fallback = std::move(O.Fallback);
+  if (!Mapping && Len)
+    Data = Fallback.data(); // The vector's buffer moved with it.
+  O.Data = nullptr;
+  O.Len = 0;
+  O.Mapping = nullptr;
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+#ifdef CALIBRO_HAVE_MMAP
+  if (Mapping)
+    ::munmap(Mapping, Len);
+#endif
+}
+
+std::optional<MappedFile> MappedFile::open(const std::string &Path) {
+#ifdef CALIBRO_HAVE_MMAP
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return std::nullopt;
+  struct stat St;
+  if (::fstat(Fd, &St) != 0 || !S_ISREG(St.st_mode)) {
+    ::close(Fd);
+    return std::nullopt;
+  }
+  {
+    MappedFile M;
+    M.Len = static_cast<std::size_t>(St.st_size);
+    if (M.Len == 0) {
+      ::close(Fd);
+      return M; // Empty file: valid, empty span, nothing to map.
+    }
+    void *Addr = ::mmap(nullptr, M.Len, PROT_READ, MAP_PRIVATE, Fd, 0);
+    ::close(Fd);
+    if (Addr != MAP_FAILED) {
+      M.Mapping = Addr;
+      M.Data = static_cast<const uint8_t *>(Addr);
+      return M;
+    }
+    // mmap refused (odd filesystem): fall through to the read path.
+  }
+#endif
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return std::nullopt;
+  std::fseek(F, 0, SEEK_END);
+  long Size = std::ftell(F);
+  std::fseek(F, 0, SEEK_SET);
+  MappedFile M;
+  M.Fallback.resize(static_cast<std::size_t>(Size < 0 ? 0 : Size));
+  std::size_t Read = std::fread(M.Fallback.data(), 1, M.Fallback.size(), F);
+  std::fclose(F);
+  if (Read != M.Fallback.size())
+    return std::nullopt;
+  M.Data = M.Fallback.data();
+  M.Len = M.Fallback.size();
+  return M;
+}

@@ -10,12 +10,17 @@
 
 using namespace calibro;
 
+std::size_t ThreadPool::effectiveThreads(std::size_t Requested) {
+  std::size_t Hw = std::thread::hardware_concurrency();
+  if (Hw == 0)
+    Hw = 1;
+  if (Requested == 0 || Requested > Hw)
+    return Hw;
+  return Requested;
+}
+
 ThreadPool::ThreadPool(std::size_t NumThreads) {
-  if (NumThreads == 0) {
-    NumThreads = std::thread::hardware_concurrency();
-    if (NumThreads == 0)
-      NumThreads = 1;
-  }
+  NumThreads = effectiveThreads(NumThreads);
   Workers.reserve(NumThreads);
   for (std::size_t I = 0; I < NumThreads; ++I)
     Workers.emplace_back([this] { workerLoop(); });
@@ -59,6 +64,15 @@ void ThreadPool::parallelFor(std::size_t N,
   std::size_t ChunkSize = (N + NumChunks - 1) / NumChunks;
   if (Grain != 0 && ChunkSize < Grain)
     ChunkSize = Grain;
+
+  // One worker, or everything fits in a single chunk: run inline on the
+  // calling thread. Queueing through the pool would serialize the work
+  // anyway and only add the enqueue/wait handshake on top.
+  if (numThreads() == 1 || ChunkSize >= N) {
+    for (std::size_t I = 0; I < N; ++I)
+      Fn(I); // First failure propagates directly — it IS the lowest index.
+    return;
+  }
 
   // Exception propagation: record the exception thrown by the lowest index.
   // Every chunk runs to its own first failure, so the minimum failing index

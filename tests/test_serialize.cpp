@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Calibro.h"
+#include "oat/MappedOat.h"
 #include "oat/Serialize.h"
 #include "sim/Simulator.h"
 #include "support/BinaryStream.h"
@@ -389,6 +390,58 @@ TEST(Serialize, FileRoundTrip) {
   ASSERT_TRUE(bool(Back)) << Back.message();
   EXPECT_EQ(Back->Text, O.Text);
   std::remove(Path.c_str());
+}
+
+// The caller-buffer writer and the vector-returning wrapper must emit the
+// same bytes, and a reused (dirty, differently-sized) buffer must not leak
+// stale content into the image.
+TEST(Serialize, BufferWriterMatchesWrapper) {
+  oat::OatFile O = buildSample();
+  std::vector<uint8_t> Fresh = oat::serializeOat(O);
+
+  std::vector<uint8_t> Reused(Fresh.size() * 2 + 13, 0xAB); // Dirty + bigger.
+  oat::serializeOat(O, Reused);
+  EXPECT_EQ(Reused, Fresh);
+
+  std::vector<uint8_t> Small(3, 0xCD); // Dirty + smaller.
+  oat::serializeOat(O, Small);
+  EXPECT_EQ(Small, Fresh);
+}
+
+// The mmap-backed reader must parse the identical OatFile the heap-read
+// path produced, and re-serializing its result must reproduce the file's
+// bytes exactly (the round-trip property, now through the mapping).
+TEST(MappedOat, RoundTripMatchesHeapRead) {
+  oat::OatFile O = buildSample();
+  std::string Path = ::testing::TempDir() + "/calibro_mapped.oat";
+  ASSERT_FALSE(bool(oat::writeOatFile(O, Path)));
+
+  auto Mapped = oat::MappedOat::open(Path);
+  ASSERT_TRUE(bool(Mapped)) << Mapped.message();
+  std::vector<uint8_t> OnDisk(Mapped->bytes().begin(), Mapped->bytes().end());
+  EXPECT_EQ(Mapped->size(), OnDisk.size());
+
+  auto Parsed = Mapped->parse();
+  ASSERT_TRUE(bool(Parsed)) << Parsed.message();
+  EXPECT_EQ(Parsed->Text, O.Text);
+  EXPECT_EQ(Parsed->AppName, O.AppName);
+  EXPECT_EQ(Parsed->Methods.size(), O.Methods.size());
+  EXPECT_EQ(oat::serializeOat(*Parsed), OnDisk);
+
+  // The parsed OatFile owns its data: it must stay intact after the
+  // mapping is gone.
+  oat::OatFile Own = std::move(*Parsed);
+  {
+    oat::MappedOat Dead = std::move(*Mapped);
+    std::remove(Path.c_str());
+  } // Mapping unmapped here.
+  EXPECT_EQ(Own.Text, O.Text);
+}
+
+TEST(MappedOat, MissingFileFails) {
+  auto M = oat::MappedOat::open(::testing::TempDir() + "/calibro_nope.oat");
+  EXPECT_FALSE(bool(M));
+  EXPECT_FALSE(M.message().empty());
 }
 
 } // namespace

@@ -317,6 +317,119 @@ TEST(ClampedDedup, RandomTextsBothBackendsAgree) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// SA-IS vs prefix doubling: construction differential
+//===----------------------------------------------------------------------===//
+
+// The SA of a text with a unique smallest (virtual) sentinel is unique, so
+// SA-IS and the retained prefix-doubling oracle must agree ELEMENT FOR
+// ELEMENT — not merely produce equivalent repeat sets.
+void checkSaIsMatchesDoubling(const std::vector<Symbol> &T) {
+  SuffixArray A{std::vector<Symbol>(T)};
+  std::vector<uint32_t> Oracle = prefixDoublingSuffixArray(T);
+  auto Got = A.suffixArray();
+  ASSERT_EQ(Got.size(), Oracle.size()) << "n=" << T.size();
+  ASSERT_EQ(Got.size(), T.size() + 1);
+  EXPECT_EQ(Got.front(), static_cast<uint32_t>(T.size()))
+      << "sentinel suffix must sort first";
+  for (std::size_t I = 0; I < Oracle.size(); ++I)
+    ASSERT_EQ(Got[I], Oracle[I]) << "row " << I << " (n=" << T.size() << ")";
+}
+
+TEST(SaIsDifferential, EdgeShapes) {
+  checkSaIsMatchesDoubling({});                  // Empty text.
+  checkSaIsMatchesDoubling({42});                // Single symbol.
+  checkSaIsMatchesDoubling(fromString("aaaaaaaaaaaaaaaa")); // All equal.
+  checkSaIsMatchesDoubling(fromString("ab"));
+  checkSaIsMatchesDoubling(fromString("ba"));
+  checkSaIsMatchesDoubling(fromString("banana"));
+  checkSaIsMatchesDoubling(fromString("mississippi"));
+  // Sparse 64-bit symbols, including values around the separator range and
+  // the old reserved sentinel — all legal under the virtual sentinel.
+  checkSaIsMatchesDoubling({SeparatorBase, 0, SeparatorBase + 1, 0,
+                            ~uint64_t(0), 0, ~uint64_t(0)});
+}
+
+TEST(SaIsDifferential, RandomTexts) {
+  Rng R(0x5a15);
+  for (int Case = 0; Case < 60; ++Case) {
+    std::size_t N = 1 + R.nextBelow(300);
+    uint64_t Alphabet = 1 + R.nextBelow(8);
+    std::vector<Symbol> T;
+    T.reserve(N);
+    for (std::size_t I = 0; I < N; ++I)
+      T.push_back('a' + R.nextBelow(Alphabet));
+    checkSaIsMatchesDoubling(T);
+  }
+}
+
+TEST(SaIsDifferential, SeededRepeatTexts) {
+  // Repeat-heavy inputs exercise the SA-IS recursion (many equal LMS
+  // substrings force non-unique names): periodic texts, doubled random
+  // blocks, and runs, with unique separators mixed in like the outliner's
+  // group sequences.
+  Rng R(0xd0b1);
+  for (int Case = 0; Case < 30; ++Case) {
+    std::vector<Symbol> Block;
+    std::size_t BlockLen = 2 + R.nextBelow(12);
+    for (std::size_t I = 0; I < BlockLen; ++I)
+      Block.push_back('a' + R.nextBelow(3));
+    std::vector<Symbol> T;
+    uint64_t Sep = 0;
+    std::size_t Reps = 2 + R.nextBelow(20);
+    for (std::size_t K = 0; K < Reps; ++K) {
+      T.insert(T.end(), Block.begin(), Block.end());
+      if (R.nextBelow(3) == 0)
+        T.push_back(SeparatorBase + Sep++);
+    }
+    checkSaIsMatchesDoubling(T);
+  }
+}
+
+TEST(SaIsDifferential, ExternalArenaMatchesPrivate) {
+  // Same text through a caller-supplied arena (reused and reset between
+  // constructions, like the Phase B pool does) and through the private
+  // arena: identical arrays, identical repeat enumeration.
+  Rng R(0xae1a);
+  support::Arena Scratch;
+  for (int Case = 0; Case < 10; ++Case) {
+    std::size_t N = 50 + R.nextBelow(200);
+    std::vector<Symbol> T;
+    for (std::size_t I = 0; I < N; ++I)
+      T.push_back('a' + R.nextBelow(4));
+
+    SuffixArray WithPool(std::vector<Symbol>(T), &Scratch);
+    Scratch.reset(); // Construction scratch is dead the moment it returns.
+    SuffixArray Private{std::vector<Symbol>(T)};
+    ASSERT_EQ(WithPool.suffixArray().size(), Private.suffixArray().size());
+    for (std::size_t I = 0; I < Private.suffixArray().size(); ++I)
+      ASSERT_EQ(WithPool.suffixArray()[I], Private.suffixArray()[I]);
+    EXPECT_EQ(WithPool.numNodes(), Private.numNodes());
+    EXPECT_GT(Scratch.bytesReserved(), 0u);
+  }
+}
+
+TEST(SuffixArray, FirstPositionMatchesPositions) {
+  Rng R(0xf157);
+  for (int Case = 0; Case < 10; ++Case) {
+    std::vector<Symbol> T;
+    std::size_t N = 20 + R.nextBelow(200);
+    for (std::size_t I = 0; I < N; ++I)
+      T.push_back('a' + R.nextBelow(4));
+    std::vector<Symbol> C1 = T, C2 = T;
+    SuffixTree Tree(std::move(C1));
+    SuffixArray Array(std::move(C2));
+    Tree.forEachRepeat(1, 64, 2, [&](const SuffixTree::RepeatInfo &Rep) {
+      EXPECT_EQ(Tree.firstPositionOf(Rep.Node),
+                Tree.positionsOf(Rep.Node).front());
+    });
+    Array.forEachRepeat(1, 64, 2, [&](const SuffixArray::RepeatInfo &Rep) {
+      EXPECT_EQ(Array.firstPositionOf(Rep.Node),
+                Array.positionsOf(Rep.Node).front());
+    });
+  }
+}
+
 TEST(SuffixArray, BananaIntervals) {
   SuffixArray A(fromString("banana"));
   std::map<std::vector<Symbol>, uint32_t> Found;

@@ -4,7 +4,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Arena.h"
 #include "support/Error.h"
+#include "support/MappedFile.h"
 #include "support/MathExtras.h"
 #include "support/Random.h"
 #include "support/ThreadPool.h"
@@ -12,10 +14,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 using namespace calibro;
 
@@ -151,6 +156,20 @@ TEST(ThreadPool, ParallelForEmptyAndSingleIndex) {
   EXPECT_EQ(One.load(), 1);
 }
 
+TEST(ThreadPool, EffectiveThreadsClampsToMachine) {
+  std::size_t Hw = std::thread::hardware_concurrency();
+  if (Hw == 0)
+    Hw = 1;
+  EXPECT_EQ(ThreadPool::effectiveThreads(0), Hw);
+  EXPECT_EQ(ThreadPool::effectiveThreads(1), 1u);
+  EXPECT_EQ(ThreadPool::effectiveThreads(Hw), Hw);
+  EXPECT_EQ(ThreadPool::effectiveThreads(Hw + 100), Hw)
+      << "oversubscription requests must be clamped";
+  // The pool itself honors the clamp.
+  ThreadPool Pool(Hw + 100);
+  EXPECT_EQ(Pool.numThreads(), Hw);
+}
+
 TEST(ThreadPool, WaitDrainsQueue) {
   ThreadPool Pool(2);
   std::atomic<int> Done{0};
@@ -205,6 +224,127 @@ TEST(MathExtras, AlignTo) {
   EXPECT_EQ(alignTo(1, 16), 16u);
   EXPECT_EQ(alignTo(16, 16), 16u);
   EXPECT_EQ(alignTo(17, 8), 24u);
+}
+
+//===----------------------------------------------------------------------===//
+// Arena
+//===----------------------------------------------------------------------===//
+
+TEST(Arena, AllocationsAreDisjointAndAligned) {
+  support::Arena A;
+  auto S1 = A.allocSpan<uint32_t>(100);
+  auto S2 = A.allocSpan<uint64_t>(50);
+  auto S3 = A.allocSpan<uint8_t>(7);
+  EXPECT_EQ(S1.size(), 100u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(S1.data()) % alignof(uint32_t), 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(S2.data()) % alignof(uint64_t), 0u);
+  // Writing every byte of each span must not disturb the others.
+  std::fill(S1.begin(), S1.end(), 0x11111111u);
+  std::fill(S2.begin(), S2.end(), uint64_t(0x2222222222222222));
+  std::fill(S3.begin(), S3.end(), uint8_t(0x33));
+  EXPECT_EQ(S1.front(), 0x11111111u);
+  EXPECT_EQ(S1.back(), 0x11111111u);
+  EXPECT_EQ(S2.front(), uint64_t(0x2222222222222222));
+  EXPECT_EQ(S3.back(), uint8_t(0x33));
+  EXPECT_GE(A.bytesUsed(), 100 * 4 + 50 * 8 + 7u);
+}
+
+TEST(Arena, ResetKeepsMemoryAndCoalesces) {
+  support::Arena A;
+  // Force multiple blocks: allocate well past the first block's 64 KiB.
+  for (int I = 0; I < 10; ++I)
+    A.allocSpan<uint8_t>(100 << 10);
+  std::size_t Reserved = A.bytesReserved();
+  EXPECT_GT(Reserved, 1000u << 10);
+  A.reset();
+  EXPECT_EQ(A.bytesUsed(), 0u);
+  // Coalesced: still covers the high-water mark, so the same shape of
+  // cycle does not spill again...
+  EXPECT_GE(A.bytesReserved(), 1000u << 10);
+  // ...but the chain of doubling blocks did not survive verbatim.
+  std::size_t Coalesced = A.bytesReserved();
+  for (int I = 0; I < 10; ++I)
+    A.allocSpan<uint8_t>(100 << 10);
+  EXPECT_EQ(A.bytesReserved(), Coalesced) << "steady state must not grow";
+  A.releaseMemory();
+  EXPECT_EQ(A.bytesReserved(), 0u);
+}
+
+TEST(Arena, ZeroByteAllocationIsValid) {
+  support::Arena A;
+  void *P = A.allocate(0, 1);
+  EXPECT_NE(P, nullptr);
+}
+
+TEST(ArenaPool, HandlesRecycleWarmArenas) {
+  support::ArenaPool Pool;
+  const void *FirstBlock = nullptr;
+  {
+    auto H = Pool.acquire();
+    FirstBlock = H->allocate(1000, 8);
+    EXPECT_GT(H->bytesReserved(), 0u);
+  } // Returned to the pool here.
+  {
+    auto H = Pool.acquire();
+    // The recycled arena is reset but keeps its warm block, so the same
+    // allocation lands on the same memory.
+    EXPECT_EQ(H->bytesUsed(), 0u);
+    EXPECT_EQ(H->allocate(1000, 8), FirstBlock);
+  }
+}
+
+TEST(ArenaPool, ConcurrentAcquireIsExclusive) {
+  support::ArenaPool Pool;
+  ThreadPool Workers(4);
+  std::atomic<int> Failures{0};
+  Workers.parallelFor(32, [&](std::size_t I) {
+    auto H = Pool.acquire();
+    auto Span = H->allocSpan<uint64_t>(512);
+    std::fill(Span.begin(), Span.end(), I);
+    for (uint64_t V : Span)
+      if (V != I)
+        Failures.fetch_add(1);
+  });
+  EXPECT_EQ(Failures.load(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// MappedFile
+//===----------------------------------------------------------------------===//
+
+TEST(MappedFile, ReadsBackWrittenBytes) {
+  std::string Path = ::testing::TempDir() + "/calibro_mapped_support.bin";
+  std::vector<uint8_t> Want(4096 + 17);
+  for (std::size_t I = 0; I < Want.size(); ++I)
+    Want[I] = static_cast<uint8_t>(I * 31);
+  {
+    std::FILE *F = std::fopen(Path.c_str(), "wb");
+    ASSERT_NE(F, nullptr);
+    ASSERT_EQ(std::fwrite(Want.data(), 1, Want.size(), F), Want.size());
+    std::fclose(F);
+  }
+  auto M = support::MappedFile::open(Path);
+  ASSERT_TRUE(M.has_value());
+  EXPECT_EQ(M->size(), Want.size());
+  EXPECT_TRUE(std::equal(Want.begin(), Want.end(), M->bytes().begin()));
+
+  // Move transfers the view.
+  support::MappedFile M2 = std::move(*M);
+  EXPECT_EQ(M2.size(), Want.size());
+  EXPECT_TRUE(std::equal(Want.begin(), Want.end(), M2.bytes().begin()));
+  std::remove(Path.c_str());
+}
+
+TEST(MappedFile, EmptyAndMissingFiles) {
+  std::string Path = ::testing::TempDir() + "/calibro_mapped_empty.bin";
+  { std::fclose(std::fopen(Path.c_str(), "wb")); }
+  auto Empty = support::MappedFile::open(Path);
+  ASSERT_TRUE(Empty.has_value());
+  EXPECT_EQ(Empty->size(), 0u);
+  std::remove(Path.c_str());
+
+  EXPECT_FALSE(
+      support::MappedFile::open(Path + ".does-not-exist").has_value());
 }
 
 } // namespace

@@ -18,6 +18,7 @@
 #include "cache/BuildCache.h"
 #include "codegen/SideInfoValidator.h"
 #include "oat/Dump.h"
+#include "oat/MappedOat.h"
 #include "oat/Serialize.h"
 
 #include <cstdio>
@@ -113,7 +114,15 @@ int main(int argc, char **argv) {
     return 2;
   }
 
-  auto O = oat::readOatFile(Path);
+  // Map rather than read: dumping only decodes each section once, so
+  // parsing straight out of the mapping skips the whole-image heap copy.
+  auto Mapped = oat::MappedOat::open(Path);
+  if (!Mapped) {
+    std::fprintf(stderr, "%s: [%s] %s\n", Path, errCatName(Mapped.category()),
+                 Mapped.message().c_str());
+    return 1;
+  }
+  auto O = Mapped->parse();
   if (!O) {
     std::fprintf(stderr, "%s: [%s] %s\n", Path, errCatName(O.category()),
                  O.message().c_str());
