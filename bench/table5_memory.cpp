@@ -28,7 +28,7 @@ int main(int argc, char **argv) {
               Scale);
 
   std::vector<std::string> Names, BaseRow, CtoRow, FullRow;
-  double CtoSum = 0, FullSum = 0;
+  double CtoSum = 0, FullSum = 0, DiskSum = 0;
 
   auto Specs = workload::paperApps(Scale);
   for (const auto &Spec : Specs) {
@@ -50,6 +50,8 @@ int main(int argc, char **argv) {
     FullRow.push_back(fmtPct(100.0 * (1.0 - FullMem / B)));
     CtoSum += 100.0 * (1.0 - CtoMem / B);
     FullSum += 100.0 * (1.0 - FullMem / B);
+    DiskSum += 100.0 * (1.0 - static_cast<double>(Full.Oat.textBytes()) /
+                                  static_cast<double>(Base.Oat.textBytes()));
   }
 
   double N = static_cast<double>(Specs.size());
@@ -66,8 +68,10 @@ int main(int argc, char **argv) {
   std::printf("\nshape checks:\n");
   std::printf("  CTO reduction < CTO+LTBO reduction : %s\n",
               CtoSum < FullSum ? "PASS" : "FAIL");
-  std::printf("  memory reduction < on-disk reduction (paper: 6.82%% vs "
-              "19.19%%): see table4\n");
+  std::printf("  memory reduction < on-disk reduction (measured %.2f%% vs "
+              "%.2f%%; paper 6.82%% vs 19.19%%) : %s\n",
+              FullSum / N, DiskSum / N,
+              FullSum / N < DiskSum / N ? "PASS" : "FAIL");
 
   // Build-side memory: the largest single-group detect-phase working set
   // (suffix structure + assembled sequence/provenance + candidate scratch,

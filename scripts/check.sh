@@ -27,9 +27,9 @@ if [[ "$MODE" == all || "$MODE" == asan ]]; then
   cmake -B "$SAN_BUILD" -S . -DCALIBRO_SANITIZE=address,undefined
   cmake --build "$SAN_BUILD" -j \
         --target test_verify test_outliner test_suffixtree \
-                 test_serialize test_faultinject test_cache
+                 test_serialize test_faultinject test_cache test_analysis
   ctest --test-dir "$SAN_BUILD" --output-on-failure \
-        -R '^(test_verify|test_outliner|test_suffixtree|test_serialize|test_faultinject|test_cache)$'
+        -R '^(test_verify|test_outliner|test_suffixtree|test_serialize|test_faultinject|test_cache|test_analysis)$'
 fi
 
 if [[ "$MODE" == all || "$MODE" == tsan ]]; then
@@ -37,9 +37,10 @@ if [[ "$MODE" == all || "$MODE" == tsan ]]; then
   TSAN_BUILD="${BUILD}-tsan"
   cmake -B "$TSAN_BUILD" -S . -DCALIBRO_SANITIZE=thread
   cmake --build "$TSAN_BUILD" -j --target test_parallel test_support \
-                                          test_faultinject test_cache
+                                          test_faultinject test_cache \
+                                          test_analysis
   ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-        -R '^(test_parallel|test_support|test_faultinject|test_cache)$'
+        -R '^(test_parallel|test_support|test_faultinject|test_cache|test_analysis)$'
 fi
 
 echo "check.sh ($MODE): all green"

@@ -12,8 +12,9 @@ document to its recursive shape and diffs two shapes:
              count but not in structure)
   - scalar -> its type name (bool before int: bool is an int in Python)
 
-Usage: check_bench_schema.py GOLDEN.json CANDIDATE.json
-Exits 0 when the shapes match, 1 with a per-path report when they differ.
+Usage: check_bench_schema.py GOLDEN.json CANDIDATE.json [GOLDEN CANDIDATE]...
+Each GOLDEN/CANDIDATE pair is diffed independently. Exits 0 when every
+pair's shapes match, 1 with a per-path report for each pair that differs.
 """
 
 import json
@@ -69,24 +70,32 @@ def diff(golden, candidate, path, out):
         out.append(f"type changed at {path}: {golden!r} -> {candidate!r}")
 
 
-def main(argv):
-    if len(argv) != 3:
-        print("usage: check_bench_schema.py GOLDEN.json CANDIDATE.json",
-              file=sys.stderr)
-        return 2
-    with open(argv[1]) as f:
+def check_pair(golden_path, candidate_path):
+    with open(golden_path) as f:
         golden = shape(json.load(f))
-    with open(argv[2]) as f:
+    with open(candidate_path) as f:
         candidate = shape(json.load(f))
     problems = []
     diff(golden, candidate, "", problems)
     if problems:
-        print(f"bench schema drift ({argv[1]} vs {argv[2]}):")
+        print(f"bench schema drift ({golden_path} vs {candidate_path}):")
         for p in problems:
             print(f"  {p}")
-        return 1
-    print(f"bench schema OK: {argv[2]} matches {argv[1]}")
-    return 0
+        return False
+    print(f"bench schema OK: {candidate_path} matches {golden_path}")
+    return True
+
+
+def main(argv):
+    if len(argv) < 3 or len(argv) % 2 != 1:
+        print("usage: check_bench_schema.py GOLDEN.json CANDIDATE.json "
+              "[GOLDEN CANDIDATE]...",
+              file=sys.stderr)
+        return 2
+    ok = True
+    for i in range(1, len(argv), 2):
+        ok &= check_pair(argv[i], argv[i + 1])
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over every first-party source file
+# in the compile database and diffs the normalized findings against the
+# checked-in baseline. New findings fail; fixed findings just print a
+# reminder to shrink the baseline.
+#
+#   scripts/check_lint.sh            # gate against scripts/lint_baseline.txt
+#   scripts/check_lint.sh --update   # regenerate the baseline
+#
+# Findings are normalized to "<repo-relative-file>: <check-name>" and
+# deduplicated, so line-number churn from unrelated edits does not
+# invalidate the baseline.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BASELINE=scripts/lint_baseline.txt
+BUILD=${BUILD_DIR:-build}
+
+TIDY=$(command -v clang-tidy || true)
+if [ -z "$TIDY" ]; then
+  echo "check_lint: clang-tidy not installed; skipping (CI installs it)" >&2
+  exit 0
+fi
+
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+  cmake -B "$BUILD" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+FILES=$(git ls-files 'src/**/*.cpp' 'tools/*.cpp' 'bench/*.cpp' 'tests/*.cpp')
+
+CURRENT=$(mktemp)
+trap 'rm -f "$CURRENT"' EXIT
+# shellcheck disable=SC2086
+$TIDY -p "$BUILD" --quiet $FILES 2>/dev/null |
+  grep -E 'warning:.*\[[a-z0-9.-]+\]$' |
+  sed -E "s|^$(pwd)/||" |
+  sed -E 's|^([^:]+):[0-9]+:[0-9]+: warning:.*\[([a-z0-9.-]+)\]$|\1: \2|' |
+  sort -u > "$CURRENT" || true
+
+if [ "${1:-}" = "--update" ]; then
+  {
+    echo "# clang-tidy baseline: one '<file>: <check>' line per tolerated"
+    echo "# finding. Regenerate with scripts/check_lint.sh --update."
+    cat "$CURRENT"
+  } > "$BASELINE"
+  echo "check_lint: baseline updated ($(wc -l < "$CURRENT") findings)"
+  exit 0
+fi
+
+KNOWN=$(mktemp)
+trap 'rm -f "$CURRENT" "$KNOWN"' EXIT
+grep -v '^#' "$BASELINE" > "$KNOWN" || true
+
+NEW=$(comm -13 <(sort -u "$KNOWN") "$CURRENT" || true)
+FIXED=$(comm -23 <(sort -u "$KNOWN") "$CURRENT" || true)
+
+if [ -n "$FIXED" ]; then
+  echo "check_lint: findings fixed since baseline (run --update to shrink):"
+  echo "$FIXED" | sed 's/^/  /'
+fi
+if [ -n "$NEW" ]; then
+  echo "check_lint: NEW findings not in $BASELINE:" >&2
+  echo "$NEW" | sed 's/^/  /' >&2
+  echo "check_lint: fix them or run scripts/check_lint.sh --update" >&2
+  exit 1
+fi
+echo "check_lint: clean ($(wc -l < "$CURRENT") findings, all baselined)"

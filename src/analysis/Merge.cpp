@@ -1,0 +1,283 @@
+//===- analysis/Merge.cpp - Optimistic global method merging --------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Merge.h"
+
+#include "aarch64/Decoder.h"
+#include "aarch64/Encoder.h"
+#include "cache/Digest.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace calibro;
+using namespace calibro::analysis;
+
+namespace {
+
+bool isMovImm(a64::Opcode Op) {
+  return Op == a64::Opcode::MovZ || Op == a64::Opcode::MovN ||
+         Op == a64::Opcode::MovK;
+}
+
+bool isDirectBranch(a64::Opcode Op) {
+  switch (Op) {
+  case a64::Opcode::B:
+  case a64::Opcode::Bcond:
+  case a64::Opcode::Cbz:
+  case a64::Opcode::Cbnz:
+  case a64::Opcode::Tbz:
+  case a64::Opcode::Tbnz:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Marks the words of \p M covered by embedded-data ranges.
+std::vector<uint8_t> dataWords(const codegen::CompiledMethod &M) {
+  std::vector<uint8_t> IsData(M.Code.size(), 0);
+  for (const codegen::EmbeddedDataRange &R : M.Side.EmbeddedData)
+    for (uint32_t W = R.Offset / 4;
+         W < (R.Offset + R.Size) / 4 && W < M.Code.size(); ++W)
+      IsData[W] = 1;
+  return IsData;
+}
+
+/// The shape digest of \p M: its merge digest with every mov-immediate
+/// instruction word reduced to (class, Rd, width). Methods that differ only
+/// in mov immediates land in the same bucket.
+cache::Digest shapeDigest(const codegen::CompiledMethod &M,
+                          const std::vector<uint8_t> &IsData) {
+  cache::Hasher H;
+  H.u64(M.Code.size());
+  for (std::size_t W = 0; W < M.Code.size(); ++W) {
+    if (!IsData[W]) {
+      if (auto I = a64::decode(M.Code[W]); I && isMovImm(I->Op)) {
+        H.u8(1);
+        H.u8(I->Rd);
+        H.u8(I->Is64 ? 1 : 0);
+        continue;
+      }
+    }
+    H.u8(0);
+    H.u32(M.Code[W]);
+  }
+  // Side info, stack map and relocations must match exactly, so they feed
+  // the bucket key verbatim via the structural merge digest of an
+  // immaterial copy with the code blanked out.
+  codegen::CompiledMethod Shape;
+  Shape.Side = M.Side;
+  Shape.Map = M.Map;
+  Shape.Relocs = M.Relocs;
+  H.digest(cache::methodMergeDigest(Shape));
+  return H.finish();
+}
+
+/// Structural equality over everything merging cares about (not index or
+/// name).
+bool bodiesEqual(const codegen::CompiledMethod &A,
+                 const codegen::CompiledMethod &B) {
+  return A.Code == B.Code && A.Side == B.Side && A.Map == B.Map &&
+         A.Relocs == B.Relocs;
+}
+
+/// Checks whether \p V can legally become a thunk into \p C, writing the
+/// cut (in words) to \p DWords. See the header comment for the rules.
+bool thunkLegal(const codegen::CompiledMethod &V,
+                const codegen::CompiledMethod &C,
+                const std::vector<uint8_t> &IsData, uint32_t MinTailWords,
+                uint32_t &DWords) {
+  if (V.Code.size() != C.Code.size() || !(V.Side == C.Side) ||
+      !(V.Map == C.Map) || V.Relocs != C.Relocs)
+    return false;
+  uint32_t LastDiff = 0;
+  bool AnyDiff = false;
+  for (std::size_t W = 0; W < V.Code.size(); ++W) {
+    if (V.Code[W] == C.Code[W])
+      continue;
+    if (IsData[W])
+      return false;
+    auto VI = a64::decode(V.Code[W]);
+    auto CI = a64::decode(C.Code[W]);
+    if (!VI || !CI || !isMovImm(VI->Op) || !isMovImm(CI->Op) ||
+        VI->Rd != CI->Rd || VI->Is64 != CI->Is64)
+      return false;
+    LastDiff = static_cast<uint32_t>(W);
+    AnyDiff = true;
+  }
+  if (!AnyDiff)
+    return false; // Byte-identical: the alias tier's job, not a thunk.
+  uint32_t D = LastDiff + 1;
+  uint32_t N = static_cast<uint32_t>(V.Code.size());
+  if (N < D + 1 || N - (D + 1) < MinTailWords)
+    return false;
+  uint32_t CutOff = D * 4;
+  // The tail runs inside the canonical body: it must never branch back
+  // into (or load from) the prefix, whose immediates differ. The prefix
+  // runs inside the thunk: it must never reference past the cut, and a
+  // reference to exactly the cut is legal only for a direct branch (it
+  // lands on the thunk's `b`, which forwards to the canonical tail — a
+  // literal load there would read the branch encoding as data).
+  for (const codegen::PcRelRecord &R : V.Side.PcRelRecords) {
+    if (R.InsnOffset >= CutOff) {
+      if (R.TargetOffset < CutOff)
+        return false;
+    } else {
+      if (R.TargetOffset > CutOff)
+        return false;
+      if (R.TargetOffset == CutOff) {
+        auto I = a64::decode(V.Code[R.InsnOffset / 4]);
+        if (!I || !isDirectBranch(I->Op))
+          return false;
+      }
+    }
+  }
+  for (const codegen::EmbeddedDataRange &R : V.Side.EmbeddedData)
+    if (R.Offset < CutOff && R.Offset + R.Size > CutOff)
+      return false;
+  for (const codegen::ByteRange &R : V.Side.SlowPathRanges)
+    if (R.Begin < CutOff && R.End > CutOff)
+      return false;
+  DWords = D;
+  return true;
+}
+
+} // namespace
+
+MergePlan
+analysis::planMerge(const std::vector<codegen::CompiledMethod> &Methods,
+                    const MergeOptions &Opts) {
+  MergePlan Plan;
+
+  // Candidate vector positions, ordered by method index so every bucket's
+  // canonical is the lowest index.
+  std::vector<std::size_t> Candidates;
+  for (std::size_t I = 0; I < Methods.size(); ++I) {
+    const codegen::CompiledMethod &M = Methods[I];
+    if (!M.Side.IsNative && !M.Side.HasIndirectJump && !M.Code.empty())
+      Candidates.push_back(I);
+  }
+  std::sort(Candidates.begin(), Candidates.end(),
+            [&](std::size_t A, std::size_t B) {
+              return Methods[A].MethodIdx < Methods[B].MethodIdx;
+            });
+
+  // Tier 1: identical bodies -> aliases.
+  std::unordered_map<std::string, std::vector<std::size_t>> Identical;
+  std::vector<std::string> IdenticalKeys; // Insertion order for determinism.
+  for (std::size_t I : Candidates) {
+    std::string Key = cache::methodMergeDigest(Methods[I]).hex();
+    auto [It, New] = Identical.try_emplace(std::move(Key));
+    if (New)
+      IdenticalKeys.push_back(It->first);
+    It->second.push_back(I);
+  }
+  // Alias victims leave the candidate pool; alias canonicals stay in it
+  // but may only serve the thunk tier as canonicals — turning one into a
+  // thunk would cut the body its aliases share.
+  std::unordered_set<std::size_t> AliasVictims, AliasCanons;
+  for (const std::string &Key : IdenticalKeys) {
+    const std::vector<std::size_t> &Bucket = Identical[Key];
+    if (Bucket.size() < 2)
+      continue;
+    std::size_t Canon = Bucket.front();
+    for (std::size_t K = 1; K < Bucket.size(); ++K) {
+      std::size_t V = Bucket[K];
+      if (!bodiesEqual(Methods[V], Methods[Canon]))
+        continue; // Digest collision: leave it for the thunk tier.
+      Plan.Aliases.push_back(
+          {Methods[V].MethodIdx, Methods[Canon].MethodIdx});
+      Plan.SavedBytes += Methods[V].codeSizeBytes();
+      AliasVictims.insert(V);
+      AliasCanons.insert(Canon);
+    }
+  }
+
+  // Tier 2: mov-immediate variants -> thunks.
+  if (Opts.EnableThunks) {
+    std::unordered_map<std::string, std::vector<std::size_t>> Shapes;
+    std::vector<std::string> ShapeKeys;
+    std::unordered_map<std::size_t, std::vector<uint8_t>> DataCache;
+    for (std::size_t I : Candidates) {
+      if (AliasVictims.count(I))
+        continue;
+      auto &IsData =
+          DataCache.try_emplace(I, dataWords(Methods[I])).first->second;
+      std::string Key = shapeDigest(Methods[I], IsData).hex();
+      auto [It, New] = Shapes.try_emplace(std::move(Key));
+      if (New)
+        ShapeKeys.push_back(It->first);
+      It->second.push_back(I);
+    }
+    for (const std::string &Key : ShapeKeys) {
+      const std::vector<std::size_t> &Bucket = Shapes[Key];
+      if (Bucket.size() < 2)
+        continue;
+      std::size_t Canon = Bucket.front();
+      bool CanonUsed = false;
+      for (std::size_t K = 1; K < Bucket.size(); ++K) {
+        std::size_t V = Bucket[K];
+        if (AliasCanons.count(V))
+          continue; // Its aliases need the full body intact.
+        uint32_t DWords = 0;
+        if (!thunkLegal(Methods[V], Methods[Canon], DataCache[V],
+                        Opts.MinTailWords, DWords))
+          continue;
+        uint32_t N = static_cast<uint32_t>(Methods[V].Code.size());
+        Plan.Thunks.push_back(
+            {Methods[V].MethodIdx, Methods[Canon].MethodIdx, DWords * 4});
+        Plan.SavedBytes += static_cast<uint64_t>(N - (DWords + 1)) * 4;
+        Plan.Pinned.push_back(Methods[V].MethodIdx);
+        CanonUsed = true;
+      }
+      if (CanonUsed)
+        Plan.Pinned.push_back(Methods[Canon].MethodIdx);
+    }
+  }
+
+  auto ByIdx = [](const auto &A, const auto &B) {
+    return A.MethodIdx < B.MethodIdx;
+  };
+  std::sort(Plan.Aliases.begin(), Plan.Aliases.end(), ByIdx);
+  std::sort(Plan.Thunks.begin(), Plan.Thunks.end(), ByIdx);
+  std::sort(Plan.Pinned.begin(), Plan.Pinned.end());
+  Plan.Pinned.erase(std::unique(Plan.Pinned.begin(), Plan.Pinned.end()),
+                    Plan.Pinned.end());
+  return Plan;
+}
+
+void analysis::makeThunk(codegen::CompiledMethod &M, uint32_t DWords,
+                         uint32_t ThunkTableIdx) {
+  uint32_t CutOff = DWords * 4;
+  M.Code.resize(DWords);
+  a64::Insn Branch{.Op = a64::Opcode::B};
+  Branch.Imm = 0; // Placeholder; the linker binds the MergedBody reloc.
+  M.Code.push_back(a64::encode(Branch));
+
+  auto &Side = M.Side;
+  std::erase_if(Side.TerminatorOffsets,
+                [&](uint32_t Off) { return Off >= CutOff; });
+  Side.TerminatorOffsets.push_back(CutOff);
+  std::erase_if(Side.PcRelRecords, [&](const codegen::PcRelRecord &R) {
+    return R.InsnOffset >= CutOff;
+  });
+  std::erase_if(Side.EmbeddedData, [&](const codegen::EmbeddedDataRange &R) {
+    return R.Offset + R.Size > CutOff;
+  });
+  std::erase_if(Side.SlowPathRanges, [&](const codegen::ByteRange &R) {
+    return R.End > CutOff;
+  });
+  std::erase_if(M.Map.Entries, [&](const codegen::StackMapEntry &E) {
+    return E.NativePcOffset > CutOff;
+  });
+  std::erase_if(M.Relocs, [&](const codegen::Relocation &R) {
+    return R.Offset >= CutOff;
+  });
+  M.Relocs.push_back(
+      {CutOff, codegen::RelocKind::MergedBody, ThunkTableIdx});
+}

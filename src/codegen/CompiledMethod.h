@@ -30,6 +30,7 @@ namespace codegen {
 enum class RelocKind : uint8_t {
   CtoStub,      ///< A compilation-time-outlining stub (paper §3.1).
   OutlinedFunc, ///< A function created by the link-time outliner (§3.3.3).
+  MergedBody,   ///< Merge thunk tail: `b` into the canonical body's tail.
 };
 
 /// One unresolved `bl` site.

@@ -6,12 +6,15 @@
 
 #include "core/Calibro.h"
 
+#include "analysis/Merge.h"
 #include "codegen/CodeGenerator.h"
 #include "hir/Passes.h"
 #include "oat/Linker.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 #include "verify/OatVerifier.h"
+
+#include <unordered_map>
 
 using namespace calibro;
 using namespace calibro::core;
@@ -121,6 +124,17 @@ Expected<CompiledApp> core::compileApp(const dex::App &App,
   Result.Methods = std::move(Methods);
   Result.Stubs = StubCache.takeStubs();
   Result.MethodDigests = std::move(Digests);
+
+  // Dex-level call graph for the closed-world analyses. Built even for
+  // open-world apps (oatdump --callgraph wants it); the GC itself only
+  // arms when entrypoints were declared.
+  analysis::CallGraphOptions GOpts;
+  GOpts.Strict = Opts.StrictCallGraph;
+  auto G = analysis::buildCallGraph(App, GOpts);
+  if (!G)
+    return G.takeError();
+  Result.Graph = std::move(*G);
+  Result.HasAnalysis = true;
   return Result;
 }
 
@@ -129,6 +143,88 @@ Expected<BuildResult> core::linkApp(CompiledApp App,
   BuildResult Result;
   BuildStats &Stats = Result.Stats;
   Stats = std::move(App.Stats);
+
+  // Closed-world analyses (GC + merge), before outlining. Armed only when
+  // the app declared entrypoints; open-world builds are byte-for-byte
+  // unaffected. Both passes plan single-threadedly, so their verdicts are
+  // independent of every thread-count knob.
+  std::unordered_set<uint32_t> MergePinned;
+  std::vector<oat::MergeAliasRef> Aliases;
+  std::vector<oat::MergeThunkRef> MergeThunks;
+  std::vector<uint32_t> MethodsGCed;
+  uint64_t GcBytes = 0;
+  std::size_t MergedIdentical = 0, MergedThunk = 0;
+  uint64_t MergeSavedBytes = 0;
+  std::size_t GraphAnomalies = 0, RepairedEdges = 0;
+
+  const bool ClosedWorld = App.HasAnalysis && !App.Graph.Entrypoints.empty();
+  if (ClosedWorld && (Opts.EnableGc || Opts.EnableMerge)) {
+    auto B = analysis::bindBinaryEdges(App.Graph, App.Methods,
+                                       Opts.StrictCallGraph);
+    if (!B)
+      return B.takeError();
+    RepairedEdges = B->RepairedEdges;
+    GraphAnomalies = App.Graph.Anomalies.size();
+
+    if (Opts.EnableGc) {
+      analysis::Reachability Reach = analysis::computeReachability(App.Graph);
+      if (!Reach.Dead.empty()) {
+        std::unordered_set<uint32_t> DeadSet(Reach.Dead.begin(),
+                                             Reach.Dead.end());
+        std::vector<codegen::CompiledMethod> Kept;
+        Kept.reserve(App.Methods.size());
+        for (auto &M : App.Methods) {
+          if (DeadSet.count(M.MethodIdx)) {
+            GcBytes += M.codeSizeBytes();
+            MethodsGCed.push_back(M.MethodIdx);
+          } else {
+            Kept.push_back(std::move(M));
+          }
+        }
+        App.Methods = std::move(Kept);
+      }
+    }
+
+    if (Opts.EnableMerge) {
+      analysis::MergePlan Plan = analysis::planMerge(App.Methods);
+      if (!Plan.Aliases.empty() || !Plan.Thunks.empty()) {
+        std::unordered_map<uint32_t, uint32_t> AliasCanon;
+        AliasCanon.reserve(Plan.Aliases.size());
+        for (const auto &A : Plan.Aliases)
+          AliasCanon.emplace(A.MethodIdx, A.CanonMethodIdx);
+        std::vector<codegen::CompiledMethod> Kept;
+        Kept.reserve(App.Methods.size());
+        for (auto &M : App.Methods) {
+          auto It = AliasCanon.find(M.MethodIdx);
+          if (It != AliasCanon.end())
+            Aliases.push_back({M.MethodIdx, std::move(M.Name), It->second});
+          else
+            Kept.push_back(std::move(M));
+        }
+        App.Methods = std::move(Kept);
+
+        std::unordered_map<uint32_t, std::size_t> Pos;
+        Pos.reserve(App.Methods.size());
+        for (std::size_t I = 0; I < App.Methods.size(); ++I)
+          Pos.emplace(App.Methods[I].MethodIdx, I);
+        for (std::size_t TI = 0; TI < Plan.Thunks.size(); ++TI) {
+          const analysis::MergeThunk &T = Plan.Thunks[TI];
+          auto It = Pos.find(T.MethodIdx);
+          if (It == Pos.end())
+            return makeError("merge plan names unknown method " +
+                             std::to_string(T.MethodIdx));
+          analysis::makeThunk(App.Methods[It->second], T.EntryByteOff / 4,
+                              static_cast<uint32_t>(TI));
+          MergeThunks.push_back({T.MethodIdx, T.CanonMethodIdx,
+                                 T.EntryByteOff});
+        }
+        MergePinned.insert(Plan.Pinned.begin(), Plan.Pinned.end());
+        MergedIdentical = Plan.Aliases.size();
+        MergedThunk = Plan.Thunks.size();
+        MergeSavedBytes = Plan.SavedBytes;
+      }
+    }
+  }
 
   // LTBO.2: whole-program outlining before linking.
   std::vector<codegen::OutlinedFunc> Outlined;
@@ -154,6 +250,8 @@ Expected<BuildResult> core::linkApp(CompiledApp App,
       Hot = profile::selectHotMethods(*Opts.Profile, Opts.HotCoverage);
       OOpts.HotMethods = &Hot;
     }
+    if (!MergePinned.empty())
+      OOpts.PinnedMethods = &MergePinned;
     auto R = runLtbo(App.Methods, OOpts);
     if (!R)
       return R.takeError();
@@ -163,6 +261,16 @@ Expected<BuildResult> core::linkApp(CompiledApp App,
     Stats.LtboSeconds = LtboTimer.seconds();
   }
 
+  // Analysis counters land after the Ltbo overwrite above so they also
+  // survive outline-disabled builds.
+  Stats.Ltbo.MethodsGCed = std::move(MethodsGCed);
+  Stats.Ltbo.GcBytes = GcBytes;
+  Stats.Ltbo.MethodsMergedIdentical = MergedIdentical;
+  Stats.Ltbo.MethodsMergedThunk = MergedThunk;
+  Stats.Ltbo.MergeSavedBytes = MergeSavedBytes;
+  Stats.Ltbo.CallGraphAnomalies = GraphAnomalies;
+  Stats.Ltbo.RepairedEdges = RepairedEdges;
+
   // Linking: bind every symbolic call, lay out the .text image.
   Timer LinkTimer;
   oat::LinkInput In;
@@ -171,6 +279,8 @@ Expected<BuildResult> core::linkApp(CompiledApp App,
   In.Methods = std::move(App.Methods);
   In.Stubs = std::move(App.Stubs);
   In.Outlined = std::move(Outlined);
+  In.Aliases = std::move(Aliases);
+  In.MergeThunks = std::move(MergeThunks);
   Stats.CtoStubCount = In.Stubs.size();
   auto O = oat::link(In);
   if (!O)

@@ -27,6 +27,7 @@
 #ifndef CALIBRO_CORE_CALIBRO_H
 #define CALIBRO_CORE_CALIBRO_H
 
+#include "analysis/CallGraph.h"
 #include "cache/BuildCache.h"
 #include "core/Outliner.h"
 #include "dex/Dex.h"
@@ -72,6 +73,18 @@ struct CalibroOptions {
   /// compiled-method blobs and LTBO group selections for unchanged inputs;
   /// output is byte-identical to a cold build at the same inputs.
   std::string CacheDir;
+  /// Closed-world reachability GC (`--no-gc` clears it): drop methods the
+  /// entrypoint-rooted call-graph walk proves unreachable, before merging
+  /// and outlining. Only armed when the app declares Entrypoints — an app
+  /// without them is an open world and nothing is dropped.
+  bool EnableGc = true;
+  /// Global method merging (`--no-merge` clears it): alias identical
+  /// bodies, thunk mov-immediate variants. Gated on the same closed-world
+  /// declaration as the GC.
+  bool EnableMerge = true;
+  /// Fail the build on any call-graph anomaly (`--strict-gc`) instead of
+  /// degrading to conservative edges/roots.
+  bool StrictCallGraph = false;
 };
 
 /// Statistics of one build.
@@ -115,6 +128,11 @@ struct CompiledApp {
   /// so mutations between compile and link can never replay stale cache
   /// entries.
   std::vector<cache::Digest> MethodDigests;
+  /// The dex-level call graph (invoke sites + CHA virtual fan-out),
+  /// built by compileApp when HasAnalysis is set. linkApp refines it with
+  /// binary cross-references before the reachability pass.
+  analysis::CallGraph Graph;
+  bool HasAnalysis = false;
   /// Compile-stage statistics; LTBO/link fields are still zero.
   BuildStats Stats;
 };

@@ -566,6 +566,10 @@ Expected<OutlineResult> core::runLtbo(std::vector<CompiledMethod> &Methods,
       ++Result.Stats.ExcludedIndirectJump;
       continue;
     }
+    if (Opts.PinnedMethods && Opts.PinnedMethods->count(M.MethodIdx)) {
+      ++Result.Stats.ExcludedMergePinned;
+      continue;
+    }
     Candidates.push_back(Row);
   }
   Result.Stats.CandidateMethods = Candidates.size();

@@ -86,6 +86,10 @@ struct OutlinerOptions {
   /// Hot methods (HfOpti): outlining inside them is restricted to their
   /// slow-path ranges. Null disables filtering.
   const std::unordered_set<uint32_t> *HotMethods = nullptr;
+  /// Methods the global merger pinned out of outlining: thunk canonicals
+  /// (their tail entry offset must survive linking unchanged) and the
+  /// thunks themselves. They link verbatim. Null pins nothing.
+  const std::unordered_set<uint32_t> *PinnedMethods = nullptr;
   /// Fail-fast mode: a method with invalid side info aborts the whole run
   /// with a typed error instead of being excluded from outlining. The
   /// default is per-method graceful degradation — an invalid method still
@@ -151,6 +155,20 @@ struct OutlineStats {
   /// MethodsRejected bucketed by the first fault found per method, indexed
   /// by codegen::SideInfoFault.
   std::array<std::size_t, codegen::NumSideInfoFaults> RejectedByFault{};
+  /// Methods excluded from outlining because the merger pinned them.
+  std::size_t ExcludedMergePinned = 0;
+
+  // --- Analysis front-end (GC + merge) counters. Filled by linkApp, not
+  // by runLtbo; they live here so every size experiment reads one struct.
+  // All are single-threaded-plan outputs: independent of Threads.
+  /// Dead methods dropped by the reachability GC, ascending MethodIdx.
+  std::vector<uint32_t> MethodsGCed;
+  uint64_t GcBytes = 0;              ///< Code bytes the GC removed.
+  std::size_t MethodsMergedIdentical = 0; ///< Bodies turned into aliases.
+  std::size_t MethodsMergedThunk = 0;     ///< Bodies turned into thunks.
+  uint64_t MergeSavedBytes = 0;      ///< Alias bodies + dropped tails.
+  std::size_t CallGraphAnomalies = 0; ///< Recorded by build + bind passes.
+  std::size_t RepairedEdges = 0;      ///< Binary-only edges added back.
 };
 
 /// One method excluded from outlining by side-info validation.

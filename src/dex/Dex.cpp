@@ -282,5 +282,9 @@ Error dex::verifyApp(const App &A) {
         return E;
     }
   }
+  for (uint32_t E : A.Entrypoints)
+    if (E >= Total)
+      return makeError("entrypoint index " + std::to_string(E) +
+                       " out of range");
   return Error::success();
 }

@@ -122,10 +122,27 @@ struct File {
   std::vector<Method> Methods;
 };
 
+/// One edge of the application's class hierarchy: \p Class directly
+/// extends \p Super. Classes are named as they appear in method names
+/// ("Lapp/Entry0;"). Classes absent from the list have no subtypes.
+struct TypeLink {
+  std::string Class;
+  std::string Super;
+};
+
 /// An application package: what dex2oat consumes (paper Fig. 5's "apk").
 struct App {
   std::string Name;
   std::vector<File> Files;
+
+  /// Global method indices reachable from outside the app (manifest
+  /// components, exported JNI, reflection roots). An empty list means the
+  /// world is open: every method must be presumed reachable and the
+  /// closed-world reachability GC stays disabled.
+  std::vector<uint32_t> Entrypoints;
+
+  /// Direct-subclass edges for conservative virtual-dispatch resolution.
+  std::vector<TypeLink> Hierarchy;
 
   /// Total method count across all dex files.
   std::size_t numMethods() const {

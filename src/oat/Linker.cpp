@@ -33,12 +33,17 @@ uint32_t place(std::vector<uint32_t> &Text, const std::vector<uint32_t> &Code,
   return Result;
 }
 
-/// Binds one `bl` site at absolute text offset \p SiteOff to \p TargetOff.
+/// Binds one branch site at absolute text offset \p SiteOff to \p TargetOff.
+/// Call relocations must sit on `bl`; merge-thunk tails sit on plain `b`.
 Error bindCall(std::vector<uint32_t> &Text, uint32_t SiteOff,
-               uint32_t TargetOff, const std::string &Where) {
+               uint32_t TargetOff, const std::string &Where,
+               a64::Opcode Expect = a64::Opcode::Bl) {
   auto I = a64::decode(Text[SiteOff / 4]);
-  if (!I || I->Op != a64::Opcode::Bl)
-    return makeError(ErrCat::Link, Where + ": relocation does not sit on a bl");
+  if (!I || I->Op != Expect)
+    return makeError(ErrCat::Link,
+                     Where + (Expect == a64::Opcode::Bl
+                                  ? ": relocation does not sit on a bl"
+                                  : ": relocation does not sit on a b"));
   I->Imm = static_cast<int64_t>(TargetOff) - static_cast<int64_t>(SiteOff);
   auto Word = a64::encodeChecked(*I);
   if (!Word)
@@ -66,6 +71,9 @@ Expected<OatFile> oat::link(const LinkInput &In) {
 
   std::unordered_set<uint32_t> SeenMethodIdx;
   SeenMethodIdx.reserve(In.Methods.size());
+  // MethodIdx -> position in O.Methods, for merge canonical lookups.
+  std::unordered_map<uint32_t, std::size_t> MethodPos;
+  MethodPos.reserve(In.Methods.size());
   for (const auto &M : In.Methods) {
     if (!SeenMethodIdx.insert(M.MethodIdx).second)
       return makeError(ErrCat::Link, "duplicate method index " +
@@ -87,10 +95,51 @@ Expected<OatFile> oat::link(const LinkInput &In) {
     E.CodeSize = M.codeSizeBytes();
     E.Side = M.Side;
     E.Map = M.Map;
+    MethodPos.emplace(M.MethodIdx, O.Methods.size());
     O.Methods.push_back(std::move(E));
     for (const auto &R : M.Relocs)
       Pending.push_back({Off + R.Offset, R.Kind, R.TargetId,
                          "method " + M.Name});
+  }
+
+  // Stamp thunk provenance onto the already-placed prefix bodies, and
+  // append alias entries sharing their canonical's range outright.
+  for (const MergeThunkRef &T : In.MergeThunks) {
+    auto Self = MethodPos.find(T.MethodIdx);
+    if (Self == MethodPos.end())
+      return makeError(ErrCat::Link, "merge thunk for unlinked method " +
+                                         std::to_string(T.MethodIdx));
+    auto Canon = MethodPos.find(T.CanonMethodIdx);
+    if (Canon == MethodPos.end())
+      return makeError(ErrCat::Link, "merge thunk canonical method " +
+                                         std::to_string(T.CanonMethodIdx) +
+                                         " not linked");
+    if (T.EntryByteOff % 4 != 0 ||
+        T.EntryByteOff >= O.Methods[Canon->second].CodeSize)
+      return makeError(ErrCat::Link,
+                       "merge thunk entry offset outside canonical body");
+    O.Methods[Self->second].MergedInto = T.CanonMethodIdx;
+    O.Methods[Self->second].MergedEntryOff = T.EntryByteOff;
+  }
+  for (const MergeAliasRef &A : In.Aliases) {
+    if (!SeenMethodIdx.insert(A.MethodIdx).second)
+      return makeError(ErrCat::Link, "duplicate method index " +
+                                         std::to_string(A.MethodIdx) +
+                                         " (merge alias " + A.Name + ")");
+    auto Canon = MethodPos.find(A.CanonMethodIdx);
+    if (Canon == MethodPos.end())
+      return makeError(ErrCat::Link, "merge alias canonical method " +
+                                         std::to_string(A.CanonMethodIdx) +
+                                         " not linked");
+    OatMethodEntry E;
+    E.MethodIdx = A.MethodIdx;
+    E.Name = A.Name;
+    E.CodeOffset = O.Methods[Canon->second].CodeOffset;
+    E.CodeSize = O.Methods[Canon->second].CodeSize;
+    E.Side = O.Methods[Canon->second].Side;
+    E.Map = O.Methods[Canon->second].Map;
+    E.MergedInto = A.CanonMethodIdx;
+    O.Methods.push_back(std::move(E));
   }
 
   std::vector<uint32_t> StubOff(In.Stubs.size());
@@ -128,6 +177,7 @@ Expected<OatFile> oat::link(const LinkInput &In) {
   // Bind every call now that all addresses exist.
   for (const auto &P : Pending) {
     uint32_t Target;
+    a64::Opcode Expect = a64::Opcode::Bl;
     switch (P.Kind) {
     case RelocKind::CtoStub:
       if (P.TargetId >= StubOff.size())
@@ -141,10 +191,23 @@ Expected<OatFile> oat::link(const LinkInput &In) {
       Target = It->second;
       break;
     }
+    case RelocKind::MergedBody: {
+      if (P.TargetId >= In.MergeThunks.size())
+        return makeError(ErrCat::Link,
+                         P.Where + ": dangling merge-thunk relocation");
+      const MergeThunkRef &T = In.MergeThunks[P.TargetId];
+      auto It = MethodPos.find(T.CanonMethodIdx);
+      if (It == MethodPos.end())
+        return makeError(ErrCat::Link,
+                         P.Where + ": merge canonical method not linked");
+      Target = O.Methods[It->second].CodeOffset + T.EntryByteOff;
+      Expect = a64::Opcode::B;
+      break;
+    }
     default:
       return makeError(ErrCat::Link, P.Where + ": unknown relocation kind");
     }
-    if (auto E = bindCall(O.Text, P.SiteOff, Target, P.Where))
+    if (auto E = bindCall(O.Text, P.SiteOff, Target, P.Where, Expect))
       return E;
   }
 

@@ -21,6 +21,23 @@
 namespace calibro {
 namespace oat {
 
+/// An identical-body merge victim: gets its own OatMethodEntry sharing the
+/// canonical method's code range and metadata, contributing zero text.
+struct MergeAliasRef {
+  uint32_t MethodIdx = 0;
+  std::string Name;
+  uint32_t CanonMethodIdx = 0;
+};
+
+/// A thunk merge: MethodIdx is still in Methods (prefix body ending in a
+/// MergedBody relocation) and its trailing `b` must land EntryByteOff bytes
+/// into the canonical method's body.
+struct MergeThunkRef {
+  uint32_t MethodIdx = 0;
+  uint32_t CanonMethodIdx = 0;
+  uint32_t EntryByteOff = 0;
+};
+
 /// Everything the linker consumes for one app.
 struct LinkInput {
   std::string AppName;
@@ -28,6 +45,10 @@ struct LinkInput {
   std::vector<codegen::CompiledMethod> Methods;
   std::vector<codegen::CtoStub> Stubs;
   std::vector<codegen::OutlinedFunc> Outlined;
+  /// Global-merge outputs (empty unless the merge pass ran). MergedBody
+  /// relocations index MergeThunks by TargetId.
+  std::vector<MergeAliasRef> Aliases;
+  std::vector<MergeThunkRef> MergeThunks;
 };
 
 /// Links \p In into an OatFile. Fails on dangling relocations or malformed

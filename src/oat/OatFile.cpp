@@ -79,9 +79,15 @@ Error oat::validateOat(const OatFile &O) {
     Ranges.emplace_back(Off, Off + Size);
     return Error::success();
   };
-  for (const auto &M : O.Methods)
+  for (const auto &M : O.Methods) {
+    if (M.MergedInto != NoMergeParent) {
+      const OatMethodEntry *Canon = O.findMethod(M.MergedInto);
+      if (Canon && M.CodeOffset == Canon->CodeOffset)
+        continue; // Alias: shares the canonical range; provenance checks it.
+    }
     if (auto E = addRange(M.CodeOffset, M.CodeSize, "method " + M.Name))
       return E;
+  }
   for (const auto &S : O.CtoStubs)
     if (auto E = addRange(S.CodeOffset, S.CodeSize, "cto stub"))
       return E;
@@ -94,6 +100,41 @@ Error oat::validateOat(const OatFile &O) {
   for (std::size_t I = 1; I < Ranges.size(); ++I)
     if (Ranges[I].first < Ranges[I - 1].second)
       return makeError("validateOat: overlapping code ranges");
+
+  // Merge provenance: every merged entry names a live, unmerged canonical.
+  // Aliases must mirror the canonical range outright; thunks must end in an
+  // unconditional `b` landing exactly on the recorded canonical-body entry.
+  for (const auto &M : O.Methods) {
+    if (M.MergedInto == NoMergeParent)
+      continue;
+    std::string Where = "method " + M.Name;
+    if (M.MergedInto == M.MethodIdx)
+      return failAt(Where, "method merged into itself");
+    const OatMethodEntry *Canon = O.findMethod(M.MergedInto);
+    if (!Canon)
+      return failAt(Where, "merge parent not in method table");
+    if (Canon->MergedInto != NoMergeParent)
+      return failAt(Where, "merge parent is itself merged");
+    if (M.CodeOffset == Canon->CodeOffset) {
+      // Alias: same body, zero extra text.
+      if (M.CodeSize != Canon->CodeSize || M.MergedEntryOff != 0)
+        return failAt(Where, "malformed merge alias entry");
+    } else {
+      // Thunk: private prefix plus the trailing tail-branch.
+      if (M.MergedEntryOff % 4 != 0 || M.MergedEntryOff >= Canon->CodeSize)
+        return failAt(Where, "merge entry offset out of canonical body");
+      if (M.CodeSize < 8)
+        return failAt(Where, "merge thunk too small");
+      uint32_t BranchOff = M.CodeOffset + M.CodeSize - 4;
+      auto I = a64::decode(O.Text[BranchOff / 4]);
+      if (!I || I->Op != a64::Opcode::B)
+        return failAt(Where, "merge thunk does not end in b");
+      auto Target = a64::pcRelTarget(*I, O.BaseAddress + BranchOff);
+      if (!Target ||
+          *Target != O.BaseAddress + Canon->CodeOffset + M.MergedEntryOff)
+        return failAt(Where, "merge thunk branch misses canonical entry");
+    }
+  }
 
   // Per-method metadata consistency.
   for (const auto &M : O.Methods) {

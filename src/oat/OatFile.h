@@ -27,6 +27,9 @@
 namespace calibro {
 namespace oat {
 
+/// MergedInto value meaning "not merged".
+inline constexpr uint32_t NoMergeParent = 0xffffffffu;
+
 /// One linked method.
 struct OatMethodEntry {
   uint32_t MethodIdx = 0;
@@ -35,6 +38,13 @@ struct OatMethodEntry {
   uint32_t CodeSize = 0;   ///< Bytes, including embedded pools.
   codegen::MethodSideInfo Side; ///< Post-outlining side information.
   codegen::StackMap Map;
+  /// Global-merge provenance: the canonical method's index when this entry
+  /// is an alias (shares the canonical code range outright) or a thunk
+  /// (own prefix ending in a `b` into the canonical body).
+  uint32_t MergedInto = NoMergeParent;
+  /// Thunk entries only: byte offset inside the canonical body that the
+  /// trailing branch targets. Zero for aliases.
+  uint32_t MergedEntryOff = 0;
 };
 
 /// One linked CTO stub.

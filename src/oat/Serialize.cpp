@@ -108,6 +108,9 @@ void putMethodsSection(ByteWriter &W, const OatFile &O) {
     W.str(M.Name);
     W.uleb(M.CodeOffset / 4);
     W.uleb(M.CodeSize / 4);
+    // Merge provenance: 0 = unmerged, else canonical MethodIdx + 1.
+    W.uleb(M.MergedInto == NoMergeParent ? 0 : uint64_t(M.MergedInto) + 1);
+    W.uleb(M.MergedEntryOff / 4);
     putStackMap(W, M.Map);
     putSideInfo(W, M.Side);
   }
@@ -223,10 +226,15 @@ Error parseMethodsSection(std::span<const uint8_t> Bytes, OatFile &O) {
     READ_OR_RETURN(Name, R.str());
     READ_OR_RETURN(Off, R.uleb());
     READ_OR_RETURN(Size, R.uleb());
+    READ_OR_RETURN(Merged, R.uleb());
+    READ_OR_RETURN(EntryOff, R.uleb());
     M.MethodIdx = static_cast<uint32_t>(Idx);
     M.Name = Name;
     M.CodeOffset = static_cast<uint32_t>(Off) * 4;
     M.CodeSize = static_cast<uint32_t>(Size) * 4;
+    M.MergedInto =
+        Merged == 0 ? NoMergeParent : static_cast<uint32_t>(Merged - 1);
+    M.MergedEntryOff = static_cast<uint32_t>(EntryOff) * 4;
     if (auto E = parseStackMap(R, M.Map))
       return E;
     if (auto E = parseSideInfo(R, M.Side))

@@ -37,8 +37,9 @@
 namespace calibro {
 namespace oat {
 
-/// Current format version, stored in .oat.header.
-inline constexpr uint32_t OatFormatVersion = 1;
+/// Current format version, stored in .oat.header. Version 2 added the
+/// per-method merge provenance fields (MergedInto, MergedEntryOff).
+inline constexpr uint32_t OatFormatVersion = 2;
 
 /// Shared payload encodings for per-method metadata (varint
 /// delta-compressed, the way ART packs its CodeInfo tables). Exported so

@@ -69,14 +69,22 @@ Simulator::Simulator(const oat::OatFile &Oat, SimOptions Opts)
     const auto &E = Oat.Methods[M];
     for (uint32_t W = E.CodeOffset / 4; W < (E.CodeOffset + E.CodeSize) / 4;
          ++W)
-      MethodAt[W] = static_cast<int32_t>(M);
+      // First writer wins: merge aliases share their canonical's range and
+      // are appended after it, so the canonical keeps the attribution.
+      if (MethodAt[W] < 0)
+        MethodAt[W] = static_cast<int32_t>(M);
   }
 
   TextBytes.resize(Oat.Text.size() * 4);
   std::memcpy(TextBytes.data(), Oat.Text.data(), TextBytes.size());
 
   // Build the runtime image: thread record, method table, ArtMethods.
-  uint64_t NumMethods = Oat.Methods.size();
+  // Table slots are indexed by MethodIdx, which is sparse once the
+  // reachability GC drops dead methods — size by the largest index, not
+  // the entry count.
+  uint64_t NumMethods = 0;
+  for (const auto &M : Oat.Methods)
+    NumMethods = std::max<uint64_t>(NumMethods, uint64_t(M.MethodIdx) + 1);
   uint64_t ArtMethodsOff = alignTo(MethodTableOff + 8 * NumMethods, 4096);
   Image.assign(ArtMethodsOff + art::ArtMethodSize * NumMethods, 0);
 

@@ -42,6 +42,12 @@ const char *verify::mutationKindName(MutationKind K) {
     return "corrupt-cache-blob";
   case MutationKind::TruncateCacheBlob:
     return "truncate-cache-blob";
+  case MutationKind::DropCallEdge:
+    return "drop-call-edge";
+  case MutationKind::ForgeEntrypoint:
+    return "forge-entrypoint";
+  case MutationKind::CorruptInvokeIdx:
+    return "corrupt-invoke-idx";
   }
   return "unknown";
 }
@@ -69,6 +75,7 @@ core::CalibroOptions linkOptions(const FaultInjectorOptions &Opts,
   L.LtboPartitions = Opts.LtboPartitions;
   L.LtboThreads = ThreadsOverride ? ThreadsOverride : Opts.LtboThreads;
   L.StrictSideInfo = Opts.Strict;
+  L.StrictCallGraph = Opts.Strict;
   return L;
 }
 
@@ -319,11 +326,14 @@ Expected<FaultReport> FaultInjector::runCacheMutation(MutationKind Kind,
 
 Expected<FaultReport>
 FaultInjector::classifyLinkRun(std::vector<CompiledMethod> Methods,
-                               MutationKind Kind, uint32_t ThreadsOverride) {
+                               MutationKind Kind, uint32_t ThreadsOverride,
+                               const analysis::CallGraph *GraphOverride) {
   core::CompiledApp A;
   A.AppName = Compiled.AppName;
   A.Methods = std::move(Methods);
   A.Stubs = Compiled.Stubs;
+  A.Graph = GraphOverride ? *GraphOverride : Compiled.Graph;
+  A.HasAnalysis = Compiled.HasAnalysis;
 
   FaultReport Rep;
   Rep.Kind = Kind;
@@ -425,6 +435,52 @@ Expected<FaultReport> FaultInjector::run(uint64_t Seed, MutationKind Kind,
     Rep.RejectStage = "link";
     Rep.RejectMessage = Linked.message();
     return Rep;
+  }
+
+  case MutationKind::DropCallEdge:
+  case MutationKind::ForgeEntrypoint:
+  case MutationKind::CorruptInvokeIdx: {
+    FaultReport Rep;
+    Rep.Kind = Kind;
+    // Open-world harness: the analyses never arm, so there is no graph
+    // whose mutation could reach the pipeline.
+    if (!Compiled.HasAnalysis || Compiled.Graph.Entrypoints.empty()) {
+      Rep.Outcome = FaultOutcome::Harmless;
+      return Rep;
+    }
+    analysis::CallGraph G = Compiled.Graph;
+    bool Applied = false;
+    if (Kind == MutationKind::ForgeEntrypoint) {
+      uint32_t Forged = static_cast<uint32_t>(R.nextBelow(G.NumMethods));
+      auto It = std::lower_bound(G.Entrypoints.begin(), G.Entrypoints.end(),
+                                 Forged);
+      if (It == G.Entrypoints.end() || *It != Forged) {
+        G.Entrypoints.insert(It, Forged);
+        Applied = true;
+      }
+    } else {
+      // Probe callers from a seeded start until one has an edge to mutate.
+      std::size_t Start = static_cast<std::size_t>(R.nextBelow(G.NumMethods));
+      for (std::size_t K = 0; K < G.NumMethods && !Applied; ++K) {
+        uint32_t From = static_cast<uint32_t>((Start + K) % G.NumMethods);
+        auto &Out = G.Succ[From];
+        if (Out.empty())
+          continue;
+        uint32_t To = Out[static_cast<std::size_t>(R.nextBelow(Out.size()))];
+        G.dropEdge(From, To);
+        if (Kind == MutationKind::CorruptInvokeIdx)
+          // +4 lets the corrupted index land out of bounds sometimes,
+          // exercising the reachability pass's skip.
+          G.addEdge(From,
+                    static_cast<uint32_t>(R.nextBelow(G.NumMethods + 4)));
+        Applied = true;
+      }
+    }
+    if (!Applied) {
+      Rep.Outcome = FaultOutcome::Harmless;
+      return Rep;
+    }
+    return classifyLinkRun(Compiled.Methods, Kind, ThreadsOverride, &G);
   }
 
   case MutationKind::BitFlipSideInfo:

@@ -51,10 +51,13 @@ enum class MutationKind : uint8_t {
   DuplicateOutlinedId, ///< Feed the linker two outlined funcs with one id.
   CorruptCacheBlob,  ///< Flip one bit of one on-disk build-cache blob.
   TruncateCacheBlob, ///< Cut one on-disk build-cache blob short.
+  DropCallEdge,      ///< Remove one edge from the call graph before GC.
+  ForgeEntrypoint,   ///< Declare one extra (bogus) reachability root.
+  CorruptInvokeIdx,  ///< Retarget one call edge at a seeded method index.
 };
 
 /// Number of MutationKind values.
-inline constexpr std::size_t NumMutationKinds = 8;
+inline constexpr std::size_t NumMutationKinds = 11;
 
 /// Returns a stable kebab-case name for \p K.
 const char *mutationKindName(MutationKind K);
@@ -129,10 +132,13 @@ public:
 private:
   FaultInjector() = default;
 
-  /// Links (LTBO + link) \p Methods and classifies the result.
+  /// Links (analysis + LTBO + link) \p Methods and classifies the result.
+  /// The run inherits the pristine call graph unless \p GraphOverride
+  /// substitutes a mutated copy.
   Expected<FaultReport> classifyLinkRun(std::vector<codegen::CompiledMethod> Methods,
                                         MutationKind Kind,
-                                        uint32_t ThreadsOverride);
+                                        uint32_t ThreadsOverride,
+                                        const analysis::CallGraph *GraphOverride = nullptr);
 
   /// Rebuilds from the mutated cache store and checks byte-identity.
   Expected<FaultReport> runCacheMutation(MutationKind Kind, Rng &R,

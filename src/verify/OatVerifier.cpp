@@ -89,7 +89,18 @@ Error OatVerifier::buildCoverage() {
     return Error::success();
   };
 
+  ThunkBranch.clear();
   for (const auto &M : O.Methods) {
+    if (M.MergedInto != oat::NoMergeParent) {
+      // validateOat already proved the canonical exists and the entry is
+      // shape-correct.
+      const oat::OatMethodEntry *Canon = O.findMethod(M.MergedInto);
+      if (Canon && Canon->CodeOffset == M.CodeOffset)
+        continue; // Alias: shares the canonical's range, covered once.
+      if (Canon)
+        ThunkBranch.emplace(M.CodeOffset + M.CodeSize - 4,
+                            Canon->CodeOffset + M.MergedEntryOff);
+    }
     if (auto E = cover(M.CodeOffset, M.CodeSize, "method " + M.Name))
       return E;
     for (const auto &D : M.Side.EmbeddedData)
@@ -160,8 +171,14 @@ Error OatVerifier::checkTextAndBranches() {
         return failAt("branch", Off, "target not on an insn boundary");
       if (IsData[TOff / 4])
         return failAt("branch", Off, "target inside embedded data");
-      if (RangeId[TOff / 4] != RangeId[W])
-        return failAt("branch", Off, "direct branch escapes its range");
+      if (RangeId[TOff / 4] != RangeId[W]) {
+        // One sanctioned escape: a merge thunk's trailing `b` into its
+        // canonical body at exactly the recorded entry offset.
+        auto It = ThunkBranch.find(Off);
+        if (It == ThunkBranch.end() || I->Op != a64::Opcode::B ||
+            TOff != It->second)
+          return failAt("branch", Off, "direct branch escapes its range");
+      }
       ++Stats.BranchesChecked;
     } else if (I->Op == a64::Opcode::Bl) {
       if (TOff % 4 != 0)

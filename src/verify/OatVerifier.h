@@ -42,6 +42,7 @@
 #include "support/Error.h"
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 namespace calibro {
@@ -82,6 +83,10 @@ private:
   std::vector<uint32_t> RangeLo; ///< Per range: first byte offset.
   std::vector<uint32_t> RangeHi; ///< Per range: one past the last byte.
   std::vector<bool> IsEntry;     ///< Per word: a range starts here.
+  /// Merge-thunk tail branches: byte offset of the trailing `b` mapped to
+  /// the one cross-range target it is allowed to take (canonical body +
+  /// recorded entry offset).
+  std::unordered_map<uint32_t, uint32_t> ThunkBranch;
 };
 
 /// Convenience wrapper: construct, run, discard stats.

@@ -477,6 +477,219 @@ struct Gen {
   }
 };
 
+/// One clone-family method. Every random decision is drawn from a
+/// family-seeded stream that restarts identically for each sibling, so
+/// siblings compile to byte-identical bodies — except for the single
+/// parameterizing mov-immediate of "variant" siblings, which the variant
+/// decision (a separate per-sibling stream) perturbs.
+Method makeClone(const AppSpec &Spec, uint32_t Family, uint32_t Sibling,
+                 uint32_t Idx, uint32_t UtilityBase, uint32_t NumUtilities) {
+  uint64_t FamSeed = Spec.Seed * 0x9e3779b97f4a7c15ULL + 0xc107e +
+                     Family * 0x632be59bd9b4e019ULL;
+  Rng FR(FamSeed);
+  Method M;
+  M.Idx = Idx;
+  M.Name = "Lclone/F" + std::to_string(Family) + "S" +
+           std::to_string(Sibling) + ";->apply";
+  M.NumArgs = 2;
+  M.NumRegs = 12;
+  M.ReturnsValue = true;
+
+  auto constInt = [&](uint16_t Reg, int64_t Imm) {
+    Insn C;
+    C.Opcode = Op::ConstInt;
+    C.A = Reg;
+    C.Imm = Imm;
+    M.Code.push_back(C);
+  };
+  constInt(1, static_cast<int64_t>(FR.nextInRange(1, 900)));
+  constInt(2, static_cast<int64_t>(FR.nextInRange(1, 900)));
+
+  // The parameterizing immediate: one movz in the compiled body. Variants
+  // shift it by a sibling-dependent amount, keeping it a single movz.
+  int64_t Base = 16 + 2 * static_cast<int64_t>(FR.nextInRange(0, 512));
+  bool Variant =
+      Sibling > 0 && Rng(FamSeed ^ (0x51b1 + Sibling))
+                         .nextBool(Spec.CloneImmVariantFraction);
+  constInt(4, Variant ? Base + 16 * static_cast<int64_t>(Sibling) : Base);
+
+  // Family-shared arithmetic mixing the parameter into the result, so a
+  // thunk bound to the wrong immediate changes the observed return value.
+  std::size_t Len = FR.nextInRange(6, 12);
+  for (std::size_t K = 0; K < Len; ++K) {
+    Insn X;
+    switch (FR.nextBelow(4)) {
+    case 0:
+      X.Opcode = Op::Add;
+      X.A = 1;
+      X.B = 1;
+      X.C = 4;
+      break;
+    case 1:
+      X.Opcode = Op::Xor;
+      X.A = 2;
+      X.B = 2;
+      X.C = 4;
+      break;
+    case 2:
+      X.Opcode = Op::Mul;
+      X.A = 1;
+      X.B = 1;
+      X.C = 2;
+      break;
+    default:
+      X.Opcode = Op::AddImm;
+      X.A = 1;
+      X.B = 1;
+      X.Imm = static_cast<int64_t>(FR.nextInRange(0, 50));
+      break;
+    }
+    M.Code.push_back(X);
+  }
+
+  // Family-shared utility calls, so merged bodies carry relocations.
+  std::size_t Calls = FR.nextInRange(1, 2);
+  for (std::size_t K = 0; K < Calls; ++K) {
+    Insn Call;
+    Call.Opcode = Op::InvokeStatic;
+    Call.A = 5;
+    Call.Idx = UtilityBase + static_cast<uint32_t>(FR.nextBelow(NumUtilities));
+    Call.Args = {1, 2, NoReg, NoReg};
+    Call.NumArgs = 2;
+    M.Code.push_back(Call);
+    Insn Acc;
+    Acc.Opcode = Op::Add;
+    Acc.A = 1;
+    Acc.B = 1;
+    Acc.C = 5;
+    M.Code.push_back(Acc);
+  }
+  Insn Ret;
+  Ret.Opcode = Op::Return;
+  Ret.A = 1;
+  M.Code.push_back(Ret);
+  return M;
+}
+
+/// One never-rooted method: part of a zombie call cycle with dead->live
+/// edges into the utility layer. Never executed; exists to be collected.
+Method makeZombie(const AppSpec &Spec, uint32_t K, uint32_t Idx,
+                  uint32_t ZombieBase, uint32_t NumDead,
+                  uint32_t UtilityBase, uint32_t NumUtilities) {
+  Rng ZR(Spec.Seed ^ (0xdeadbeefULL + K * 0x9e3779b97f4a7c15ULL));
+  Method M;
+  M.Idx = Idx;
+  M.Name = "Lzombie/Z" + std::to_string(K) + ";->stale";
+  M.NumArgs = 2;
+  M.NumRegs = 10;
+  M.ReturnsValue = true;
+
+  Insn C;
+  C.Opcode = Op::ConstInt;
+  C.A = 1;
+  C.Imm = static_cast<int64_t>(ZR.nextBelow(1000));
+  M.Code.push_back(C);
+
+  auto call = [&](uint32_t Callee) {
+    Insn Call;
+    Call.Opcode = Op::InvokeStatic;
+    Call.A = 4;
+    Call.Idx = Callee;
+    Call.Args = {1, 2, NoReg, NoReg};
+    Call.NumArgs = 2;
+    M.Code.push_back(Call);
+    Insn Acc;
+    Acc.Opcode = Op::Add;
+    Acc.A = 1;
+    Acc.B = 1;
+    Acc.C = 4;
+    M.Code.push_back(Acc);
+  };
+  call(ZombieBase + (K + 1) % NumDead); // The cycle: dead calling dead.
+  call(UtilityBase + static_cast<uint32_t>(ZR.nextBelow(NumUtilities)));
+
+  // Bulk, so collecting zombies saves measurable bytes.
+  std::size_t Filler = ZR.nextInRange(12, 28);
+  for (std::size_t F = 0; F < Filler; ++F) {
+    Insn X;
+    if (ZR.nextBool(0.4)) {
+      X.Opcode = Op::ConstInt;
+      X.A = static_cast<uint16_t>(2 + ZR.nextBelow(4));
+      X.Imm = static_cast<int64_t>(ZR.next() & 0xffffffffu);
+    } else {
+      X.Opcode = Op::Add;
+      X.A = 1;
+      X.B = 1;
+      X.C = static_cast<uint16_t>(2 + ZR.nextBelow(4));
+    }
+    M.Code.push_back(X);
+  }
+  Insn Ret;
+  Ret.Opcode = Op::Return;
+  Ret.A = 1;
+  M.Code.push_back(Ret);
+  return M;
+}
+
+/// Reroutes an entry's final return through an appended block that
+/// allocates a receiver, virtual-calls a clone-family base (the CHA
+/// fan-out keeps every sibling live) and static-calls specific siblings
+/// (so immediate variants actually execute), all drawn from a dedicated
+/// per-entry stream that leaves the main generator stream untouched.
+void appendCloneCalls(const AppSpec &Spec, Method &M, uint32_t EntryIdx,
+                      uint32_t CloneBase, uint32_t Families,
+                      uint32_t Siblings) {
+  Rng CR(Spec.Seed * 0x9e3779b97f4a7c15ULL + 0xc10e + EntryIdx);
+  assert(!M.Code.empty() && M.Code.back().Opcode == Op::Return);
+  uint32_t BlockStart = static_cast<uint32_t>(M.Code.size());
+  Insn &Tail = M.Code.back();
+  Tail = Insn{};
+  Tail.Opcode = Op::Goto;
+  Tail.Target = BlockStart;
+
+  Insn Alloc;
+  Alloc.Opcode = Op::NewInstance;
+  Alloc.A = ObjReg;
+  Alloc.Idx = static_cast<uint32_t>(CR.nextBelow(32));
+  M.Code.push_back(Alloc);
+
+  auto accumulate = [&] {
+    Insn Acc;
+    Acc.Opcode = Op::Add;
+    Acc.A = 1;
+    Acc.B = 1;
+    Acc.C = 4;
+    M.Code.push_back(Acc);
+  };
+  Insn VCall;
+  VCall.Opcode = Op::InvokeVirtual;
+  VCall.A = 4;
+  VCall.Idx = CloneBase + static_cast<uint32_t>(CR.nextBelow(Families)) *
+                              Siblings; // Sibling 0: the family base.
+  VCall.Args = {ObjReg, 2, NoReg, NoReg};
+  VCall.NumArgs = 2;
+  M.Code.push_back(VCall);
+  accumulate();
+
+  std::size_t Statics = CR.nextInRange(1, 2);
+  for (std::size_t K = 0; K < Statics; ++K) {
+    Insn SCall;
+    SCall.Opcode = Op::InvokeStatic;
+    SCall.A = 4;
+    SCall.Idx = CloneBase +
+                static_cast<uint32_t>(CR.nextBelow(Families)) * Siblings +
+                static_cast<uint32_t>(CR.nextBelow(Siblings));
+    SCall.Args = {1, 2, NoReg, NoReg};
+    SCall.NumArgs = 2;
+    M.Code.push_back(SCall);
+    accumulate();
+  }
+  Insn Ret;
+  Ret.Opcode = Op::Return;
+  Ret.A = 1;
+  M.Code.push_back(Ret);
+}
+
 } // namespace
 
 dex::App workload::makeApp(const AppSpec &Spec) {
@@ -501,7 +714,58 @@ dex::App workload::makeApp(const AppSpec &Spec) {
     uint32_t Idx = G.utilityIdx(U);
     fileOf(Idx).Methods.push_back(G.makeUtility(Idx, Native));
   }
+
+  // Everything below draws only from dedicated streams, so the methods
+  // generated above are byte-for-byte what they always were.
+  uint32_t CloneBase = G.Total;
+  uint32_t Siblings = Spec.CloneSiblings < 2 ? 2 : Spec.CloneSiblings;
+  if (Spec.CloneFamilies > 0) {
+    for (uint32_t F = 0; F < Spec.CloneFamilies; ++F) {
+      for (uint32_t S = 0; S < Siblings; ++S) {
+        uint32_t Idx = CloneBase + F * Siblings + S;
+        fileOf(Idx).Methods.push_back(makeClone(
+            Spec, F, S, Idx, G.utilityIdx(0), G.NumUtilities));
+        if (S > 0)
+          A.Hierarchy.push_back(
+              {"Lclone/F" + std::to_string(F) + "S" + std::to_string(S) + ";",
+               "Lclone/F" + std::to_string(F) + "S0;"});
+      }
+    }
+    for (uint32_t E = 0; E < G.NumEntries; ++E)
+      for (Method &M : fileOf(E).Methods)
+        if (M.Idx == E)
+          appendCloneCalls(Spec, M, E, CloneBase, Spec.CloneFamilies,
+                           Siblings);
+  }
+
+  uint32_t ZombieBase =
+      CloneBase + (Spec.CloneFamilies > 0 ? Spec.CloneFamilies * Siblings : 0);
+  for (uint32_t K = 0; K < Spec.NumDeadMethods; ++K) {
+    uint32_t Idx = ZombieBase + K;
+    fileOf(Idx).Methods.push_back(makeZombie(Spec, K, Idx, ZombieBase,
+                                             Spec.NumDeadMethods,
+                                             G.utilityIdx(0),
+                                             G.NumUtilities));
+  }
+
+  if (Spec.ClosedWorld) {
+    Rng ER(Spec.Seed * 0x9e3779b97f4a7c15ULL + 0x5eed);
+    for (uint32_t E = 0; E < G.NumEntries; ++E)
+      A.Entrypoints.push_back(E);
+    // Exported-component sample over workers and utilities. Clones stay
+    // reachable through the entry calls; zombies are never rooted.
+    for (uint32_t Idx = G.NumEntries; Idx < G.Total; ++Idx)
+      if (ER.nextBool(Spec.KeepFraction))
+        A.Entrypoints.push_back(Idx);
+  }
   return A;
+}
+
+void workload::enableDeadCode(AppSpec &S) {
+  S.ClosedWorld = true;
+  uint32_t Bulk = S.NumWorkers + S.NumUtilities;
+  S.NumDeadMethods = Bulk / 12 < 4 ? 4 : Bulk / 12;
+  S.CloneFamilies = S.NumUtilities / 12 < 2 ? 2 : S.NumUtilities / 12;
 }
 
 std::vector<Invocation> workload::makeScript(const AppSpec &Spec,

@@ -52,7 +52,31 @@ struct AppSpec {
   uint32_t NumIdioms = 96;      ///< Size of the shared idiom pool.
   double IdiomZipfS = 0.9;      ///< Idiom popularity skew.
   double CalleeZipfS = 1.10;    ///< Callee popularity skew.
+
+  // Closed-world knobs (all default-off; the generated app is then
+  // byte-identical to what this generator always produced). With
+  // ClosedWorld set, the app declares Entrypoints — every entry method
+  // plus a KeepFraction sample of workers and utilities (modeling exported
+  // components) — which arms the reachability GC in the link pipeline.
+  bool ClosedWorld = false;
+  double KeepFraction = 0.85; ///< Worker/utility root probability.
+  /// Never-rooted, never-called methods forming a call cycle among
+  /// themselves (plus dead->live edges into utilities): guaranteed GC food.
+  uint32_t NumDeadMethods = 0;
+  /// Families of structurally identical "clone" methods, the merge corpus.
+  /// Each family shares one body; some siblings differ in exactly one
+  /// mov-immediate (thunk candidates), the rest are byte-identical (alias
+  /// candidates). Entries call into the families, so clones execute and
+  /// the differential harness observes their results.
+  uint32_t CloneFamilies = 0;
+  uint32_t CloneSiblings = 3;        ///< Clamped to at least 2.
+  double CloneImmVariantFraction = 0.5; ///< Sibling immediate-variant rate.
 };
+
+/// Arms the closed-world knobs of \p S with amounts calibrated to the
+/// app's size, so the corpus contains both garbage to collect and clones
+/// to merge. The entry layer and driver script are unchanged.
+void enableDeadCode(AppSpec &S);
 
 /// One scripted invocation for the runtime driver (the uiautomator
 /// substitute).

@@ -40,7 +40,14 @@ constexpr std::array<MutationKind, 6> AllKinds = {
     MutationKind::SwapRangeEndpoints, MutationKind::StaleBranchTarget,
     MutationKind::TruncateSection,    MutationKind::DuplicateOutlinedId,
 };
-static_assert(NumMutationKinds == AllKinds.size() + 2,
+/// The call-graph mutation kinds, swept separately (FaultInjectCallGraph
+/// below) because they only bite on a closed-world app spec.
+constexpr std::array<MutationKind, 3> GraphKinds = {
+    MutationKind::DropCallEdge,
+    MutationKind::ForgeEntrypoint,
+    MutationKind::CorruptInvokeIdx,
+};
+static_assert(NumMutationKinds == AllKinds.size() + GraphKinds.size() + 2,
               "new mutation kinds need sweep coverage here");
 
 /// One injector, compiled once, shared by the whole suite: the compile
@@ -245,6 +252,91 @@ TEST(FaultInjectCache, CacheCorruptionSweepIsAlwaysHarmless) {
   }
 
   fs::remove_all(CacheDir);
+}
+
+TEST(FaultInjectCallGraph, LenientGraphMutationsAreHarmless) {
+  // Closed world, so the GC/merge pipeline actually consumes the graph.
+  workload::AppSpec Spec;
+  Spec.Name = "graphfault";
+  Spec.Seed = 4409;
+  Spec.NumWorkers = 30;
+  Spec.NumUtilities = 15;
+  workload::enableDeadCode(Spec);
+
+  FaultInjectorOptions Opts;
+  Opts.ScriptLength = 4;
+
+  auto Inj = FaultInjector::create(Spec, Opts);
+  ASSERT_TRUE(bool(Inj)) << Inj.message();
+
+  // Lenient mode repairs dropped binary-visible edges and treats forged
+  // roots / corrupted targets conservatively (liveness can only grow or
+  // shed never-executed methods), so every mutated image must behave
+  // exactly like baseline: always Harmless, never a harness Error.
+  for (MutationKind Kind : GraphKinds) {
+    for (uint64_t Seed = 0; Seed < 15; ++Seed) {
+      auto Rep = Inj->run(Seed, Kind);
+      ASSERT_TRUE(bool(Rep))
+          << mutationKindName(Kind) << " seed " << Seed << ": "
+          << Rep.message();
+      EXPECT_EQ(static_cast<int>(Rep->Outcome),
+                static_cast<int>(FaultOutcome::Harmless))
+          << mutationKindName(Kind) << " seed " << Seed;
+      EXPECT_EQ(Rep->MethodsRejected, 0u);
+      EXPECT_TRUE(Rep->RejectStage.empty());
+    }
+  }
+
+  // Classification must not depend on the link stage's thread count.
+  for (MutationKind Kind : GraphKinds) {
+    for (uint32_t Threads : {1u, 4u, 8u}) {
+      auto Rep = Inj->run(3, Kind, Threads);
+      ASSERT_TRUE(bool(Rep)) << mutationKindName(Kind) << " threads "
+                             << Threads << ": " << Rep.message();
+      EXPECT_EQ(static_cast<int>(Rep->Outcome),
+                static_cast<int>(FaultOutcome::Harmless))
+          << mutationKindName(Kind) << " threads " << Threads;
+    }
+  }
+}
+
+TEST(FaultInjectCallGraph, StrictModeRejectsInconsistentGraphs) {
+  workload::AppSpec Spec;
+  Spec.Name = "graphstrict";
+  Spec.Seed = 4409;
+  Spec.NumWorkers = 30;
+  Spec.NumUtilities = 15;
+  workload::enableDeadCode(Spec);
+
+  FaultInjectorOptions Opts;
+  Opts.ScriptLength = 4;
+  Opts.Strict = true;
+
+  auto Inj = FaultInjector::create(Spec, Opts);
+  ASSERT_TRUE(bool(Inj)) << Inj.message();
+
+  // Under --strict-gc a dropped or retargeted dex edge whose call site is
+  // still visible in the binary is a BinaryOnlyCallee anomaly and must
+  // fail the build instead of being silently repaired.
+  std::size_t Rejected = 0;
+  for (MutationKind Kind :
+       {MutationKind::DropCallEdge, MutationKind::CorruptInvokeIdx}) {
+    for (uint64_t Seed = 0; Seed < 15; ++Seed) {
+      auto Rep = Inj->run(Seed, Kind);
+      ASSERT_TRUE(bool(Rep))
+          << mutationKindName(Kind) << " seed " << Seed << ": "
+          << Rep.message();
+      EXPECT_NE(static_cast<int>(Rep->Outcome),
+                static_cast<int>(FaultOutcome::Degraded))
+          << mutationKindName(Kind) << " seed " << Seed;
+      if (Rep->Outcome == FaultOutcome::Rejected) {
+        EXPECT_EQ(Rep->MethodsRejected, 0u);
+        EXPECT_FALSE(Rep->RejectMessage.empty());
+        ++Rejected;
+      }
+    }
+  }
+  EXPECT_GT(Rejected, 0u);
 }
 
 TEST(FaultInjectStrict, StrictModeRejectsInsteadOfDegrading) {

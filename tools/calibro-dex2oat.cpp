@@ -50,6 +50,11 @@ void usage() {
       "  --cache-dir <dir>  persistent build cache: unchanged methods skip\n"
       "                     codegen, unchanged LTBO groups skip detection\n"
       "  --cache-stats      print cache hit/miss/group-reuse counters\n"
+      "  --dead-code        arm the workload's closed-world knobs: declared\n"
+      "                     entrypoints, garbage methods, clone families\n"
+      "  --no-gc            disable the closed-world reachability GC\n"
+      "  --no-merge         disable global method merging\n"
+      "  --strict-gc        fail the build on any call-graph anomaly\n"
       "  -o <file>          output path (required)\n");
   std::exit(2);
 }
@@ -69,6 +74,7 @@ int main(int argc, char **argv) {
   uint64_t Seed = 0;
   bool Hf = false;
   bool CacheStats = false;
+  bool DeadCode = false;
   core::CalibroOptions Opts;
 
   for (int I = 1; I < argc; ++I) {
@@ -101,6 +107,14 @@ int main(int argc, char **argv) {
       Opts.CacheDir = next(I, argc, argv);
     else if (A == "--cache-stats")
       CacheStats = true;
+    else if (A == "--dead-code")
+      DeadCode = true;
+    else if (A == "--no-gc")
+      Opts.EnableGc = false;
+    else if (A == "--no-merge")
+      Opts.EnableMerge = false;
+    else if (A == "--strict-gc")
+      Opts.StrictCallGraph = true;
     else if (A == "-o")
       Out = next(I, argc, argv);
     else
@@ -122,6 +136,8 @@ int main(int argc, char **argv) {
   }
   if (Seed)
     Spec.Seed = Seed;
+  if (DeadCode)
+    workload::enableDeadCode(Spec);
 
   dex::App App = workload::makeApp(Spec);
   std::fprintf(stderr, "compiling %s: %zu methods, %zu dex files\n",
@@ -179,6 +195,17 @@ int main(int argc, char **argv) {
                  "replayed\n",
                  St.CacheHits, St.CacheMisses, St.Ltbo.GroupsReused,
                  St.Ltbo.GroupsReused + St.Ltbo.GroupsDetected);
+  if (!St.Ltbo.MethodsGCed.empty() || St.Ltbo.MethodsMergedIdentical ||
+      St.Ltbo.MethodsMergedThunk)
+    std::fprintf(stderr,
+                 "  analysis: gc dropped %zu methods (%llu bytes), merged "
+                 "%zu identical + %zu thunks (%llu bytes), %zu anomalies, "
+                 "%zu repaired edges\n",
+                 St.Ltbo.MethodsGCed.size(),
+                 (unsigned long long)St.Ltbo.GcBytes,
+                 St.Ltbo.MethodsMergedIdentical, St.Ltbo.MethodsMergedThunk,
+                 (unsigned long long)St.Ltbo.MergeSavedBytes,
+                 St.Ltbo.CallGraphAnomalies, St.Ltbo.RepairedEdges);
   if (St.Ltbo.MethodsRejected) {
     std::fprintf(stderr,
                  "  degraded: %zu methods excluded from outlining "

@@ -12,18 +12,26 @@
 ///   calibro-oatdump --method W17 file.oat   # methods matching a fragment
 ///   calibro-oatdump --check file.oat        # audit per-method side info
 ///   calibro-oatdump --cache-audit <dir>     # audit a build-cache store
+///   calibro-oatdump --callgraph --app Wechat --dead-code
+///                                           # compile the app spec and dump
+///                                           # its call graph as JSON
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/CallGraph.h"
 #include "cache/BuildCache.h"
 #include "codegen/SideInfoValidator.h"
+#include "core/Calibro.h"
 #include "oat/Dump.h"
 #include "oat/MappedOat.h"
 #include "oat/Serialize.h"
+#include "workload/Workload.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <unordered_map>
 
 using namespace calibro;
 
@@ -36,7 +44,11 @@ int checkSideInfo(const oat::OatFile &O) {
   int Bad = 0;
   std::size_t Audited = 0, Skipped = 0;
   for (const auto &M : O.Methods) {
-    if (M.Side.IsNative || M.Side.HasIndirectJump) {
+    // Merged entries (aliases, thunks) intentionally under-describe their
+    // code: an alias shares the canonical's metadata and a thunk's trailing
+    // branch is unrecorded. validateOat checks them by shape instead.
+    if (M.Side.IsNative || M.Side.HasIndirectJump ||
+        M.MergedInto != oat::NoMergeParent) {
       ++Skipped;
       continue;
     }
@@ -61,9 +73,112 @@ int checkSideInfo(const oat::OatFile &O) {
     }
   }
   std::printf("side-info audit: %zu methods audited, %zu skipped "
-              "(native/indirect), %d faulty\n",
+              "(native/indirect/merged), %d faulty\n",
               Audited, Skipped, Bad);
   return Bad;
+}
+
+/// Escapes \p S for a JSON string literal (method names are plain ASCII,
+/// but quote/backslash safety costs nothing).
+std::string jsonEscape(const std::string &S) {
+  std::string R;
+  R.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      R.push_back('\\');
+    R.push_back(C);
+  }
+  return R;
+}
+
+/// Compiles the app spec, builds + binds its call graph, and prints it as
+/// one JSON document: nodes (with live/dead verdicts), edges, entrypoints
+/// and recorded anomalies.
+int dumpCallGraph(const std::string &AppName, double Scale, uint64_t Seed,
+                  bool DeadCode) {
+  workload::AppSpec Spec;
+  bool Found = false;
+  for (const auto &S : workload::paperApps(Scale))
+    if (S.Name == AppName) {
+      Spec = S;
+      Found = true;
+    }
+  if (!Found) {
+    std::fprintf(stderr, "unknown app '%s'\n", AppName.c_str());
+    return 1;
+  }
+  if (Seed)
+    Spec.Seed = Seed;
+  if (DeadCode)
+    workload::enableDeadCode(Spec);
+
+  dex::App App = workload::makeApp(Spec);
+  core::CalibroOptions Opts;
+  Opts.EnableCto = true;
+  auto Compiled = core::compileApp(App, Opts);
+  if (!Compiled) {
+    std::fprintf(stderr, "compile failed: %s\n", Compiled.message().c_str());
+    return 1;
+  }
+  analysis::CallGraph G = std::move(Compiled->Graph);
+  auto Bind = analysis::bindBinaryEdges(G, Compiled->Methods, false);
+  if (!Bind) {
+    std::fprintf(stderr, "bind failed: %s\n", Bind.message().c_str());
+    return 1;
+  }
+  analysis::Reachability Reach = analysis::computeReachability(G);
+
+  std::unordered_map<uint32_t, const std::string *> Names;
+  App.forEachMethod(
+      [&](const dex::Method &M) { Names.emplace(M.Idx, &M.Name); });
+
+  std::printf("{\n  \"app\": \"%s\",\n  \"num_methods\": %u,\n"
+              "  \"closed_world\": %s,\n  \"live_count\": %u,\n",
+              jsonEscape(AppName).c_str(), G.NumMethods,
+              G.Entrypoints.empty() ? "false" : "true", Reach.LiveCount);
+  std::printf("  \"binary_sites_matched\": %llu,\n"
+              "  \"repaired_edges\": %llu,\n",
+              (unsigned long long)Bind->SitesMatched,
+              (unsigned long long)Bind->RepairedEdges);
+
+  std::printf("  \"entrypoints\": [");
+  for (std::size_t I = 0; I < G.Entrypoints.size(); ++I)
+    std::printf("%s%u", I ? ", " : "", G.Entrypoints[I]);
+  std::printf("],\n");
+
+  std::printf("  \"anomalies\": [");
+  for (std::size_t I = 0; I < G.Anomalies.size(); ++I) {
+    const analysis::Anomaly &A = G.Anomalies[I];
+    std::printf("%s\n    {\"kind\": \"%s\", \"method\": %u, \"detail\": "
+                "\"%s\"}",
+                I ? "," : "", analysis::anomalyKindName(A.Kind), A.MethodIdx,
+                jsonEscape(A.Detail).c_str());
+  }
+  std::printf("%s],\n", G.Anomalies.empty() ? "" : "\n  ");
+
+  std::printf("  \"nodes\": [");
+  bool FirstNode = true;
+  for (uint32_t I = 0; I < G.NumMethods; ++I) {
+    if (!G.Present[I])
+      continue;
+    auto N = Names.find(I);
+    std::string Name = N == Names.end() ? "" : jsonEscape(*N->second);
+    std::printf("%s\n    {\"idx\": %u, \"name\": \"%s\", \"live\": %s}",
+                FirstNode ? "" : ",", I, Name.c_str(),
+                Reach.Live[I] ? "true" : "false");
+    FirstNode = false;
+  }
+  std::printf("%s],\n", FirstNode ? "" : "\n  ");
+
+  std::printf("  \"edges\": [");
+  bool FirstEdge = true;
+  for (uint32_t From = 0; From < G.NumMethods; ++From)
+    for (uint32_t To : G.Succ[From]) {
+      std::printf("%s[%u, %u]", FirstEdge ? "" : ", ", From, To);
+      FirstEdge = false;
+    }
+  std::printf("]\n}\n");
+  return 0;
 }
 
 /// Opens a build-cache directory and walks every blob through the same
@@ -90,6 +205,11 @@ int cacheAudit(const char *Dir) {
 int main(int argc, char **argv) {
   bool Disasm = false;
   bool Check = false;
+  bool CallGraph = false;
+  bool DeadCode = false;
+  std::string AppName = "Wechat";
+  double Scale = 0.5;
+  uint64_t Seed = 0;
   const char *Filter = nullptr;
   const char *Path = nullptr;
   const char *CacheDir = nullptr;
@@ -98,6 +218,16 @@ int main(int argc, char **argv) {
       Disasm = true;
     else if (!std::strcmp(argv[I], "--check"))
       Check = true;
+    else if (!std::strcmp(argv[I], "--callgraph"))
+      CallGraph = true;
+    else if (!std::strcmp(argv[I], "--dead-code"))
+      DeadCode = true;
+    else if (!std::strcmp(argv[I], "--app") && I + 1 < argc)
+      AppName = argv[++I];
+    else if (!std::strcmp(argv[I], "--scale") && I + 1 < argc)
+      Scale = std::atof(argv[++I]);
+    else if (!std::strcmp(argv[I], "--seed") && I + 1 < argc)
+      Seed = std::strtoull(argv[++I], nullptr, 0);
     else if (!std::strcmp(argv[I], "--method") && I + 1 < argc)
       Filter = argv[++I];
     else if (!std::strcmp(argv[I], "--cache-audit") && I + 1 < argc)
@@ -105,12 +235,16 @@ int main(int argc, char **argv) {
     else
       Path = argv[I];
   }
+  if (CallGraph)
+    return dumpCallGraph(AppName, Scale, Seed, DeadCode);
   if (CacheDir)
     return cacheAudit(CacheDir);
   if (!Path) {
     std::fprintf(stderr,
                  "usage: calibro-oatdump [--disasm] [--check] "
-                 "[--method <fragment>] [--cache-audit <dir>] <file.oat>\n");
+                 "[--method <fragment>] [--cache-audit <dir>] <file.oat>\n"
+                 "       calibro-oatdump --callgraph [--app <name>] "
+                 "[--scale <s>] [--seed <n>] [--dead-code]\n");
     return 2;
   }
 
