@@ -1,0 +1,50 @@
+//===- cache/SpillStore.cpp - Ephemeral windowed-linking spill ------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/SpillStore.h"
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <system_error>
+#include <unistd.h>
+
+namespace fs = std::filesystem;
+
+using namespace calibro;
+using namespace calibro::cache;
+
+Expected<std::unique_ptr<SpillStore>>
+SpillStore::create(const std::string &DirOverride) {
+  std::string Dir = DirOverride;
+  bool Ephemeral = DirOverride.empty();
+  if (Ephemeral) {
+    // Unique per process AND per store: concurrent links in one process
+    // (the differential harness runs several) must not share spill roots.
+    static std::atomic<uint64_t> Counter{0};
+    std::error_code Ec;
+    fs::path Base = fs::temp_directory_path(Ec);
+    if (Ec)
+      Base = "/tmp";
+    Dir = (Base / ("calibro-spill-" +
+                   std::to_string(static_cast<uint64_t>(::getpid())) + "-" +
+                   std::to_string(Counter.fetch_add(1))))
+              .string();
+  }
+  auto Store = BuildCache::open(Dir);
+  if (!Store)
+    return makeError("spill store: " + Store.message());
+  return std::unique_ptr<SpillStore>(
+      new SpillStore(std::move(*Store), Ephemeral));
+}
+
+SpillStore::~SpillStore() {
+  if (!Ephemeral)
+    return;
+  // Best-effort: a leaked temp directory is untidy, never unsound.
+  std::error_code Ec;
+  fs::remove_all(Store->dir(), Ec);
+}

@@ -1,0 +1,70 @@
+//===- cache/SpillStore.h - Ephemeral windowed-linking spill ----*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The spill target of memory-budgeted (windowed) linking. When the
+/// outliner runs under a --memory-budget it detects one window of
+/// partition groups at a time and must park each finished group's
+/// canonical selection somewhere that does not count against the budget;
+/// the final merge pass reloads them one group at a time. A user-supplied
+/// BuildCache doubles as that parking lot for free (the blobs ARE ordinary
+/// group entries, so the next warm build reuses them), but windowed mode
+/// must also work without any cache configured — this RAII wrapper then
+/// provides a private BuildCache in a unique temp directory and removes
+/// the directory when the link finishes.
+///
+/// Losing a spilled blob is never a correctness problem: the merge pass
+/// treats a miss (or any replay violation) exactly like a cold cache and
+/// deterministically re-runs detection for that group.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_CACHE_SPILLSTORE_H
+#define CALIBRO_CACHE_SPILLSTORE_H
+
+#include "cache/BuildCache.h"
+#include "support/Error.h"
+
+#include <memory>
+#include <string>
+
+namespace calibro {
+namespace cache {
+
+/// An ephemeral group-selection store for one windowed link.
+class SpillStore {
+public:
+  /// Creates a store rooted at \p DirOverride when non-empty (kept on
+  /// disk afterwards — used by tests to inspect the spill format), else at
+  /// a fresh unique directory under the system temp root that the
+  /// destructor removes. Fails only when no writable directory can be
+  /// created.
+  static Expected<std::unique_ptr<SpillStore>>
+  create(const std::string &DirOverride = "");
+
+  ~SpillStore();
+
+  SpillStore(const SpillStore &) = delete;
+  SpillStore &operator=(const SpillStore &) = delete;
+
+  /// The underlying content-addressed store. Valid for this object's
+  /// lifetime.
+  BuildCache &store() { return *Store; }
+
+  const std::string &dir() const { return Store->dir(); }
+
+private:
+  SpillStore(std::unique_ptr<BuildCache> Store, bool Ephemeral)
+      : Store(std::move(Store)), Ephemeral(Ephemeral) {}
+
+  std::unique_ptr<BuildCache> Store;
+  bool Ephemeral; ///< Remove the directory on destruction.
+};
+
+} // namespace cache
+} // namespace calibro
+
+#endif // CALIBRO_CACHE_SPILLSTORE_H

@@ -236,6 +236,7 @@ Expected<BuildResult> core::linkApp(CompiledApp App,
     OOpts.MaxSeqLen = Opts.MaxSeqLen;
     OOpts.Partitions = Opts.LtboPartitions;
     OOpts.Threads = Opts.LtboThreads;
+    OOpts.MemoryBudgetBytes = Opts.MemoryBudgetBytes;
     OOpts.Detector = Opts.LtboDetector;
     OOpts.Strict = Opts.StrictSideInfo;
     std::unique_ptr<cache::BuildCache> Cache;

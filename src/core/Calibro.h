@@ -50,8 +50,17 @@ struct CalibroOptions {
   /// concurrently; 0 = hardware concurrency). Builds are deterministic
   /// regardless of this value.
   uint32_t CompileThreads = 0;
+  /// K detection partitions. 0 = automatic, legal only with a memory
+  /// budget (see OutlinerOptions::Partitions).
   uint32_t LtboPartitions = 1;
   uint32_t LtboThreads = 1;
+  /// Detect-phase memory budget in bytes (`calibro-dex2oat
+  /// --memory-budget`); 0 = unbudgeted. See
+  /// OutlinerOptions::MemoryBudgetBytes: bounds LTBO's peak working set by
+  /// streaming detection in budget-sized windows, spilling finished group
+  /// selections to the build cache (or an ephemeral temp store), with
+  /// byte-identical output.
+  uint64_t MemoryBudgetBytes = 0;
   DetectorKind LtboDetector = DetectorKind::SuffixTree;
   uint32_t MinSeqLen = 2;
   uint32_t MaxSeqLen = 64;

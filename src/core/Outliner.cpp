@@ -9,6 +9,7 @@
 #include "aarch64/Decoder.h"
 #include "aarch64/Encoder.h"
 #include "aarch64/PcRel.h"
+#include "cache/SpillStore.h"
 #include "core/BenefitModel.h"
 #include "suffixtree/SuffixArray.h"
 #include "suffixtree/SuffixTree.h"
@@ -244,8 +245,8 @@ void runGroupImpl(const std::vector<CompiledMethod> &Methods,
                   uint32_t GroupIdx, const OutlinerOptions &Opts,
                   std::vector<OutlinedFunc> &FuncsOut,
                   std::vector<RewriteWork> &WorkOut, OutlineStats &Stats,
-                  cache::GroupSelections *StoreOut,
-                  support::Arena *Scratch) {
+                  cache::GroupSelections *StoreOut, support::Arena *Scratch,
+                  bool ViewText) {
   Timer BuildTimer;
 
   // Step 2 (paper §3.3.2): map this group's binary code to one symbol
@@ -277,12 +278,21 @@ void runGroupImpl(const std::vector<CompiledMethod> &Methods,
 
   // The suffix array takes a construction-scratch arena (dead once the
   // constructor returns); the suffix tree allocates its own structures.
+  // Windowed (ViewText) mode hands the detector a non-owning view instead
+  // of moving the vector in: the sequence stays where it was assembled and
+  // is freed explicitly right after the detector releases its working set,
+  // so no second text copy ever exists. Output is identical either way.
   auto MakeDetector = [&] {
     if constexpr (std::is_constructible_v<DetectorT, std::vector<st::Symbol>,
-                                          support::Arena *>)
+                                          support::Arena *>) {
+      if (ViewText)
+        return DetectorT(std::span<const st::Symbol>(Seq), Scratch);
       return DetectorT(std::move(Seq), Scratch);
-    else
+    } else {
+      if (ViewText)
+        return DetectorT(std::span<const st::Symbol>(Seq));
       return DetectorT(std::move(Seq));
+    }
   };
   DetectorT Tree = MakeDetector();
   Stats.TreeNodes += Tree.numNodes();
@@ -326,6 +336,9 @@ void runGroupImpl(const std::vector<CompiledMethod> &Methods,
                Tree.workingSetBytes() + Pos.capacity() * sizeof(PosInfo) +
                    Cands.capacity() * sizeof(Cand));
   Tree.releaseWorkingSet();
+  // In view mode the sequence is still ours; the detector no longer reads
+  // it, so drop it now (selection reads method words through Pos only).
+  std::vector<st::Symbol>().swap(Seq);
 
   Timer ClaimTimer;
   // The tie-break is content-based ((first occurrence, length) names the
@@ -546,9 +559,20 @@ bool replayGroup(const std::vector<CompiledMethod> &Methods,
 
 } // namespace
 
+std::size_t core::detectBytesPerWord(DetectorKind Kind) {
+  // Per sequence word: 8 B text + 12 B PosInfo provenance, plus the suffix
+  // structure at its construction peak — the SA-IS arrays and interval
+  // table for the array backend, the node table and transition hash map
+  // for the tree. Calibrated against table5_memory's DetectPeakBytes on
+  // the paper-app corpus; deliberately a little high so a window's real
+  // peak lands under, not over, its estimate.
+  return Kind == DetectorKind::SuffixArray ? 64 : 224;
+}
+
 Expected<OutlineResult> core::runLtbo(std::vector<CompiledMethod> &Methods,
                                       const OutlinerOptions &Opts) {
-  if (Opts.Partitions == 0 || Opts.MinSeqLen < 2 ||
+  const bool Windowed = Opts.MemoryBudgetBytes > 0;
+  if ((Opts.Partitions == 0 && !Windowed) || Opts.MinSeqLen < 2 ||
       Opts.MaxSeqLen < Opts.MinSeqLen)
     return makeError("runLtbo: invalid options");
 
@@ -601,7 +625,9 @@ Expected<OutlineResult> core::runLtbo(std::vector<CompiledMethod> &Methods,
       return; // Invalid: never fed to detection, links verbatim.
     P.Sep = computeSeparators(M, Hot);
     P.Targets = computeBranchTargets(M);
-    if (Opts.Cache)
+    // Windowed mode keys every group for the spill store even without a
+    // user-configured cache.
+    if (Opts.Cache || Windowed)
       P.Content = cache::methodContentDigest(M);
   };
   if (Pool) {
@@ -639,8 +665,22 @@ Expected<OutlineResult> core::runLtbo(std::vector<CompiledMethod> &Methods,
 
   // PlOpti (paper §3.4.1): simple even partition of the accepted candidate
   // methods. Groups hold candidate indices so Phase B can reach the Phase A
-  // output.
+  // output. Partitions == 0 (auto, budget required) derives the smallest K
+  // whose estimated per-group detect working set fits the budget — the
+  // round-robin split is near-even in words, so TotalWords / K estimates a
+  // group. Capped at 2^12: group index occupies the FuncId bits above 20.
+  const std::size_t BytesPerWord = detectBytesPerWord(Opts.Detector);
   uint32_t K = Opts.Partitions;
+  if (K == 0) {
+    uint64_t TotalWords = 0;
+    for (std::size_t I : Accepted)
+      TotalWords += Methods[Candidates[I]].Code.size() + 1;
+    uint64_t Need =
+        (TotalWords * BytesPerWord + Opts.MemoryBudgetBytes - 1) /
+        Opts.MemoryBudgetBytes;
+    K = static_cast<uint32_t>(std::clamp<uint64_t>(Need, 1, 1u << 12));
+  }
+  Result.Stats.PartitionsUsed = K;
   std::vector<std::vector<std::size_t>> Groups(K);
   for (std::size_t A = 0; A < Accepted.size(); ++A)
     Groups[A % K].push_back(Accepted[A]);
@@ -654,10 +694,10 @@ Expected<OutlineResult> core::runLtbo(std::vector<CompiledMethod> &Methods,
   // B tasks interleave with this run's own stores. The detector kind is
   // deliberately absent from the key — both backends are required (and
   // tested) to select identically.
-  std::vector<cache::Digest> GroupKeys(Opts.Cache ? K : 0);
+  std::vector<cache::Digest> GroupKeys(Opts.Cache || Windowed ? K : 0);
   std::vector<std::unique_ptr<cache::GroupSelections>> GroupCached(
       Opts.Cache ? K : 0);
-  if (Opts.Cache) {
+  if (Opts.Cache || Windowed) {
     for (uint32_t G = 0; G < K; ++G) {
       if (Groups[G].empty())
         continue;
@@ -671,10 +711,23 @@ Expected<OutlineResult> core::runLtbo(std::vector<CompiledMethod> &Methods,
         H.u8(Opts.HotMethods && Opts.HotMethods->count(M.MethodIdx) ? 1 : 0);
       }
       GroupKeys[G] = H.finish();
-      if (auto Sel = Opts.Cache->loadGroup(GroupKeys[G]))
-        GroupCached[G] =
-            std::make_unique<cache::GroupSelections>(std::move(*Sel));
+      if (Opts.Cache)
+        if (auto Sel = Opts.Cache->loadGroup(GroupKeys[G]))
+          GroupCached[G] =
+              std::make_unique<cache::GroupSelections>(std::move(*Sel));
     }
+  }
+
+  // Spill target of windowed mode: the user's cache when configured (the
+  // blobs are ordinary group entries, so the next warm build reuses them),
+  // else a private temp-dir store that dies with this run. Failing to
+  // create one is not fatal — the merge pass then falls back to
+  // re-detecting every group, which costs time but changes nothing.
+  std::unique_ptr<cache::SpillStore> Spill;
+  cache::BuildCache *SpillTarget = Opts.Cache;
+  if (Windowed && !SpillTarget) {
+    if (auto S = cache::SpillStore::create(Opts.SpillDir))
+      SpillTarget = &(Spill = std::move(*S))->store();
   }
 
   // Phase B: detection + selection per group, concurrently across groups.
@@ -691,17 +744,22 @@ Expected<OutlineResult> core::runLtbo(std::vector<CompiledMethod> &Methods,
   // lives, never what is computed — output stays byte-identical.
   support::ArenaPool DetectArenas;
 
-  auto RunOne = [&](std::size_t G) {
-    if (Groups[G].empty())
-      return;
-    std::vector<std::size_t> Rows;
-    std::vector<const MethodPrep *> GroupPreps;
+  auto GatherGroup = [&](std::size_t G, std::vector<std::size_t> &Rows,
+                         std::vector<const MethodPrep *> &GroupPreps) {
     Rows.reserve(Groups[G].size());
     GroupPreps.reserve(Groups[G].size());
     for (std::size_t I : Groups[G]) {
       Rows.push_back(Candidates[I]);
       GroupPreps.push_back(&Preps[I]);
     }
+  };
+
+  auto RunOne = [&](std::size_t G) {
+    if (Groups[G].empty())
+      return;
+    std::vector<std::size_t> Rows;
+    std::vector<const MethodPrep *> GroupPreps;
+    GatherGroup(G, Rows, GroupPreps);
     if (Opts.Cache && GroupCached[G] &&
         replayGroup(Methods, Rows, GroupPreps, static_cast<uint32_t>(G), Opts,
                     *GroupCached[G], GroupFuncs[G], GroupWork[G],
@@ -711,32 +769,124 @@ Expected<OutlineResult> core::runLtbo(std::vector<CompiledMethod> &Methods,
     }
     ++GroupStats[G].GroupsDetected;
     cache::GroupSelections Store;
-    cache::GroupSelections *StorePtr = Opts.Cache ? &Store : nullptr;
+    cache::GroupSelections *StorePtr = SpillTarget ? &Store : nullptr;
     if (Opts.Detector == DetectorKind::SuffixTree) {
       runGroupImpl<st::SuffixTree>(Methods, Rows, GroupPreps,
                                    static_cast<uint32_t>(G), Opts,
                                    GroupFuncs[G], GroupWork[G], GroupStats[G],
-                                   StorePtr, nullptr);
+                                   StorePtr, nullptr, Windowed);
     } else {
       support::ArenaPool::Handle Scratch = DetectArenas.acquire();
       runGroupImpl<st::SuffixArray>(Methods, Rows, GroupPreps,
                                     static_cast<uint32_t>(G), Opts,
                                     GroupFuncs[G], GroupWork[G], GroupStats[G],
-                                    StorePtr, Scratch.get());
+                                    StorePtr, Scratch.get(), Windowed);
       GroupStats[G].DetectScratchBytes = Scratch->bytesReserved();
     }
     // Store even an empty selection: "this group outlines nothing" is as
     // reusable as any other result.
-    if (Opts.Cache)
-      Opts.Cache->storeGroup(GroupKeys[G], Store);
+    if (SpillTarget)
+      SpillTarget->storeGroup(GroupKeys[G], Store);
   };
 
-  if (Pool && K > 1) {
-    Pool->parallelFor(K, RunOne);
-    Result.Stats.DetectThreads = std::min<std::size_t>(Pool->numThreads(), K);
+  if (!Windowed) {
+    if (Pool && K > 1) {
+      Pool->parallelFor(K, RunOne);
+      Result.Stats.DetectThreads =
+          std::min<std::size_t>(Pool->numThreads(), K);
+    } else {
+      for (std::size_t G = 0; G < K; ++G)
+        RunOne(G);
+    }
   } else {
-    for (std::size_t G = 0; G < K; ++G)
-      RunOne(G);
+    // Streamed Phase B: pack the non-empty groups, in ascending index
+    // order, into windows whose summed estimated working set fits the
+    // budget (greedy first-fit-in-order — order must be preserved so the
+    // packing is a pure function of groups + budget, never of scheduling).
+    // A single group that alone exceeds the budget still runs, by itself,
+    // and is counted as an overrun instead of failing the link.
+    std::vector<std::vector<std::size_t>> Windows;
+    uint64_t CurBytes = 0;
+    std::size_t MaxWindowGroups = 0;
+    for (uint32_t G = 0; G < K; ++G) {
+      if (Groups[G].empty())
+        continue;
+      uint64_t Words = 0;
+      for (std::size_t I : Groups[G])
+        Words += Methods[Candidates[I]].Code.size() + 1;
+      uint64_t Est = Words * BytesPerWord;
+      if (!Windows.empty() && CurBytes + Est <= Opts.MemoryBudgetBytes) {
+        Windows.back().push_back(G);
+        CurBytes += Est;
+      } else {
+        Windows.push_back({G});
+        CurBytes = Est;
+        if (Est > Opts.MemoryBudgetBytes)
+          ++Result.Stats.DetectBudgetOverruns;
+      }
+      MaxWindowGroups = std::max(MaxWindowGroups, Windows.back().size());
+    }
+    Result.Stats.DetectWindows = Windows.size();
+
+    for (const std::vector<std::size_t> &W : Windows) {
+      if (Pool && W.size() > 1) {
+        Pool->parallelFor(W.size(), [&](std::size_t I) { RunOne(W[I]); });
+      } else {
+        for (std::size_t G : W)
+          RunOne(G);
+      }
+      // The window is done: its selections are in the spill store, so the
+      // in-memory outputs can go — the merge pass below reconstitutes them
+      // one group at a time. Summed member peaks bound what this window
+      // held at once (groups in one window run concurrently).
+      std::size_t WindowPeak = 0;
+      for (std::size_t G : W) {
+        WindowPeak += GroupStats[G].DetectPeakBytes;
+        std::vector<OutlinedFunc>().swap(GroupFuncs[G]);
+        std::vector<RewriteWork>().swap(GroupWork[G]);
+        ++Result.Stats.GroupsSpilled;
+      }
+      Result.Stats.DetectWindowPeakBytes =
+          std::max(Result.Stats.DetectWindowPeakBytes, WindowPeak);
+    }
+    if (Pool)
+      Result.Stats.DetectThreads =
+          std::min<std::size_t>(Pool->numThreads(),
+                                std::max<std::size_t>(MaxWindowGroups, 1));
+
+    // Merge pass: reload every group's spilled selection and replay it —
+    // serial and in ascending group index, so FuncId assignment and every
+    // tie-break follow the same lowest-index rules as the unwindowed path.
+    // Replay re-validates everything against the live methods; a missing
+    // or rejected blob falls back to deterministic re-detection. Stats
+    // were already counted when the group first ran in its window, so both
+    // paths here discard theirs.
+    Timer MergeTimer;
+    for (uint32_t G = 0; G < K; ++G) {
+      if (Groups[G].empty())
+        continue;
+      std::vector<std::size_t> Rows;
+      std::vector<const MethodPrep *> GroupPreps;
+      GatherGroup(G, Rows, GroupPreps);
+      OutlineStats Discard;
+      if (SpillTarget) {
+        if (auto Sel = SpillTarget->loadGroup(GroupKeys[G]))
+          if (replayGroup(Methods, Rows, GroupPreps, G, Opts, *Sel,
+                          GroupFuncs[G], GroupWork[G], Discard))
+            continue;
+      }
+      if (Opts.Detector == DetectorKind::SuffixTree) {
+        runGroupImpl<st::SuffixTree>(Methods, Rows, GroupPreps, G, Opts,
+                                     GroupFuncs[G], GroupWork[G], Discard,
+                                     nullptr, nullptr, true);
+      } else {
+        support::ArenaPool::Handle Scratch = DetectArenas.acquire();
+        runGroupImpl<st::SuffixArray>(Methods, Rows, GroupPreps, G, Opts,
+                                      GroupFuncs[G], GroupWork[G], Discard,
+                                      nullptr, Scratch.get(), true);
+      }
+    }
+    Result.Stats.MergeSeconds = MergeTimer.seconds();
   }
 
   for (std::size_t G = 0; G < K; ++G) {

@@ -77,7 +77,10 @@ enum class DetectorKind : uint8_t { SuffixTree, SuffixArray };
 struct OutlinerOptions {
   uint32_t MinSeqLen = 2;  ///< Minimum candidate length (instructions).
   uint32_t MaxSeqLen = 64; ///< Maximum candidate length (instructions).
-  uint32_t Partitions = 1; ///< K suffix trees (PlOpti when > 1).
+  /// K suffix trees (PlOpti when > 1). 0 = choose K automatically from
+  /// MemoryBudgetBytes (legal only when a budget is set): the smallest K
+  /// whose estimated per-group detect working set fits the budget.
+  uint32_t Partitions = 1;
   /// Worker threads for the whole link stage: preprocessing, per-group
   /// detection/selection, and the rewrite fan-out all run on one pool of
   /// this size (not just the K-partition build). 1 = fully serial.
@@ -104,7 +107,31 @@ struct OutlinerOptions {
   /// byte-identical to a cold run — a replay that fails any validation
   /// check silently falls back to detection. Null disables reuse.
   cache::BuildCache *Cache = nullptr;
+  /// Peak detect-phase memory budget in bytes; 0 = unbudgeted (the classic
+  /// single-pass Phase B over all K groups at once). When set, Phase B
+  /// streams: the K groups are packed into windows whose summed estimated
+  /// detect working set fits the budget, windows run one after another
+  /// (groups within a window still run on the pool), and each finished
+  /// group's canonical selection is spilled to the content-addressed store
+  /// — Cache when configured, else an ephemeral temp-dir SpillStore — so
+  /// peak memory tracks the budget, not the image size. A final serial
+  /// merge pass reloads and replays every group in ascending group index;
+  /// replay re-validates everything and falls back to re-detection, so the
+  /// OutlineResult stays byte-identical to the unbudgeted pipeline for any
+  /// budget, window packing, and thread count.
+  uint64_t MemoryBudgetBytes = 0;
+  /// Directory for the ephemeral spill store (windowed mode with no Cache).
+  /// Empty = a unique directory under the system temp root, removed when
+  /// the run finishes; non-empty directories are kept (tests use this to
+  /// inspect the spill format).
+  std::string SpillDir;
 };
+
+/// Estimated peak detect-phase bytes per sequence word for \p Kind: text +
+/// provenance + the suffix structure at its construction peak. Calibrated
+/// against bench/table5_memory's measured DetectPeakBytes; the window
+/// planner and the auto-partition chooser size groups with it.
+std::size_t detectBytesPerWord(DetectorKind Kind);
 
 /// What LTBO.2 did, for the build-time and ablation experiments.
 struct OutlineStats {
@@ -149,6 +176,26 @@ struct OutlineStats {
   /// Scheduling metadata like the *Threads fields: the pool hand-out order
   /// depends on worker interleaving, so determinism tests must ignore it.
   std::size_t DetectScratchBytes = 0;
+  /// Partition-group count actually used: Opts.Partitions, or the
+  /// budget-derived K when Partitions == 0. Deterministic.
+  std::size_t PartitionsUsed = 0;
+  /// Memory-budgeted streaming (MemoryBudgetBytes > 0). All deterministic
+  /// for any Threads: the window packing is a pure function of the groups
+  /// and the budget. Zero when unbudgeted.
+  std::size_t DetectWindows = 0; ///< Windows Phase B ran in (0 = unbudgeted).
+  /// Largest window working set: max over windows of the summed member
+  /// DetectPeakBytes. This is what the budget bounds (one overrun group
+  /// excepted — see DetectBudgetOverruns).
+  std::size_t DetectWindowPeakBytes = 0;
+  /// Windows holding a single group whose estimate alone exceeds the
+  /// budget; such a group still runs (alone) rather than failing the link.
+  std::size_t DetectBudgetOverruns = 0;
+  /// Groups whose selection was spilled to the store and whose in-memory
+  /// outputs were dropped between their window and the merge pass.
+  std::size_t GroupsSpilled = 0;
+  /// Merge-pass wall time (reload + replay of every group). Timing
+  /// metadata like the other *Seconds fields.
+  double MergeSeconds = 0;
   /// Candidate methods whose side info failed validation and were excluded
   /// from outlining (graceful degradation). Deterministic for any Threads.
   std::size_t MethodsRejected = 0;

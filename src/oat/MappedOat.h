@@ -47,6 +47,16 @@ public:
   /// independent of this object's lifetime.
   Expected<OatFile> parse() const;
 
+  /// The .text payload as instruction words, straight out of the mapping —
+  /// no copy, no heap vector, no full parse. This is what lets a
+  /// memory-budgeted reader (or the windowed outliner's detectors, via
+  /// their view constructors) walk an image's code without ever holding a
+  /// private duplicate of it. Valid while this object lives. Fails on
+  /// structural corruption, a missing .text, a size that is not a whole
+  /// number of words, or a payload the serializer's alignment guarantee
+  /// does not hold for.
+  Expected<std::span<const uint32_t>> textWords() const;
+
 private:
   explicit MappedOat(support::MappedFile M) : Map(std::move(M)) {}
 

@@ -25,7 +25,7 @@ namespace {
 ///
 /// Returns the dense per-position ranks (size Txt.size() + 1, allocated
 /// from \p A) and sets \p AlphabetOut to one past the largest rank.
-std::span<uint32_t> compactRanks(const std::vector<Symbol> &Txt,
+std::span<uint32_t> compactRanks(std::span<const Symbol> Txt,
                                  uint32_t &AlphabetOut, support::Arena &A) {
   const uint32_t n = static_cast<uint32_t>(Txt.size());
   std::span<uint32_t> Idx = A.allocSpan<uint32_t>(n);
@@ -243,15 +243,24 @@ void saIs(const uint32_t *S, uint32_t N, uint32_t K, uint32_t *Sa,
 } // namespace
 
 SuffixArray::SuffixArray(std::vector<Symbol> Text, support::Arena *Scratch)
-    : Txt(std::move(Text)), TextLen(Txt.size()) {
-  const uint32_t n = static_cast<uint32_t>(Txt.size());
+    : Owned(std::move(Text)), View(Owned), TextLen(Owned.size()) {
+  build(Scratch);
+}
+
+SuffixArray::SuffixArray(std::span<const Symbol> Text, support::Arena *Scratch)
+    : View(Text), TextLen(Text.size()) {
+  build(Scratch);
+}
+
+void SuffixArray::build(support::Arena *Scratch) {
+  const uint32_t n = static_cast<uint32_t>(TextLen);
   const uint32_t N = n + 1; // Plus the virtual sentinel position n.
 
   support::Arena Local;
   support::Arena &A = Scratch ? *Scratch : Local;
 
   uint32_t Alphabet = 0;
-  std::span<uint32_t> Rank = compactRanks(Txt, Alphabet, A);
+  std::span<uint32_t> Rank = compactRanks(View, Alphabet, A);
 
   // SA-IS over the dense ranks: O(n) total, no doubling rounds. The suffix
   // array of a text with a unique smallest sentinel is unique, so this is
@@ -358,12 +367,18 @@ uint32_t SuffixArray::firstPositionOf(int32_t Interval) const {
 }
 
 std::size_t SuffixArray::workingSetBytes() const {
-  return Txt.capacity() * sizeof(Symbol) + Sa.capacity() * sizeof(uint32_t) +
+  // Viewed text counts like owned text while the view is live — the caller's
+  // storage is resident on this array's behalf — and drops to zero after
+  // releaseWorkingSet().
+  std::size_t TextBytes = Owned.empty() ? View.size() * sizeof(Symbol)
+                                        : Owned.capacity() * sizeof(Symbol);
+  return TextBytes + Sa.capacity() * sizeof(uint32_t) +
          Intervals.capacity() * sizeof(Interval);
 }
 
 void SuffixArray::releaseWorkingSet() {
-  std::vector<Symbol>().swap(Txt);
+  std::vector<Symbol>().swap(Owned);
+  View = {};
 }
 
 std::vector<uint32_t>

@@ -14,22 +14,36 @@ using namespace calibro::st;
 
 namespace {
 
-/// Internal sentinel: above every separator a caller can allocate.
+/// Internal sentinel: above every separator a caller can allocate. Virtual
+/// only — it is returned by sym() for position TextLen and never stored.
 constexpr Symbol Sentinel = ~uint64_t(0);
 
 } // namespace
 
-SuffixTree::SuffixTree(std::vector<Symbol> Text)
-    : Txt(std::move(Text)), TextLen(Txt.size()) {
-  assert(std::find(Txt.begin(), Txt.end(), Sentinel) == Txt.end() &&
-         "input sequence may not contain the reserved sentinel symbol");
-  Txt.push_back(Sentinel);
+Symbol SuffixTree::sym(std::size_t I) const {
+  return I == TextLen ? Sentinel : View[I];
+}
 
-  Nodes.reserve(Txt.size() * 2);
-  Trans.reserve(Txt.size() * 2);
+SuffixTree::SuffixTree(std::vector<Symbol> Text)
+    : Owned(std::move(Text)), View(Owned), TextLen(Owned.size()) {
+  build();
+}
+
+SuffixTree::SuffixTree(std::span<const Symbol> Text)
+    : View(Text), TextLen(Text.size()) {
+  build();
+}
+
+void SuffixTree::build() {
+  assert(std::find(View.begin(), View.end(), Sentinel) == View.end() &&
+         "input sequence may not contain the reserved sentinel symbol");
+
+  Nodes.reserve((TextLen + 1) * 2);
+  Trans.reserve((TextLen + 1) * 2);
   newNode(-1, -1); // Root is node 0.
 
-  for (std::size_t Pos = 0; Pos < Txt.size(); ++Pos)
+  // One extension per text position plus one for the virtual sentinel.
+  for (std::size_t Pos = 0; Pos <= TextLen; ++Pos)
     extend(static_cast<int32_t>(Pos));
   finalize();
 }
@@ -60,11 +74,11 @@ void SuffixTree::extend(int32_t Pos) {
   while (Remaining > 0) {
     if (ActiveLength == 0)
       ActiveEdge = Pos;
-    int32_t Next = go(ActiveNode, Txt[ActiveEdge]);
+    int32_t Next = go(ActiveNode, sym(ActiveEdge));
     if (Next == -1) {
       // Rule 2: no edge starts with the current symbol; add a leaf.
       int32_t Leaf = newNode(Pos, -1);
-      setChild(ActiveNode, Txt[ActiveEdge], Leaf);
+      setChild(ActiveNode, sym(ActiveEdge), Leaf);
       if (LastNewNode != -1) {
         Nodes[LastNewNode].SuffixLink = ActiveNode;
         LastNewNode = -1;
@@ -78,7 +92,7 @@ void SuffixTree::extend(int32_t Pos) {
         ActiveNode = Next;
         continue;
       }
-      if (Txt[Nodes[Next].Start + ActiveLength] == Txt[Pos]) {
+      if (sym(Nodes[Next].Start + ActiveLength) == sym(Pos)) {
         // Rule 3: already present; this extension (and all following ones
         // this phase) is implicit.
         if (LastNewNode != -1 && ActiveNode != 0) {
@@ -90,11 +104,11 @@ void SuffixTree::extend(int32_t Pos) {
       }
       // Rule 2 with split: the edge diverges at the active point.
       int32_t Split = newNode(Nodes[Next].Start, Nodes[Next].Start + ActiveLength);
-      setChild(ActiveNode, Txt[ActiveEdge], Split);
+      setChild(ActiveNode, sym(ActiveEdge), Split);
       int32_t Leaf = newNode(Pos, -1);
-      setChild(Split, Txt[Pos], Leaf);
+      setChild(Split, sym(Pos), Leaf);
       Nodes[Next].Start += ActiveLength;
-      setChild(Split, Txt[Nodes[Next].Start], Next);
+      setChild(Split, sym(Nodes[Next].Start), Next);
       if (LastNewNode != -1)
         Nodes[LastNewNode].SuffixLink = Split;
       LastNewNode = Split;
@@ -111,7 +125,8 @@ void SuffixTree::extend(int32_t Pos) {
 
 void SuffixTree::finalize() {
   int32_t N = static_cast<int32_t>(Nodes.size());
-  int32_t TextLen = static_cast<int32_t>(Txt.size());
+  // Construction-text length including the virtual sentinel position.
+  int32_t Total = static_cast<int32_t>(TextLen) + 1;
 
   // Group children per parent in deterministic (symbol-sorted) order. The
   // transition map's iteration order is unspecified, so sort.
@@ -166,7 +181,7 @@ void SuffixTree::finalize() {
       // The suffix this leaf represents starts depth symbols before the end.
       LeafCount[Nd] = 1;
       LeafLo[Nd] = static_cast<int32_t>(LeafSuffixes.size());
-      LeafSuffixes.push_back(static_cast<uint32_t>(TextLen - Depth[Nd]));
+      LeafSuffixes.push_back(static_cast<uint32_t>(Total - Depth[Nd]));
       LeafHi[Nd] = static_cast<int32_t>(LeafSuffixes.size());
       continue;
     }
@@ -177,7 +192,7 @@ void SuffixTree::finalize() {
     // Push children in reverse so the DFS visits them in symbol order.
     for (int32_t CI = ChildLo[Nd + 1] - 1; CI >= ChildLo[Nd]; --CI) {
       int32_t C = Children[CI];
-      int32_t End = Nodes[C].End == -1 ? TextLen : Nodes[C].End;
+      int32_t End = Nodes[C].End == -1 ? Total : Nodes[C].End;
       Depth[C] = Depth[Nd] + (End - Nodes[C].Start);
       ParentDepth[C] = Depth[Nd];
       Stack.push_back({C, false});
@@ -236,12 +251,15 @@ uint32_t SuffixTree::firstPositionOf(int32_t Node) const {
 
 std::size_t SuffixTree::workingSetBytes() const {
   // The unordered_map accounting is an estimate: one heap node per entry
-  // (pair + next pointer) plus the bucket array.
+  // (pair + next pointer) plus the bucket array. Viewed text counts like
+  // owned text — it is resident while the tree reads it — and both drop to
+  // zero after releaseWorkingSet().
   std::size_t TransBytes =
       Trans.size() * (sizeof(std::pair<TransKey, int32_t>) + sizeof(void *)) +
       Trans.bucket_count() * sizeof(void *);
-  return Txt.capacity() * sizeof(Symbol) + Nodes.capacity() * sizeof(Node) +
-         TransBytes +
+  std::size_t TextBytes = Owned.empty() ? View.size() * sizeof(Symbol)
+                                        : Owned.capacity() * sizeof(Symbol);
+  return TextBytes + Nodes.capacity() * sizeof(Node) + TransBytes +
          (Depth.capacity() + ParentDepth.capacity() + LeafCount.capacity() +
           LeafLo.capacity() + LeafHi.capacity() + DfsOrder.capacity()) *
              sizeof(int32_t) +
@@ -249,6 +267,7 @@ std::size_t SuffixTree::workingSetBytes() const {
 }
 
 void SuffixTree::releaseWorkingSet() {
-  std::vector<Symbol>().swap(Txt);
+  std::vector<Symbol>().swap(Owned);
+  View = {};
   std::unordered_map<TransKey, int32_t, TransKeyHash>().swap(Trans);
 }

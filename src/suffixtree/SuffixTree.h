@@ -45,23 +45,30 @@ inline constexpr Symbol SeparatorBase = uint64_t(1) << 32;
 
 /// A suffix tree of one symbol sequence.
 ///
-/// The constructor appends an internal, globally unique sentinel so callers
-/// can pass arbitrary sequences. All reported positions refer to the
-/// original (un-sentineled) sequence.
+/// Construction terminates the sequence with an internal, globally unique
+/// *virtual* sentinel (a position one past the end, never materialized in
+/// any buffer), so callers can pass arbitrary sequences without the tree
+/// copying or extending them. All reported positions refer to the original
+/// (un-sentineled) sequence.
 class SuffixTree {
 public:
-  /// Builds the tree. O(text length) expected.
+  /// Builds the tree over an owned copy of \p Text. O(text length)
+  /// expected.
   explicit SuffixTree(std::vector<Symbol> Text);
+
+  /// Builds the tree over a NON-OWNING view of \p Text — no private copy
+  /// is made, so the bytes may live in an mmap'd image or an arena. The
+  /// caller must keep the storage alive until releaseWorkingSet() (or
+  /// destruction); after releaseWorkingSet() the tree no longer touches
+  /// it. Detection output is byte-identical to the owning constructor's.
+  explicit SuffixTree(std::span<const Symbol> Text);
 
   /// Length of the original sequence (without the internal sentinel).
   /// Valid even after releaseWorkingSet().
   std::size_t textSize() const { return TextLen; }
 
-  /// The stored sequence, without the internal sentinel. Invalid after
-  /// releaseWorkingSet().
-  std::span<const Symbol> text() const {
-    return std::span<const Symbol>(Txt.data(), Txt.size() - 1);
-  }
+  /// The stored (or viewed) sequence. Invalid after releaseWorkingSet().
+  std::span<const Symbol> text() const { return View; }
 
   /// Total node count including root and leaves (for memory accounting and
   /// the build-time experiment).
@@ -134,14 +141,24 @@ private:
     }
   };
 
+  /// Symbol at construction position \p I, where position TextLen is the
+  /// virtual sentinel (unique, above every separator a caller can
+  /// allocate). Every construction-time text read goes through here, so
+  /// the sentinel never needs to exist in any buffer — which is what lets
+  /// the view constructor build over mmap'd or arena-backed storage
+  /// without a private, extendable copy.
+  Symbol sym(std::size_t I) const;
+
   int32_t newNode(int32_t Start, int32_t End);
   int32_t go(int32_t Node, Symbol S) const;
   void setChild(int32_t Node, Symbol S, int32_t Child);
   int32_t edgeLength(int32_t Node, int32_t Pos) const;
+  void build();
   void extend(int32_t Pos);
   void finalize();
 
-  std::vector<Symbol> Txt;
+  std::vector<Symbol> Owned;    ///< Backing storage of the owning ctor.
+  std::span<const Symbol> View; ///< The sequence (owned or caller-owned).
   std::size_t TextLen = 0;
   std::vector<Node> Nodes;
   std::unordered_map<TransKey, int32_t, TransKeyHash> Trans;

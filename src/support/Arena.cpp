@@ -46,7 +46,6 @@ void *Arena::allocate(std::size_t Bytes, std::size_t Align) {
     if (Off + Bytes <= B.Size) {
       B.Off = Off + Bytes;
       Used += Bytes;
-      HighWater = std::max(HighWater, Used);
       return B.Mem.get() + Off;
     }
     ++Cur;
@@ -56,17 +55,22 @@ void *Arena::allocate(std::size_t Bytes, std::size_t Align) {
   std::size_t Off = alignUp(B.Off, Align);
   B.Off = Off + Bytes;
   Used += Bytes;
-  HighWater = std::max(HighWater, Used);
   return B.Mem.get() + Off;
 }
 
 void Arena::reset() {
-  if (Blocks.size() > 1) {
-    // Coalesce: one block covering the high-water mark (plus alignment
-    // slack) replaces the chain, so the next same-shaped cycle never
-    // spills. This also keeps bytesReserved() flat across groups instead of
-    // accumulating every spill block forever.
-    std::size_t Want = alignUp(HighWater + HighWater / 8 + 64, MinBlockBytes);
+  // The watermark tracks recent demand, not the lifetime maximum: it rises
+  // instantly to the cycle just finished and decays by a quarter per reset
+  // while demand stays below it. A memory-budgeted caller that once fed one
+  // oversized group must get that block back eventually — a pinned
+  // high-water block would defeat the budget for the pool's lifetime.
+  Watermark = std::max(Used, Watermark - Watermark / 4);
+  std::size_t Want = alignUp(Watermark + Watermark / 8 + 64, MinBlockBytes);
+  // Rebuild to one Want-sized block when the previous cycle spilled into a
+  // chain (so the next same-shaped cycle never spills) or when the retained
+  // reserve overshoots current demand by more than 2x (so an outlier's
+  // block is returned to the allocator once the watermark has decayed).
+  if (Blocks.size() > 1 || bytesReserved() > 2 * Want) {
     Blocks.clear();
     addBlock(Want);
   }
@@ -81,7 +85,7 @@ void Arena::releaseMemory() {
   Blocks.shrink_to_fit();
   Cur = 0;
   Used = 0;
-  HighWater = 0;
+  Watermark = 0;
 }
 
 std::size_t Arena::bytesReserved() const {

@@ -15,9 +15,11 @@
 ///  - Allocations are uninitialized raw memory for trivial types only; the
 ///    arena never runs constructors or destructors.
 ///  - reset() invalidates every span handed out since the previous reset
-///    but KEEPS the memory, coalesced into a single block sized to the
-///    high-water mark — a reused arena reaches steady state after one
-///    group and stops touching the heap.
+///    but KEEPS the memory, coalesced into a single block sized to a
+///    decaying watermark of recent usage — a reused arena reaches steady
+///    state after one group and stops touching the heap, while a block
+///    grown for one oversized outlier decays back to the allocator instead
+///    of being pinned for the pool's lifetime.
 ///  - An Arena is single-threaded. Concurrent detect tasks each borrow a
 ///    whole arena from an ArenaPool; the pool hands one arena to at most
 ///    one task at a time.
@@ -54,11 +56,14 @@ public:
                         N);
   }
 
-  /// Invalidates all outstanding allocations and rewinds to empty. The
-  /// memory is retained: if the previous cycle spilled into more than one
-  /// block, the blocks are replaced by a single block covering the
-  /// high-water mark, so the next cycle of the same shape allocates from
-  /// one contiguous block without touching the heap.
+  /// Invalidates all outstanding allocations and rewinds to empty. Memory
+  /// is retained against a DECAYING watermark of recent usage, not a
+  /// lifetime high-water mark: a cycle that spilled into several blocks is
+  /// coalesced into one block sized to the watermark (so the next cycle of
+  /// the same shape allocates from one contiguous block without touching
+  /// the heap), and a reserve left behind by one oversized cycle shrinks
+  /// geometrically across subsequent smaller cycles until it is returned to
+  /// the allocator — retention never outlives the demand that caused it.
   void reset();
 
   /// Frees every block. The arena is reusable afterwards (cold again).
@@ -82,13 +87,16 @@ private:
   std::vector<Block> Blocks;
   std::size_t Cur = 0;  ///< Index of the block currently bumped.
   std::size_t Used = 0; ///< Bytes allocated since the last reset.
-  std::size_t HighWater = 0;
+  /// Decaying usage watermark that sizes the retained block at reset():
+  /// raised instantly to the cycle just finished, lowered by a quarter per
+  /// reset while demand stays below it.
+  std::size_t Watermark = 0;
 };
 
 /// A mutex-protected free list of arenas for concurrent fan-outs: each task
 /// acquire()s an arena for exclusive use and returns it on handle
-/// destruction. Arenas keep their high-water blocks across uses, so a pool
-/// serving K similar groups settles on max(live tasks) warm arenas.
+/// destruction. Arenas keep their watermark-sized blocks across uses, so a
+/// pool serving K similar groups settles on max(live tasks) warm arenas.
 class ArenaPool {
 public:
   /// Exclusive-use handle; returns the arena to the pool when destroyed.

@@ -1,0 +1,36 @@
+//===- support/Memory.cpp - Process memory observability ------------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Memory.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace calibro;
+using namespace calibro::support;
+
+RssSample support::sampleRss() {
+  RssSample S;
+  // /proc/self/status carries "VmRSS:   12345 kB" / "VmHWM:   23456 kB"
+  // lines on Linux. Anywhere the file does not exist (or lacks the lines)
+  // the sample stays zero.
+  std::FILE *F = std::fopen("/proc/self/status", "r");
+  if (!F)
+    return S;
+  char Line[256];
+  while (std::fgets(Line, sizeof(Line), F)) {
+    uint64_t *Slot = nullptr;
+    if (std::strncmp(Line, "VmRSS:", 6) == 0)
+      Slot = &S.CurrentBytes;
+    else if (std::strncmp(Line, "VmHWM:", 6) == 0)
+      Slot = &S.PeakBytes;
+    if (Slot)
+      *Slot = std::strtoull(Line + 6, nullptr, 10) * 1024;
+  }
+  std::fclose(F);
+  return S;
+}

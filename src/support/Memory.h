@@ -1,0 +1,41 @@
+//===- support/Memory.h - Process memory observability ----------*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process-level resident-set sampling for the memory benchmarks: the
+/// windowed-linking work bounds the detect phase's *accounted* working set
+/// (OutlineStats::DetectPeakBytes and friends), and the bench harnesses
+/// cross-check that accounting against what the OS actually charges the
+/// process. Observability only — RSS depends on the allocator, the kernel
+/// and every other allocation in the process, so it must never feed a
+/// deterministic stat or a test's exact-equality assertion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_SUPPORT_MEMORY_H
+#define CALIBRO_SUPPORT_MEMORY_H
+
+#include <cstdint>
+
+namespace calibro {
+namespace support {
+
+/// One resident-set snapshot of the calling process.
+struct RssSample {
+  uint64_t CurrentBytes = 0; ///< VmRSS: resident set right now.
+  uint64_t PeakBytes = 0;    ///< VmHWM: lifetime resident-set high water.
+};
+
+/// Samples the process's resident set from /proc/self/status (VmRSS and
+/// VmHWM). Returns zeros on platforms without procfs or on any read
+/// failure — callers treat a zero sample as "not measurable", never as an
+/// error.
+RssSample sampleRss();
+
+} // namespace support
+} // namespace calibro
+
+#endif // CALIBRO_SUPPORT_MEMORY_H

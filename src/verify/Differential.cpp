@@ -6,6 +6,7 @@
 
 #include "verify/Differential.h"
 
+#include "oat/Serialize.h"
 #include "sim/Simulator.h"
 #include "support/Random.h"
 #include "support/ThreadPool.h"
@@ -95,6 +96,14 @@ verify::runDifferential(const workload::AppSpec &Spec,
   addStage("cto+ltbo", Ltbo);
   if (Opts.WithPlOpti)
     addStage("cto+ltbo+plopti", Pl);
+  std::size_t PlIdx = Stages.size() - 1;
+  std::size_t WinIdx = 0; // 0 = no windowed stage (0 is always baseline).
+  if (Opts.WithPlOpti && Opts.MemoryBudgetBytes > 0) {
+    core::CalibroOptions Win = Pl;
+    Win.MemoryBudgetBytes = Opts.MemoryBudgetBytes;
+    addStage("cto+ltbo+plopti+windowed", Win);
+    WinIdx = Stages.size() - 1;
+  }
 
   auto RunStage = [&](std::size_t I) {
     Stage &S = Stages[I];
@@ -132,7 +141,16 @@ verify::runDifferential(const workload::AppSpec &Spec,
   Report.CtoBytes = Stages[1].Bytes;
   Report.LtboBytes = Stages[2].Bytes;
   if (Opts.WithPlOpti)
-    Report.PlOptiBytes = Stages[3].Bytes;
+    Report.PlOptiBytes = Stages[PlIdx].Bytes;
+  if (WinIdx) {
+    // Windowed linking promises more than behavioural equivalence: the
+    // serialized image must be BYTE-identical to the unbudgeted build at
+    // the same configuration.
+    if (oat::serializeOat(Stages[WinIdx].Oat) !=
+        oat::serializeOat(Stages[PlIdx].Oat))
+      return makeError("windowed: image diverged from monolithic plopti");
+    Report.WindowedBytes = Stages[WinIdx].Bytes;
+  }
 
   // + HfOpti: profiles the previous stage's image, so it cannot join the
   // concurrent batch above — it runs after, sequentially.
@@ -222,6 +240,15 @@ Expected<DifferentialReport> verify::runRandomDifferential(uint64_t Seed) {
                                       : core::DetectorKind::SuffixArray;
   Full.LtboPartitions = static_cast<uint32_t>(R.nextInRange(1, 6));
   Full.LtboThreads = static_cast<uint32_t>(R.nextInRange(1, 3));
+  // Half the corpus runs memory-budgeted (windowed) linking; a quarter of
+  // those also let the budget choose the partition count. Output is
+  // required to be byte-identical either way, so the fuzz oracle
+  // (behavioural equivalence against baseline) is unchanged.
+  if (R.nextBool(0.5)) {
+    Full.MemoryBudgetBytes = R.nextInRange(1ull << 16, 1ull << 22);
+    if (R.nextBool(0.25))
+      Full.LtboPartitions = 0;
+  }
   auto FullBuild = core::buildApp(App, Full);
   if (!FullBuild)
     return makeError("fuzz cto+ltbo build: " + FullBuild.message());

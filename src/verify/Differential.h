@@ -76,6 +76,13 @@ struct DifferentialOptions {
   /// reporting are identical for any value. 1 = serial ladder.
   uint32_t LadderThreads = 2;
   core::DetectorKind Detector = core::DetectorKind::SuffixTree;
+  /// When non-zero and WithPlOpti is set, add a memory-budgeted (windowed)
+  /// PlOpti stage to the ladder: the same build with
+  /// OutlinerOptions::MemoryBudgetBytes set. Beyond behavioural
+  /// equivalence, the harness requires this stage's serialized image to be
+  /// BYTE-identical to the unbudgeted PlOpti stage — windowing may change
+  /// where intermediates live, never what is produced.
+  uint64_t MemoryBudgetBytes = 0;
 };
 
 /// Sizes and coverage of one differential run.
@@ -85,6 +92,9 @@ struct DifferentialReport {
   uint64_t LtboBytes = 0;
   uint64_t PlOptiBytes = 0; ///< 0 when the stage was skipped.
   uint64_t HfOptiBytes = 0; ///< 0 when the stage was skipped.
+  /// Size of the memory-budgeted stage; always equal to PlOptiBytes when
+  /// present (the harness enforces full image byte-identity). 0 = skipped.
+  uint64_t WindowedBytes = 0;
   std::size_t StagesCompared = 0;   ///< Outlined stages proven equivalent.
   std::size_t InvocationsPerStage = 0;
 };

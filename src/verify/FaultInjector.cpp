@@ -74,6 +74,7 @@ core::CalibroOptions linkOptions(const FaultInjectorOptions &Opts,
   L.EnableLtbo = true;
   L.LtboPartitions = Opts.LtboPartitions;
   L.LtboThreads = ThreadsOverride ? ThreadsOverride : Opts.LtboThreads;
+  L.MemoryBudgetBytes = Opts.MemoryBudgetBytes;
   L.StrictSideInfo = Opts.Strict;
   L.StrictCallGraph = Opts.Strict;
   return L;
@@ -237,6 +238,7 @@ Expected<FaultInjector> FaultInjector::create(const workload::AppSpec &Spec,
   core::OutlinerOptions OOpts;
   OOpts.Partitions = Opts.LtboPartitions;
   OOpts.Threads = Opts.LtboThreads;
+  OOpts.MemoryBudgetBytes = Opts.MemoryBudgetBytes;
   auto Ltbo = core::runLtbo(Inj.CleanRewritten, OOpts);
   if (!Ltbo)
     return Ltbo.takeError();

@@ -92,8 +92,16 @@ struct FaultReport {
 struct FaultInjectorOptions {
   std::size_t ScriptLength = 6; ///< Invocations observed per image.
   uint64_t ScriptSeed = 13;
-  uint32_t LtboPartitions = 1;
+  /// Partition count for the mutated LTBO runs. Defaults to 8, matching
+  /// DifferentialOptions::Partitions, so both harnesses exercise the same
+  /// PlOpti configuration out of the box.
+  uint32_t LtboPartitions = 8;
   uint32_t LtboThreads = 1; ///< Worker threads for the mutated LTBO runs.
+  /// Detect-phase memory budget for every LTBO run the harness performs
+  /// (see OutlinerOptions::MemoryBudgetBytes); 0 = unbudgeted. Sweeping
+  /// the fault corpus through windowed mode proves the spill/merge path
+  /// degrades (and rejects) exactly like the single-pass pipeline.
+  uint64_t MemoryBudgetBytes = 0;
   bool Strict = false;      ///< Run LTBO in fail-fast (--strict) mode.
   /// Build-cache directory for the cache-mutation kinds. When set, create()
   /// runs one cache-enabled cold build (asserting byte-identity with the

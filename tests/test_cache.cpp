@@ -18,6 +18,7 @@
 
 #include "cache/BuildCache.h"
 #include "cache/Digest.h"
+#include "cache/SpillStore.h"
 #include "core/Calibro.h"
 #include "oat/Serialize.h"
 #include "workload/Workload.h"
@@ -366,4 +367,82 @@ TEST(CacheDamage, FormatVersionMismatchPurgesTheStore) {
   EXPECT_EQ(Rebuild->Stats.CacheHits, 0u);
   EXPECT_EQ(Rebuild->Stats.CacheMisses, App.numMethods());
   EXPECT_EQ(oat::serializeOat(Rebuild->Oat), oat::serializeOat(Cold->Oat));
+}
+
+//===----------------------------------------------------------------------===//
+// SpillStore (windowed linking's ephemeral spill target)
+//===----------------------------------------------------------------------===//
+
+TEST(SpillStore, EphemeralStoreRoundTripsAndSelfDestructs) {
+  cache::Digest Key{0x1234, 0xabcd};
+  cache::GroupSelections G;
+  G.Funcs.push_back({4, 77, {0, 12, 40}});
+  G.Funcs.push_back({2, 9, {5, 19}});
+
+  std::string Dir;
+  {
+    auto S = cache::SpillStore::create();
+    ASSERT_TRUE(bool(S)) << S.message();
+    Dir = (*S)->dir();
+    EXPECT_TRUE(fs::exists(Dir));
+
+    (*S)->store().storeGroup(Key, G);
+    auto Back = (*S)->store().loadGroup(Key);
+    ASSERT_TRUE(Back.has_value());
+    ASSERT_EQ(Back->Funcs.size(), 2u);
+    EXPECT_EQ(Back->Funcs[0].SeqLen, 4u);
+    EXPECT_EQ(Back->Funcs[0].Benefit, 77u);
+    EXPECT_EQ(Back->Funcs[0].Positions, (std::vector<uint32_t>{0, 12, 40}));
+    EXPECT_EQ(Back->Funcs[1].Positions, (std::vector<uint32_t>{5, 19}));
+  } // RAII: the temp directory goes with the store.
+  EXPECT_FALSE(fs::exists(Dir));
+}
+
+TEST(SpillStore, DistinctStoresGetDistinctDirectories) {
+  auto A = cache::SpillStore::create();
+  auto B = cache::SpillStore::create();
+  ASSERT_TRUE(bool(A) && bool(B));
+  EXPECT_NE((*A)->dir(), (*B)->dir());
+}
+
+TEST(SpillStore, DirOverrideIsKeptForInspection) {
+  TempCacheDir Dir("spill-keep");
+  std::string Kept;
+  {
+    auto S = cache::SpillStore::create(Dir.str());
+    ASSERT_TRUE(bool(S)) << S.message();
+    Kept = (*S)->dir();
+    (*S)->store().storeGroup({1, 2}, cache::GroupSelections{});
+  }
+  // An explicit directory is the user's: it must survive the store.
+  EXPECT_TRUE(fs::exists(Kept));
+  auto Reopened = cache::BuildCache::open(Kept);
+  ASSERT_TRUE(bool(Reopened));
+  EXPECT_TRUE((*Reopened)->loadGroup({1, 2}).has_value());
+}
+
+TEST(SpillStore, WindowedBuildSpillsIntoConfiguredCache) {
+  // With both a cache and a budget, spilled groups ARE ordinary cache
+  // entries: the next windowed build replays every group warm, and both
+  // images match the unbudgeted build byte for byte.
+  TempCacheDir Dir("spill-cache");
+  dex::App App = workload::makeApp(testSpec());
+  auto Opts = cacheOpts(Dir.str());
+  Opts.MemoryBudgetBytes = 1 << 14;
+
+  auto Cold = core::buildApp(App, Opts);
+  ASSERT_TRUE(bool(Cold)) << Cold.message();
+  EXPECT_GT(Cold->Stats.Ltbo.GroupsSpilled, 0u);
+  EXPECT_GT(Cold->Stats.Ltbo.DetectWindows, 1u);
+
+  auto Warm = core::buildApp(App, Opts);
+  ASSERT_TRUE(bool(Warm)) << Warm.message();
+  EXPECT_GT(Warm->Stats.Ltbo.GroupsReused, 0u);
+
+  core::CalibroOptions Mono = cacheOpts("");
+  Mono.CacheDir.clear();
+  auto Unbudgeted = core::buildApp(App, Mono);
+  ASSERT_TRUE(bool(Unbudgeted)) << Unbudgeted.message();
+  EXPECT_EQ(oat::serializeOat(Cold->Oat), oat::serializeOat(Unbudgeted->Oat));
+  EXPECT_EQ(oat::serializeOat(Warm->Oat), oat::serializeOat(Unbudgeted->Oat));
 }

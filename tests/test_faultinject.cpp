@@ -201,6 +201,57 @@ TEST_F(FaultInjectTest, ClassificationIndependentOfThreadCount) {
   }
 }
 
+TEST(FaultInjectWindowed, SweepHoldsUnderMemoryBudget) {
+  // The same fault-tolerance contract with the windowed (memory-budgeted)
+  // pipeline in the loop: mutations over a streaming build land in the
+  // identical trichotomy, proving the spill/merge path neither masks
+  // corruption nor introduces divergence of its own.
+  workload::AppSpec Spec;
+  Spec.Name = "faultapp-windowed";
+  Spec.Seed = 2229;
+  Spec.NumWorkers = 40;
+  Spec.NumUtilities = 20;
+
+  FaultInjectorOptions Opts;
+  Opts.ScriptLength = 6;
+  Opts.LtboThreads = 2; // Default LtboPartitions (8) on purpose.
+  Opts.MemoryBudgetBytes = 1 << 14;
+
+  auto Inj = FaultInjector::create(Spec, Opts);
+  ASSERT_TRUE(bool(Inj)) << Inj.message();
+
+  constexpr std::array<MutationKind, 4> Kinds = {
+      MutationKind::BitFlipSideInfo,
+      MutationKind::DropSideInfoEntry,
+      MutationKind::SwapRangeEndpoints,
+      MutationKind::DuplicateOutlinedId,
+  };
+  std::size_t Rejected = 0, Degraded = 0, Harmless = 0;
+  for (MutationKind Kind : Kinds) {
+    for (uint64_t Seed = 0; Seed < 8; ++Seed) {
+      auto Rep = Inj->run(Seed, Kind);
+      ASSERT_TRUE(bool(Rep)) << mutationKindName(Kind) << " seed " << Seed
+                             << ": " << Rep.message();
+      switch (Rep->Outcome) {
+      case FaultOutcome::Rejected:
+        ++Rejected;
+        break;
+      case FaultOutcome::Degraded:
+        ++Degraded;
+        EXPECT_GT(Rep->MethodsRejected, 0u);
+        break;
+      case FaultOutcome::Harmless:
+        ++Harmless;
+        EXPECT_EQ(Rep->MethodsRejected, 0u);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(Rejected + Degraded + Harmless, Kinds.size() * 8);
+  EXPECT_GT(Rejected, 0u);
+  EXPECT_GT(Degraded + Harmless, 0u);
+}
+
 TEST(FaultInjectCache, CacheCorruptionSweepIsAlwaysHarmless) {
   namespace fs = std::filesystem;
   const fs::path CacheDir =

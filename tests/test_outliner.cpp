@@ -390,6 +390,133 @@ TEST(Outliner, RejectsBadOptions) {
   consumeError(R2.takeError());
 }
 
+//===----------------------------------------------------------------------===//
+// Memory-budgeted (windowed) streaming
+//===----------------------------------------------------------------------===//
+
+/// A corpus with enough shape variety that the 8 round-robin groups hold
+/// different content: three method families, several members each.
+std::vector<dex::Method> windowedCorpus() {
+  std::vector<dex::Method> Ms;
+  for (uint32_t I = 0; I < 24; ++I) {
+    dex::Method M = chainMethod(I, "w" + std::to_string(I));
+    if (I % 3 == 1)
+      M.Code.insert(M.Code.begin(), op(dex::Op::Mul, 4, 1, 1));
+    if (I % 3 == 2) {
+      M.Code.insert(M.Code.begin(), op(dex::Op::Sub, 5, 1, 0));
+      M.Code.insert(M.Code.begin(), op(dex::Op::Xor, 4, 0, 1));
+    }
+    Ms.push_back(M);
+  }
+  return Ms;
+}
+
+/// Full-result equality: rewritten method bodies, outlined functions (ids
+/// and bodies), and the scheduling-invariant stats.
+void expectSameOutcome(const std::vector<CompiledMethod> &MA,
+                       const OutlineResult &RA,
+                       const std::vector<CompiledMethod> &MB,
+                       const OutlineResult &RB, const std::string &Label) {
+  ASSERT_EQ(MA.size(), MB.size()) << Label;
+  for (std::size_t M = 0; M < MA.size(); ++M)
+    ASSERT_EQ(MA[M].Code, MB[M].Code) << Label << ": method " << M;
+  ASSERT_EQ(RA.Funcs.size(), RB.Funcs.size()) << Label;
+  for (std::size_t F = 0; F < RA.Funcs.size(); ++F) {
+    EXPECT_EQ(RA.Funcs[F].Id, RB.Funcs[F].Id) << Label << ": func " << F;
+    EXPECT_EQ(RA.Funcs[F].Code, RB.Funcs[F].Code) << Label << ": func " << F;
+  }
+  EXPECT_EQ(RA.Stats.SequencesOutlined, RB.Stats.SequencesOutlined) << Label;
+  EXPECT_EQ(RA.Stats.OccurrencesReplaced, RB.Stats.OccurrencesReplaced)
+      << Label;
+  EXPECT_EQ(RA.Stats.InsnsRemoved, RB.Stats.InsnsRemoved) << Label;
+}
+
+TEST(Outliner, WindowedMatchesMonolithicAcrossThreadsAndBudgets) {
+  // The byte-identity oracle: for any thread count and any window size
+  // (budget), the windowed pipeline must reproduce the unbudgeted result
+  // exactly — same rewritten methods, same functions, same ids.
+  auto Ms = windowedCorpus();
+  auto Reference = compileMethods(Ms);
+  OutlinerOptions MonoOpts;
+  MonoOpts.Partitions = 8;
+  MonoOpts.Threads = 2;
+  auto RMono = runLtbo(Reference, MonoOpts);
+  ASSERT_TRUE(bool(RMono)) << RMono.message();
+  EXPECT_GT(RMono->Stats.SequencesOutlined, 0u);
+
+  for (uint32_t Threads : {1u, 4u, 8u}) {
+    // Three window shapes: everything in one window, a few groups per
+    // window, and one group (or an overrunning single) per window.
+    for (uint64_t Budget : {uint64_t(1) << 22, uint64_t(1) << 15,
+                            uint64_t(1) << 12}) {
+      auto Win = compileMethods(Ms);
+      OutlinerOptions WOpts = MonoOpts;
+      WOpts.Threads = Threads;
+      WOpts.MemoryBudgetBytes = Budget;
+      auto RWin = runLtbo(Win, WOpts);
+      std::string Label = "threads " + std::to_string(Threads) + " budget " +
+                          std::to_string(Budget);
+      ASSERT_TRUE(bool(RWin)) << Label << ": " << RWin.message();
+      expectSameOutcome(Reference, *RMono, Win, *RWin, Label);
+
+      const auto &S = RWin->Stats;
+      EXPECT_EQ(S.PartitionsUsed, 8u) << Label;
+      EXPECT_GE(S.DetectWindows, 1u) << Label;
+      EXPECT_LE(S.DetectWindows, 8u) << Label;
+      // Every window's estimated footprint fits the budget unless it is a
+      // single group that alone exceeds it — then the overrun is counted.
+      EXPECT_TRUE(S.DetectWindowPeakBytes <= Budget ||
+                  S.DetectBudgetOverruns > 0)
+          << Label << ": unflagged overrun";
+    }
+  }
+}
+
+TEST(Outliner, WindowedSmallestBudgetUsesOneWindowPerGroup) {
+  auto Ms = windowedCorpus();
+  auto Win = compileMethods(Ms);
+  OutlinerOptions Opts;
+  Opts.Partitions = 8;
+  Opts.MemoryBudgetBytes = 1; // Nothing fits: every group overruns alone.
+  auto R = runLtbo(Win, Opts);
+  ASSERT_TRUE(bool(R)) << R.message();
+  const auto &S = R->Stats;
+  EXPECT_EQ(S.DetectWindows, S.PartitionsUsed);
+  EXPECT_EQ(S.DetectBudgetOverruns, S.DetectWindows);
+  EXPECT_GT(S.GroupsSpilled, 0u);
+}
+
+TEST(Outliner, AutoPartitionsDerivedFromBudget) {
+  auto Ms = windowedCorpus();
+
+  // Partitions = 0 without a budget stays invalid...
+  auto None = compileMethods(Ms);
+  OutlinerOptions Bad;
+  Bad.Partitions = 0;
+  auto RBad = runLtbo(None, Bad);
+  EXPECT_FALSE(bool(RBad));
+  consumeError(RBad.takeError());
+
+  // ...and with one, K is the smallest count whose per-group estimate
+  // fits: a tighter budget must not choose fewer partitions.
+  std::size_t PrevK = 0;
+  for (uint64_t Budget :
+       {uint64_t(1) << 22, uint64_t(1) << 16, uint64_t(1) << 13}) {
+    auto Win = compileMethods(Ms);
+    OutlinerOptions Opts;
+    Opts.Partitions = 0;
+    Opts.MemoryBudgetBytes = Budget;
+    auto R = runLtbo(Win, Opts);
+    ASSERT_TRUE(bool(R)) << R.message();
+    EXPECT_GE(R->Stats.PartitionsUsed, 1u);
+    EXPECT_GE(R->Stats.PartitionsUsed, PrevK)
+        << "tighter budget chose fewer partitions";
+    PrevK = R->Stats.PartitionsUsed;
+    EXPECT_GT(R->Stats.SequencesOutlined, 0u);
+  }
+  EXPECT_GT(PrevK, 1u) << "the tightest budget should force a real split";
+}
+
 /// Hand-assembled method with a known byte layout:
 ///
 ///   word  0      stp x29, x30, [sp, #-16]!   (prologue; LR separator)

@@ -444,4 +444,147 @@ TEST(SuffixArray, BananaIntervals) {
   EXPECT_EQ(Found[fromString("na")], 2u);
 }
 
+//===----------------------------------------------------------------------===//
+// View (non-owning) construction: windowed linking builds suffix structures
+// over spans of caller-held text. A view-built detector must be
+// indistinguishable from an owned one over the same bytes.
+//===----------------------------------------------------------------------===//
+
+template <typename DetectorT>
+std::map<std::vector<Symbol>, std::vector<uint32_t>>
+enumerateRepeats(DetectorT &D, const std::vector<Symbol> &T, uint32_t MaxLen) {
+  std::map<std::vector<Symbol>, std::vector<uint32_t>> Out;
+  D.forEachRepeat(1, MaxLen, 2,
+                  [&](const typename DetectorT::RepeatInfo &R) {
+                    auto Pos = D.positionsOf(R.Node);
+                    Out[{T.begin() + Pos[0], T.begin() + Pos[0] + R.Length}] =
+                        Pos;
+                  });
+  return Out;
+}
+
+template <typename DetectorT>
+void checkViewMatchesOwned(const std::vector<Symbol> &T) {
+  const uint32_t MaxLen = static_cast<uint32_t>(T.size()) + 1;
+  DetectorT Owned{std::vector<Symbol>(T)};
+  DetectorT Viewed{std::span<const Symbol>(T)};
+
+  EXPECT_EQ(Owned.textSize(), Viewed.textSize());
+  EXPECT_EQ(Owned.numNodes(), Viewed.numNodes());
+  // Both modes account the text identically (the owned copy is exact-size),
+  // so the whole working set matches byte for byte.
+  EXPECT_EQ(Owned.workingSetBytes(), Viewed.workingSetBytes());
+  EXPECT_EQ(enumerateRepeats(Owned, T, MaxLen),
+            enumerateRepeats(Viewed, T, MaxLen))
+      << "view diverged from owned (n=" << T.size() << ")";
+}
+
+TEST(ViewConstruction, EdgeShapes) {
+  for (const char *S : {"", "x", "aaaaaaaa", "banana", "mississippi"}) {
+    checkViewMatchesOwned<SuffixTree>(fromString(S));
+    checkViewMatchesOwned<SuffixArray>(fromString(S));
+  }
+  // Symbols around the separator range and the all-ones value the tree
+  // uses as its virtual sentinel: legal text, never confused with it.
+  std::vector<Symbol> Hostile = {SeparatorBase, 0, ~uint64_t(0), 0,
+                                 ~uint64_t(0), SeparatorBase + 1};
+  checkViewMatchesOwned<SuffixTree>(Hostile);
+  checkViewMatchesOwned<SuffixArray>(Hostile);
+}
+
+TEST(ViewConstruction, RandomTextsDifferential) {
+  Rng R(0x71e3);
+  for (int Case = 0; Case < 25; ++Case) {
+    std::size_t N = 1 + R.nextBelow(250);
+    unsigned Alphabet = 2 + static_cast<unsigned>(R.nextBelow(6));
+    std::vector<Symbol> T;
+    for (std::size_t I = 0; I < N; ++I) {
+      if (R.nextBool(0.05))
+        T.push_back(SeparatorBase + I);
+      else
+        T.push_back('a' + R.nextBelow(Alphabet));
+    }
+    checkViewMatchesOwned<SuffixTree>(T);
+    checkViewMatchesOwned<SuffixArray>(T);
+  }
+}
+
+TEST(ViewConstruction, TandemRepeatTextsDifferential) {
+  // Repeat-heavy corpora (tandem blocks with occasional separators): the
+  // shapes that stress deep tree chains and the SA-IS recursion.
+  Rng R(0x7a2d);
+  for (int Case = 0; Case < 20; ++Case) {
+    std::vector<Symbol> Block;
+    std::size_t BlockLen = 2 + R.nextBelow(10);
+    for (std::size_t I = 0; I < BlockLen; ++I)
+      Block.push_back('a' + R.nextBelow(3));
+    std::vector<Symbol> T;
+    uint64_t Sep = 0;
+    std::size_t Reps = 3 + R.nextBelow(25);
+    for (std::size_t K = 0; K < Reps; ++K) {
+      T.insert(T.end(), Block.begin(), Block.end());
+      if (R.nextBelow(4) == 0)
+        T.push_back(SeparatorBase + Sep++);
+    }
+    checkViewMatchesOwned<SuffixTree>(T);
+    checkViewMatchesOwned<SuffixArray>(T);
+  }
+}
+
+TEST(ViewConstruction, WindowedSlicesMatchWholeCopies) {
+  // The windowed pipeline's actual usage: views over sub-ranges of one big
+  // caller-held buffer. Each slice's view detector must equal an owned
+  // detector over a private copy of that slice.
+  Rng R(0x5117);
+  std::vector<Symbol> Whole;
+  for (std::size_t I = 0; I < 400; ++I)
+    Whole.push_back('a' + R.nextBelow(4));
+  for (int Case = 0; Case < 15; ++Case) {
+    std::size_t Lo = R.nextBelow(Whole.size());
+    std::size_t Len = 1 + R.nextBelow(Whole.size() - Lo);
+    std::span<const Symbol> Slice(Whole.data() + Lo, Len);
+    std::vector<Symbol> Copy(Slice.begin(), Slice.end());
+    const uint32_t MaxLen = static_cast<uint32_t>(Len) + 1;
+
+    SuffixTree TreeView{Slice};
+    SuffixTree TreeCopy{std::vector<Symbol>(Copy)};
+    EXPECT_EQ(enumerateRepeats(TreeView, Copy, MaxLen),
+              enumerateRepeats(TreeCopy, Copy, MaxLen));
+
+    SuffixArray ArrView{Slice};
+    SuffixArray ArrCopy{std::vector<Symbol>(Copy)};
+    EXPECT_EQ(enumerateRepeats(ArrView, Copy, MaxLen),
+              enumerateRepeats(ArrCopy, Copy, MaxLen));
+  }
+}
+
+template <typename DetectorT>
+void checkReleaseAccounting(const std::vector<Symbol> &T) {
+  const std::size_t TextBytes = T.size() * sizeof(Symbol);
+  DetectorT Owned{std::vector<Symbol>(T)};
+  DetectorT Viewed{std::span<const Symbol>(T)};
+  auto Repeats = enumerateRepeats(Owned, T, 16);
+
+  const std::size_t Before = Owned.workingSetBytes();
+  ASSERT_EQ(Before, Viewed.workingSetBytes());
+  ASSERT_GE(Before, TextBytes);
+  Owned.releaseWorkingSet();
+  Viewed.releaseWorkingSet();
+  // The text contribution returns to zero in BOTH modes — dropping a view
+  // must shed exactly as many accounted bytes as freeing an owned copy.
+  EXPECT_EQ(Owned.workingSetBytes(), Viewed.workingSetBytes());
+  EXPECT_LE(Owned.workingSetBytes(), Before - TextBytes);
+  // Enumeration survives release (it reads only the retained structure).
+  EXPECT_EQ(enumerateRepeats(Viewed, T, 16), Repeats);
+}
+
+TEST(ViewConstruction, ReleaseWorkingSetAccounting) {
+  Rng R(0x4e1e);
+  std::vector<Symbol> T;
+  for (std::size_t I = 0; I < 300; ++I)
+    T.push_back('a' + R.nextBelow(3));
+  checkReleaseAccounting<SuffixTree>(T);
+  checkReleaseAccounting<SuffixArray>(T);
+}
+
 } // namespace

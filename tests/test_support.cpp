@@ -8,6 +8,7 @@
 #include "support/Error.h"
 #include "support/MappedFile.h"
 #include "support/MathExtras.h"
+#include "support/Memory.h"
 #include "support/Random.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
@@ -270,6 +271,35 @@ TEST(Arena, ResetKeepsMemoryAndCoalesces) {
   EXPECT_EQ(A.bytesReserved(), 0u);
 }
 
+TEST(Arena, OversizedCycleDecaysBackToSteadyState) {
+  support::Arena A;
+  // Steady state first: identical small cycles settle on one warm block.
+  for (int I = 0; I < 4; ++I) {
+    A.allocSpan<uint8_t>(64 << 10);
+    A.reset();
+  }
+  std::size_t Steady = A.bytesReserved();
+  ASSERT_GT(Steady, 0u);
+
+  // One oversized outlier cycle (an order of magnitude larger).
+  A.allocSpan<uint8_t>(8 << 20);
+  A.reset();
+  std::size_t AfterSpike = A.bytesReserved();
+  EXPECT_GE(AfterSpike, 8u << 20) << "the spike itself must stay warm once";
+
+  // Back to the small cycles: the watermark decays a quarter per reset, so
+  // the spike's reserve is returned to the allocator instead of being
+  // pinned for the arena's lifetime.
+  for (int I = 0; I < 40; ++I) {
+    A.allocSpan<uint8_t>(64 << 10);
+    A.reset();
+  }
+  EXPECT_LT(A.bytesReserved(), AfterSpike / 4)
+      << "oversized one-off block was never given back";
+  // Still warm enough for the small cycle.
+  EXPECT_GE(A.bytesReserved(), 64u << 10);
+}
+
 TEST(Arena, ZeroByteAllocationIsValid) {
   support::Arena A;
   void *P = A.allocate(0, 1);
@@ -306,6 +336,16 @@ TEST(ArenaPool, ConcurrentAcquireIsExclusive) {
         Failures.fetch_add(1);
   });
   EXPECT_EQ(Failures.load(), 0);
+}
+
+TEST(SampleRss, CoherentOnProcPlatforms) {
+  support::RssSample S = support::sampleRss();
+  // Zero means "no /proc here" and is legal; where the sample exists it
+  // must be internally coherent.
+  if (S.CurrentBytes == 0)
+    GTEST_SKIP() << "no /proc/self/status on this platform";
+  EXPECT_GE(S.PeakBytes, S.CurrentBytes);
+  EXPECT_GT(S.CurrentBytes, 1u << 20) << "a live test process exceeds 1 MiB";
 }
 
 //===----------------------------------------------------------------------===//

@@ -18,6 +18,7 @@
 #include "core/Calibro.h"
 #include "oat/Linker.h"
 #include "verify/Differential.h"
+#include "verify/FaultInjector.h"
 #include "verify/OatVerifier.h"
 #include "workload/Workload.h"
 
@@ -236,6 +237,31 @@ TEST(Differential, HundredRandomizedApps) {
   // Most random shapes must actually exercise outlining, or the fuzzing
   // proves nothing.
   EXPECT_GT(AppsWithOutlining, 80u);
+}
+
+TEST(Differential, WindowedStageIsByteIdenticalToPlOpti) {
+  // With a memory budget set, the ladder gains a windowed PlOpti stage and
+  // enforces full-image byte identity against the unbudgeted one — the
+  // strongest oracle the harness has.
+  for (uint64_t Budget : {uint64_t(1) << 14, uint64_t(1) << 18}) {
+    auto Spec = smallSpec(31);
+    verify::DifferentialOptions Opts;
+    Opts.MemoryBudgetBytes = Budget;
+    auto R = verify::runDifferential(Spec, Opts);
+    ASSERT_TRUE(bool(R)) << "budget " << Budget << ": " << R.message();
+    EXPECT_EQ(R->StagesCompared, 5u);
+    EXPECT_GT(R->WindowedBytes, 0u);
+    EXPECT_EQ(R->WindowedBytes, R->PlOptiBytes)
+        << "windowed image size diverged from monolithic";
+  }
+}
+
+TEST(Differential, HarnessDefaultsStayAligned) {
+  // The two harnesses sweep the same pipeline; their default partition
+  // counts must agree or the fault sweep exercises a different Phase B
+  // shape than the differential ladder.
+  EXPECT_EQ(verify::DifferentialOptions{}.Partitions,
+            verify::FaultInjectorOptions{}.LtboPartitions);
 }
 
 TEST(Differential, RandomSpecsAreDeterministicAndDiverse) {

@@ -40,6 +40,13 @@ void usage() {
       "  --ltbo             enable link-time binary outlining (paper 3.3)\n"
       "  --partitions <k>   paralleled suffix trees (paper 3.4.1)\n"
       "  --threads <n>      LTBO worker threads\n"
+      "  --memory-budget <bytes>  bound LTBO's peak detection working set:\n"
+      "                     detection streams in budget-sized windows,\n"
+      "                     spilling finished groups to the build cache (or\n"
+      "                     an ephemeral temp store); output is\n"
+      "                     byte-identical to an unbudgeted build. Without\n"
+      "                     an explicit --partitions, K is derived from the\n"
+      "                     budget\n"
       "  --hf               hot-function filtering: profile a scripted run\n"
       "                     of the unfiltered build first (paper 3.4.2)\n"
       "  --min-len/--max-len <n>  candidate length bounds\n"
@@ -75,6 +82,7 @@ int main(int argc, char **argv) {
   bool Hf = false;
   bool CacheStats = false;
   bool DeadCode = false;
+  bool ExplicitPartitions = false;
   core::CalibroOptions Opts;
 
   for (int I = 1; I < argc; ++I) {
@@ -89,8 +97,11 @@ int main(int argc, char **argv) {
       Opts.EnableCto = true;
     else if (A == "--ltbo")
       Opts.EnableLtbo = true;
-    else if (A == "--partitions")
+    else if (A == "--partitions") {
       Opts.LtboPartitions = std::atoi(next(I, argc, argv));
+      ExplicitPartitions = true;
+    } else if (A == "--memory-budget")
+      Opts.MemoryBudgetBytes = std::strtoull(next(I, argc, argv), nullptr, 0);
     else if (A == "--threads")
       Opts.LtboThreads = std::atoi(next(I, argc, argv));
     else if (A == "--min-len")
@@ -122,6 +133,10 @@ int main(int argc, char **argv) {
   }
   if (Out.empty())
     usage();
+  // A budget with no explicit K lets the outliner derive the partition
+  // count from the budget (Partitions = 0 means "auto").
+  if (Opts.MemoryBudgetBytes && !ExplicitPartitions)
+    Opts.LtboPartitions = 0;
 
   workload::AppSpec Spec;
   bool Found = false;
@@ -189,6 +204,16 @@ int main(int argc, char **argv) {
                B->Oat.Outlined.size(), St.CompileSeconds, St.LtboSeconds,
                St.Ltbo.SequencesOutlined, St.Ltbo.OccurrencesReplaced,
                St.LinkSeconds);
+  if (Opts.MemoryBudgetBytes)
+    std::fprintf(stderr,
+                 "  windowed: %zu partitions, %zu windows, window peak %zu "
+                 "bytes (budget %llu), %zu groups spilled, %zu overruns, "
+                 "merge %.3fs\n",
+                 St.Ltbo.PartitionsUsed, St.Ltbo.DetectWindows,
+                 St.Ltbo.DetectWindowPeakBytes,
+                 (unsigned long long)Opts.MemoryBudgetBytes,
+                 St.Ltbo.GroupsSpilled, St.Ltbo.DetectBudgetOverruns,
+                 St.Ltbo.MergeSeconds);
   if (CacheStats && !Opts.CacheDir.empty())
     std::fprintf(stderr,
                  "  cache: %zu method hits, %zu misses, %zu/%zu LTBO groups "
