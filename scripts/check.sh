@@ -27,9 +27,10 @@ if [[ "$MODE" == all || "$MODE" == asan ]]; then
   cmake -B "$SAN_BUILD" -S . -DCALIBRO_SANITIZE=address,undefined
   cmake --build "$SAN_BUILD" -j \
         --target test_verify test_outliner test_suffixtree \
-                 test_serialize test_faultinject test_cache test_analysis
+                 test_serialize test_faultinject test_cache test_analysis \
+                 test_service
   ctest --test-dir "$SAN_BUILD" --output-on-failure \
-        -R '^(test_verify|test_outliner|test_suffixtree|test_serialize|test_faultinject|test_cache|test_analysis)$'
+        -R '^(test_verify|test_outliner|test_suffixtree|test_serialize|test_faultinject|test_cache|test_analysis|test_service)$'
 fi
 
 if [[ "$MODE" == all || "$MODE" == tsan ]]; then
@@ -38,9 +39,9 @@ if [[ "$MODE" == all || "$MODE" == tsan ]]; then
   cmake -B "$TSAN_BUILD" -S . -DCALIBRO_SANITIZE=thread
   cmake --build "$TSAN_BUILD" -j --target test_parallel test_support \
                                           test_faultinject test_cache \
-                                          test_analysis
+                                          test_analysis test_service
   ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-        -R '^(test_parallel|test_support|test_faultinject|test_cache|test_analysis)$'
+        -R '^(test_parallel|test_support|test_faultinject|test_cache|test_analysis|test_service)$'
 fi
 
 echo "check.sh ($MODE): all green"

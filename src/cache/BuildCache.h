@@ -88,6 +88,11 @@ struct CacheAudit {
 
 /// Handle to one cache directory. Thread-safe: loads touch only immutable
 /// renamed files, stores are temp-file + atomic-rename.
+///
+/// The entry operations are virtual so drop-in wrappers — the daemon's
+/// sharded, size-bounded ShardedBuildCache — can stand in anywhere a
+/// BuildCache flows (compile-stage method probes, LTBO group replay, the
+/// windowed spill path) without those stages knowing about sharding.
 class BuildCache {
 public:
   /// Opens (creating if needed) the store at \p Dir. A missing or
@@ -95,35 +100,41 @@ public:
   /// when the directory cannot be created or written.
   static Expected<std::unique_ptr<BuildCache>> open(const std::string &Dir);
 
+  virtual ~BuildCache() = default;
+
   const std::string &dir() const { return Root; }
 
   /// Loads the compiled-method blob keyed by \p Key. Returns nullopt on
   /// miss OR on any validation failure (corrupt, truncated, version-skewed,
   /// side info rejected by SideInfoValidator) — callers recompute.
-  std::optional<CachedMethod> loadMethod(const Digest &Key) const;
+  virtual std::optional<CachedMethod> loadMethod(const Digest &Key) const;
 
   /// Stores \p M (with its \p HirInsnsSimplified count) under \p Key.
   /// Best-effort: I/O failure is swallowed (the cache just stays cold).
-  void storeMethod(const Digest &Key, const codegen::CompiledMethod &M,
-                   uint32_t HirInsnsSimplified) const;
+  virtual void storeMethod(const Digest &Key, const codegen::CompiledMethod &M,
+                           uint32_t HirInsnsSimplified) const;
 
   /// Loads a group-selection blob. Structural validation only — the
   /// outliner re-validates every position against the live text before
   /// replaying (and falls back to detection on any violation).
-  std::optional<GroupSelections> loadGroup(const Digest &Key) const;
+  virtual std::optional<GroupSelections> loadGroup(const Digest &Key) const;
 
   /// Stores a group's canonical selection under \p Key. Best-effort.
-  void storeGroup(const Digest &Key, const GroupSelections &G) const;
+  virtual void storeGroup(const Digest &Key, const GroupSelections &G) const;
 
   /// Scans every entry, validating each blob end to end.
-  CacheAudit audit() const;
+  virtual CacheAudit audit() const;
 
-private:
-  explicit BuildCache(std::string Root) : Root(std::move(Root)) {}
-
+  /// On-disk path of the method / group blob for \p Key (whether or not an
+  /// entry exists). Public so eviction bookkeeping (ShardedBuildCache) and
+  /// tests can stat and remove entries without re-deriving the layout.
   std::string methodPath(const Digest &Key) const;
   std::string groupPath(const Digest &Key) const;
 
+protected:
+  explicit BuildCache(std::string Root) : Root(std::move(Root)) {}
+
+private:
   std::string Root;
 };
 

@@ -23,16 +23,30 @@ SpillStore::create(const std::string &DirOverride) {
   bool Ephemeral = DirOverride.empty();
   if (Ephemeral) {
     // Unique per process AND per store: concurrent links in one process
-    // (the differential harness runs several) must not share spill roots.
+    // (daemon jobs, the differential harness) must not share spill roots.
+    // A pid+counter name alone is not enough — the counter restarts at 0
+    // every process, so a recycled pid (or a crash-leaked directory from an
+    // earlier run) can leave the candidate path already occupied. The
+    // directory is therefore CLAIMED with an exclusive create: only the
+    // store that brought the directory into existence uses it, and an
+    // occupied name just advances the counter.
     static std::atomic<uint64_t> Counter{0};
     std::error_code Ec;
     fs::path Base = fs::temp_directory_path(Ec);
     if (Ec)
       Base = "/tmp";
-    Dir = (Base / ("calibro-spill-" +
-                   std::to_string(static_cast<uint64_t>(::getpid())) + "-" +
-                   std::to_string(Counter.fetch_add(1))))
-              .string();
+    bool Claimed = false;
+    for (int Attempt = 0; Attempt < 1024 && !Claimed; ++Attempt) {
+      Dir = (Base / ("calibro-spill-" +
+                     std::to_string(static_cast<uint64_t>(::getpid())) + "-" +
+                     std::to_string(Counter.fetch_add(1))))
+                .string();
+      std::error_code CreateEc;
+      Claimed = fs::create_directory(Dir, CreateEc) && !CreateEc;
+    }
+    if (!Claimed)
+      return makeError("spill store: cannot claim a fresh directory under " +
+                       Base.string());
   }
   auto Store = BuildCache::open(Dir);
   if (!Store)

@@ -31,13 +31,16 @@ Expected<CompiledApp> core::compileApp(const dex::App &App,
   // Incremental builds: a configured cache directory lets unchanged dex
   // methods skip HIR construction and codegen entirely. Failing to OPEN
   // the store is a configuration error and fails the build; everything
-  // after that degrades (a bad entry is just a miss).
-  std::unique_ptr<cache::BuildCache> Cache;
-  if (!Opts.CacheDir.empty()) {
+  // after that degrades (a bad entry is just a miss). A daemon-shared
+  // store (Opts.SharedCache) takes precedence over a private directory.
+  std::unique_ptr<cache::BuildCache> OwnedCache;
+  cache::BuildCache *Cache = Opts.SharedCache;
+  if (!Cache && !Opts.CacheDir.empty()) {
     auto C = cache::BuildCache::open(Opts.CacheDir);
     if (!C)
       return C.takeError();
-    Cache = std::move(*C);
+    OwnedCache = std::move(*C);
+    Cache = OwnedCache.get();
   }
 
   // Compilation: per-method, independent of every other method, and run
@@ -97,7 +100,11 @@ Expected<CompiledApp> core::compileApp(const dex::App &App,
     }
   };
 
-  if (Opts.CompileThreads == 1) {
+  if (Opts.Pool) {
+    // Daemon mode: fan out on the shared pool under this job's fairness
+    // group, so concurrent jobs interleave instead of serializing.
+    Opts.Pool->parallelForIn(Opts.PoolGroup, Order.size(), CompileOne);
+  } else if (Opts.CompileThreads == 1) {
     for (std::size_t I = 0; I < Order.size(); ++I)
       CompileOne(I);
   } else {
@@ -239,8 +246,12 @@ Expected<BuildResult> core::linkApp(CompiledApp App,
     OOpts.MemoryBudgetBytes = Opts.MemoryBudgetBytes;
     OOpts.Detector = Opts.LtboDetector;
     OOpts.Strict = Opts.StrictSideInfo;
+    OOpts.Pool = Opts.Pool;
+    OOpts.PoolGroup = Opts.PoolGroup;
     std::unique_ptr<cache::BuildCache> Cache;
-    if (!Opts.CacheDir.empty()) {
+    if (Opts.SharedCache) {
+      OOpts.Cache = Opts.SharedCache;
+    } else if (!Opts.CacheDir.empty()) {
       auto C = cache::BuildCache::open(Opts.CacheDir);
       if (!C)
         return C.takeError();

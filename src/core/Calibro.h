@@ -33,6 +33,7 @@
 #include "dex/Dex.h"
 #include "oat/OatFile.h"
 #include "profile/Profile.h"
+#include "support/ThreadPool.h"
 
 namespace calibro {
 namespace core {
@@ -94,6 +95,17 @@ struct CalibroOptions {
   /// Fail the build on any call-graph anomaly (`--strict-gc`) instead of
   /// degrading to conservative edges/roots.
   bool StrictCallGraph = false;
+  /// Externally-owned worker pool (the compile daemon's shared pool). When
+  /// set, per-method compilation and the whole LTBO link stage fan out on
+  /// it under fairness group PoolGroup instead of constructing private
+  /// pools, and CompileThreads / LtboThreads are ignored. Output is
+  /// byte-identical either way.
+  ThreadPool *Pool = nullptr;
+  ThreadPool::GroupId PoolGroup = 0;
+  /// Externally-owned build cache (the daemon's sharded store). When set it
+  /// overrides CacheDir: both the compile-stage method probes and LTBO
+  /// group replay go through this store, and windowed links spill into it.
+  cache::BuildCache *SharedCache = nullptr;
 };
 
 /// Statistics of one build.

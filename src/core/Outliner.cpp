@@ -603,10 +603,19 @@ Expected<OutlineResult> core::runLtbo(std::vector<CompiledMethod> &Methods,
   // Threads == 1, or any request on a single-core machine — stays pool-free
   // and runs every phase inline on the calling thread: oversubscribing a
   // CPU-bound pipeline only buys scheduling overhead (the measured
-  // 8-threads-slower-than-1 regression), never throughput.
-  std::unique_ptr<ThreadPool> Pool;
-  if (Opts.Threads > 1 && ThreadPool::effectiveThreads(Opts.Threads) > 1)
-    Pool = std::make_unique<ThreadPool>(Opts.Threads);
+  // 8-threads-slower-than-1 regression), never throughput. A daemon job
+  // instead injects the service-wide pool (Opts.Pool) and its fairness
+  // group, so concurrent links share one set of workers round-robin.
+  std::unique_ptr<ThreadPool> OwnedPool;
+  ThreadPool *Pool = Opts.Pool;
+  const ThreadPool::GroupId PoolGroup = Pool ? Opts.PoolGroup : 0;
+  if (!Pool && Opts.Threads > 1 &&
+      ThreadPool::effectiveThreads(Opts.Threads) > 1) {
+    OwnedPool = std::make_unique<ThreadPool>(Opts.Threads);
+    Pool = OwnedPool.get();
+  }
+  if (Pool && Pool->numThreads() == 1)
+    Pool = nullptr; // Inline path; a 1-worker pool adds only handshakes.
 
   // Phase A: per-method preprocessing — side-info validation first, then
   // separators + branch targets, the decode-heavy analysis — in parallel
@@ -631,7 +640,7 @@ Expected<OutlineResult> core::runLtbo(std::vector<CompiledMethod> &Methods,
       P.Content = cache::methodContentDigest(M);
   };
   if (Pool) {
-    Pool->parallelFor(Candidates.size(), PrepOne);
+    Pool->parallelForIn(PoolGroup, Candidates.size(), PrepOne);
   } else {
     for (std::size_t I = 0; I < Candidates.size(); ++I)
       PrepOne(I);
@@ -791,7 +800,7 @@ Expected<OutlineResult> core::runLtbo(std::vector<CompiledMethod> &Methods,
 
   if (!Windowed) {
     if (Pool && K > 1) {
-      Pool->parallelFor(K, RunOne);
+      Pool->parallelForIn(PoolGroup, K, RunOne);
       Result.Stats.DetectThreads =
           std::min<std::size_t>(Pool->numThreads(), K);
     } else {
@@ -830,7 +839,8 @@ Expected<OutlineResult> core::runLtbo(std::vector<CompiledMethod> &Methods,
 
     for (const std::vector<std::size_t> &W : Windows) {
       if (Pool && W.size() > 1) {
-        Pool->parallelFor(W.size(), [&](std::size_t I) { RunOne(W[I]); });
+        Pool->parallelForIn(PoolGroup, W.size(),
+                            [&](std::size_t I) { RunOne(W[I]); });
       } else {
         for (std::size_t G : W)
           RunOne(G);
@@ -932,7 +942,7 @@ Expected<OutlineResult> core::runLtbo(std::vector<CompiledMethod> &Methods,
       RewriteErrors[I] = E.message();
   };
   if (Pool) {
-    Pool->parallelFor(Work.size(), RewriteOne);
+    Pool->parallelForIn(PoolGroup, Work.size(), RewriteOne);
   } else {
     for (std::size_t I = 0; I < Work.size(); ++I)
       RewriteOne(I);

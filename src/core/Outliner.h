@@ -60,6 +60,7 @@
 #include "codegen/CompiledMethod.h"
 #include "codegen/SideInfoValidator.h"
 #include "support/Error.h"
+#include "support/ThreadPool.h"
 
 #include <array>
 #include <unordered_set>
@@ -125,6 +126,12 @@ struct OutlinerOptions {
   /// the run finishes; non-empty directories are kept (tests use this to
   /// inspect the spill format).
   std::string SpillDir;
+  /// Externally-owned worker pool (the compile daemon's shared pool). When
+  /// set, every phase fans out on it — under fairness group PoolGroup —
+  /// instead of constructing a private pool, and Threads is ignored. The
+  /// result stays byte-identical: scheduling never reaches the output.
+  ThreadPool *Pool = nullptr;
+  ThreadPool::GroupId PoolGroup = 0;
 };
 
 /// Estimated peak detect-phase bytes per sequence word for \p Kind: text +

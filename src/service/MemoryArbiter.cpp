@@ -1,0 +1,65 @@
+//===- service/MemoryArbiter.cpp - Global detect-budget arbitration -------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/MemoryArbiter.h"
+
+#include <algorithm>
+
+using namespace calibro;
+using namespace calibro::service;
+
+MemoryArbiter::MemoryArbiter(uint64_t GlobalBudgetBytes, uint32_t Slots)
+    : Global(GlobalBudgetBytes),
+      FairShare(GlobalBudgetBytes
+                    ? std::max<uint64_t>(1, GlobalBudgetBytes /
+                                                std::max<uint32_t>(1, Slots))
+                    : 0) {}
+
+MemoryArbiter::Lease MemoryArbiter::acquire(uint64_t RequestedBytes) {
+  if (Global == 0) {
+    // No global budget: the job's own request stands, including "none".
+    std::lock_guard<std::mutex> Lock(M);
+    Outstanding += RequestedBytes;
+    Peak = std::max(Peak, Outstanding);
+    return Lease(this, RequestedBytes);
+  }
+  // Deterministic grant: the request clamped to the fair share, and an
+  // unbudgeted job clamped to the fair share outright — under a global
+  // budget every job links windowed, or the sum could not be bounded.
+  uint64_t Grant =
+      RequestedBytes ? std::min(RequestedBytes, FairShare) : FairShare;
+  std::unique_lock<std::mutex> Lock(M);
+  Freed.wait(Lock, [&] { return Outstanding + Grant <= Global; });
+  Outstanding += Grant;
+  Peak = std::max(Peak, Outstanding);
+  return Lease(this, Grant);
+}
+
+void MemoryArbiter::Lease::release() {
+  if (!Owner)
+    return;
+  Owner->release(Granted);
+  Owner = nullptr;
+  Granted = 0;
+}
+
+void MemoryArbiter::release(uint64_t Bytes) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Outstanding -= Bytes;
+  }
+  Freed.notify_all();
+}
+
+uint64_t MemoryArbiter::outstandingBytes() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Outstanding;
+}
+
+uint64_t MemoryArbiter::peakOutstandingBytes() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Peak;
+}

@@ -1,0 +1,114 @@
+//===- service/MemoryArbiter.h - Global detect-budget arbitration -*- C++ -*-=//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lease-based arbitration of one global detect-phase memory budget across
+/// the daemon's concurrent jobs (calibro-compiled --global-memory-budget).
+///
+/// Each job acquires a Lease before linking; the granted bytes become its
+/// OutlinerOptions::MemoryBudgetBytes. The invariant the arbiter maintains
+/// is simple: the SUM of all outstanding grants never exceeds the global
+/// budget, so the aggregate accounted detect working set of every in-flight
+/// link stays bounded no matter how jobs overlap.
+///
+/// Grants are deterministic — min(per-job request, fair share) — and never
+/// depend on timing; contention can only delay WHEN a lease is granted,
+/// never change HOW MUCH. Since windowed linking is byte-identical for any
+/// positive budget, arbitration shapes memory and wall clock, never output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_SERVICE_MEMORYARBITER_H
+#define CALIBRO_SERVICE_MEMORYARBITER_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace calibro {
+namespace service {
+
+/// Arbiter of one global byte budget across concurrent lease holders.
+class MemoryArbiter {
+public:
+  /// \p GlobalBudgetBytes caps the sum of outstanding grants (0 = no global
+  /// budget: requests are granted verbatim, nothing ever blocks). \p Slots
+  /// is the number of concurrent holders the budget is provisioned for: the
+  /// fair share is GlobalBudgetBytes / Slots (at least 1), and because no
+  /// grant exceeds the fair share, up to Slots concurrent acquirers are
+  /// admitted without blocking.
+  MemoryArbiter(uint64_t GlobalBudgetBytes, uint32_t Slots);
+
+  MemoryArbiter(const MemoryArbiter &) = delete;
+  MemoryArbiter &operator=(const MemoryArbiter &) = delete;
+
+  /// RAII grant: returns its bytes to the pool on destruction.
+  class Lease {
+  public:
+    Lease() = default;
+    Lease(Lease &&Other) noexcept { *this = std::move(Other); }
+    Lease &operator=(Lease &&Other) noexcept {
+      release();
+      Owner = Other.Owner;
+      Granted = Other.Granted;
+      Other.Owner = nullptr;
+      Other.Granted = 0;
+      return *this;
+    }
+    Lease(const Lease &) = delete;
+    Lease &operator=(const Lease &) = delete;
+    ~Lease() { release(); }
+
+    /// The granted detect budget in bytes. 0 means "unbudgeted" (only
+    /// possible when the arbiter has no global budget and the job asked
+    /// for none).
+    uint64_t bytes() const { return Granted; }
+
+    void release();
+
+  private:
+    friend class MemoryArbiter;
+    Lease(MemoryArbiter *Owner, uint64_t Granted)
+        : Owner(Owner), Granted(Granted) {}
+
+    MemoryArbiter *Owner = nullptr;
+    uint64_t Granted = 0;
+  };
+
+  /// Acquires a lease for a job that requested \p RequestedBytes (0 = the
+  /// job itself is unbudgeted). Under a global budget the grant is
+  /// min(RequestedBytes, fair share) — an unbudgeted job is clamped to the
+  /// fair share, so the global bound holds over every job. Blocks until the
+  /// grant fits under the global budget; never blocks when at most Slots
+  /// leases are outstanding.
+  Lease acquire(uint64_t RequestedBytes);
+
+  uint64_t globalBudget() const { return Global; }
+  uint64_t fairShareBytes() const { return FairShare; }
+
+  /// Sum of currently outstanding grants.
+  uint64_t outstandingBytes() const;
+
+  /// High-water mark of outstandingBytes() over the arbiter's lifetime.
+  /// The table8 gate: peak <= globalBudget().
+  uint64_t peakOutstandingBytes() const;
+
+private:
+  void release(uint64_t Bytes);
+
+  const uint64_t Global;
+  const uint64_t FairShare;
+
+  mutable std::mutex M;
+  std::condition_variable Freed;
+  uint64_t Outstanding = 0;
+  uint64_t Peak = 0;
+};
+
+} // namespace service
+} // namespace calibro
+
+#endif // CALIBRO_SERVICE_MEMORYARBITER_H

@@ -33,6 +33,7 @@ enum class ErrCat : uint8_t {
   SideInfo,  ///< Invalid per-method side information.
   Link,      ///< Link-stage failure (relocations, layout, duplicate ids).
   Runtime,   ///< Simulator / execution failure.
+  Service,   ///< Compile-service admission failure (queue full, shut down).
 };
 
 /// Returns a stable lower-case name for \p C ("bad-format", ...).
@@ -48,6 +49,8 @@ inline const char *errCatName(ErrCat C) {
     return "link";
   case ErrCat::Runtime:
     return "runtime";
+  case ErrCat::Service:
+    return "service";
   }
   return "error";
 }

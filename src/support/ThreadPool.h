@@ -18,6 +18,17 @@
 /// the lowest failing index deterministically — the same error surfaces for
 /// every thread count and scheduling.
 ///
+/// Fairness groups (the calibro-compiled hook): the pool can be shared by
+/// several concurrent clients — daemon jobs — each owning a GroupId from
+/// createGroup(). Tasks queue per group and workers dispatch round-robin
+/// ACROSS the non-empty groups, so a job that fans out ten thousand chunks
+/// cannot starve the job that fans out eight; within one group order stays
+/// FIFO. parallelFor tracks completion per call (not via the global queue),
+/// so concurrent parallelFor calls from different jobs never wait on each
+/// other's tasks. Group 0 always exists; single-client users never need to
+/// touch the group API, and every output stays byte-identical regardless of
+/// grouping — fairness shapes the wall clock, never the result.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CALIBRO_SUPPORT_THREADPOOL_H
@@ -25,6 +36,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -33,9 +45,13 @@
 
 namespace calibro {
 
-/// Fixed-size pool of worker threads with a FIFO task queue.
+/// Fixed-size pool of worker threads with per-group FIFO task queues and
+/// round-robin dispatch across groups.
 class ThreadPool {
 public:
+  /// A fairness class for tasks. 0 is the default group, always valid.
+  using GroupId = uint32_t;
+
   /// Creates effectiveThreads(NumThreads) workers — the request is clamped
   /// to the machine, never trusted verbatim (see effectiveThreads()).
   explicit ThreadPool(std::size_t NumThreads);
@@ -53,33 +69,67 @@ public:
   ThreadPool(const ThreadPool &) = delete;
   ThreadPool &operator=(const ThreadPool &) = delete;
 
-  /// Enqueues a task for asynchronous execution.
-  void enqueue(std::function<void()> Task);
+  /// Registers a new fairness group and returns its id. Thread-safe.
+  GroupId createGroup();
 
-  /// Blocks until the queue is empty and no task is running.
+  /// Releases a group created by createGroup(). The group's queue must be
+  /// drained (every client waits out its own parallelFor calls before
+  /// releasing). Group 0 cannot be released.
+  void releaseGroup(GroupId G);
+
+  /// Enqueues a task for asynchronous execution under group 0.
+  void enqueue(std::function<void()> Task) { enqueueIn(0, std::move(Task)); }
+
+  /// Enqueues a task under fairness group \p G.
+  void enqueueIn(GroupId G, std::function<void()> Task);
+
+  /// Blocks until every queue is empty and no task is running. This is a
+  /// GLOBAL barrier over all groups — pool-sharing clients should rely on
+  /// parallelFor's per-call completion instead.
   void wait();
 
   std::size_t numThreads() const { return Workers.size(); }
 
-  /// Runs \p Fn(I) for every I in [0, N) across the pool and waits.
+  /// Runs \p Fn(I) for every I in [0, N) across the pool and waits, under
+  /// group 0. See parallelForIn.
+  void parallelFor(std::size_t N, const std::function<void(std::size_t)> &Fn,
+                   std::size_t Grain = 0) {
+    parallelForIn(0, N, Fn, Grain);
+  }
+
+  /// Runs \p Fn(I) for every I in [0, N) across the pool and waits, with
+  /// the chunk tasks queued under fairness group \p G.
   ///
   /// The index space is split into contiguous chunks of at least \p Grain
   /// iterations (Grain == 0 picks one automatically from N and the worker
   /// count), one queued task per chunk. A single-worker pool — or an index
   /// space that fits in one chunk — runs inline on the calling thread: no
   /// queue round-trip, no condition-variable handshake, identical
-  /// semantics. If any iteration throws, the chunk abandons its remaining
-  /// iterations, the other chunks still run, and the exception of the
-  /// LOWEST failing index is rethrown here — so the caller observes the
-  /// same error for any thread count or scheduling.
-  void parallelFor(std::size_t N, const std::function<void(std::size_t)> &Fn,
-                   std::size_t Grain = 0);
+  /// semantics. Completion is tracked per call: this returns as soon as ITS
+  /// chunks finished, regardless of what other groups (or other concurrent
+  /// parallelFor calls) still have queued. If any iteration throws, the
+  /// chunk abandons its remaining iterations, the other chunks still run,
+  /// and the exception of the LOWEST failing index is rethrown here — so
+  /// the caller observes the same error for any thread count, grouping, or
+  /// scheduling.
+  void parallelForIn(GroupId G, std::size_t N,
+                     const std::function<void(std::size_t)> &Fn,
+                     std::size_t Grain = 0);
 
 private:
   void workerLoop();
 
+  /// One fairness class: a FIFO of tasks plus liveness (released group
+  /// slots are recycled by createGroup).
+  struct Group {
+    std::deque<std::function<void()>> Tasks;
+    bool Live = false;
+  };
+
   std::vector<std::thread> Workers;
-  std::deque<std::function<void()>> Queue;
+  std::vector<Group> Groups;
+  std::size_t RrCursor = 0;      ///< Last group a worker drew from.
+  std::size_t PendingTasks = 0;  ///< Queued, not yet running (all groups).
   std::mutex Mutex;
   std::condition_variable WorkAvailable;
   std::condition_variable AllDone;

@@ -18,6 +18,7 @@
 
 #include "cache/BuildCache.h"
 #include "cache/Digest.h"
+#include "cache/ShardedCache.h"
 #include "cache/SpillStore.h"
 #include "core/Calibro.h"
 #include "oat/Serialize.h"
@@ -28,7 +29,9 @@
 #include <filesystem>
 #include <fstream>
 #include <optional>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <unistd.h>
@@ -419,6 +422,188 @@ TEST(SpillStore, DirOverrideIsKeptForInspection) {
   auto Reopened = cache::BuildCache::open(Kept);
   ASSERT_TRUE(bool(Reopened));
   EXPECT_TRUE((*Reopened)->loadGroup({1, 2}).has_value());
+}
+
+TEST(SpillStore, ConcurrentCreatesClaimDistinctDirectories) {
+  // The daemon regression: many same-process links spin up ephemeral spill
+  // stores concurrently. Every store must CLAIM its own fresh directory —
+  // a shared or adopted root would let two links overwrite each other's
+  // group blobs.
+  constexpr std::size_t NumStores = 16;
+  std::vector<std::unique_ptr<cache::SpillStore>> Stores(NumStores);
+  std::vector<std::thread> Threads;
+  for (std::size_t T = 0; T < 4; ++T)
+    Threads.emplace_back([&Stores, T] {
+      for (std::size_t I = T; I < NumStores; I += 4) {
+        auto S = cache::SpillStore::create();
+        ASSERT_TRUE(bool(S)) << S.message();
+        Stores[I] = std::move(*S);
+      }
+    });
+  for (auto &T : Threads)
+    T.join();
+  std::set<std::string> Dirs;
+  for (const auto &S : Stores) {
+    ASSERT_NE(S, nullptr);
+    EXPECT_TRUE(Dirs.insert(S->dir()).second) << "duplicate dir " << S->dir();
+    EXPECT_TRUE(fs::exists(S->dir()));
+  }
+}
+
+TEST(SpillStore, OccupiedCandidateNameIsSkippedNotAdopted) {
+  // A crash-leaked directory (or a recycled pid's leftovers) can occupy the
+  // next pid+counter candidate name. The exclusive-create claim must SKIP
+  // it — adopting a foreign directory would replay someone else's blobs and
+  // then delete them on destruction.
+  auto Probe = cache::SpillStore::create();
+  ASSERT_TRUE(bool(Probe)) << Probe.message();
+  std::string ProbeDir = (*Probe)->dir();
+  auto Dash = ProbeDir.find_last_of('-');
+  ASSERT_NE(Dash, std::string::npos);
+  uint64_t Counter = std::stoull(ProbeDir.substr(Dash + 1));
+
+  // Occupy the next candidate name with a sentinel inside.
+  fs::path Leaked = ProbeDir.substr(0, Dash + 1) + std::to_string(Counter + 1);
+  fs::create_directories(Leaked);
+  { std::ofstream(Leaked / "sentinel.txt") << "leaked"; }
+
+  {
+    auto Next = cache::SpillStore::create();
+    ASSERT_TRUE(bool(Next)) << Next.message();
+    EXPECT_NE((*Next)->dir(), Leaked.string());
+  } // The new store's RAII cleanup runs here...
+  // ...and the occupied directory and its contents were never touched.
+  EXPECT_TRUE(fs::exists(Leaked / "sentinel.txt"));
+  fs::remove_all(Leaked);
+}
+
+//===----------------------------------------------------------------------===//
+// ShardedBuildCache (the daemon's shared store)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+cache::GroupSelections testGroup(uint32_t Tag) {
+  cache::GroupSelections G;
+  G.Funcs.push_back({4, 100 + Tag, {Tag, Tag + 7, Tag + 19}});
+  return G;
+}
+
+/// The on-disk size of one testGroup blob, measured on a throwaway store.
+uint64_t groupBlobBytes() {
+  TempCacheDir Dir("shard-probe");
+  auto C = cache::ShardedBuildCache::open(Dir.str(), 1);
+  EXPECT_TRUE(bool(C)) << C.message();
+  (*C)->storeGroup({1, 1}, testGroup(1));
+  return (*C)->stats().ResidentBytes;
+}
+
+} // namespace
+
+TEST(ShardedCache, LruEvictionRespectsBudgetRecencyAndAuditStaysClean) {
+  const uint64_t S = groupBlobBytes();
+  ASSERT_GT(S, 0u);
+
+  // One shard, budget for two blobs (and change).
+  TempCacheDir Dir("shard-lru");
+  auto C = cache::ShardedBuildCache::open(Dir.str(), 1, 2 * S + S / 2);
+  ASSERT_TRUE(bool(C)) << C.message();
+
+  cache::Digest D1{1, 0}, D2{2, 0}, D3{3, 0};
+  (*C)->storeGroup(D1, testGroup(1));
+  (*C)->storeGroup(D2, testGroup(2));
+  EXPECT_EQ((*C)->stats().Evictions, 0u);
+
+  // Touch D1 so D2 becomes the LRU victim of the next store.
+  EXPECT_TRUE((*C)->loadGroup(D1).has_value());
+  (*C)->storeGroup(D3, testGroup(3));
+
+  cache::ShardedCacheStats St = (*C)->stats();
+  EXPECT_EQ(St.Evictions, 1u);
+  EXPECT_EQ(St.EvictedBytes, S);
+  EXPECT_LE(St.ResidentBytes, (*C)->budgetBytes());
+  EXPECT_TRUE((*C)->loadGroup(D1).has_value());
+  EXPECT_FALSE((*C)->loadGroup(D2).has_value()) << "victim was not the LRU";
+  EXPECT_TRUE((*C)->loadGroup(D3).has_value());
+
+  // Eviction removed the blob AND its index entry: the store audits clean.
+  cache::CacheAudit A = (*C)->audit();
+  EXPECT_EQ(A.GroupEntries, 2u);
+  EXPECT_EQ(A.GroupCorrupt, 0u);
+  EXPECT_EQ(A.MethodCorrupt, 0u);
+}
+
+TEST(ShardedCache, PinnedEntryIsNeverEvicted) {
+  const uint64_t S = groupBlobBytes();
+  TempCacheDir Dir("shard-pin");
+  // Budget for barely one blob: every second store must evict something.
+  auto C = cache::ShardedBuildCache::open(Dir.str(), 1, S + S / 2);
+  ASSERT_TRUE(bool(C)) << C.message();
+
+  cache::Digest Replayed{10, 0};
+  (*C)->storeGroup(Replayed, testGroup(10));
+
+  {
+    // The windowed-link merge pass's shape: pin the group for the span of
+    // the replay, while other jobs' stores hammer the same shard.
+    cache::ShardedBuildCache::Pin P = (*C)->pinGroup(Replayed);
+    for (uint32_t I = 0; I < 8; ++I)
+      (*C)->storeGroup({100 + I, 0}, testGroup(100 + I));
+    EXPECT_GT((*C)->stats().Evictions, 0u);
+    // Every eviction picked an unpinned victim; the replayed blob is whole.
+    auto G = (*C)->loadGroup(Replayed);
+    ASSERT_TRUE(G.has_value()) << "pinned blob was evicted mid-replay";
+    EXPECT_EQ(G->Funcs.at(0).Positions, (std::vector<uint32_t>{10, 17, 29}));
+  }
+
+  // Pin released: the entry is ordinary again and stores may now evict it.
+  uint64_t Before = (*C)->stats().Evictions;
+  (*C)->storeGroup({200, 0}, testGroup(200));
+  (*C)->storeGroup({201, 0}, testGroup(201));
+  EXPECT_GT((*C)->stats().Evictions, Before);
+  cache::CacheAudit A = (*C)->audit();
+  EXPECT_EQ(A.GroupCorrupt, 0u);
+}
+
+TEST(ShardedCache, ResidentStoresAreDedupedNotRewritten) {
+  TempCacheDir Dir("shard-dedup");
+  auto C = cache::ShardedBuildCache::open(Dir.str(), 4);
+  ASSERT_TRUE(bool(C)) << C.message();
+
+  cache::Digest D{42, 7};
+  (*C)->storeGroup(D, testGroup(42));
+  // The second writer of a content-addressed key has identical bytes by
+  // construction: the write is skipped, only recency advances.
+  (*C)->storeGroup(D, testGroup(42));
+  (*C)->storeGroup(D, testGroup(42));
+
+  cache::ShardedCacheStats St = (*C)->stats();
+  EXPECT_EQ(St.StoresDeduped, 2u);
+  EXPECT_EQ(St.ResidentEntries, 1u);
+  EXPECT_TRUE((*C)->loadGroup(D).has_value());
+}
+
+TEST(ShardedCache, AdoptionRebuildsIndexAndTrimsToTightenedBudget) {
+  const uint64_t S = groupBlobBytes();
+  TempCacheDir Dir("shard-adopt");
+  {
+    auto C = cache::ShardedBuildCache::open(Dir.str(), 2);
+    ASSERT_TRUE(bool(C)) << C.message();
+    for (uint32_t I = 0; I < 8; ++I)
+      (*C)->storeGroup({I, 0}, testGroup(I));
+    EXPECT_EQ((*C)->stats().ResidentEntries, 8u);
+  }
+  // A daemon restart reopens the fleet cache with a TIGHTER budget: the
+  // adopted index must trim immediately, and what remains must audit clean.
+  auto C = cache::ShardedBuildCache::open(Dir.str(), 2, 4 * S);
+  ASSERT_TRUE(bool(C)) << C.message();
+  cache::ShardedCacheStats St = (*C)->stats();
+  EXPECT_LE(St.ResidentBytes, 4 * S);
+  EXPECT_LT(St.ResidentEntries, 8u);
+  EXPECT_GT(St.ResidentEntries, 0u);
+  cache::CacheAudit A = (*C)->audit();
+  EXPECT_EQ(A.GroupEntries, St.ResidentEntries);
+  EXPECT_EQ(A.GroupCorrupt, 0u);
 }
 
 TEST(SpillStore, WindowedBuildSpillsIntoConfiguredCache) {

@@ -26,6 +26,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
 
 using namespace calibro;
 using namespace calibro::codegen;
@@ -310,6 +313,87 @@ TEST(ParallelDifferential, LadderReportIndependentOfLadderThreads) {
   EXPECT_EQ(A->PlOptiBytes, B->PlOptiBytes);
   EXPECT_EQ(A->HfOptiBytes, B->HfOptiBytes);
   EXPECT_EQ(A->StagesCompared, B->StagesCompared);
+}
+
+//===----------------------------------------------------------------------===//
+// Shared-pool fairness groups (the compile daemon's scheduling hook)
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolGroups, ReleasedGroupSlotsAreRecycled) {
+  ThreadPool Pool(2);
+  ThreadPool::GroupId A = Pool.createGroup();
+  ThreadPool::GroupId B = Pool.createGroup();
+  EXPECT_NE(A, 0u);
+  EXPECT_NE(B, 0u);
+  EXPECT_NE(A, B);
+  Pool.releaseGroup(A);
+  // A daemon creates one group per job; the table must not grow per job.
+  EXPECT_EQ(Pool.createGroup(), A);
+  Pool.releaseGroup(A);
+  Pool.releaseGroup(B);
+}
+
+TEST(ThreadPoolGroups, ConcurrentParallelForCallsAreIsolatedPerCall) {
+  // Several clients share ONE pool, each fanning out under its own group —
+  // the daemon's exact shape. Every call must return with exactly its own
+  // work done (per-call completion, not the global queue barrier), no
+  // matter how the groups' chunks interleave on the workers.
+  ThreadPool Pool(4);
+  constexpr std::size_t NumClients = 4, N = 20000, Rounds = 8;
+  std::vector<std::thread> Clients;
+  std::vector<uint64_t> Sums(NumClients, 0);
+  for (std::size_t C = 0; C < NumClients; ++C)
+    Clients.emplace_back([&Pool, &Sums, C] {
+      for (std::size_t Round = 0; Round < Rounds; ++Round) {
+        ThreadPool::GroupId G = Pool.createGroup();
+        std::vector<uint32_t> Out(N, 0);
+        Pool.parallelForIn(G, N, [&Out, C](std::size_t I) {
+          Out[I] = static_cast<uint32_t>(I * (C + 1));
+        });
+        // The call returned, so every one of ITS iterations ran.
+        uint64_t Sum = 0;
+        for (uint32_t V : Out)
+          Sum += V;
+        Sums[C] = Sum;
+        Pool.releaseGroup(G);
+      }
+    });
+  for (auto &T : Clients)
+    T.join();
+  const uint64_t Base = uint64_t(N) * (N - 1) / 2;
+  for (std::size_t C = 0; C < NumClients; ++C)
+    EXPECT_EQ(Sums[C], Base * (C + 1)) << "client " << C;
+}
+
+TEST(ThreadPoolGroups, ExceptionInOneGroupLeavesOthersUnharmed) {
+  ThreadPool Pool(4);
+  ThreadPool::GroupId Faulty = Pool.createGroup();
+  ThreadPool::GroupId Healthy = Pool.createGroup();
+
+  std::thread Neighbor([&] {
+    std::atomic<std::size_t> Ran{0};
+    Pool.parallelForIn(Healthy, 5000,
+                       [&Ran](std::size_t) { Ran.fetch_add(1); });
+    EXPECT_EQ(Ran.load(), 5000u);
+  });
+
+  // The faulty client observes the LOWEST failing index's exception, same
+  // as the single-group contract; its neighbor completes untouched.
+  for (int Round = 0; Round < 3; ++Round) {
+    try {
+      Pool.parallelForIn(Faulty, 1000, [](std::size_t I) {
+        if (I >= 100)
+          throw std::runtime_error("fail at " + std::to_string(I));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error &E) {
+      EXPECT_STREQ(E.what(), "fail at 100");
+    }
+  }
+
+  Neighbor.join();
+  Pool.releaseGroup(Faulty);
+  Pool.releaseGroup(Healthy);
 }
 
 TEST(ParallelDifferential, BatchMatchesSerialRuns) {

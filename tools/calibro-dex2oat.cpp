@@ -204,7 +204,9 @@ int main(int argc, char **argv) {
                B->Oat.Outlined.size(), St.CompileSeconds, St.LtboSeconds,
                St.Ltbo.SequencesOutlined, St.Ltbo.OccurrencesReplaced,
                St.LinkSeconds);
-  if (Opts.MemoryBudgetBytes)
+  // Only when windowed detection actually ran: a budget with LTBO disabled
+  // (or an app with nothing to detect) would print a block of zeros.
+  if (Opts.MemoryBudgetBytes && St.Ltbo.DetectWindows)
     std::fprintf(stderr,
                  "  windowed: %zu partitions, %zu windows, window peak %zu "
                  "bytes (budget %llu), %zu groups spilled, %zu overruns, "
