@@ -1,0 +1,198 @@
+//===- bench/table7_layout.cpp - Profile-driven layout gate -----------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The layout-stage companion to the Table 7 runtime harness: measures the
+/// simulated startup working set (distinct .text pages touched by the
+/// scripted run) of outline-only builds against outline+layout builds over
+/// the closed-world paper corpus, and gates the stage's contract:
+///
+///   * outline+layout touches strictly fewer startup pages than outline
+///     alone, summed over the corpus (per app it may only tie, never grow —
+///     computeLayout falls back to the identity order when the realized
+///     page cut does not improve);
+///   * the emitted image is byte-identical for any layout thread count;
+///   * without a profile the stage is a byte-identical no-op.
+///
+/// Emits BENCH_layout.json (schema-pinned in CI) and exits nonzero when
+/// any gate fails.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "oat/Serialize.h"
+
+using namespace calibro;
+using namespace calibro::bench;
+
+namespace {
+
+/// Layout page granularity, matched to the simulator's 256-byte residency
+/// pages (SimOptions::PageShift = 8) — the simulated apps are ~1000x
+/// smaller than the commercial OAT files, so 4 KiB pages would blur every
+/// placement decision into one page.
+constexpr uint32_t PageSize = 256;
+
+/// Distinct .text pages the script touches — the startup page-fault proxy.
+std::size_t startupPages(const oat::OatFile &Oat,
+                         const std::vector<workload::Invocation> &Script) {
+  sim::SimOptions SO;
+  SO.PageShift = 8;
+  sim::Simulator Sim(Oat, SO);
+  for (const auto &Inv : Script) {
+    auto R = Sim.call(Inv.MethodIdx, Inv.Args);
+    if (!R) {
+      std::fprintf(stderr, "script fault: %s\n", R.message().c_str());
+      std::exit(1);
+    }
+  }
+  return Sim.touchedTextPages();
+}
+
+core::CalibroOptions layoutOpts(const profile::Profile *Prof, bool Layout,
+                                uint32_t Threads = 2) {
+  core::CalibroOptions O = plOpts(Threads);
+  O.LtboPartitions = 4;
+  O.Profile = Prof;
+  O.EnableLayout = Layout;
+  O.LayoutPageSize = PageSize;
+  return O;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  double Scale = scaleFromArgs(argc, argv);
+  std::printf("Table 7b: profile-driven function layout, %u-byte pages "
+              "(scale %.2f)\n\n",
+              PageSize, Scale);
+
+  struct AppRow {
+    std::string Name;
+    uint64_t TextBytes = 0;
+    std::size_t Nodes = 0, Edges = 0, WarmNodes = 0;
+    uint64_t CutBefore = 0, CutAfter = 0;
+    std::size_t PagesOutline = 0, PagesLayout = 0;
+  };
+  std::vector<AppRow> Rows;
+  std::size_t TotalOutline = 0, TotalLayout = 0;
+  bool ThreadsIdentical = true;
+  bool NoProfileIdentical = true;
+  bool PerAppNeverWorse = true;
+
+  for (auto Spec : workload::paperApps(Scale)) {
+    workload::enableDeadCode(Spec); // Closed world: the stage's gate.
+    dex::App App = workload::makeApp(Spec);
+    auto Script = workload::makeScript(Spec, 20, 2024);
+
+    // Fig. 6 workflow: profile the unlaid build, then rebuild twice from
+    // the same profile — once outline-only, once outline+layout. The only
+    // difference between the two profiled builds is the layout stage.
+    auto Pre = build(App, layoutOpts(nullptr, false));
+    auto PreRun = runScript(Pre.Oat, Script, /*CollectProfile=*/true);
+
+    auto Outline = build(App, layoutOpts(&PreRun.Prof, false));
+    auto Laid = build(App, layoutOpts(&PreRun.Prof, true));
+    if (!Laid.Stats.LayoutApplied) {
+      std::fprintf(stderr, "%s: layout stage did not arm\n",
+                   Spec.Name.c_str());
+      return 1;
+    }
+
+    AppRow R;
+    R.Name = Spec.Name;
+    R.TextBytes = Laid.Oat.textBytes();
+    R.Nodes = Laid.Stats.LayoutNodes;
+    R.Edges = Laid.Stats.LayoutEdges;
+    R.WarmNodes = Laid.Stats.LayoutWarmNodes;
+    R.CutBefore = Laid.Stats.LayoutCutBefore;
+    R.CutAfter = Laid.Stats.LayoutCutAfter;
+    R.PagesOutline = startupPages(Outline.Oat, Script);
+    R.PagesLayout = startupPages(Laid.Oat, Script);
+    TotalOutline += R.PagesOutline;
+    TotalLayout += R.PagesLayout;
+    PerAppNeverWorse &= R.PagesLayout <= R.PagesOutline;
+
+    // Byte-determinism: the plan — and therefore the image — must not
+    // depend on how many workers the bisection fans out on.
+    std::vector<uint8_t> Ref = oat::serializeOat(Laid.Oat);
+    for (uint32_t Threads : {1u, 8u}) {
+      auto Again = build(App, layoutOpts(&PreRun.Prof, true, Threads));
+      ThreadsIdentical &= oat::serializeOat(Again.Oat) == Ref;
+    }
+
+    // Self-gating: with no profile the enabled stage must be a strict
+    // no-op — byte-identical to a build with the stage disabled.
+    auto NoProf = build(App, layoutOpts(nullptr, true));
+    NoProfileIdentical &=
+        oat::serializeOat(NoProf.Oat) == oat::serializeOat(Pre.Oat);
+
+    Rows.push_back(std::move(R));
+  }
+
+  std::vector<std::string> Names, OutlineRow, LayoutRow, SavedRow, CutRow;
+  for (const AppRow &R : Rows) {
+    Names.push_back(R.Name);
+    OutlineRow.push_back(fmtU64(R.PagesOutline));
+    LayoutRow.push_back(fmtU64(R.PagesLayout));
+    SavedRow.push_back(fmtPct(
+        100.0 * (1.0 - static_cast<double>(R.PagesLayout) /
+                           static_cast<double>(R.PagesOutline))));
+    CutRow.push_back(fmtPct(
+        100.0 * (1.0 - static_cast<double>(R.CutAfter) /
+                           static_cast<double>(R.CutBefore ? R.CutBefore
+                                                           : 1))));
+  }
+  printRow("", Names);
+  printRow("startup pages, outline", OutlineRow);
+  printRow("+layout", LayoutRow);
+  printRow("pages saved", SavedRow);
+  printRow("affinity cut reduced", CutRow);
+
+  const bool FewerPages = TotalLayout < TotalOutline && PerAppNeverWorse;
+  std::printf("\ncorpus startup pages: %zu -> %zu\n", TotalOutline,
+              TotalLayout);
+  std::printf("\n  outline+layout touches fewer startup pages  : %s\n",
+              FewerPages ? "PASS" : "FAIL");
+  std::printf("  byte-identical for any layout thread count  : %s\n",
+              ThreadsIdentical ? "PASS" : "FAIL");
+  std::printf("  no profile => byte-identical no-op          : %s\n",
+              NoProfileIdentical ? "PASS" : "FAIL");
+
+  FILE *J = std::fopen("BENCH_layout.json", "w");
+  if (!J) {
+    std::fprintf(stderr, "cannot write BENCH_layout.json\n");
+    return 1;
+  }
+  std::fprintf(J, "{\n  \"scale\": %.3f,\n  \"page_size\": %u,\n"
+                  "  \"apps\": [",
+               Scale, PageSize);
+  for (std::size_t I = 0; I < Rows.size(); ++I) {
+    const AppRow &R = Rows[I];
+    std::fprintf(
+        J,
+        "%s\n    {\"name\": \"%s\", \"text_bytes\": %llu, "
+        "\"layout_nodes\": %zu, \"layout_edges\": %zu, "
+        "\"warm_nodes\": %zu,\n     \"cut_before\": %llu, \"cut_after\": "
+        "%llu, \"startup_pages_outline\": %zu, \"startup_pages_layout\": "
+        "%zu}",
+        I ? "," : "", R.Name.c_str(), (unsigned long long)R.TextBytes,
+        R.Nodes, R.Edges, R.WarmNodes, (unsigned long long)R.CutBefore,
+        (unsigned long long)R.CutAfter, R.PagesOutline, R.PagesLayout);
+  }
+  std::fprintf(J,
+               "\n  ],\n  \"total_pages_outline\": %zu,\n"
+               "  \"total_pages_layout\": %zu,\n  \"gates\": {\n"
+               "    \"fewer_pages_with_layout\": %s,\n"
+               "    \"thread_count_byte_identical\": %s,\n"
+               "    \"no_profile_byte_identical\": %s\n  }\n}\n",
+               TotalOutline, TotalLayout, FewerPages ? "true" : "false",
+               ThreadsIdentical ? "true" : "false",
+               NoProfileIdentical ? "true" : "false");
+  std::fclose(J);
+
+  return (FewerPages && ThreadsIdentical && NoProfileIdentical) ? 0 : 1;
+}

@@ -28,9 +28,9 @@ if [[ "$MODE" == all || "$MODE" == asan ]]; then
   cmake --build "$SAN_BUILD" -j \
         --target test_verify test_outliner test_suffixtree \
                  test_serialize test_faultinject test_cache test_analysis \
-                 test_service
+                 test_service test_layout
   ctest --test-dir "$SAN_BUILD" --output-on-failure \
-        -R '^(test_verify|test_outliner|test_suffixtree|test_serialize|test_faultinject|test_cache|test_analysis|test_service)$'
+        -R '^(test_verify|test_outliner|test_suffixtree|test_serialize|test_faultinject|test_cache|test_analysis|test_service|test_layout)$'
 fi
 
 if [[ "$MODE" == all || "$MODE" == tsan ]]; then
@@ -39,9 +39,10 @@ if [[ "$MODE" == all || "$MODE" == tsan ]]; then
   cmake -B "$TSAN_BUILD" -S . -DCALIBRO_SANITIZE=thread
   cmake --build "$TSAN_BUILD" -j --target test_parallel test_support \
                                           test_faultinject test_cache \
-                                          test_analysis test_service
+                                          test_analysis test_service \
+                                          test_layout
   ctest --test-dir "$TSAN_BUILD" --output-on-failure \
-        -R '^(test_parallel|test_support|test_faultinject|test_cache|test_analysis|test_service)$'
+        -R '^(test_parallel|test_support|test_faultinject|test_cache|test_analysis|test_service|test_layout)$'
 fi
 
 echo "check.sh ($MODE): all green"

@@ -9,6 +9,7 @@
 #include "analysis/Merge.h"
 #include "codegen/CodeGenerator.h"
 #include "hir/Passes.h"
+#include "layout/Layout.h"
 #include "oat/Linker.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
@@ -237,7 +238,7 @@ Expected<BuildResult> core::linkApp(CompiledApp App,
   std::vector<codegen::OutlinedFunc> Outlined;
   if (Opts.EnableLtbo) {
     Timer LtboTimer;
-    std::unordered_set<uint32_t> Hot;
+    std::set<uint32_t> Hot;
     OutlinerOptions OOpts;
     OOpts.MinSeqLen = Opts.MinSeqLen;
     OOpts.MaxSeqLen = Opts.MaxSeqLen;
@@ -294,6 +295,32 @@ Expected<BuildResult> core::linkApp(CompiledApp App,
   In.Aliases = std::move(Aliases);
   In.MergeThunks = std::move(MergeThunks);
   Stats.CtoStubCount = In.Stubs.size();
+
+  // Profile-driven layout: reorder .text by co-execution affinity. Armed
+  // only with a profile AND a closed world — without either there is no
+  // affinity signal worth moving code for, and the build must stay
+  // byte-identical to a stage-less one (In.Layout stays empty, which the
+  // linker treats as the legacy order).
+  if (Opts.EnableLayout && Opts.Profile && ClosedWorld) {
+    Timer LayoutTimer;
+    layout::LayoutOptions LOpts;
+    LOpts.PageSize = Opts.LayoutPageSize;
+    LOpts.Threads = Opts.LtboThreads;
+    LOpts.Pool = Opts.Pool;
+    LOpts.PoolGroup = Opts.PoolGroup;
+    layout::AffinityGraph AG =
+        layout::buildAffinityGraph(In, App.Graph, *Opts.Profile);
+    layout::LayoutResult LR = layout::computeLayout(AG, LOpts);
+    Stats.LayoutApplied = true;
+    Stats.LayoutNodes = LR.Nodes;
+    Stats.LayoutEdges = LR.Edges;
+    Stats.LayoutWarmNodes = LR.WarmNodes;
+    Stats.LayoutCutBefore = LR.CutBefore;
+    Stats.LayoutCutAfter = LR.CutAfter;
+    In.Layout = std::move(LR.Plan);
+    Stats.LayoutSeconds = LayoutTimer.seconds();
+  }
+
   auto O = oat::link(In);
   if (!O)
     return O.takeError();

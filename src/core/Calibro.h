@@ -95,6 +95,17 @@ struct CalibroOptions {
   /// Fail the build on any call-graph anomaly (`--strict-gc`) instead of
   /// degrading to conservative edges/roots.
   bool StrictCallGraph = false;
+  /// Profile-driven function layout (`--no-layout` clears it): after GC,
+  /// merge and outlining, reorder the .text section by co-execution
+  /// affinity (recursive balanced partitioning) so profiled startups touch
+  /// fewer code pages. Self-gating: the stage only arms when a Profile is
+  /// set AND the app is closed-world (declared entrypoints); otherwise the
+  /// build is byte-identical to one without the stage.
+  bool EnableLayout = true;
+  /// Page granularity the layout stage optimizes for. The default matches
+  /// ART's 4 KiB OAT text pages; benches shrink it to match the
+  /// simulator's page size at small scales.
+  uint32_t LayoutPageSize = 4096;
   /// Externally-owned worker pool (the compile daemon's shared pool). When
   /// set, per-method compilation and the whole LTBO link stage fan out on
   /// it under fairness group PoolGroup instead of constructing private
@@ -119,6 +130,14 @@ struct BuildStats {
   double CompileSeconds = 0; ///< dex -> HGraph -> opt -> binary.
   double LtboSeconds = 0;    ///< Whole-program outlining (LTBO.2).
   double LinkSeconds = 0;
+  /// Layout-stage outputs (all zero when the stage did not arm).
+  bool LayoutApplied = false;   ///< A reordering plan reached the linker.
+  double LayoutSeconds = 0;     ///< Affinity graph + bisection wall time.
+  std::size_t LayoutNodes = 0;  ///< Placeable items in the affinity graph.
+  std::size_t LayoutEdges = 0;  ///< Distinct affinity edges.
+  std::size_t LayoutWarmNodes = 0; ///< Nodes the bisection ordered.
+  uint64_t LayoutCutBefore = 0; ///< Page-crossing affinity, input order.
+  uint64_t LayoutCutAfter = 0;  ///< Same metric under the emitted plan.
   double TotalSeconds = 0;
   uint64_t TextBytes = 0;
   /// Incremental-build counters (all zero when CacheDir is unset). Hits

@@ -297,6 +297,12 @@ void runGroupImpl(const std::vector<CompiledMethod> &Methods,
   DetectorT Tree = MakeDetector();
   Stats.TreeNodes += Tree.numNodes();
   Stats.BuildTreeSeconds += BuildTimer.seconds();
+  if constexpr (std::is_same_v<DetectorT, st::SuffixArray>) {
+    if (Tree.constructionBackend() == st::SaBackend::SaIs)
+      ++Stats.GroupsSaIs;
+    else
+      ++Stats.GroupsPrefixDoubling;
+  }
 
   // Step 3 (paper §3.3.3): rank candidates by the Fig. 2 benefit model and
   // claim occurrences greedily.
@@ -911,6 +917,8 @@ Expected<OutlineResult> core::runLtbo(std::vector<CompiledMethod> &Methods,
     Result.Stats.SelectSeconds += S.SelectSeconds;
     Result.Stats.GroupsReused += S.GroupsReused;
     Result.Stats.GroupsDetected += S.GroupsDetected;
+    Result.Stats.GroupsSaIs += S.GroupsSaIs;
+    Result.Stats.GroupsPrefixDoubling += S.GroupsPrefixDoubling;
     Result.Stats.DetectPeakBytes =
         std::max(Result.Stats.DetectPeakBytes, S.DetectPeakBytes);
     Result.Stats.DetectScratchBytes =

@@ -63,6 +63,7 @@
 #include "support/ThreadPool.h"
 
 #include <array>
+#include <set>
 #include <unordered_set>
 
 namespace calibro {
@@ -88,8 +89,10 @@ struct OutlinerOptions {
   uint32_t Threads = 1;
   DetectorKind Detector = DetectorKind::SuffixTree;
   /// Hot methods (HfOpti): outlining inside them is restricted to their
-  /// slow-path ranges. Null disables filtering.
-  const std::unordered_set<uint32_t> *HotMethods = nullptr;
+  /// slow-path ranges. Null disables filtering. Sorted (it comes straight
+  /// from profile::selectHotMethods) so that any iteration over it is
+  /// deterministic.
+  const std::set<uint32_t> *HotMethods = nullptr;
   /// Methods the global merger pinned out of outlining: thunk canonicals
   /// (their tail entry offset must survive linking unchanged) and the
   /// thunks themselves. They link verbatim. Null pins nothing.
@@ -173,6 +176,12 @@ struct OutlineStats {
   std::size_t GroupsReused = 0;
   /// Non-empty partition groups that ran detection (cold or fallback).
   std::size_t GroupsDetected = 0;
+  /// Detected groups split by the suffix-array construction backend the
+  /// hybrid auto-pick chose (see st::SaBackend). Both zero under the
+  /// suffix-tree detector. Deterministic: the pick is a pure function of
+  /// the group's assembled symbol sequence.
+  std::size_t GroupsSaIs = 0;
+  std::size_t GroupsPrefixDoubling = 0;
   /// Largest single-group detect-phase working set in bytes: suffix
   /// structure plus the assembled sequence/provenance arrays, sampled at
   /// its peak (before scratch release). Deterministic for any Threads.

@@ -1,0 +1,122 @@
+//===- layout/Layout.h - Profile-driven function layout ---------*- C++ -*-===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The post-outlining layout stage (ROADMAP item 3): reorder the .text
+/// section by co-execution affinity so that a profiled startup touches as
+/// few distinct code pages as possible, per Meta's "Optimizing Function
+/// Layout for Mobile Applications" and Chromium's orderfile machinery.
+///
+/// The stage is a pure planner: it consumes the exact oat::LinkInput the
+/// linker is about to place plus the call graph and the runtime profile,
+/// and produces a oat::LayoutItem permutation for LinkInput::Layout. The
+/// linker's symbolic relocation binding makes the plan safe by
+/// construction — every call site resolves against the final layout map,
+/// so no rewrite-phase cooperation is needed.
+///
+/// Pipeline position: GC -> merge -> outline -> **layout** -> link.
+///
+/// Algorithm: recursive balanced (graph) bisection over a weighted
+/// affinity graph.
+///
+///  * Nodes: one per compiled method, CTO stub and outlined function.
+///  * Edges: static call-graph adjacency (weight 1 + min of the endpoint
+///    heats) plus every symbolic relocation site (caller -> stub/outlined
+///    fn/merge canonical, weight 1 + caller heat). Heat is the method's
+///    profiled cycle count.
+///  * Solve: split the warm subgraph in two size-balanced halves, refine
+///    with deterministic gain-sorted pair swaps to shrink the cross-half
+///    affinity weight, recurse on both halves until a half fits a page.
+///    Cold nodes (no heat, no warm neighbor) keep their original relative
+///    order after the warm block.
+///
+/// Determinism: every tie breaks on node index, refinement runs a fixed
+/// number of passes, and the parallel solver is level-synchronous —
+/// each level's subproblems touch disjoint ranges of the order array, so
+/// the plan is byte-identical for any thread count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALIBRO_LAYOUT_LAYOUT_H
+#define CALIBRO_LAYOUT_LAYOUT_H
+
+#include "analysis/CallGraph.h"
+#include "oat/Linker.h"
+#include "profile/Profile.h"
+#include "support/ThreadPool.h"
+
+namespace calibro {
+namespace layout {
+
+/// Layout-stage configuration.
+struct LayoutOptions {
+  /// Page granularity the bisection optimizes for (and the cut metric is
+  /// reported at). The default matches the 4 KiB pages ART maps OAT text
+  /// with; benches use the simulator's smaller page to exercise the
+  /// machinery at small scales.
+  uint32_t PageSize = 4096;
+  /// Deterministic refinement passes per bisection step.
+  uint32_t RefinePasses = 8;
+  /// Worker threads for the level-synchronous solve (ignored when Pool is
+  /// set). 1 = fully serial. The plan is identical for any value.
+  uint32_t Threads = 1;
+  /// Externally-owned pool (daemon mode); overrides Threads.
+  ThreadPool *Pool = nullptr;
+  ThreadPool::GroupId PoolGroup = 0;
+};
+
+/// One placeable text item with its profile heat.
+struct AffinityNode {
+  oat::LayoutItem Item;
+  uint32_t SizeBytes = 0;
+  uint64_t Heat = 0; ///< Profiled cycles (methods; 0 for stubs/outlined).
+};
+
+/// Undirected weighted edge; A < B, node indices into AffinityGraph::Nodes.
+struct AffinityEdge {
+  uint32_t A = 0;
+  uint32_t B = 0;
+  uint64_t Weight = 0;
+};
+
+/// The co-execution affinity graph over one app's placeable items.
+struct AffinityGraph {
+  std::vector<AffinityNode> Nodes; ///< Node I = legacy plan position I.
+  std::vector<AffinityEdge> Edges; ///< Sorted by (A, B), unique.
+};
+
+/// Builds the affinity graph for \p In: static call adjacency from \p G
+/// weighted with \p P's cycles, plus one edge per symbolic relocation
+/// site. Deterministic (ordered accumulation, no hashing on output).
+AffinityGraph buildAffinityGraph(const oat::LinkInput &In,
+                                 const analysis::CallGraph &G,
+                                 const profile::Profile &P);
+
+/// What the solve did, for BuildStats and the bench.
+struct LayoutResult {
+  std::vector<oat::LayoutItem> Plan; ///< Covers every item exactly once.
+  std::size_t Nodes = 0;
+  std::size_t Edges = 0;
+  std::size_t WarmNodes = 0; ///< Nodes the bisection actually ordered.
+  uint64_t CutBefore = 0;    ///< Page-crossing affinity weight, input order.
+  uint64_t CutAfter = 0;     ///< Same metric under Plan.
+};
+
+/// Runs recursive balanced bisection over \p G and returns the placement
+/// plan. Byte-deterministic for any Threads / Pool configuration.
+LayoutResult computeLayout(const AffinityGraph &G, const LayoutOptions &Opts);
+
+/// The page-cut metric both CutBefore/CutAfter report: total weight of
+/// edges whose endpoints start on different PageSize pages when the nodes
+/// are placed in \p Order (with the linker's 16/4 alignment rules).
+/// \p Order holds node indices into G.Nodes.
+uint64_t affinityCut(const AffinityGraph &G, const std::vector<uint32_t> &Order,
+                     uint32_t PageSize);
+
+} // namespace layout
+} // namespace calibro
+
+#endif // CALIBRO_LAYOUT_LAYOUT_H

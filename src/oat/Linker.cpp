@@ -54,13 +54,63 @@ Error bindCall(std::vector<uint32_t> &Text, uint32_t SiteOff,
 
 } // namespace
 
+namespace {
+
+/// Checks that \p Plan places every method, stub and outlined function of
+/// \p In exactly once. A valid plan is a permutation of the legacy order.
+Error validateLayoutPlan(const LinkInput &In,
+                         const std::vector<LayoutItem> &Plan) {
+  const std::size_t Want =
+      In.Methods.size() + In.Stubs.size() + In.Outlined.size();
+  if (Plan.size() != Want)
+    return makeError(ErrCat::Link,
+                     "layout plan places " + std::to_string(Plan.size()) +
+                         " items, image has " + std::to_string(Want));
+  std::vector<uint8_t> SeenM(In.Methods.size(), 0), SeenS(In.Stubs.size(), 0),
+      SeenO(In.Outlined.size(), 0);
+  for (const LayoutItem &It : Plan) {
+    std::vector<uint8_t> *Seen = nullptr;
+    const char *What = "";
+    switch (It.Kind) {
+    case LayoutItemKind::Method:
+      Seen = &SeenM;
+      What = "method";
+      break;
+    case LayoutItemKind::Stub:
+      Seen = &SeenS;
+      What = "cto stub";
+      break;
+    case LayoutItemKind::Outlined:
+      Seen = &SeenO;
+      What = "outlined fn";
+      break;
+    }
+    if (It.Index >= Seen->size())
+      return makeError(ErrCat::Link, std::string("layout plan: ") + What +
+                                         " slot " + std::to_string(It.Index) +
+                                         " out of range");
+    if ((*Seen)[It.Index]++)
+      return makeError(ErrCat::Link, std::string("layout plan places ") +
+                                         What + " slot " +
+                                         std::to_string(It.Index) + " twice");
+  }
+  // Plan size matched and nothing repeats, so everything is covered.
+  return Error::success();
+}
+
+} // namespace
+
 Expected<OatFile> oat::link(const LinkInput &In) {
   OatFile O;
   O.AppName = In.AppName;
   O.BaseAddress = In.BaseAddress;
 
-  // Layout: methods (16-aligned, like ART), then CTO stubs and outlined
+  // Placement is driven by a layout plan; an empty plan means the legacy
+  // order — methods (16-aligned, like ART), then CTO stubs and outlined
   // functions (4-aligned; they are tiny and their density is the point).
+  // Binding stays symbolic either way: every relocation names its target by
+  // id and is resolved against the final offsets after all placement, so a
+  // reordering plan needs no cooperation from the compiler or outliner.
   struct PendingReloc {
     uint32_t SiteOff;
     RelocKind Kind;
@@ -74,6 +124,11 @@ Expected<OatFile> oat::link(const LinkInput &In) {
   // MethodIdx -> position in O.Methods, for merge canonical lookups.
   std::unordered_map<uint32_t, std::size_t> MethodPos;
   MethodPos.reserve(In.Methods.size());
+
+  // Create the method table in INPUT order (the table order is part of the
+  // deterministic output surface and never follows the plan) and validate
+  // every untrusted relocation offset before anything is placed, so error
+  // ordering is independent of the plan too.
   for (const auto &M : In.Methods) {
     if (!SeenMethodIdx.insert(M.MethodIdx).second)
       return makeError(ErrCat::Link, "duplicate method index " +
@@ -87,19 +142,89 @@ Expected<OatFile> oat::link(const LinkInput &In) {
                                            ": relocation offset " +
                                            std::to_string(R.Offset) +
                                            " outside the method");
-    uint32_t Off = place(O.Text, M.Code, 16);
     OatMethodEntry E;
     E.MethodIdx = M.MethodIdx;
     E.Name = M.Name;
-    E.CodeOffset = Off;
+    E.CodeOffset = 0; // Placed below.
     E.CodeSize = M.codeSizeBytes();
     E.Side = M.Side;
     E.Map = M.Map;
     MethodPos.emplace(M.MethodIdx, O.Methods.size());
     O.Methods.push_back(std::move(E));
-    for (const auto &R : M.Relocs)
-      Pending.push_back({Off + R.Offset, R.Kind, R.TargetId,
-                         "method " + M.Name});
+  }
+  for (const OutlinedFunc &Fn : In.Outlined)
+    for (const auto &R : Fn.Relocs)
+      if (R.Offset % 4 != 0 || uint64_t(R.Offset) + 4 > Fn.Code.size() * 4)
+        return makeError(ErrCat::Link, "outlined fn " + std::to_string(Fn.Id) +
+                                           ": relocation offset " +
+                                           std::to_string(R.Offset) +
+                                           " outside the function");
+
+  // The plan: explicit when the layout stage produced one, else legacy.
+  std::vector<LayoutItem> DefaultPlan;
+  const std::vector<LayoutItem> *Plan = &In.Layout;
+  if (In.Layout.empty()) {
+    DefaultPlan.reserve(In.Methods.size() + In.Stubs.size() +
+                        In.Outlined.size());
+    for (uint32_t I = 0; I < In.Methods.size(); ++I)
+      DefaultPlan.push_back({LayoutItemKind::Method, I});
+    for (uint32_t I = 0; I < In.Stubs.size(); ++I)
+      DefaultPlan.push_back({LayoutItemKind::Stub, I});
+    for (uint32_t I = 0; I < In.Outlined.size(); ++I)
+      DefaultPlan.push_back({LayoutItemKind::Outlined, I});
+    Plan = &DefaultPlan;
+  } else if (auto E = validateLayoutPlan(In, In.Layout)) {
+    return E;
+  }
+
+  // Emit the stub/outlined tables in input order as well; placement below
+  // only fills in offsets. Relocations name outlined functions by id, not
+  // position; resolve them through a hash map so binding is O(1) per site.
+  // Building the map up front also catches duplicate ids, which the old
+  // scan silently resolved to the first copy.
+  std::vector<uint32_t> StubOff(In.Stubs.size(), 0);
+  for (const auto &S : In.Stubs)
+    O.CtoStubs.push_back(
+        {S.Kind, S.Imm, 0, static_cast<uint32_t>(S.Code.size() * 4)});
+  std::unordered_map<uint32_t, uint32_t> OutOffById;
+  OutOffById.reserve(In.Outlined.size());
+  for (const OutlinedFunc &Fn : In.Outlined) {
+    O.Outlined.push_back({Fn.Id, 0, static_cast<uint32_t>(Fn.Code.size() * 4)});
+    if (!OutOffById.emplace(Fn.Id, 0u).second)
+      return makeError(ErrCat::Link,
+                       "duplicate outlined-function id " + std::to_string(Fn.Id));
+  }
+
+  // One placement loop over the plan. Everything an item owns (its table
+  // offset, its relocation sites) keys off the offset assigned here.
+  for (const LayoutItem &It : *Plan) {
+    switch (It.Kind) {
+    case LayoutItemKind::Method: {
+      const CompiledMethod &M = In.Methods[It.Index];
+      uint32_t Off = place(O.Text, M.Code, 16);
+      O.Methods[It.Index].CodeOffset = Off;
+      for (const auto &R : M.Relocs)
+        Pending.push_back(
+            {Off + R.Offset, R.Kind, R.TargetId, "method " + M.Name});
+      break;
+    }
+    case LayoutItemKind::Stub: {
+      uint32_t Off = place(O.Text, In.Stubs[It.Index].Code, 4);
+      StubOff[It.Index] = Off;
+      O.CtoStubs[It.Index].CodeOffset = Off;
+      break;
+    }
+    case LayoutItemKind::Outlined: {
+      const OutlinedFunc &Fn = In.Outlined[It.Index];
+      uint32_t Off = place(O.Text, Fn.Code, 4);
+      O.Outlined[It.Index].CodeOffset = Off;
+      OutOffById[Fn.Id] = Off;
+      for (const auto &R : Fn.Relocs)
+        Pending.push_back({Off + R.Offset, R.Kind, R.TargetId,
+                           "outlined fn " + std::to_string(Fn.Id)});
+      break;
+    }
+    }
   }
 
   // Stamp thunk provenance onto the already-placed prefix bodies, and
@@ -140,38 +265,6 @@ Expected<OatFile> oat::link(const LinkInput &In) {
     E.Map = O.Methods[Canon->second].Map;
     E.MergedInto = A.CanonMethodIdx;
     O.Methods.push_back(std::move(E));
-  }
-
-  std::vector<uint32_t> StubOff(In.Stubs.size());
-  for (std::size_t S = 0; S < In.Stubs.size(); ++S) {
-    uint32_t Off = place(O.Text, In.Stubs[S].Code, 4);
-    StubOff[S] = Off;
-    O.CtoStubs.push_back({In.Stubs[S].Kind, In.Stubs[S].Imm, Off,
-                          static_cast<uint32_t>(In.Stubs[S].Code.size() * 4)});
-  }
-
-  // Relocations name outlined functions by id, not position; resolve them
-  // through a hash map so binding is O(1) per site instead of a linear scan
-  // over every outlined function. Building the map up front also catches
-  // duplicate ids, which the old scan silently resolved to the first copy.
-  std::unordered_map<uint32_t, uint32_t> OutOffById;
-  OutOffById.reserve(In.Outlined.size());
-  for (const OutlinedFunc &Fn : In.Outlined) {
-    uint32_t Off = place(O.Text, Fn.Code, 4);
-    O.Outlined.push_back(
-        {Fn.Id, Off, static_cast<uint32_t>(Fn.Code.size() * 4)});
-    for (const auto &R : Fn.Relocs)
-      if (R.Offset % 4 != 0 || uint64_t(R.Offset) + 4 > Fn.Code.size() * 4)
-        return makeError(ErrCat::Link, "outlined fn " + std::to_string(Fn.Id) +
-                                           ": relocation offset " +
-                                           std::to_string(R.Offset) +
-                                           " outside the function");
-    if (!OutOffById.emplace(Fn.Id, Off).second)
-      return makeError(ErrCat::Link, "duplicate outlined-function id " +
-                       std::to_string(Fn.Id));
-    for (const auto &R : Fn.Relocs)
-      Pending.push_back({Off + R.Offset, R.Kind, R.TargetId,
-                         "outlined fn " + std::to_string(Fn.Id)});
   }
 
   // Bind every call now that all addresses exist.

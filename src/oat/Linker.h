@@ -38,6 +38,20 @@ struct MergeThunkRef {
   uint32_t EntryByteOff = 0;
 };
 
+/// What one slot of a layout plan places into .text.
+enum class LayoutItemKind : uint8_t { Method, Stub, Outlined };
+
+/// One placement decision: the Index-th element of the matching LinkInput
+/// vector (Methods, Stubs or Outlined).
+struct LayoutItem {
+  LayoutItemKind Kind = LayoutItemKind::Method;
+  uint32_t Index = 0;
+
+  bool operator==(const LayoutItem &O) const {
+    return Kind == O.Kind && Index == O.Index;
+  }
+};
+
 /// Everything the linker consumes for one app.
 struct LinkInput {
   std::string AppName;
@@ -49,6 +63,15 @@ struct LinkInput {
   /// relocations index MergeThunks by TargetId.
   std::vector<MergeAliasRef> Aliases;
   std::vector<MergeThunkRef> MergeThunks;
+  /// Placement order of the .text section. Empty = the legacy order (every
+  /// method in input order, then CTO stubs, then outlined functions) —
+  /// byte-identical to builds that predate the layout stage. A non-empty
+  /// plan must place every method, stub and outlined function exactly once.
+  /// Only text offsets follow the plan: the emitted method/stub/outlined
+  /// TABLES always keep input order, so every symbolic target (CtoStub /
+  /// OutlinedFunc / MergedBody relocations) resolves against the final
+  /// layout map regardless of where the plan put its body.
+  std::vector<LayoutItem> Layout;
 };
 
 /// Links \p In into an OatFile. Fails on dangling relocations or malformed

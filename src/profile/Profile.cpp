@@ -11,8 +11,8 @@
 using namespace calibro;
 using namespace calibro::profile;
 
-std::unordered_set<uint32_t>
-profile::selectHotMethods(const Profile &P, double CoverageFraction) {
+std::set<uint32_t> profile::selectHotMethods(const Profile &P,
+                                             double CoverageFraction) {
   std::vector<std::pair<uint32_t, uint64_t>> Sorted(P.CyclesByMethod.begin(),
                                                     P.CyclesByMethod.end());
   std::sort(Sorted.begin(), Sorted.end(), [](const auto &A, const auto &B) {
@@ -24,7 +24,7 @@ profile::selectHotMethods(const Profile &P, double CoverageFraction) {
   uint64_t Total = P.totalCycles();
   uint64_t Budget =
       static_cast<uint64_t>(static_cast<double>(Total) * CoverageFraction);
-  std::unordered_set<uint32_t> Hot;
+  std::set<uint32_t> Hot;
   uint64_t Acc = 0;
   for (const auto &[Idx, Cycles] : Sorted) {
     if (Acc >= Budget)

@@ -17,16 +17,19 @@
 #define CALIBRO_PROFILE_PROFILE_H
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
+#include <map>
+#include <set>
 #include <vector>
 
 namespace calibro {
 namespace profile {
 
-/// Per-method cycle counts from one profiled run.
+/// Per-method cycle counts from one profiled run. The map is ordered on
+/// purpose: consumers iterate it (hot-set selection, the layout stage's
+/// affinity weights), and an unordered container would make their output
+/// depend on hash-table iteration order.
 struct Profile {
-  std::unordered_map<uint32_t, uint64_t> CyclesByMethod;
+  std::map<uint32_t, uint64_t> CyclesByMethod;
 
   uint64_t totalCycles() const {
     uint64_t Total = 0;
@@ -48,9 +51,9 @@ struct Profile {
 
 /// Returns the smallest set of methods that covers at least
 /// \p CoverageFraction of the total profiled cycles, hottest first
-/// (deterministic: ties break on method index).
-std::unordered_set<uint32_t> selectHotMethods(const Profile &P,
-                                              double CoverageFraction);
+/// (deterministic: ties break on method index). Sorted so that callers may
+/// iterate the result directly without re-sorting.
+std::set<uint32_t> selectHotMethods(const Profile &P, double CoverageFraction);
 
 } // namespace profile
 } // namespace calibro

@@ -237,10 +237,123 @@ void saIs(const uint32_t *S, uint32_t N, uint32_t K, uint32_t *Sa,
     Sa[--Bkt[SP[P]]] = P;
   }
   Induce();
-  
+
+}
+
+/// Prefix doubling over already-compacted dense ranks, writing the full
+/// N-entry suffix array into \p Sa. Identical algorithm to the
+/// prefixDoublingSuffixArray oracle below (which now delegates here) —
+/// counting-sort doubling, O(n) per round, early exit once every rank is
+/// unique. \p Rank0 is read-only (build() still needs it for Kasai); all
+/// workspace, including the mutable rank copy, comes from \p A.
+void prefixDoubleFromRanks(const uint32_t *Rank0, uint32_t N,
+                           uint32_t Alphabet, uint32_t *Sa,
+                           support::Arena &A) {
+  std::span<uint32_t> Rank = A.allocSpan<uint32_t>(N);
+  std::copy(Rank0, Rank0 + N, Rank.begin());
+  std::span<uint32_t> Tmp = A.allocSpan<uint32_t>(N);
+  std::span<uint32_t> NewRank = A.allocSpan<uint32_t>(N);
+  // Re-ranking can widen the alphabet up to N + 1, so size the histogram
+  // for the worst round once instead of per round.
+  std::span<uint32_t> Cnt = A.allocSpan<uint32_t>(N + 2);
+
+  // Seed: counting sort of the single-symbol ranks.
+  std::fill(Cnt.begin(), Cnt.begin() + Alphabet, 0);
+  for (uint32_t I = 0; I < N; ++I)
+    ++Cnt[Rank[I]];
+  uint32_t Sum = 0;
+  for (uint32_t C = 0; C < Alphabet; ++C) {
+    uint32_t T = Cnt[C];
+    Cnt[C] = Sum;
+    Sum += T;
+  }
+  for (uint32_t I = 0; I < N; ++I)
+    Sa[Cnt[Rank[I]]++] = I;
+
+  for (uint32_t K = 1; K < N; K *= 2) {
+    // Order by the second key (Rank[I + K], out-of-range smallest):
+    // positions I >= N - K have no second key and come first; the rest
+    // follow in the current suffix-array order, shifted by K. This keeps
+    // the sort stable in the second key, so the subsequent counting sort
+    // by the first key yields the (first, second) lexicographic order.
+    uint32_t P = 0;
+    for (uint32_t I = N - K; I < N; ++I)
+      Tmp[P++] = I;
+    for (uint32_t I = 0; I < N; ++I)
+      if (Sa[I] >= K)
+        Tmp[P++] = Sa[I] - K;
+    // Stable counting sort by the first key.
+    std::fill(Cnt.begin(), Cnt.begin() + Alphabet, 0);
+    for (uint32_t I = 0; I < N; ++I)
+      ++Cnt[Rank[I]];
+    Sum = 0;
+    for (uint32_t C = 0; C < Alphabet; ++C) {
+      uint32_t T = Cnt[C];
+      Cnt[C] = Sum;
+      Sum += T;
+    }
+    for (uint32_t I = 0; I < N; ++I)
+      Sa[Cnt[Rank[Tmp[I]]]++] = Tmp[I];
+    // Re-rank: adjacent rows with equal (first, second) keys share a rank.
+    auto Second = [&](uint32_t S) { return S + K < N ? Rank[S + K] + 1 : 0; };
+    NewRank[Sa[0]] = 0;
+    uint32_t R = 0;
+    for (uint32_t I = 1; I < N; ++I) {
+      uint32_t A2 = Sa[I - 1], B = Sa[I];
+      R += !(Rank[A2] == Rank[B] && Second(A2) == Second(B));
+      NewRank[B] = R;
+    }
+    std::swap(Rank, NewRank); // Span handles, not contents: O(1).
+    Alphabet = R + 2;
+    if (R == N - 1)
+      break;
+  }
+}
+
+/// Symbol count below which prefix doubling always wins: each round is a
+/// handful of linear passes over tiny arrays, while SA-IS pays its
+/// type-classification, bucket and recursion setup regardless of n.
+/// BENCH_build_time's sais_speedup of 0.617 at scale 2 is exactly this
+/// regime.
+constexpr uint32_t SaIsMinSymbols = 1u << 15;
+
+/// Hybrid backend pick. A pure function of the compacted ranks, so the
+/// choice is deterministic per text: symbol-count threshold first, then a
+/// strided bigram repeat-density probe — repeat-poor text resolves all
+/// rank ties within a few doubling rounds, which the O(n) construction
+/// cannot beat in practice. Either backend yields the same bits (the
+/// suffix array with a unique smallest sentinel is unique), so a wrong
+/// guess costs only wall clock.
+SaBackend chooseBackend(std::span<const uint32_t> Rank, uint32_t n) {
+  if (n < SaIsMinSymbols)
+    return SaBackend::PrefixDoubling;
+  const uint32_t Want = 1024;
+  const uint32_t Stride = std::max<uint32_t>(1, (n - 1) / Want);
+  std::vector<uint64_t> Keys;
+  Keys.reserve(Want + 1);
+  for (uint32_t I = 0; I + 1 < n; I += Stride)
+    Keys.push_back((uint64_t(Rank[I]) << 32) | Rank[I + 1]);
+  std::sort(Keys.begin(), Keys.end());
+  std::size_t Dups = 0;
+  for (std::size_t I = 1; I < Keys.size(); ++I)
+    Dups += Keys[I] == Keys[I - 1];
+  // A quarter of sampled bigrams repeating marks the corpus repeat-heavy
+  // enough for the doubling rounds to run deep.
+  return Dups * 4 >= Keys.size() ? SaBackend::SaIs
+                                 : SaBackend::PrefixDoubling;
 }
 
 } // namespace
+
+const char *st::saBackendName(SaBackend B) {
+  switch (B) {
+  case SaBackend::SaIs:
+    return "sa_is";
+  case SaBackend::PrefixDoubling:
+    return "prefix_doubling";
+  }
+  return "unknown";
+}
 
 SuffixArray::SuffixArray(std::vector<Symbol> Text, support::Arena *Scratch)
     : Owned(std::move(Text)), View(Owned), TextLen(Owned.size()) {
@@ -262,13 +375,20 @@ void SuffixArray::build(support::Arena *Scratch) {
   uint32_t Alphabet = 0;
   std::span<uint32_t> Rank = compactRanks(View, Alphabet, A);
 
-  // SA-IS over the dense ranks: O(n) total, no doubling rounds. The suffix
-  // array of a text with a unique smallest sentinel is unique, so this is
-  // bit-identical to what prefix doubling produced. saIs reads Rank but
-  // never writes it, and the arena only grows during construction, so the
+  // Construction over the dense ranks via the hybrid auto-pick: SA-IS
+  // (O(n), no doubling rounds) on large repeat-heavy text, radix prefix
+  // doubling (O(n log n) but with a tiny constant and shallow rounds) on
+  // small or repeat-poor text. The suffix array of a text with a unique
+  // smallest sentinel is unique, so both backends are bit-identical —
+  // the pick can only change the construction wall clock. Neither backend
+  // writes Rank, and the arena only grows during construction, so the
   // span stays valid for Kasai below.
+  Backend = chooseBackend(Rank, n);
   Sa.resize(N);
-  saIs(Rank.data(), N, Alphabet, Sa.data(), A);
+  if (Backend == SaBackend::SaIs)
+    saIs(Rank.data(), N, Alphabet, Sa.data(), A);
+  else
+    prefixDoubleFromRanks(Rank.data(), N, Alphabet, Sa.data(), A);
 
   // Kasai's LCP: Lcp[I] = lcp(SA[I-1], SA[I]); Lcp[0] = 0. Comparing the
   // initial dense ranks is exact: equal ranks iff equal symbols, and both
@@ -383,73 +503,17 @@ void SuffixArray::releaseWorkingSet() {
 
 std::vector<uint32_t>
 st::prefixDoublingSuffixArray(const std::vector<Symbol> &Text) {
-  const uint32_t n = static_cast<uint32_t>(Text.size());
-  const uint32_t N = n + 1;
-
-  support::Arena A;
-  uint32_t Alphabet = 0;
-  std::span<uint32_t> Rank0 = compactRanks(Text, Alphabet, A);
-  std::vector<uint32_t> Rank(Rank0.begin(), Rank0.end());
+  const uint32_t N = static_cast<uint32_t>(Text.size()) + 1;
 
   // Prefix doubling over dense ranks with counting (radix) sorts: O(n) per
   // round, O(log n) rounds, O(n log n) total. This was the production
-  // construction before SA-IS; it survives as the differential oracle.
+  // construction before SA-IS; it survives as the differential oracle and
+  // as one leg of the hybrid auto-pick (same helper, so oracle and
+  // production path cannot drift apart).
+  support::Arena A;
+  uint32_t Alphabet = 0;
+  std::span<uint32_t> Rank0 = compactRanks(Text, Alphabet, A);
   std::vector<uint32_t> Sa(N);
-  {
-    std::vector<uint32_t> Cnt(Alphabet, 0);
-    for (uint32_t R : Rank)
-      ++Cnt[R];
-    uint32_t Sum = 0;
-    for (uint32_t &C : Cnt) {
-      uint32_t T = C;
-      C = Sum;
-      Sum += T;
-    }
-    for (uint32_t I = 0; I < N; ++I)
-      Sa[Cnt[Rank[I]]++] = I;
-  }
-  {
-    std::vector<uint32_t> Tmp(N), NewRank(N), Cnt;
-    for (uint32_t K = 1; K < N; K *= 2) {
-      // Order by the second key (Rank[I + K], out-of-range smallest):
-      // positions I >= N - K have no second key and come first; the rest
-      // follow in the current suffix-array order, shifted by K. This keeps
-      // the sort stable in the second key, so the subsequent counting sort
-      // by the first key yields the (first, second) lexicographic order.
-      uint32_t P = 0;
-      for (uint32_t I = N - K; I < N; ++I)
-        Tmp[P++] = I;
-      for (uint32_t I = 0; I < N; ++I)
-        if (Sa[I] >= K)
-          Tmp[P++] = Sa[I] - K;
-      // Stable counting sort by the first key.
-      Cnt.assign(Alphabet, 0);
-      for (uint32_t I = 0; I < N; ++I)
-        ++Cnt[Rank[I]];
-      uint32_t Sum = 0;
-      for (uint32_t &C : Cnt) {
-        uint32_t T = C;
-        C = Sum;
-        Sum += T;
-      }
-      for (uint32_t I = 0; I < N; ++I)
-        Sa[Cnt[Rank[Tmp[I]]]++] = Tmp[I];
-      // Re-rank: adjacent rows with equal (first, second) keys share a rank.
-      auto Second = [&](uint32_t S) {
-        return S + K < N ? Rank[S + K] + 1 : 0;
-      };
-      NewRank[Sa[0]] = 0;
-      uint32_t R = 0;
-      for (uint32_t I = 1; I < N; ++I) {
-        uint32_t A2 = Sa[I - 1], B = Sa[I];
-        R += !(Rank[A2] == Rank[B] && Second(A2) == Second(B));
-        NewRank[B] = R;
-      }
-      Rank.swap(NewRank);
-      Alphabet = R + 2;
-      if (R == N - 1)
-        break;
-    }
-  }
+  prefixDoubleFromRanks(Rank0.data(), N, Alphabet, Sa.data(), A);
   return Sa;
 }

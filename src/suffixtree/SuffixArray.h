@@ -44,8 +44,27 @@
 namespace calibro {
 namespace st {
 
+/// Which algorithm constructed the raw suffix array. The suffix array of a
+/// text with a unique smallest (virtual) sentinel is unique, so the choice
+/// can never change the output — only the construction wall clock.
+enum class SaBackend : uint8_t {
+  SaIs,           ///< O(n) induced sorting; wins on large repeat-heavy text.
+  PrefixDoubling, ///< O(n log n) radix doubling; wins on small/plain text.
+};
+
+/// Returns the identifier-style name of \p B.
+const char *saBackendName(SaBackend B);
+
 /// Suffix array + LCP over one symbol sequence, with the same repeat
 /// enumeration interface as SuffixTree.
+///
+/// Construction auto-picks its backend per text (hybrid): SA-IS's linear
+/// time only pays off once the doubling round count grows, which needs
+/// both scale and repeat density — BENCH_build_time measured SA-IS at
+/// 0.617x doubling's speed on the small scale-2 corpus. The pick is a
+/// pure function of the text (symbol count + a strided bigram
+/// repeat-density probe), so it is deterministic, and the resulting array
+/// is bit-identical either way.
 class SuffixArray {
 public:
   /// Builds the array in O(n): alphabet rank-compaction followed by SA-IS
@@ -102,6 +121,9 @@ public:
   /// only this one value per candidate.
   uint32_t firstPositionOf(int32_t Interval) const;
 
+  /// The construction algorithm the hybrid auto-pick chose for this text.
+  SaBackend constructionBackend() const { return Backend; }
+
   /// The raw suffix array, including the virtual-sentinel row: textSize()+1
   /// entries, the first of which is always textSize() (the sentinel suffix
   /// sorts strictly smallest). Exposed for the construction differential
@@ -135,6 +157,7 @@ private:
   std::vector<Symbol> Owned;    ///< Backing storage of the owning ctor.
   std::span<const Symbol> View; ///< The sequence (owned or caller-owned).
   std::size_t TextLen = 0;
+  SaBackend Backend = SaBackend::SaIs;
   std::vector<uint32_t> Sa;
   std::vector<Interval> Intervals;
 };

@@ -48,6 +48,8 @@ const char *verify::mutationKindName(MutationKind K) {
     return "forge-entrypoint";
   case MutationKind::CorruptInvokeIdx:
     return "corrupt-invoke-idx";
+  case MutationKind::CorruptProfile:
+    return "corrupt-profile";
   }
   return "unknown";
 }
@@ -232,6 +234,19 @@ Expected<FaultInjector> FaultInjector::create(const workload::AppSpec &Spec,
   Inj.BaselineObs = std::move(*Obs);
   Inj.CleanImageBytes = oat::serializeOat(Clean->Oat);
 
+  // Clean runtime profile for the CorruptProfile kind: the same script the
+  // baseline observations came from, re-run with cycle attribution on.
+  {
+    sim::SimOptions SO;
+    SO.CollectProfile = true;
+    sim::Simulator Sim(Clean->Oat, SO);
+    for (const auto &Inv : Inj.Script)
+      if (auto R = Sim.call(Inv.MethodIdx, Inv.Args); !R)
+        return makeError("fault injector: profiling run faulted: " +
+                         R.message());
+    Inj.CleanProfile = Sim.profileData();
+  }
+
   // Clean LTBO artifacts, kept pre-link so DuplicateOutlinedId can feed the
   // linker a tampered outlined-function list directly.
   Inj.CleanRewritten = Inj.Compiled.Methods;
@@ -329,7 +344,8 @@ Expected<FaultReport> FaultInjector::runCacheMutation(MutationKind Kind,
 Expected<FaultReport>
 FaultInjector::classifyLinkRun(std::vector<CompiledMethod> Methods,
                                MutationKind Kind, uint32_t ThreadsOverride,
-                               const analysis::CallGraph *GraphOverride) {
+                               const analysis::CallGraph *GraphOverride,
+                               const profile::Profile *ProfileOverride) {
   core::CompiledApp A;
   A.AppName = Compiled.AppName;
   A.Methods = std::move(Methods);
@@ -340,7 +356,9 @@ FaultInjector::classifyLinkRun(std::vector<CompiledMethod> Methods,
   FaultReport Rep;
   Rep.Kind = Kind;
 
-  auto Build = core::linkApp(std::move(A), linkOptions(Opts, ThreadsOverride));
+  core::CalibroOptions L = linkOptions(Opts, ThreadsOverride);
+  L.Profile = ProfileOverride; // Arms HfOpti (+ layout when closed-world).
+  auto Build = core::linkApp(std::move(A), L);
   if (!Build) {
     Rep.Outcome = FaultOutcome::Rejected;
     Rep.RejectStage = stageOfCategory(Build.category());
@@ -483,6 +501,45 @@ Expected<FaultReport> FaultInjector::run(uint64_t Seed, MutationKind Kind,
       return Rep;
     }
     return classifyLinkRun(Compiled.Methods, Kind, ThreadsOverride, &G);
+  }
+
+  case MutationKind::CorruptProfile: {
+    // The profile is advisory input to HfOpti and the layout stage: garbage
+    // cycle counts or method indices may change which methods get filtered
+    // or where code lands, but the shipped image must stay verifier-clean
+    // and behave exactly like baseline — layout and outlining are
+    // semantics-preserving regardless of what the profile claims.
+    profile::Profile P = CleanProfile;
+    const uint32_t NumMethods = static_cast<uint32_t>(Compiled.Methods.size());
+    auto SeededEntry = [&] {
+      auto It = P.CyclesByMethod.begin();
+      std::advance(It, static_cast<std::ptrdiff_t>(
+                           R.nextBelow(P.CyclesByMethod.size())));
+      return It;
+    };
+    uint64_t Shape = P.CyclesByMethod.empty() ? 3 : R.nextBelow(4);
+    switch (Shape) {
+    case 0: { // Retarget one entry at a bogus (often out-of-range) index.
+      auto It = SeededEntry();
+      uint64_t Cycles = It->second;
+      P.CyclesByMethod.erase(It);
+      P.CyclesByMethod[NumMethods + static_cast<uint32_t>(R.nextBelow(64))] +=
+          Cycles;
+      break;
+    }
+    case 1: // Inflate one entry toward the counter's ceiling.
+      SeededEntry()->second = ~uint64_t(0) / 2 + R.nextBelow(1024);
+      break;
+    case 2: // Zero one entry (a method that ran claims it never did).
+      SeededEntry()->second = 0;
+      break;
+    default: // Insert an entry for a method the app does not have.
+      P.CyclesByMethod[NumMethods + static_cast<uint32_t>(R.nextBelow(64))] =
+          1 + R.nextBelow(1 << 20);
+      break;
+    }
+    return classifyLinkRun(Compiled.Methods, Kind, ThreadsOverride, nullptr,
+                           &P);
   }
 
   case MutationKind::BitFlipSideInfo:

@@ -54,10 +54,11 @@ enum class MutationKind : uint8_t {
   DropCallEdge,      ///< Remove one edge from the call graph before GC.
   ForgeEntrypoint,   ///< Declare one extra (bogus) reachability root.
   CorruptInvokeIdx,  ///< Retarget one call edge at a seeded method index.
+  CorruptProfile,    ///< Damage the runtime profile fed to HfOpti + layout.
 };
 
 /// Number of MutationKind values.
-inline constexpr std::size_t NumMutationKinds = 11;
+inline constexpr std::size_t NumMutationKinds = 12;
 
 /// Returns a stable kebab-case name for \p K.
 const char *mutationKindName(MutationKind K);
@@ -142,11 +143,15 @@ private:
 
   /// Links (analysis + LTBO + link) \p Methods and classifies the result.
   /// The run inherits the pristine call graph unless \p GraphOverride
-  /// substitutes a mutated copy.
+  /// substitutes a mutated copy; \p ProfileOverride feeds the run a
+  /// (possibly damaged) profile, arming hot-function filtering and the
+  /// layout stage — the profile is advisory input, so garbage in it may
+  /// only change WHICH optimizations fire, never the observed behaviour.
   Expected<FaultReport> classifyLinkRun(std::vector<codegen::CompiledMethod> Methods,
                                         MutationKind Kind,
                                         uint32_t ThreadsOverride,
-                                        const analysis::CallGraph *GraphOverride = nullptr);
+                                        const analysis::CallGraph *GraphOverride = nullptr,
+                                        const profile::Profile *ProfileOverride = nullptr);
 
   /// Rebuilds from the mutated cache store and checks byte-identity.
   Expected<FaultReport> runCacheMutation(MutationKind Kind, Rng &R,
@@ -161,6 +166,9 @@ private:
   std::vector<uint8_t> CleanImageBytes; ///< Serialized clean OAT image.
   std::vector<codegen::OutlinedFunc> CleanFuncs; ///< Clean LTBO output.
   std::vector<codegen::CompiledMethod> CleanRewritten; ///< Post-LTBO methods.
+  /// Per-method cycles collected from the clean baseline script — the
+  /// pristine input the CorruptProfile kind damages.
+  profile::Profile CleanProfile;
   /// Pristine cache store: (blob path, bytes) in sorted-path order, captured
   /// after the cold cache-enabled build. Empty when CacheDir is unset.
   std::vector<std::pair<std::string, std::vector<uint8_t>>> PristineCache;

@@ -47,7 +47,8 @@ constexpr std::array<MutationKind, 3> GraphKinds = {
     MutationKind::ForgeEntrypoint,
     MutationKind::CorruptInvokeIdx,
 };
-static_assert(NumMutationKinds == AllKinds.size() + GraphKinds.size() + 2,
+static_assert(NumMutationKinds == AllKinds.size() + GraphKinds.size() +
+                                      2 /*cache*/ + 1 /*profile*/,
               "new mutation kinds need sweep coverage here");
 
 /// One injector, compiled once, shared by the whole suite: the compile
@@ -348,6 +349,46 @@ TEST(FaultInjectCallGraph, LenientGraphMutationsAreHarmless) {
                 static_cast<int>(FaultOutcome::Harmless))
           << mutationKindName(Kind) << " threads " << Threads;
     }
+  }
+}
+
+TEST(FaultInjectProfile, CorruptProfileNeverCorruptsOutput) {
+  // Closed world, so a profile arms BOTH hot-function filtering and the
+  // layout stage — the mutation must reach the affinity-graph heat lookups
+  // and the hot-set selection, not just dead config.
+  workload::AppSpec Spec;
+  Spec.Name = "proffault";
+  Spec.Seed = 5519;
+  Spec.NumWorkers = 30;
+  Spec.NumUtilities = 15;
+  workload::enableDeadCode(Spec);
+
+  FaultInjectorOptions Opts;
+  Opts.ScriptLength = 4;
+
+  auto Inj = FaultInjector::create(Spec, Opts);
+  ASSERT_TRUE(bool(Inj)) << Inj.message();
+
+  // The profile is advisory: garbage cycle counts, zeroed entries and
+  // out-of-range method indices may change which optimizations fire, but
+  // never the shipped behaviour — Harmless or Degraded, never Rejected,
+  // and any divergence from baseline is a harness Error (run() fails).
+  for (uint64_t Seed = 0; Seed < 25; ++Seed) {
+    auto Rep = Inj->run(Seed, MutationKind::CorruptProfile);
+    ASSERT_TRUE(bool(Rep)) << "seed " << Seed << ": " << Rep.message();
+    EXPECT_NE(static_cast<int>(Rep->Outcome),
+              static_cast<int>(FaultOutcome::Rejected))
+        << "seed " << Seed << ": " << Rep->RejectStage << ": "
+        << Rep->RejectMessage;
+  }
+
+  // Classification must not depend on the link stage's thread count.
+  for (uint32_t Threads : {1u, 4u, 8u}) {
+    auto Rep = Inj->run(3, MutationKind::CorruptProfile, Threads);
+    ASSERT_TRUE(bool(Rep)) << "threads " << Threads << ": " << Rep.message();
+    EXPECT_NE(static_cast<int>(Rep->Outcome),
+              static_cast<int>(FaultOutcome::Rejected))
+        << "threads " << Threads;
   }
 }
 

@@ -1,0 +1,338 @@
+//===- tests/test_layout.cpp - Profile-driven layout stage tests ------------===//
+//
+// Part of the Calibro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The layout stage's contract, end to end:
+///
+///  * a reordered image is a valid permutation — every method placed
+///    exactly once, validateOat clean, behaviour unchanged;
+///  * the plan is byte-deterministic for any solver thread count;
+///  * without a profile, or on an open-world app, the stage is a
+///    byte-identical no-op;
+///  * the simulated startup working set never grows, and shrinks on the
+///    profiled corpus;
+///  * the linker rejects malformed layout plans.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Calibro.h"
+#include "layout/Layout.h"
+#include "oat/Linker.h"
+#include "sim/Simulator.h"
+#include "workload/Workload.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+using namespace calibro;
+
+namespace {
+
+workload::AppSpec closedSpec(uint64_t Seed) {
+  workload::AppSpec S;
+  S.Name = "laytest";
+  S.Seed = Seed;
+  S.NumWorkers = 60;
+  S.NumUtilities = 30;
+  workload::enableDeadCode(S); // Declares entrypoints: closed world.
+  return S;
+}
+
+core::CalibroOptions plOpts() {
+  core::CalibroOptions O;
+  O.EnableCto = true;
+  O.EnableLtbo = true;
+  O.LtboPartitions = 4;
+  O.LtboThreads = 2;
+  O.LayoutPageSize = 256; // Match the small simulated pages below.
+  return O;
+}
+
+/// Runs \p Script against \p Oat; returns (trace hashes, touched pages).
+struct RunResult {
+  std::vector<uint64_t> Hashes;
+  std::vector<int64_t> Returns;
+  std::size_t Pages = 0;
+  profile::Profile Prof;
+};
+
+RunResult runScript(const oat::OatFile &Oat,
+                    const std::vector<workload::Invocation> &Script,
+                    bool CollectProfile = false) {
+  sim::SimOptions SOpts;
+  SOpts.PageShift = 8; // 256-byte pages: meaningful counts at test scale.
+  SOpts.CollectProfile = CollectProfile;
+  sim::Simulator Sim(Oat, SOpts);
+  RunResult R;
+  for (const auto &Inv : Script) {
+    auto Res = Sim.call(Inv.MethodIdx, Inv.Args);
+    EXPECT_TRUE(bool(Res)) << Res.message();
+    if (!Res)
+      return R;
+    R.Hashes.push_back(Res->TraceHash);
+    R.Returns.push_back(Res->ReturnValue);
+  }
+  R.Pages = Sim.touchedTextPages();
+  if (CollectProfile)
+    R.Prof = Sim.profileData();
+  return R;
+}
+
+/// The Fig. 6-style workflow the layout stage rides on: build without a
+/// profile, run the startup script to collect one, rebuild with it.
+struct ProfiledPair {
+  dex::App App;
+  std::vector<workload::Invocation> Script;
+  profile::Profile Prof;
+  core::BuildResult Unlaid; ///< Profile set, layout disabled.
+};
+
+ProfiledPair makeProfiledPair(uint64_t Seed) {
+  ProfiledPair P;
+  auto Spec = closedSpec(Seed);
+  P.App = workload::makeApp(Spec);
+  P.Script = workload::makeScript(Spec, 16, 99);
+
+  auto Opts = plOpts();
+  Opts.EnableLayout = false;
+  auto Cold = core::buildApp(P.App, Opts);
+  EXPECT_TRUE(bool(Cold)) << Cold.message();
+  P.Prof = runScript(Cold->Oat, P.Script, /*CollectProfile=*/true).Prof;
+  EXPECT_GT(P.Prof.totalCycles(), 0u);
+
+  Opts.Profile = &P.Prof;
+  auto Unlaid = core::buildApp(P.App, Opts);
+  EXPECT_TRUE(bool(Unlaid)) << Unlaid.message();
+  P.Unlaid = std::move(*Unlaid);
+  return P;
+}
+
+core::BuildResult buildLaid(const ProfiledPair &P, uint32_t Threads) {
+  auto Opts = plOpts();
+  Opts.Profile = &P.Prof;
+  Opts.LtboThreads = Threads;
+  auto R = core::buildApp(P.App, Opts);
+  EXPECT_TRUE(bool(R)) << R.message();
+  return std::move(*R);
+}
+
+TEST(Layout, PermutationIsValidAndBehaviourPreserved) {
+  ProfiledPair P = makeProfiledPair(31);
+  core::BuildResult Laid = buildLaid(P, 2);
+
+  EXPECT_TRUE(Laid.Stats.LayoutApplied);
+  EXPECT_GT(Laid.Stats.LayoutNodes, 0u);
+  EXPECT_GT(Laid.Stats.LayoutWarmNodes, 0u);
+  EXPECT_LE(Laid.Stats.LayoutCutAfter, Laid.Stats.LayoutCutBefore);
+
+  // The reordered image still parses and validates.
+  ASSERT_FALSE(bool(oat::validateOat(Laid.Oat)));
+
+  // Every method of the unlaid image appears exactly once, same metadata.
+  ASSERT_EQ(Laid.Oat.Methods.size(), P.Unlaid.Oat.Methods.size());
+  auto Key = [](const oat::OatMethodEntry &M) {
+    return std::make_tuple(M.MethodIdx, M.Name, M.CodeSize);
+  };
+  std::vector<std::tuple<uint32_t, std::string, uint32_t>> A, B;
+  for (const auto &M : Laid.Oat.Methods)
+    A.push_back(Key(M));
+  for (const auto &M : P.Unlaid.Oat.Methods)
+    B.push_back(Key(M));
+  std::sort(A.begin(), A.end());
+  std::sort(B.begin(), B.end());
+  EXPECT_EQ(A, B);
+
+  // Same stub/outlined population too.
+  EXPECT_EQ(Laid.Oat.CtoStubs.size(), P.Unlaid.Oat.CtoStubs.size());
+  EXPECT_EQ(Laid.Oat.Outlined.size(), P.Unlaid.Oat.Outlined.size());
+
+  // Architectural behaviour is untouched by placement.
+  RunResult Before = runScript(P.Unlaid.Oat, P.Script);
+  RunResult After = runScript(Laid.Oat, P.Script);
+  EXPECT_EQ(Before.Hashes, After.Hashes);
+  EXPECT_EQ(Before.Returns, After.Returns);
+}
+
+TEST(Layout, StartupWorkingSetDoesNotGrow) {
+  ProfiledPair P = makeProfiledPair(47);
+  core::BuildResult Laid = buildLaid(P, 2);
+  RunResult Before = runScript(P.Unlaid.Oat, P.Script);
+  RunResult After = runScript(Laid.Oat, P.Script);
+  // The no-regression fallback inside computeLayout makes <= a hard
+  // guarantee; the bench gates the strict improvement on the full corpus.
+  EXPECT_LE(After.Pages, Before.Pages);
+}
+
+TEST(Layout, ByteDeterministicAcrossThreadCounts) {
+  ProfiledPair P = makeProfiledPair(53);
+  core::BuildResult T1 = buildLaid(P, 1);
+  core::BuildResult T4 = buildLaid(P, 4);
+  core::BuildResult T8 = buildLaid(P, 8);
+  EXPECT_EQ(T1.Oat.Text, T4.Oat.Text);
+  EXPECT_EQ(T1.Oat.Text, T8.Oat.Text);
+  ASSERT_EQ(T1.Oat.Methods.size(), T8.Oat.Methods.size());
+  for (std::size_t I = 0; I < T1.Oat.Methods.size(); ++I)
+    EXPECT_EQ(T1.Oat.Methods[I].CodeOffset, T8.Oat.Methods[I].CodeOffset);
+}
+
+TEST(Layout, NoProfileIsByteIdenticalNoOp) {
+  auto Spec = closedSpec(61);
+  dex::App App = workload::makeApp(Spec);
+  auto On = plOpts(); // EnableLayout defaults to true, but no Profile.
+  auto Off = plOpts();
+  Off.EnableLayout = false;
+  auto A = core::buildApp(App, On);
+  auto B = core::buildApp(App, Off);
+  ASSERT_TRUE(bool(A)) << A.message();
+  ASSERT_TRUE(bool(B)) << B.message();
+  EXPECT_FALSE(A->Stats.LayoutApplied);
+  EXPECT_EQ(A->Oat.Text, B->Oat.Text);
+}
+
+TEST(Layout, OpenWorldIsByteIdenticalNoOp) {
+  workload::AppSpec Spec; // No enableDeadCode: no entrypoints, open world.
+  Spec.Name = "openlay";
+  Spec.Seed = 67;
+  Spec.NumWorkers = 50;
+  Spec.NumUtilities = 25;
+  dex::App App = workload::makeApp(Spec);
+  auto Script = workload::makeScript(Spec, 12, 7);
+
+  auto Opts = plOpts();
+  auto Cold = core::buildApp(App, Opts);
+  ASSERT_TRUE(bool(Cold)) << Cold.message();
+  profile::Profile Prof =
+      runScript(Cold->Oat, Script, /*CollectProfile=*/true).Prof;
+  ASSERT_GT(Prof.totalCycles(), 0u);
+
+  auto On = plOpts();
+  On.Profile = &Prof;
+  auto Off = plOpts();
+  Off.Profile = &Prof;
+  Off.EnableLayout = false;
+  auto A = core::buildApp(App, On);
+  auto B = core::buildApp(App, Off);
+  ASSERT_TRUE(bool(A)) << A.message();
+  ASSERT_TRUE(bool(B)) << B.message();
+  EXPECT_FALSE(A->Stats.LayoutApplied);
+  EXPECT_EQ(A->Oat.Text, B->Oat.Text);
+}
+
+// --- Direct solver unit coverage ----------------------------------------
+
+layout::AffinityGraph chainGraph(uint32_t N) {
+  layout::AffinityGraph G;
+  for (uint32_t I = 0; I < N; ++I) {
+    layout::AffinityNode Node;
+    Node.Item = {oat::LayoutItemKind::Method, I};
+    Node.SizeBytes = 64;
+    Node.Heat = 100 + I;
+    G.Nodes.push_back(Node);
+  }
+  // A chain with one heavy long-range edge the bisection must respect.
+  for (uint32_t I = 0; I + 1 < N; ++I)
+    G.Edges.push_back({I, I + 1, 10});
+  if (N > 8)
+    G.Edges.push_back({0, N - 1, 1000});
+  return G;
+}
+
+TEST(LayoutSolver, PlanCoversEveryNodeOnce) {
+  auto G = chainGraph(33);
+  layout::LayoutOptions Opts;
+  Opts.PageSize = 256;
+  auto R = layout::computeLayout(G, Opts);
+  ASSERT_EQ(R.Plan.size(), G.Nodes.size());
+  std::vector<uint8_t> Seen(G.Nodes.size(), 0);
+  for (const auto &It : R.Plan) {
+    ASSERT_EQ(It.Kind, oat::LayoutItemKind::Method);
+    ASSERT_LT(It.Index, G.Nodes.size());
+    EXPECT_FALSE(Seen[It.Index]++);
+  }
+  EXPECT_LE(R.CutAfter, R.CutBefore);
+}
+
+TEST(LayoutSolver, ThreadCountInvariantPlan) {
+  auto G = chainGraph(120);
+  layout::LayoutOptions Serial;
+  Serial.PageSize = 256;
+  Serial.Threads = 1;
+  layout::LayoutOptions Par = Serial;
+  Par.Threads = 8;
+  auto A = layout::computeLayout(G, Serial);
+  auto B = layout::computeLayout(G, Par);
+  ASSERT_EQ(A.Plan.size(), B.Plan.size());
+  for (std::size_t I = 0; I < A.Plan.size(); ++I)
+    EXPECT_TRUE(A.Plan[I] == B.Plan[I]) << "diverged at slot " << I;
+  EXPECT_EQ(A.CutAfter, B.CutAfter);
+}
+
+TEST(LayoutSolver, DominantTrailingNodeTerminates) {
+  // Regression: a range whose LAST node outweighs the rest of the range
+  // put the initial split point past the end, handing solve() its own
+  // range back forever. Small sizes ahead of one huge node reproduce the
+  // shape at every recursion level.
+  layout::AffinityGraph G;
+  for (uint32_t I = 0; I < 9; ++I) {
+    layout::AffinityNode Node;
+    Node.Item = {oat::LayoutItemKind::Method, I};
+    Node.SizeBytes = I + 1 == 9 ? 4096 : 32;
+    Node.Heat = 50;
+    G.Nodes.push_back(Node);
+  }
+  for (uint32_t I = 0; I + 1 < 9; ++I)
+    G.Edges.push_back({I, I + 1, 5});
+  layout::LayoutOptions Opts;
+  Opts.PageSize = 256;
+  auto R = layout::computeLayout(G, Opts);
+  ASSERT_EQ(R.Plan.size(), G.Nodes.size());
+  std::vector<uint8_t> Seen(G.Nodes.size(), 0);
+  for (const auto &It : R.Plan)
+    EXPECT_FALSE(Seen[It.Index]++);
+  EXPECT_LE(R.CutAfter, R.CutBefore);
+}
+
+// --- Linker-side plan validation ----------------------------------------
+
+TEST(Linker, RejectsMalformedLayoutPlans) {
+  // A tiny hand-built input: two 2-insn methods, no stubs or outlined.
+  oat::LinkInput In;
+  In.AppName = "plancheck";
+  for (uint32_t I = 0; I < 2; ++I) {
+    codegen::CompiledMethod M;
+    M.MethodIdx = I;
+    M.Name = "m" + std::to_string(I);
+    M.Code = {0xD503201Fu, 0xD65F03C0u}; // nop; ret
+    In.Methods.push_back(std::move(M));
+  }
+
+  auto WithPlan = [&](std::vector<oat::LayoutItem> Plan) {
+    oat::LinkInput Copy = In;
+    Copy.Layout = std::move(Plan);
+    return oat::link(Copy);
+  };
+
+  // Valid permutation: reversed order links fine and swaps the offsets.
+  auto Rev = WithPlan({{oat::LayoutItemKind::Method, 1},
+                       {oat::LayoutItemKind::Method, 0}});
+  ASSERT_TRUE(bool(Rev)) << Rev.message();
+  EXPECT_GT(Rev->Methods[0].CodeOffset, Rev->Methods[1].CodeOffset);
+  EXPECT_FALSE(bool(oat::validateOat(*Rev)));
+
+  // Too short: an item is missing.
+  EXPECT_FALSE(bool(WithPlan({{oat::LayoutItemKind::Method, 0}})));
+  // Duplicate placement.
+  EXPECT_FALSE(bool(WithPlan({{oat::LayoutItemKind::Method, 0},
+                              {oat::LayoutItemKind::Method, 0}})));
+  // Out-of-range slot.
+  EXPECT_FALSE(bool(WithPlan({{oat::LayoutItemKind::Method, 0},
+                              {oat::LayoutItemKind::Method, 7}})));
+  // Wrong kind: names a stub the input does not have.
+  EXPECT_FALSE(bool(WithPlan({{oat::LayoutItemKind::Method, 0},
+                              {oat::LayoutItemKind::Stub, 0}})));
+}
+
+} // namespace

@@ -194,7 +194,7 @@ TEST(Outliner, HotFilteringRestrictsToSlowPaths) {
   auto RAll = runLtbo(Unfiltered, {});
   ASSERT_TRUE(bool(RAll));
 
-  std::unordered_set<uint32_t> Hot = {0, 1, 2, 3, 4, 5};
+  std::set<uint32_t> Hot = {0, 1, 2, 3, 4, 5};
   OutlinerOptions HotOpts;
   HotOpts.HotMethods = &Hot;
   auto RHot = runLtbo(FilteredIn, HotOpts);

@@ -69,6 +69,28 @@ TEST(HotSet, FullCoverageTakesAll) {
   EXPECT_EQ(Hot.size(), 2u);
 }
 
+// The public surface is sorted on purpose: iteration order feeds the layout
+// stage's affinity graph, so it must not depend on hash-table internals.
+TEST(Profile, IterationIsSortedByMethodIndex) {
+  Profile P;
+  // Insert in a scrambled order; the map must iterate ascending.
+  for (uint32_t I : {7u, 2u, 9u, 0u, 5u, 3u})
+    P.add(I, 10 * (I + 1));
+  uint32_t Prev = 0;
+  bool First = true;
+  for (const auto &[Idx, Cycles] : P.CyclesByMethod) {
+    if (!First)
+      EXPECT_LT(Prev, Idx);
+    Prev = Idx;
+    First = false;
+  }
+
+  auto Hot = selectHotMethods(P, 1.0);
+  std::vector<uint32_t> Order(Hot.begin(), Hot.end());
+  for (std::size_t I = 1; I < Order.size(); ++I)
+    EXPECT_LT(Order[I - 1], Order[I]);
+}
+
 TEST(HotSet, DeterministicTieBreaking) {
   Profile P;
   for (uint32_t I = 0; I < 6; ++I)

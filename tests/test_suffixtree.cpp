@@ -363,6 +363,61 @@ TEST(SaIsDifferential, RandomTexts) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Hybrid construction-backend auto-pick
+//===----------------------------------------------------------------------===//
+
+// The pick must be a deterministic function of the text, exercise BOTH
+// backends across the expected regimes, and never change the output: the
+// SA with a unique smallest sentinel is unique, so whichever backend runs
+// must match the prefix-doubling oracle element for element.
+TEST(SaBackendPick, SmallTextUsesPrefixDoubling) {
+  // Below the symbol-count threshold SA-IS's setup cost dominates
+  // (BENCH_build_time: sais_speedup 0.617 at scale 2) — even on maximally
+  // repeat-heavy text the pick must stay with doubling.
+  std::vector<Symbol> T(4096, 'a');
+  SuffixArray A{std::vector<Symbol>(T)};
+  EXPECT_EQ(A.constructionBackend(), SaBackend::PrefixDoubling);
+  checkSaIsMatchesDoubling(T);
+}
+
+TEST(SaBackendPick, LargeRepeatHeavyTextUsesSaIs) {
+  // Large text over a tiny alphabet: nearly every sampled bigram repeats,
+  // so doubling would run deep rank-resolution rounds — SA-IS territory.
+  Rng R(0xbac0);
+  std::vector<Symbol> T;
+  T.reserve(1 << 16);
+  for (std::size_t I = 0; I < (1u << 16); ++I)
+    T.push_back('a' + R.nextBelow(4));
+  SuffixArray A{std::vector<Symbol>(T)};
+  EXPECT_EQ(A.constructionBackend(), SaBackend::SaIs);
+  checkSaIsMatchesDoubling(T);
+}
+
+TEST(SaBackendPick, LargeRepeatPoorTextUsesPrefixDoubling) {
+  // Large but almost-unique symbols: ranks go unique within a couple of
+  // doubling rounds, which O(n) construction cannot beat in practice.
+  std::vector<Symbol> T;
+  T.reserve(1 << 16);
+  for (std::size_t I = 0; I < (1u << 16); ++I)
+    T.push_back(0x1000 + I * 3);
+  SuffixArray A{std::vector<Symbol>(T)};
+  EXPECT_EQ(A.constructionBackend(), SaBackend::PrefixDoubling);
+  checkSaIsMatchesDoubling(T);
+}
+
+TEST(SaBackendPick, PickIsDeterministicAndNamed) {
+  Rng R(0x9e1c);
+  std::vector<Symbol> T;
+  for (std::size_t I = 0; I < 50000; ++I)
+    T.push_back('a' + R.nextBelow(3));
+  SuffixArray A{std::vector<Symbol>(T)};
+  SuffixArray B{std::vector<Symbol>(T)};
+  EXPECT_EQ(A.constructionBackend(), B.constructionBackend());
+  EXPECT_STREQ(saBackendName(SaBackend::SaIs), "sa_is");
+  EXPECT_STREQ(saBackendName(SaBackend::PrefixDoubling), "prefix_doubling");
+}
+
 TEST(SaIsDifferential, SeededRepeatTexts) {
   // Repeat-heavy inputs exercise the SA-IS recursion (many equal LMS
   // substrings force non-unique names): periodic texts, doubled random

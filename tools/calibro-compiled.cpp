@@ -65,7 +65,11 @@ void usage() {
       "  --job-log <file>       machine-readable JSONL job log\n"
       "build options (applied to every job):\n"
       "  --cto --ltbo --partitions <k> --min-len <n> --max-len <n>\n"
-      "  --verify --strict --dead-code --no-gc --no-merge --strict-gc\n");
+      "  --verify --strict --dead-code --no-gc --no-merge --strict-gc\n"
+      "  --layout / --no-layout  profile-driven function layout (default\n"
+      "                          on; arms only for jobs with a profile and\n"
+      "                          a closed world — otherwise byte-identical\n"
+      "                          to a build without the stage)\n");
   std::exit(2);
 }
 
@@ -158,6 +162,10 @@ int main(int argc, char **argv) {
       Build.EnableMerge = false;
     else if (A == "--strict-gc")
       Build.StrictCallGraph = true;
+    else if (A == "--layout")
+      Build.EnableLayout = true;
+    else if (A == "--no-layout")
+      Build.EnableLayout = false;
     else
       usage();
   }

@@ -49,6 +49,14 @@ void usage() {
       "                     budget\n"
       "  --hf               hot-function filtering: profile a scripted run\n"
       "                     of the unfiltered build first (paper 3.4.2)\n"
+      "  --profile          collect the same scripted runtime profile and\n"
+      "                     feed it to the profile-consuming stages (hot\n"
+      "                     filtering + layout) — alias of --hf\n"
+      "  --layout           profile-driven function layout (default on):\n"
+      "                     reorder .text by co-execution affinity so\n"
+      "                     profiled startups touch fewer code pages; arms\n"
+      "                     only with a profile and a closed world\n"
+      "  --no-layout        disable the layout stage\n"
       "  --min-len/--max-len <n>  candidate length bounds\n"
       "  --verify           statically verify the linked image before\n"
       "                     writing it (whole-text decode + branch targets)\n"
@@ -108,8 +116,12 @@ int main(int argc, char **argv) {
       Opts.MinSeqLen = std::atoi(next(I, argc, argv));
     else if (A == "--max-len")
       Opts.MaxSeqLen = std::atoi(next(I, argc, argv));
-    else if (A == "--hf")
+    else if (A == "--hf" || A == "--profile")
       Hf = true;
+    else if (A == "--layout")
+      Opts.EnableLayout = true;
+    else if (A == "--no-layout")
+      Opts.EnableLayout = false;
     else if (A == "--verify")
       Opts.VerifyOutput = true;
     else if (A == "--strict")
@@ -233,6 +245,13 @@ int main(int argc, char **argv) {
                  St.Ltbo.MethodsMergedIdentical, St.Ltbo.MethodsMergedThunk,
                  (unsigned long long)St.Ltbo.MergeSavedBytes,
                  St.Ltbo.CallGraphAnomalies, St.Ltbo.RepairedEdges);
+  if (St.LayoutApplied)
+    std::fprintf(stderr,
+                 "  layout: %zu nodes (%zu warm), %zu edges, page-crossing "
+                 "affinity %llu -> %llu, %.3fs\n",
+                 St.LayoutNodes, St.LayoutWarmNodes, St.LayoutEdges,
+                 (unsigned long long)St.LayoutCutBefore,
+                 (unsigned long long)St.LayoutCutAfter, St.LayoutSeconds);
   if (St.Ltbo.MethodsRejected) {
     std::fprintf(stderr,
                  "  degraded: %zu methods excluded from outlining "

@@ -11,6 +11,8 @@
 ///   calibro-oatdump --disasm file.oat       # full disassembly
 ///   calibro-oatdump --method W17 file.oat   # methods matching a fragment
 ///   calibro-oatdump --check file.oat        # audit per-method side info
+///   calibro-oatdump --layout-order file.oat # final .text placement, page
+///                                           # map and affinity-cut summary
 ///   calibro-oatdump --cache-audit <dir>     # audit a build-cache store
 ///   calibro-oatdump --callgraph --app Wechat --dead-code
 ///                                           # compile the app spec and dump
@@ -18,6 +20,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "aarch64/Decoder.h"
+#include "aarch64/PcRel.h"
 #include "analysis/CallGraph.h"
 #include "cache/BuildCache.h"
 #include "codegen/SideInfoValidator.h"
@@ -27,11 +31,13 @@
 #include "oat/Serialize.h"
 #include "workload/Workload.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 using namespace calibro;
 
@@ -181,6 +187,100 @@ int dumpCallGraph(const std::string &AppName, double Scale, uint64_t Seed,
   return 0;
 }
 
+/// Dumps the final .text placement as JSON: every placed item (methods in
+/// their own code ranges, CTO stubs, outlined functions) in address order
+/// with its page index, plus a static affinity-cut summary — how many
+/// linked `bl` call sites target a different page than the caller. This is
+/// the post-hoc view of what the layout stage optimized: fewer cross-page
+/// calls among co-executed code means fewer startup page faults.
+int dumpLayoutOrder(const oat::OatFile &O, uint32_t PageSize) {
+  struct Item {
+    const char *Kind;
+    std::string Name;
+    uint32_t Idx;
+    uint32_t Offset;
+    uint32_t Size;
+  };
+  std::vector<Item> Items;
+  std::unordered_map<uint32_t, uint32_t> OffsetOf;
+  for (const auto &M : O.Methods)
+    if (M.MergedInto == oat::NoMergeParent)
+      OffsetOf.emplace(M.MethodIdx, M.CodeOffset);
+  for (const auto &M : O.Methods) {
+    const char *Kind = "method";
+    if (M.MergedInto != oat::NoMergeParent) {
+      // A thunk kept its own placed prefix; an alias shares the
+      // canonical's range outright and has no own placement — skip it so
+      // rows map one-to-one onto placed code ranges.
+      auto Canon = OffsetOf.find(M.MergedInto);
+      if (Canon != OffsetOf.end() && Canon->second == M.CodeOffset)
+        continue;
+      Kind = "thunk";
+    }
+    Items.push_back({Kind, M.Name, M.MethodIdx, M.CodeOffset, M.CodeSize});
+  }
+  for (uint32_t I = 0; I < O.CtoStubs.size(); ++I)
+    Items.push_back(
+        {"stub", "", I, O.CtoStubs[I].CodeOffset, O.CtoStubs[I].CodeSize});
+  for (const auto &F : O.Outlined)
+    Items.push_back({"outlined", "", F.Id, F.CodeOffset, F.CodeSize});
+  std::stable_sort(Items.begin(), Items.end(),
+                   [](const Item &A, const Item &B) {
+                     return A.Offset != B.Offset ? A.Offset < B.Offset
+                                                 : A.Size > B.Size;
+                   });
+
+  // Static call-affinity cut: decode every non-data word; for each linked
+  // `bl` with an in-text target, classify the call same-page/cross-page.
+  std::vector<uint8_t> IsData(O.Text.size(), 0);
+  for (const auto &M : O.Methods)
+    for (const auto &D : M.Side.EmbeddedData)
+      for (uint32_t B = 0; B + 4 <= D.Size; B += 4) {
+        std::size_t W = (M.CodeOffset + D.Offset + B) / 4;
+        if (W < IsData.size())
+          IsData[W] = 1;
+      }
+  uint64_t Calls = 0, CrossPage = 0;
+  for (std::size_t W = 0; W < O.Text.size(); ++W) {
+    if (IsData[W])
+      continue;
+    auto I = a64::decode(O.Text[W]);
+    if (!I || I->Op != a64::Opcode::Bl)
+      continue;
+    uint32_t Off = static_cast<uint32_t>(W * 4);
+    auto Target = a64::pcRelTarget(*I, O.BaseAddress + Off);
+    if (!Target)
+      continue;
+    int64_t TOff = static_cast<int64_t>(*Target) -
+                   static_cast<int64_t>(O.BaseAddress);
+    if (TOff < 0 || TOff >= static_cast<int64_t>(O.textBytes()))
+      continue;
+    ++Calls;
+    CrossPage += Off / PageSize != static_cast<uint64_t>(TOff) / PageSize;
+  }
+
+  uint64_t Pages = (O.textBytes() + PageSize - 1) / PageSize;
+  std::printf("{\n  \"app\": \"%s\",\n  \"page_size\": %u,\n"
+              "  \"text_bytes\": %llu,\n  \"text_pages\": %llu,\n",
+              jsonEscape(O.AppName).c_str(), PageSize,
+              (unsigned long long)O.textBytes(), (unsigned long long)Pages);
+  std::printf("  \"affinity_cut\": {\"calls\": %llu, \"cross_page_calls\": "
+              "%llu, \"cross_page_fraction\": %.4f},\n",
+              (unsigned long long)Calls, (unsigned long long)CrossPage,
+              Calls ? static_cast<double>(CrossPage) / Calls : 0.0);
+  std::printf("  \"order\": [");
+  for (std::size_t I = 0; I < Items.size(); ++I) {
+    const Item &It = Items[I];
+    std::printf("%s\n    {\"kind\": \"%s\", ", I ? "," : "", It.Kind);
+    if (!It.Name.empty())
+      std::printf("\"name\": \"%s\", ", jsonEscape(It.Name).c_str());
+    std::printf("\"idx\": %u, \"offset\": %u, \"size\": %u, \"page\": %u}",
+                It.Idx, It.Offset, It.Size, It.Offset / PageSize);
+  }
+  std::printf("%s]\n}\n", Items.empty() ? "" : "\n  ");
+  return 0;
+}
+
 /// Opens a build-cache directory and walks every blob through the same
 /// checksum + decode + side-info validation a warm build would apply.
 /// Returns nonzero when any entry is corrupt.
@@ -207,6 +307,8 @@ int main(int argc, char **argv) {
   bool Check = false;
   bool CallGraph = false;
   bool DeadCode = false;
+  bool LayoutOrder = false;
+  uint32_t PageSize = 4096;
   std::string AppName = "Wechat";
   double Scale = 0.5;
   uint64_t Seed = 0;
@@ -222,6 +324,10 @@ int main(int argc, char **argv) {
       CallGraph = true;
     else if (!std::strcmp(argv[I], "--dead-code"))
       DeadCode = true;
+    else if (!std::strcmp(argv[I], "--layout-order"))
+      LayoutOrder = true;
+    else if (!std::strcmp(argv[I], "--page-size") && I + 1 < argc)
+      PageSize = static_cast<uint32_t>(std::atoi(argv[++I]));
     else if (!std::strcmp(argv[I], "--app") && I + 1 < argc)
       AppName = argv[++I];
     else if (!std::strcmp(argv[I], "--scale") && I + 1 < argc)
@@ -243,6 +349,9 @@ int main(int argc, char **argv) {
     std::fprintf(stderr,
                  "usage: calibro-oatdump [--disasm] [--check] "
                  "[--method <fragment>] [--cache-audit <dir>] <file.oat>\n"
+                 "       calibro-oatdump --layout-order [--page-size <n>] "
+                 "<file.oat>   # final .text placement + page map +\n"
+                 "                # static affinity-cut summary, as JSON\n"
                  "       calibro-oatdump --callgraph [--app <name>] "
                  "[--scale <s>] [--seed <n>] [--dead-code]\n");
     return 2;
@@ -261,6 +370,14 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "%s: [%s] %s\n", Path, errCatName(O.category()),
                  O.message().c_str());
     return 1;
+  }
+
+  if (LayoutOrder) {
+    if (PageSize == 0 || (PageSize & (PageSize - 1))) {
+      std::fprintf(stderr, "--page-size must be a power of two\n");
+      return 2;
+    }
+    return dumpLayoutOrder(*O, PageSize);
   }
 
   if (Check)
